@@ -1,0 +1,130 @@
+// Ablation: sensor placement policy.
+//
+// The paper gives two qualitative placement criteria (critical skew,
+// balanced connection) but no algorithm.  This bench compares the two
+// policies the library implements on the same defect population:
+//
+//  * criticality placement (scheme/placement): rank pairs by Monte-Carlo
+//    skew spread, then greedily pick nearby ones;
+//  * coverage placement (scheme/coverage_placement): greedily maximize the
+//    wire length observable by the sensor set (symmetric-difference
+//    coverage).
+//
+// Plus the crosstalk workflow: deterministic timing-window assessment of an
+// aggressor (clocktree/crosstalk) feeding the on-line scheme.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "clocktree/crosstalk.hpp"
+#include "clocktree/htree.hpp"
+#include "scheme/coverage_placement.hpp"
+#include "scheme/scheme.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace sks;
+using namespace sks::units;
+
+namespace {
+
+double run_defect_campaign(scheme::TestingScheme& testing_scheme,
+                           std::size_t trials) {
+  util::Prng prng(11);
+  std::size_t detected = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto defect =
+        clocktree::random_defect(testing_scheme.tree(), prng);
+    if (testing_scheme.run({defect}, 200).detected) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation - placement policy + crosstalk workflow",
+                "paper Sec. 2 placement criteria, quantified");
+
+  clocktree::HTreeOptions ho;
+  ho.levels = 3;
+  ho.buffer_levels = 2;
+  const clocktree::ClockTree tree = build_h_tree(ho);
+  const auto calibration = scheme::SensorCalibration::default_table();
+
+  util::TextTable table({"policy", "sensors", "wire coverage",
+                         "defect detection rate"});
+  const std::size_t trials = bench::scaled(100);
+  for (const bool by_coverage : {false, true}) {
+    scheme::PlacementOptions po;
+    po.max_sensors = 8;
+    po.max_pair_distance = 2.5e-3;
+    po.criticality.samples = bench::scaled(60);
+    scheme::Placement placement =
+        by_coverage
+            ? scheme::place_sensors_by_coverage(tree, {}, po, calibration)
+            : scheme::place_sensors(tree, {}, po, calibration);
+    const double wire_cov = scheme::placement_edge_coverage(tree, placement);
+
+    scheme::SchemeOptions so;
+    so.cycle_jitter_sigma = 1 * ps;
+    scheme::TestingScheme testing_scheme(tree, {}, calibration, so,
+                                         std::move(placement));
+    const double rate = run_defect_campaign(testing_scheme, trials);
+    table.add_row(
+        {by_coverage ? "coverage-greedy" : "criticality (paper-style)",
+         std::to_string(testing_scheme.placement().sensors.size()),
+         util::fmt_percent(wire_cov, 1), util::fmt_percent(rate, 1)});
+  }
+  std::cout << table;
+
+  // --- crosstalk workflow ---
+  std::cout << "\ncrosstalk timing-window assessment (coupling onto a leaf "
+               "clock wire):\n";
+  clocktree::Aggressor aggressor;
+  aggressor.victim_edge = tree.sinks()[5];
+  aggressor.coupling_cap = 150 * fF;
+  aggressor.activity = 0.3;
+  util::TextTable xt({"aggressor window [ns]", "overlaps victim?",
+                      "worst dskew [ps]", "hit prob"});
+  const auto arrivals = clocktree::analyze(tree, {});
+  const double victim_arrival = arrivals.arrival[aggressor.victim_edge];
+  struct Window {
+    const char* name;
+    double start, end;
+  };
+  for (const Window w :
+       {Window{"around the clock edge", victim_arrival - 0.2e-9,
+               victim_arrival + 0.2e-9},
+        Window{"well after the edge", victim_arrival + 5e-9,
+               victim_arrival + 6e-9}}) {
+    aggressor.window_start = w.start;
+    aggressor.window_end = w.end;
+    const auto a = clocktree::assess_crosstalk(tree, {}, aggressor);
+    xt.add_row({w.name, a.windows_overlap ? "yes" : "no",
+                util::fmt_fixed(a.worst_delta_skew / ps, 1),
+                util::fmt_fixed(a.hit_probability, 2)});
+  }
+  std::cout << xt;
+
+  // Feed the overlapping aggressor into the on-line scheme.
+  aggressor.window_start = victim_arrival - 0.2e-9;
+  aggressor.window_end = victim_arrival + 0.2e-9;
+  const auto defect = clocktree::crosstalk_defect(tree, {}, aggressor);
+  scheme::SchemeOptions so;
+  so.placement.max_pair_distance = 2.5e-3;
+  so.placement.criticality.samples = bench::scaled(60);
+  scheme::TestingScheme testing_scheme(tree, {}, calibration, so);
+  const auto result = testing_scheme.run({defect}, 500);
+  std::cout << "\non-line scheme vs that aggressor: detected="
+            << (result.detected ? "YES" : "no")
+            << (result.first_detection_cycle
+                    ? ", latency " +
+                          std::to_string(*result.first_detection_cycle) +
+                          " cycles"
+                    : "")
+            << ", indication cycles " << result.indication_cycles << "/500\n";
+  return 0;
+}

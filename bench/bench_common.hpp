@@ -1,0 +1,30 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace sks::bench {
+
+// Sample-count scaling: SKS_BENCH_SCALE=2 doubles every Monte-Carlo
+// population (for tighter statistics), =0.2 runs a quick smoke pass.
+inline double scale() {
+  if (const char* env = std::getenv("SKS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const double s = scale() * static_cast<double>(n);
+  return s < 1.0 ? 1 : static_cast<std::size_t>(s);
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace sks::bench

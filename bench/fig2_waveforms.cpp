@@ -1,0 +1,72 @@
+// Fig. 2: "Input and output waveforms of the proposed sensing circuit in
+// the ideal case of no skew between the signals."
+//
+// Expected shape: both clocks rise together; both outputs fall together and
+// clamp at an intermediate level above ground (the feedback keeps them from
+// falling below the n-channel conduction threshold).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cell/measure.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace sks;
+using namespace sks::units;
+
+int main() {
+  bench::banner("Fig. 2 - waveforms, no skew",
+                "ED&TC'97 Favalli & Metra, Figure 2");
+
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160 * fF;
+  cell::ClockPairStimulus stim;
+  stim.skew = 0.0;
+  stim.slew1 = stim.slew2 = 0.2 * ns;
+
+  const auto bench_setup = cell::make_sensor_bench(tech, options, stim);
+  esim::TransientOptions sim;
+  sim.t_end = 5 * ns;
+  sim.dt = 2e-12;
+  const auto result = esim::simulate(bench_setup.circuit, sim);
+
+  const auto phi = esim::Trace::node_voltage(result, bench_setup.circuit, "phi1");
+  const auto y1 = esim::Trace::node_voltage(result, bench_setup.circuit, "y1");
+  const auto y2 = esim::Trace::node_voltage(result, bench_setup.circuit, "y2");
+
+  // Numeric series (decimated).
+  util::TextTable table({"t [ns]", "V(phi1,2) [V]", "V(y1) [V]", "V(y2) [V]"});
+  for (double t = 0.0; t <= 5 * ns + 1e-15; t += 0.25 * ns) {
+    table.add_row({util::fmt_fixed(t / ns, 2),
+                   util::fmt_fixed(phi.value_at(t), 3),
+                   util::fmt_fixed(y1.value_at(t), 3),
+                   util::fmt_fixed(y2.value_at(t), 3)});
+  }
+  std::cout << table;
+
+  util::PlotOptions plot;
+  plot.x_label = "t [s]";
+  plot.y_label = "V [V]  (p=phi1,2  y=y1,y2 overlapping)";
+  std::cout << '\n'
+            << util::render_plot({{"p", result.time,
+                                   result.node_v[bench_setup.cell.phi1.index]},
+                                  {"y", result.time,
+                                   result.node_v[bench_setup.cell.y1.index]}},
+                                 plot);
+
+  const double clamp = y1.value_at(5 * ns);
+  std::cout << "\nclamp level V(y1)=V(y2) at t=5ns: "
+            << util::fmt_fixed(clamp, 3) << " V (above V_tn=" << tech.vtn
+            << " V, below V_th=" << tech.interpretation_threshold()
+            << " V -> no error indication)\n"
+            << "symmetry |V(y1)-V(y2)|: "
+            << util::fmt_sci(std::abs(y1.value_at(5 * ns) - y2.value_at(5 * ns)),
+                             2)
+            << " V\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 5: "Scatterplot of the Vmin values as a function of tau in the
+// presence of random circuit parameter variations."
+//
+// Paper recipe: uniform +/-15% variation of the circuit parameters and of
+// C_L; input slews independent and uniform in [0.1, 0.4] ns.  Expected
+// shape: per-load bands rising with tau, small spread ("the proposed
+// circuit is slightly sensitive to parameters variations").
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "scheme/montecarlo.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace sks;
+using namespace sks::units;
+
+int main() {
+  bench::banner("Fig. 5 - Monte-Carlo V_min vs tau scatterplot",
+                "ED&TC'97 Favalli & Metra, Figure 5");
+
+  const cell::Technology tech;
+  const double loads[] = {80 * fF, 160 * fF, 240 * fF};
+  const char* marks[] = {"a", "b", "c"};
+
+  std::vector<util::Series> series;
+  util::TextTable summary({"C_L", "samples", "corr(tau,Vmin)",
+                           "Vmin sigma @band [V]", "detect frac"});
+  for (int li = 0; li < 3; ++li) {
+    scheme::McOptions mc;
+    mc.load = loads[li];
+    mc.samples = bench::scaled(500);
+    mc.seed = 100 + li;
+    const auto samples = scheme::run_vmin_montecarlo(tech, {}, mc);
+
+    util::Series s;
+    s.name = marks[li];
+    std::vector<double> taus, vmins;
+    util::RunningStats band;  // spread of Vmin in a fixed tau band
+    std::size_t detected = 0;
+    for (const auto& smp : samples) {
+      s.x.push_back(smp.tau);
+      s.y.push_back(smp.vmin_late);
+      taus.push_back(smp.tau);
+      vmins.push_back(smp.vmin_late);
+      if (smp.tau > 0.18 * ns && smp.tau < 0.22 * ns) band.add(smp.vmin_late);
+      if (smp.detected) ++detected;
+    }
+    series.push_back(std::move(s));
+    summary.add_row(
+        {util::fmt_unit(loads[li], fF, 0, "fF"),
+         std::to_string(samples.size()),
+         util::fmt_fixed(util::correlation(taus, vmins), 3),
+         util::fmt_fixed(band.stddev(), 3),
+         util::fmt_percent(static_cast<double>(detected) /
+                               static_cast<double>(samples.size()),
+                           1)});
+  }
+
+  util::PlotOptions plot;
+  plot.x_label = "tau [s]   (a=80fF b=160fF c=240fF)";
+  plot.y_label = "V_min(y2) [V]";
+  plot.connect = false;  // scatter
+  std::cout << util::render_plot(series, plot) << '\n' << summary;
+  std::cout << "\npaper: 'the proposed circuit is slightly sensitive to "
+               "parameters variations' - the bands stay narrow and "
+               "monotone.\n";
+  return 0;
+}

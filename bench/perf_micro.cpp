@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels:
+// transient simulation throughput, Elmore analysis, DME construction,
+// fault simulation and the behavioural scheme loop.
+
+#include <benchmark/benchmark.h>
+
+#include "cell/measure.hpp"
+#include "clocktree/dme.hpp"
+#include "clocktree/htree.hpp"
+#include "fault/campaign.hpp"
+#include "fault/universe.hpp"
+#include "logic/masking.hpp"
+#include "scheme/scheme.hpp"
+#include "util/prng.hpp"
+
+using namespace sks;
+
+namespace {
+
+void BM_TransientSensorEdge(benchmark::State& state) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160e-15;
+  cell::ClockPairStimulus stim;
+  stim.skew = 0.2e-9;
+  const auto bench_setup = cell::make_sensor_bench(tech, options, stim);
+  const auto sim_options =
+      cell::sensor_sim_options(stim, state.range(0) * 1e-12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(esim::simulate(bench_setup.circuit, sim_options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransientSensorEdge)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  const auto bench_setup =
+      cell::make_sensor_bench(tech, options, cell::ClockPairStimulus{});
+  esim::Simulator sim(bench_setup.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.dc_operating_point());
+  }
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+void BM_ElmoreAnalysisHTree(benchmark::State& state) {
+  clocktree::HTreeOptions o;
+  o.levels = static_cast<std::size_t>(state.range(0));
+  o.buffer_levels = 2;
+  const auto tree = build_h_tree(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clocktree::analyze(tree, {}));
+  }
+  state.SetLabel(std::to_string(tree.sinks().size()) + " sinks");
+}
+BENCHMARK(BM_ElmoreAnalysisHTree)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_DmeConstruction(benchmark::State& state) {
+  util::Prng prng(1);
+  std::vector<clocktree::Sink> sinks;
+  for (int i = 0; i < state.range(0); ++i) {
+    sinks.push_back({{prng.uniform(0.0, 8e-3), prng.uniform(0.0, 8e-3)},
+                     50e-15});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clocktree::build_zero_skew_tree(sinks, {}));
+  }
+}
+BENCHMARK(BM_DmeConstruction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SingleFaultSimulation(benchmark::State& state) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160e-15;
+  cell::ClockPairStimulus stim;
+  stim.full_clock = true;
+  const auto bench_setup = cell::make_sensor_bench(tech, options, stim);
+  fault::TestPlan plan = fault::default_sensor_test_plan(
+      bench_setup, tech.interpretation_threshold(), 1);
+  plan.dt = 10e-12;
+  const auto good = fault::observe(bench_setup.circuit, plan);
+  const auto f = fault::Fault::stuck_open("d");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::test_fault(bench_setup.circuit, good, f, plan));
+  }
+}
+BENCHMARK(BM_SingleFaultSimulation);
+
+void BM_SchemeCycles(benchmark::State& state) {
+  clocktree::HTreeOptions ho;
+  ho.levels = 3;
+  ho.buffer_levels = 2;
+  scheme::SchemeOptions so;
+  so.placement.criticality.samples = 20;
+  so.placement.max_pair_distance = 2.5e-3;
+  scheme::TestingScheme scheme_under_test(
+      build_h_tree(ho), clocktree::AnalysisOptions{},
+      scheme::SensorCalibration::default_table(), so);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheme_under_test.run({}, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchemeCycles)->Arg(100)->Arg(1000);
+
+void BM_MaskingExperiment(benchmark::State& state) {
+  logic::MaskingScenario s;
+  s.delay_fault = 0.6e-9;
+  s.clock_delay_ff2 = 0.7e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::run_masking_experiment(s));
+  }
+}
+BENCHMARK(BM_MaskingExperiment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

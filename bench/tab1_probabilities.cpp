@@ -1,0 +1,81 @@
+// Table 1: "Probability of losing (p_loose) an error and of generating a
+// false error indication (p_false)" per load capacitance, over the Fig. 5
+// Monte-Carlo population.
+//
+//   p_loose: tau > tau_min but V_min < V_th (a real skew whose indication
+//            is lost);
+//   p_false: tau < tau_min but V_min > V_th (a tolerable skew flagged).
+//
+// The paper's numerals did not survive OCR; its text qualifies both as
+// small ("slightly sensitive to parameters variations").  We report point
+// estimates with Wilson 95% intervals.  Both probabilities are conditional
+// on the corresponding tau range of the sampled population (tau uniform in
+// [0, 0.3 ns]).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "scheme/behavioral_sensor.hpp"
+#include "scheme/montecarlo.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace sks;
+using namespace sks::units;
+
+int main() {
+  bench::banner("Table 1 - p_loose / p_false per load",
+                "ED&TC'97 Favalli & Metra, Table 1");
+
+  const cell::Technology tech;
+  const auto calibration = scheme::SensorCalibration::default_table();
+
+  auto ci = [](const util::Proportion& p) {
+    return util::fmt_fixed(p.estimate(), 4) + " [" +
+           util::fmt_fixed(p.wilson_low(), 4) + ", " +
+           util::fmt_fixed(p.wilson_high(), 4) + "]";
+  };
+
+  const double vth = tech.interpretation_threshold();
+  for (const bool common_slew : {true, false}) {
+    util::TextTable table({"C_L", "tau_min (nom.)", "p_loose (joint)",
+                           "p_false (joint)", "p_loose|tau>tmin",
+                           "p_false|tau<tmin", "N"});
+    for (const double load : {80 * fF, 160 * fF, 240 * fF}) {
+      scheme::McOptions mc;
+      mc.load = load;
+      mc.samples = bench::scaled(1200);
+      mc.seed = 200 + static_cast<std::uint64_t>(load * 1e15);
+      mc.common_slew = common_slew;
+      const auto samples = scheme::run_vmin_montecarlo(tech, {}, mc);
+      const double tau_min = calibration.tau_min(load);
+      const auto est = scheme::estimate_probabilities(samples, tau_min, vth);
+      table.add_row({util::fmt_unit(load, fF, 0, "fF"),
+                     util::fmt_unit(tau_min, ns, 4, "ns"),
+                     ci(est.loose_joint), ci(est.false_alarm_joint),
+                     util::fmt_fixed(est.loose.estimate(), 3),
+                     util::fmt_fixed(est.false_alarm.estimate(), 3),
+                     std::to_string(samples.size())});
+    }
+    if (common_slew) {
+      std::cout << "process-variation population (+/-15% global params, "
+                   "independent +/-15% loads, COMMON slew per trial):\n";
+    } else {
+      std::cout << "\npaper stress recipe (same, but INDEPENDENT slews in "
+                   "[0.1, 0.4] ns — slew mismatch acts as extra skew):\n";
+    }
+    std::cout << table;
+  }
+  std::cout
+      << "\npaper: exact Table-1 numerals lost to OCR; text implies both "
+         "probabilities are small ('slightly sensitive to parameters "
+         "variations').  With matched slews our probabilities are small "
+         "and driven only by the variation-broadened band around tau_min.  "
+         "With the independent-slew stress population, a 0.3 ns slew "
+         "mismatch acts on the sensor like a ~0.1-0.25 ns skew and "
+         "dominates p_false: the sensor flags slew faults too — arguably a "
+         "feature (they corrupt sampling just like skew), but it must be "
+         "budgeted when choosing the monitored couples.  See EXPERIMENTS.md"
+         ".\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "cell/error_indicator.hpp"
+
+#include <tuple>
+
+namespace sks::cell {
+
+ErrorIndicatorCell build_error_indicator(esim::Circuit& circuit,
+                                         const Technology& tech,
+                                         esim::NodeId y1, esim::NodeId y2,
+                                         esim::NodeId vdd,
+                                         const ErrorIndicatorOptions& options) {
+  ErrorIndicatorCell cell;
+  const std::string& p = options.prefix;
+  cell.prefix = p;
+  cell.y1 = y1;
+  cell.y2 = y2;
+  cell.enable = circuit.node(p + "en");
+  cell.resetb = circuit.node(p + "resetb");
+  cell.err = circuit.node(p + "err");
+  cell.errb = circuit.node(p + "errb");
+  const esim::NodeId gnd = circuit.ground();
+  const double m = options.drive;
+
+  // Interpreting buffers (the paper's "gate with logic threshold equal to
+  // VDD/2 ... used to interpret the sensing circuit response"): the basic
+  // sensor's fault-free outputs clamp near 1.4-1.8 V, which would leak
+  // through a bare NMOS gate; two inverters restore them to a clean rail
+  // before the dynamic stack.
+  const esim::NodeId yb1 = circuit.node(p + "yb1");
+  const esim::NodeId yi1 = circuit.node(p + "yi1");
+  const esim::NodeId yb2 = circuit.node(p + "yb2");
+  const esim::NodeId yi2 = circuit.node(p + "yi2");
+  for (const auto& [in, mid_n, out, tag] :
+       {std::tuple{y1, yb1, yi1, "1"}, std::tuple{y2, yb2, yi2, "2"}}) {
+    circuit.add_mosfet(p + "mbufa" + tag + ".mp", tech.pmos(m), in, mid_n,
+                       vdd);
+    circuit.add_mosfet(p + "mbufa" + tag + ".mn", tech.nmos(m), in, mid_n,
+                       gnd);
+    circuit.add_mosfet(p + "mbufb" + tag + ".mp", tech.pmos(m), mid_n, out,
+                       vdd);
+    circuit.add_mosfet(p + "mbufb" + tag + ".mn", tech.nmos(m), mid_n, out,
+                       gnd);
+    circuit.add_capacitor(p + "cbuf" + tag + "a", mid_n, gnd,
+                          tech.junction_cap(m * (tech.wn + tech.wp)) +
+                              tech.gate_cap(m * (tech.wn + tech.wp)));
+    circuit.add_capacitor(p + "cbuf" + tag + "b", out, gnd,
+                          tech.junction_cap(m * (tech.wn + tech.wp)) +
+                              tech.gate_cap(m * 2.0 * tech.wn));
+  }
+
+  // Precharge.
+  circuit.add_mosfet(p + "mpre", tech.pmos(m), cell.resetb, cell.errb, vdd);
+  // Two discharge stacks sharing the strobe transistor's node.
+  const esim::NodeId mid = circuit.node(p + "mid");
+  circuit.add_mosfet(p + "md1", tech.nmos(2.0 * m), yi1, cell.errb, mid);
+  circuit.add_mosfet(p + "md2", tech.nmos(2.0 * m), yi2, cell.errb, mid);
+  circuit.add_mosfet(p + "men", tech.nmos(2.0 * m), cell.enable, mid, gnd);
+  // Output inverter.
+  circuit.add_mosfet(p + "minv.mp", tech.pmos(m), cell.errb, cell.err, vdd);
+  circuit.add_mosfet(p + "minv.mn", tech.nmos(m), cell.errb, cell.err, gnd);
+  // Weak keeper: holds errb high while err is low.
+  circuit.add_mosfet(p + "mkeep", tech.pmos(options.keeper_drive), cell.err,
+                     cell.errb, vdd);
+
+  // Parasitics.
+  circuit.add_capacitor(p + "cerrb", cell.errb, gnd,
+                        tech.junction_cap(m * (2.0 * tech.wn + 2.0 * tech.wp)) +
+                            tech.gate_cap(m * (tech.wn + tech.wp)));
+  circuit.add_capacitor(p + "cerr", cell.err, gnd,
+                        tech.junction_cap(m * (tech.wn + tech.wp)) +
+                            tech.gate_cap(options.keeper_drive * tech.wp) +
+                            20e-15);
+  circuit.add_capacitor(p + "cmid", mid, gnd,
+                        tech.junction_cap(m * 4.0 * tech.wn));
+  return cell;
+}
+
+}  // namespace sks::cell

@@ -1,0 +1,56 @@
+// Transistor-level error indicator (after ref. [9]: Metra, Favalli, Ricco,
+// "Compact and Highly Testable Error Indicator for Self-Checking Circuits").
+//
+// The indicator latches the sensor's error indication so that it can be read
+// out long after the offending clock cycle — through a scan path off-line,
+// or by a checker on-line (Sec. 2: "simple error indicators capable of
+// latching on error indications can be used").
+//
+// Structure (dynamic, precharged):
+//
+//   errb --- PMOS(gate=resetb) --- VDD            (precharge, resetb low)
+//   errb --- NMOS(gate=y1) --- NMOS(gate=en) --- GND
+//   errb --- NMOS(gate=y2) --- NMOS(gate=en) --- GND
+//   err  = INV(errb)  (plus a weak PMOS keeper on errb gated by err)
+//
+// `en` is the evaluation strobe: asserted while both monitored clocks are
+// high, i.e. when a fault-free sensor holds both outputs low(ish) and an
+// erroneous one holds exactly one output high.  Any output still high during
+// the strobe discharges errb and err latches high until the next reset.
+//
+// With the BASIC sensor the fault-free outputs clamp near V_tn, which is at
+// the conduction boundary of the discharge NMOS; under parameter variation a
+// slow leak can false-trigger the indicator.  This is precisely why the
+// paper offers the full-swing variant — bench/ablation_sensitivity
+// quantifies the effect.
+#pragma once
+
+#include <string>
+
+#include "cell/technology.hpp"
+#include "esim/netlist.hpp"
+
+namespace sks::cell {
+
+struct ErrorIndicatorCell {
+  esim::NodeId y1, y2;     // monitored sensor outputs
+  esim::NodeId enable;     // evaluation strobe
+  esim::NodeId resetb;     // active-low precharge
+  esim::NodeId err;        // latched error flag (active high)
+  esim::NodeId errb;       // internal dynamic node
+  std::string prefix;
+};
+
+struct ErrorIndicatorOptions {
+  double drive = 1.0;
+  double keeper_drive = 0.1;  // weak keeper holding errb high when no error
+  std::string prefix = "ei/";
+};
+
+ErrorIndicatorCell build_error_indicator(esim::Circuit& circuit,
+                                         const Technology& tech,
+                                         esim::NodeId y1, esim::NodeId y2,
+                                         esim::NodeId vdd,
+                                         const ErrorIndicatorOptions& options);
+
+}  // namespace sks::cell

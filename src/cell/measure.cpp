@@ -1,0 +1,97 @@
+#include "cell/measure.hpp"
+
+#include "esim/engine.hpp"
+#include "util/error.hpp"
+
+namespace sks::cell {
+
+std::string to_string(Indication indication) {
+  switch (indication) {
+    case Indication::kNone:
+      return "none";
+    case Indication::k01:
+      return "01";
+    case Indication::k10:
+      return "10";
+  }
+  return "?";
+}
+
+SensorMeasurement interpret_sensor(const esim::Trace& y1, const esim::Trace& y2,
+                                   const ClockPairStimulus& stimulus,
+                                   double vth, bool dual_rail) {
+  SensorMeasurement m;
+  const double t0 = stimulus.edge_time;
+  const double t1 = stimulus.strobe_time();
+  m.y1_at_strobe = y1.value_at(t1);
+  m.y2_at_strobe = y2.value_at(t1);
+  if (!dual_rail) {
+    // Rising-edge sensor: a fault-free output completes (or clamps) a
+    // falling transition; an erroneous one stays above V_th throughout.
+    m.vmin_y1 = y1.min_in(t0, t1);
+    m.vmin_y2 = y2.min_in(t0, t1);
+    m.y1_high = m.vmin_y1 > vth;
+    m.y2_high = m.vmin_y2 > vth;
+  } else {
+    // Dual sensor: outputs idle low and (incompletely) rise; the error is
+    // an output that stays LOW.  Mirror the criterion around the rails:
+    // report "high" for the output that failed to move, mirrored so that
+    // the indication codes keep the paper's meaning (the LATE phase's
+    // output shows the error).
+    m.vmin_y1 = y1.max_in(t0, t1);
+    m.vmin_y2 = y2.max_in(t0, t1);
+    m.y1_high = m.vmin_y1 < vth;
+    m.y2_high = m.vmin_y2 < vth;
+  }
+  if (m.y1_high && !m.y2_high) {
+    m.indication = Indication::k10;
+  } else if (!m.y1_high && m.y2_high) {
+    m.indication = Indication::k01;
+  } else {
+    m.indication = Indication::kNone;
+  }
+  return m;
+}
+
+SensorMeasurement measure_sensor(const Technology& tech,
+                                 const SensorOptions& options,
+                                 const ClockPairStimulus& stimulus,
+                                 double dt) {
+  const SensorBench bench = make_sensor_bench(tech, options, stimulus);
+  return measure_bench(bench, tech.interpretation_threshold(), dt);
+}
+
+SensorMeasurement measure_bench(const SensorBench& bench, double vth,
+                                double dt) {
+  const auto result =
+      esim::simulate(bench.circuit, sensor_sim_options(bench.stimulus, dt));
+  const auto y1 = esim::Trace::node_voltage(
+      result, bench.circuit, bench.cell.qualified("y1"));
+  const auto y2 = esim::Trace::node_voltage(
+      result, bench.circuit, bench.cell.qualified("y2"));
+  return interpret_sensor(y1, y2, bench.stimulus, vth,
+                          bench.cell.options.dual_rail);
+}
+
+double find_tau_min(const Technology& tech, const SensorOptions& options,
+                    ClockPairStimulus stimulus, double lo, double hi,
+                    double tolerance, double dt) {
+  sks::check(hi > lo, "find_tau_min: empty search interval");
+  auto detected = [&](double tau) {
+    stimulus.skew = tau;
+    return measure_sensor(tech, options, stimulus, dt).error();
+  };
+  if (detected(lo)) return lo;
+  if (!detected(hi)) return hi;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (detected(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace sks::cell

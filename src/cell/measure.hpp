@@ -1,0 +1,65 @@
+// Measurements on the sensing circuit: the quantities the paper's
+// evaluation is built from.
+//
+//  * V_min of each output over the observation window (Figs. 4, 5);
+//  * the logic interpretation against the threshold V_th = 2.75 V
+//    ("y2 is interpreted as a high logic value, thus providing an error
+//    indication" when V_min > V_th);
+//  * the error indication code (01 / 10 / none);
+//  * tau_min — the sensitivity of the circuit, i.e. the smallest skew that
+//    produces an error indication (the vertical lines of Fig. 4), located
+//    by bisection on the electrical simulation.
+#pragma once
+
+#include <string>
+
+#include "cell/stimuli.hpp"
+#include "esim/trace.hpp"
+
+namespace sks::cell {
+
+enum class Indication { kNone, k01, k10 };
+
+std::string to_string(Indication indication);
+
+struct SensorMeasurement {
+  double vmin_y1 = 0.0;   // min V(y1) in the observation window [V]
+  double vmin_y2 = 0.0;
+  double y1_at_strobe = 0.0;
+  double y2_at_strobe = 0.0;
+  bool y1_high = false;   // V_min-based interpretation vs V_th
+  bool y2_high = false;
+  Indication indication = Indication::kNone;
+
+  bool error() const { return indication != Indication::kNone; }
+};
+
+// Interpret two already-simulated output traces.  The observation window is
+// [stimulus.edge_time, stimulus.strobe_time()]; for the dual (falling-edge)
+// sensor "high" means V_max-based interpretation mirrored around the rails.
+SensorMeasurement interpret_sensor(const esim::Trace& y1, const esim::Trace& y2,
+                                   const ClockPairStimulus& stimulus,
+                                   double vth, bool dual_rail = false);
+
+// Build the bench, run the transient, interpret.  `dt` is the simulation
+// base timestep.
+SensorMeasurement measure_sensor(const Technology& tech,
+                                 const SensorOptions& options,
+                                 const ClockPairStimulus& stimulus,
+                                 double dt = 2e-12);
+
+// Same, but on an externally prepared bench (after fault injection or
+// Monte-Carlo variation of bench.circuit).
+SensorMeasurement measure_bench(const SensorBench& bench, double vth,
+                                double dt = 2e-12);
+
+// The sensitivity tau_min: smallest skew (within [lo, hi]) detected by the
+// sensor, found by bisection to `tolerance`.  Returns `hi` when even the
+// largest skew is not detected (degenerate circuit), `lo` when the smallest
+// already is.
+double find_tau_min(const Technology& tech, const SensorOptions& options,
+                    ClockPairStimulus stimulus, double lo = 0.0,
+                    double hi = 1.0e-9, double tolerance = 1e-12,
+                    double dt = 2e-12);
+
+}  // namespace sks::cell

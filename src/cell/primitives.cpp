@@ -1,0 +1,140 @@
+#include "cell/primitives.hpp"
+
+namespace sks::cell {
+
+namespace {
+
+// Lump the junction capacitance a device terminal contributes to its node.
+// Merging per-node would be an optimization; separate small caps keep the
+// netlist transparent and the simulator handles them identically.
+void add_junction(esim::Circuit& circuit, const Technology& tech,
+                  const std::string& name, esim::NodeId node, double width) {
+  if (node.index == 0) return;  // ground needs no cap
+  circuit.add_capacitor(name, node, circuit.ground(), tech.junction_cap(width));
+}
+
+}  // namespace
+
+InverterHandles add_inverter(esim::Circuit& circuit, const Technology& tech,
+                             const std::string& prefix, esim::NodeId input,
+                             esim::NodeId output, esim::NodeId vdd,
+                             double strength) {
+  InverterHandles h;
+  h.input = input;
+  h.output = output;
+  h.pull_up = circuit.add_mosfet(prefix + ".mp", tech.pmos(strength), input,
+                                 output, vdd);
+  h.pull_down = circuit.add_mosfet(prefix + ".mn", tech.nmos(strength), input,
+                                   output, circuit.ground());
+  add_junction(circuit, tech, prefix + ".cj", output,
+               strength * (tech.wn + tech.wp));
+  return h;
+}
+
+Nand2Handles add_nand2(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId output, esim::NodeId vdd,
+                       double strength) {
+  Nand2Handles h;
+  h.a = a;
+  h.b = b;
+  h.output = output;
+  const esim::NodeId mid = circuit.node(prefix + ".mid");
+  h.pu_a = circuit.add_mosfet(prefix + ".mpa", tech.pmos(strength), a, output,
+                              vdd);
+  h.pu_b = circuit.add_mosfet(prefix + ".mpb", tech.pmos(strength), b, output,
+                              vdd);
+  // Series NMOS sized 2x to keep the pull-down strength comparable.
+  h.pd_a = circuit.add_mosfet(prefix + ".mna", tech.nmos(2.0 * strength), a,
+                              output, mid);
+  h.pd_b = circuit.add_mosfet(prefix + ".mnb", tech.nmos(2.0 * strength), b,
+                              mid, circuit.ground());
+  add_junction(circuit, tech, prefix + ".cj", output,
+               strength * (2.0 * tech.wp + 2.0 * tech.wn));
+  add_junction(circuit, tech, prefix + ".cjm", mid, strength * 2.0 * tech.wn);
+  return h;
+}
+
+Nor2Handles add_nor2(esim::Circuit& circuit, const Technology& tech,
+                     const std::string& prefix, esim::NodeId a, esim::NodeId b,
+                     esim::NodeId output, esim::NodeId vdd, double strength) {
+  Nor2Handles h;
+  h.a = a;
+  h.b = b;
+  h.output = output;
+  const esim::NodeId mid = circuit.node(prefix + ".mid");
+  // Series PMOS sized 2x.
+  h.pu_a = circuit.add_mosfet(prefix + ".mpa", tech.pmos(2.0 * strength), a,
+                              mid, vdd);
+  h.pu_b = circuit.add_mosfet(prefix + ".mpb", tech.pmos(2.0 * strength), b,
+                              output, mid);
+  h.pd_a = circuit.add_mosfet(prefix + ".mna", tech.nmos(strength), a, output,
+                              circuit.ground());
+  h.pd_b = circuit.add_mosfet(prefix + ".mnb", tech.nmos(strength), b, output,
+                              circuit.ground());
+  add_junction(circuit, tech, prefix + ".cj", output,
+               strength * (2.0 * tech.wp + 2.0 * tech.wn));
+  add_junction(circuit, tech, prefix + ".cjm", mid, strength * 2.0 * tech.wp);
+  return h;
+}
+
+Aoi22Handles add_aoi22(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId c, esim::NodeId d,
+                       esim::NodeId output, esim::NodeId vdd,
+                       double strength) {
+  Aoi22Handles h;
+  h.a = a;
+  h.b = b;
+  h.c = c;
+  h.d = d;
+  h.output = output;
+  const esim::NodeId gnd = circuit.ground();
+  // Pull-down: (a-b) || (c-d), series devices 2x.
+  const esim::NodeId nab = circuit.node(prefix + ".nab");
+  const esim::NodeId ncd = circuit.node(prefix + ".ncd");
+  circuit.add_mosfet(prefix + ".mna", tech.nmos(2.0 * strength), a, output,
+                     nab);
+  circuit.add_mosfet(prefix + ".mnb", tech.nmos(2.0 * strength), b, nab, gnd);
+  circuit.add_mosfet(prefix + ".mnc", tech.nmos(2.0 * strength), c, output,
+                     ncd);
+  circuit.add_mosfet(prefix + ".mnd", tech.nmos(2.0 * strength), d, ncd, gnd);
+  // Pull-up: (a || b) series (c || d), series devices 2x.
+  const esim::NodeId mid = circuit.node(prefix + ".pmid");
+  circuit.add_mosfet(prefix + ".mpa", tech.pmos(2.0 * strength), a, mid, vdd);
+  circuit.add_mosfet(prefix + ".mpb", tech.pmos(2.0 * strength), b, mid, vdd);
+  circuit.add_mosfet(prefix + ".mpc", tech.pmos(2.0 * strength), c, output,
+                     mid);
+  circuit.add_mosfet(prefix + ".mpd", tech.pmos(2.0 * strength), d, output,
+                     mid);
+  add_junction(circuit, tech, prefix + ".cj", output,
+               strength * 2.0 * (tech.wn + tech.wp));
+  add_junction(circuit, tech, prefix + ".cjm", mid,
+               strength * 4.0 * tech.wp);
+  add_junction(circuit, tech, prefix + ".cjab", nab,
+               strength * 2.0 * tech.wn);
+  add_junction(circuit, tech, prefix + ".cjcd", ncd,
+               strength * 2.0 * tech.wn);
+  return h;
+}
+
+TgateHandles add_tgate(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId enable,
+                       esim::NodeId enable_b, double strength) {
+  TgateHandles h;
+  h.a = a;
+  h.b = b;
+  h.enable = enable;
+  h.enable_b = enable_b;
+  h.nmos = circuit.add_mosfet(prefix + ".mn", tech.nmos(strength), enable, a, b);
+  h.pmos = circuit.add_mosfet(prefix + ".mp", tech.pmos(strength), enable_b, a,
+                              b);
+  add_junction(circuit, tech, prefix + ".cja", a,
+               strength * (tech.wn + tech.wp) * 0.5);
+  add_junction(circuit, tech, prefix + ".cjb", b,
+               strength * (tech.wn + tech.wp) * 0.5);
+  return h;
+}
+
+}  // namespace sks::cell

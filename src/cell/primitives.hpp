@@ -1,0 +1,73 @@
+// Transistor-level standard-cell builders (inverter, NAND2, NOR2,
+// transmission gate).  Used by the full-swing sensor variant, the error
+// indicator, the testability experiments and the unit tests.
+//
+// Every builder instantiates devices and junction capacitances into an
+// existing Circuit, naming everything under `prefix` so several cells can
+// coexist in one netlist (e.g. "s0/inv1.mp").
+#pragma once
+
+#include <string>
+
+#include "cell/technology.hpp"
+#include "esim/netlist.hpp"
+
+namespace sks::cell {
+
+struct InverterHandles {
+  esim::NodeId input, output;
+  esim::MosfetId pull_up, pull_down;
+};
+
+// Build an inverter between `input` and a new (or existing) node named
+// `prefix + ".out"` unless `output` is provided.  `strength` scales both
+// device widths.
+InverterHandles add_inverter(esim::Circuit& circuit, const Technology& tech,
+                             const std::string& prefix, esim::NodeId input,
+                             esim::NodeId output, esim::NodeId vdd,
+                             double strength = 1.0);
+
+struct Nand2Handles {
+  esim::NodeId a, b, output;
+  esim::MosfetId pu_a, pu_b, pd_a, pd_b;
+};
+
+Nand2Handles add_nand2(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId output, esim::NodeId vdd,
+                       double strength = 1.0);
+
+struct Nor2Handles {
+  esim::NodeId a, b, output;
+  esim::MosfetId pu_a, pu_b, pd_a, pd_b;
+};
+
+Nor2Handles add_nor2(esim::Circuit& circuit, const Technology& tech,
+                     const std::string& prefix, esim::NodeId a, esim::NodeId b,
+                     esim::NodeId output, esim::NodeId vdd,
+                     double strength = 1.0);
+
+struct Aoi22Handles {
+  esim::NodeId a, b, c, d, output;  // output = NOT(a*b + c*d)
+};
+
+// AND-OR-INVERT (2-2): the workhorse of the classical two-rail checker
+// realization.  Pull-down: (a series b) parallel (c series d); pull-up:
+// (a parallel b) series (c parallel d).
+Aoi22Handles add_aoi22(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId c, esim::NodeId d,
+                       esim::NodeId output, esim::NodeId vdd,
+                       double strength = 1.0);
+
+struct TgateHandles {
+  esim::NodeId a, b, enable, enable_b;
+  esim::MosfetId nmos, pmos;
+};
+
+TgateHandles add_tgate(esim::Circuit& circuit, const Technology& tech,
+                       const std::string& prefix, esim::NodeId a,
+                       esim::NodeId b, esim::NodeId enable,
+                       esim::NodeId enable_b, double strength = 1.0);
+
+}  // namespace sks::cell

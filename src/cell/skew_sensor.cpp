@@ -1,0 +1,174 @@
+#include "cell/skew_sensor.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::cell {
+
+bool SensorCell::has_device(const std::string& paper_name) const {
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    if (paper_name == kSensorDeviceNames[k]) {
+      return devices[k].index != static_cast<std::size_t>(-1);
+    }
+  }
+  return false;
+}
+
+esim::MosfetId SensorCell::device(const std::string& paper_name) const {
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    if (paper_name == kSensorDeviceNames[k]) {
+      sks::check(devices[k].index != static_cast<std::size_t>(-1),
+                 "SensorCell::device: '" + paper_name +
+                     "' is not present in this variant");
+      return devices[k];
+    }
+  }
+  throw Error("SensorCell::device: unknown device '" + paper_name + "'");
+}
+
+namespace {
+
+constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+std::size_t device_slot(const char* paper_name) {
+  for (std::size_t k = 0; k < 10; ++k) {
+    if (std::string(paper_name) == kSensorDeviceNames[k]) return k;
+  }
+  throw Error("internal: bad sensor device name");
+}
+
+}  // namespace
+
+SensorCell build_skew_sensor(esim::Circuit& circuit, const Technology& tech,
+                             const SensorOptions& options) {
+  sks::check(options.drive > 0.0, "build_skew_sensor: drive must be positive");
+  SensorCell cell;
+  cell.options = options;
+  const std::string& p = options.prefix;
+
+  cell.phi1 = options.phi1_node.value_or(circuit.node(p + "phi1"));
+  cell.phi2 = options.phi2_node.value_or(circuit.node(p + "phi2"));
+  cell.vdd = options.vdd_node.value_or(circuit.node(p + "vdd"));
+  cell.y1 = circuit.node(p + "y1");
+  cell.y2 = circuit.node(p + "y2");
+  cell.n1 = circuit.node(p + "n1");
+  cell.n2 = circuit.node(p + "n2");
+  cell.n3 = circuit.node(p + "n3");
+  cell.n4 = circuit.node(p + "n4");
+  const esim::NodeId gnd = circuit.ground();
+
+  // In the dual (falling-edge) circuit every device flips polarity and the
+  // rails swap: `hi` is the rail the pull-"up" network reaches.
+  const bool dual = options.dual_rail;
+  const esim::NodeId hi = dual ? gnd : cell.vdd;
+  const esim::NodeId lo = dual ? cell.vdd : gnd;
+  auto up_params = [&](double mult) {
+    return dual ? tech.nmos(mult) : tech.pmos(mult);
+  };
+  auto dn_params = [&](double mult) {
+    return dual ? tech.pmos(mult) : tech.nmos(mult);
+  };
+  const double up_w = dual ? tech.wn : tech.wp;
+  const double dn_w = dual ? tech.wp : tech.wn;
+
+  cell.devices.assign(10, esim::MosfetId{kAbsent});
+  auto place = [&](const char* name, const esim::MosParams& params,
+                   esim::NodeId gate, esim::NodeId drain, esim::NodeId source) {
+    cell.devices[device_slot(name)] =
+        circuit.add_mosfet(p + name, params, gate, drain, source);
+  };
+
+  const double m = options.drive;
+  if (options.variant == SensorVariant::kNoSeriesEnable) {
+    // Ablation: drop the series clock devices a/f; parallel pair connects
+    // the rail straight to the output and is gated by the block's own clock
+    // plus the feedback.  Suffers contention during skew (see DESIGN.md §5).
+    place("b", up_params(m), cell.phi1, cell.y1, hi);
+    place("c", up_params(m), cell.y2, cell.y1, hi);
+    place("h", up_params(m), cell.phi2, cell.y2, hi);
+    place("g", up_params(m), cell.y1, cell.y2, hi);
+  } else {
+    // Block A pull-up: a (clock enable) in series with b || c.
+    place("a", up_params(2.0 * m), cell.phi1, cell.n1, hi);
+    place("b", up_params(m), cell.phi2, cell.y1, cell.n1);
+    place("c", up_params(m), cell.y2, cell.y1, cell.n1);
+    // Block B pull-up: f in series with g || h.  (g is the feedback device,
+    // mirroring c: the paper reports {c, g} as the symmetric stuck-open
+    // escape pair.)
+    place("f", up_params(2.0 * m), cell.phi2, cell.n3, hi);
+    place("g", up_params(m), cell.y1, cell.y2, cell.n3);
+    place("h", up_params(m), cell.phi1, cell.y2, cell.n3);
+  }
+  // Pull-downs (both variants): series pair, own clock on top, feedback
+  // from the opposite output at the bottom.  Sized 2x for series strength.
+  place("d", dn_params(2.0 * m), cell.phi1, cell.y1, cell.n2);
+  place("e", dn_params(2.0 * m), cell.y2, cell.n2, lo);
+  place("i", dn_params(2.0 * m), cell.phi2, cell.y2, cell.n4);
+  place("l", dn_params(2.0 * m), cell.y1, cell.n4, lo);
+
+  // Parasitics.  Outputs carry the junction caps of the devices that touch
+  // them plus the gate loads of the feedback devices they drive (c/e on y2,
+  // h/l on y1).  Internal nodes carry their junction caps.
+  const double cj_y = tech.junction_cap(m * (2.0 * up_w + 2.0 * dn_w));
+  const double cg_fb = tech.gate_cap(m * up_w) + tech.gate_cap(m * 2.0 * dn_w);
+  circuit.add_capacitor(p + "cpar_y1", cell.y1, gnd, cj_y + cg_fb);
+  circuit.add_capacitor(p + "cpar_y2", cell.y2, gnd, cj_y + cg_fb);
+  if (options.variant != SensorVariant::kNoSeriesEnable) {
+    circuit.add_capacitor(p + "cpar_n1", cell.n1, gnd,
+                          tech.junction_cap(m * 4.0 * up_w));
+    circuit.add_capacitor(p + "cpar_n3", cell.n3, gnd,
+                          tech.junction_cap(m * 4.0 * up_w));
+  } else {
+    // Keep n1/n3 from floating in the ablation variant (they are unused).
+    circuit.add_resistor(p + "rtie_n1", cell.n1, hi, 1.0);
+    circuit.add_resistor(p + "rtie_n3", cell.n3, hi, 1.0);
+  }
+  circuit.add_capacitor(p + "cpar_n2", cell.n2, gnd,
+                        tech.junction_cap(m * 4.0 * dn_w));
+  circuit.add_capacitor(p + "cpar_n4", cell.n4, gnd,
+                        tech.junction_cap(m * 4.0 * dn_w));
+
+  // External loads (the paper's C_L, representing the wiring to the
+  // evaluating logic).
+  if (options.load_y1 > 0.0) {
+    circuit.add_capacitor(p + "cload_y1", cell.y1, gnd, options.load_y1);
+  }
+  if (options.load_y2 > 0.0) {
+    circuit.add_capacitor(p + "cload_y2", cell.y2, gnd, options.load_y2);
+  }
+
+  // Full-swing option: per block, a feedback inverter driving a weak
+  // restoring device that completes the output transition toward `lo`.
+  if (options.variant == SensorVariant::kFullSwing) {
+    const esim::NodeId w1 = circuit.node(p + "w1");
+    const esim::NodeId w2 = circuit.node(p + "w2");
+    // Feedback inverters y -> w (built inline; they always run between the
+    // true rails, only the weak restorer mirrors with dual_rail).
+    circuit.add_mosfet(p + "kinv1.mp", tech.pmos(0.5), cell.y1, w1, cell.vdd);
+    circuit.add_mosfet(p + "kinv1.mn", tech.nmos(0.5), cell.y1, w1, gnd);
+    circuit.add_mosfet(p + "kinv2.mp", tech.pmos(0.5), cell.y2, w2, cell.vdd);
+    circuit.add_mosfet(p + "kinv2.mn", tech.nmos(0.5), cell.y2, w2, gnd);
+    const double cw = tech.junction_cap(0.5 * (tech.wn + tech.wp)) +
+                      tech.gate_cap(options.weak_keeper_drive *
+                                    (dual ? tech.wp : tech.wn));
+    circuit.add_capacitor(p + "cpar_w1", w1, gnd, cw);
+    circuit.add_capacitor(p + "cpar_w2", w2, gnd, cw);
+    if (!dual) {
+      // Weak NMOS pull-down: gate w (= NOT y), drain y, source GND —
+      // completes the incomplete falling transition.
+      circuit.add_mosfet(p + "krest1", tech.nmos(options.weak_keeper_drive),
+                         w1, cell.y1, gnd);
+      circuit.add_mosfet(p + "krest2", tech.nmos(options.weak_keeper_drive),
+                         w2, cell.y2, gnd);
+    } else {
+      // Dual circuit: outputs must reach VDD; weak PMOS pull-up.
+      circuit.add_mosfet(p + "krest1", tech.pmos(options.weak_keeper_drive),
+                         w1, cell.y1, cell.vdd);
+      circuit.add_mosfet(p + "krest2", tech.pmos(options.weak_keeper_drive),
+                         w2, cell.y2, cell.vdd);
+    }
+  }
+
+  return cell;
+}
+
+}  // namespace sks::cell

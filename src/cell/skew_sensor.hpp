@@ -1,0 +1,93 @@
+// The paper's skew sensing circuit (Fig. 1), reconstructed from the prose of
+// Section 2 (see DESIGN.md §1 for the sentence-by-sentence justification).
+//
+// Two symmetric blocks in a feedback loop:
+//
+//   Block A (out y1)                Block B (out y2)
+//     PMOS a : VDD->n1, gate phi1     PMOS f : VDD->n3, gate phi2
+//     PMOS b : n1 ->y1, gate phi2     PMOS h : n3 ->y2, gate phi1
+//     PMOS c : n1 ->y1, gate y2       PMOS g : n3 ->y2, gate y1
+//     NMOS d : y1 ->n2, gate phi1     NMOS i : y2 ->n4, gate phi2
+//     NMOS e : n2 ->GND, gate y2      NMOS l : n4 ->GND, gate y1
+//
+// (c and g are the symmetric feedback pull-ups — the pair Section 3 reports
+// as the only stuck-open escapes.)
+//
+// With no skew both outputs discharge together and clamp near the n-channel
+// conduction threshold (the cross-coupled series NMOS e/l shut off).  With a
+// skew larger than the block delay, the early block's output reaches a low
+// value, which blocks the late block's pull-down (l or e) and re-drives its
+// output high through the feedback PMOS (h or c) -> (y1,y2) = 01 or 10.
+//
+// Variants:
+//  * kBasic       — the ten-transistor circuit above.
+//  * kFullSwing   — adds, per block, the paper's optional feedback inverter
+//                   driving a weak pull-down NMOS so the outputs reach 0 V.
+//  * kNoSeriesEnable — ABLATION, not in the paper: omits the series clock
+//                   PMOS a/f and gates b/g with the block's own clock.  This
+//                   is the "obvious" cross-coupled structure; it suffers
+//                   pull-up/pull-down contention during skew and is used by
+//                   bench/ablation_sensitivity to show why a/f are needed.
+//
+// A dual circuit for falling-edge-triggered flip-flops ("otherwise a dual
+// circuit should be used") is produced by `dual_rail = true`: all device
+// polarities and rails are mirrored and the sensor watches falling edges.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cell/technology.hpp"
+#include "esim/netlist.hpp"
+
+namespace sks::cell {
+
+enum class SensorVariant { kBasic, kFullSwing, kNoSeriesEnable };
+
+struct SensorOptions {
+  SensorVariant variant = SensorVariant::kBasic;
+  bool dual_rail = false;      // falling-edge dual of the circuit
+  double load_y1 = 80e-15;     // external load on y1 [F] (paper's C_L)
+  double load_y2 = 80e-15;     // external load on y2 [F]
+  double drive = 1.0;          // width multiplier on every device
+  double weak_keeper_drive = 0.15;  // full-swing variant restorer strength
+  std::string prefix;          // name prefix, e.g. "s0/" for instance s0
+
+  // By default the builder creates nodes `<prefix>phi1`, `<prefix>phi2`
+  // and `<prefix>vdd`.  Integrators (e.g. a sensor attached to two wires of
+  // a clock tree already present in the netlist) can override them here.
+  std::optional<esim::NodeId> phi1_node;
+  std::optional<esim::NodeId> phi2_node;
+  std::optional<esim::NodeId> vdd_node;
+};
+
+// Canonical transistor roles, in the paper's lettering.  (The paper prints
+// the tenth device as "l"; we keep that name.)
+inline constexpr const char* kSensorDeviceNames[10] = {
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "l"};
+
+struct SensorCell {
+  esim::NodeId phi1, phi2;    // monitored clock inputs
+  esim::NodeId y1, y2;        // outputs / error indication
+  esim::NodeId n1, n2, n3, n4;  // internal nodes
+  esim::NodeId vdd;
+  std::vector<esim::MosfetId> devices;  // indexed like kSensorDeviceNames
+  SensorOptions options;
+
+  esim::MosfetId device(const std::string& paper_name) const;
+  // False for devices omitted by the variant (a/f under kNoSeriesEnable).
+  bool has_device(const std::string& paper_name) const;
+  std::string qualified(const std::string& local) const {
+    return options.prefix + local;
+  }
+};
+
+// Instantiate the sensing circuit into `circuit`.  The clock inputs and the
+// supply node are created (or reused) under the given prefix: "phi1",
+// "phi2", "y1", "y2", "n1".."n4", "vdd".  The caller drives phi1/phi2 and
+// the supply (see stimuli.hpp / make_sensor_bench).
+SensorCell build_skew_sensor(esim::Circuit& circuit, const Technology& tech,
+                             const SensorOptions& options);
+
+}  // namespace sks::cell

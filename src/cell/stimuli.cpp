@@ -1,0 +1,112 @@
+#include "cell/stimuli.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sks::cell {
+
+double ClockPairStimulus::last_edge_end() const {
+  // Positive skew delays phi2; negative skew delays phi1 (see
+  // drive_clock_pair).  Both shifts must enter the window bound or the
+  // observation interval would be asymmetric under a skew sign flip.
+  const double e1 = edge_time + std::max(0.0, -skew) + slew1;
+  const double e2 = edge_time + std::max(0.0, skew) + slew2;
+  return std::max(e1, e2);
+}
+
+double ClockPairStimulus::strobe_time() const {
+  if (full_clock) {
+    // Sample two thirds into the high phase of the first cycle.
+    return edge_time + std::max(skew, 0.0) + duty * period * 0.66;
+  }
+  // The application gives the evaluating logic the half clock period
+  // (~5 ns at the paper's timescale) to observe the outputs; slow process
+  // corners need most of it to complete the fault-free transition.
+  return last_edge_end() + 4e-9;
+}
+
+double ClockPairStimulus::suggested_t_end() const {
+  return strobe_time() + 1e-9;
+}
+
+namespace {
+
+esim::Waveform clock_waveform(const ClockPairStimulus& stim, double start,
+                              double slew) {
+  const double v0 = stim.falling_edge ? stim.vdd : 0.0;
+  const double v1 = stim.falling_edge ? 0.0 : stim.vdd;
+  if (!stim.full_clock) {
+    return esim::rising_ramp(v0, v1, start, slew);
+  }
+  esim::PulseSpec p;
+  p.v0 = v0;
+  p.v1 = v1;
+  p.delay = start;
+  p.rise = slew;
+  p.fall = slew;
+  p.width = std::max(0.0, stim.duty * stim.period - slew);
+  p.period = stim.period;
+  sks::check(p.period > p.rise + p.width + p.fall,
+             "ClockPairStimulus: duty/slew do not fit in the period");
+  return esim::Waveform::pulse(p);
+}
+
+}  // namespace
+
+ClockDrive drive_clock_pair(esim::Circuit& circuit, esim::NodeId phi1,
+                            esim::NodeId phi2, const ClockPairStimulus& stim,
+                            const std::string& prefix) {
+  sks::check(stim.slew1 > 0.0 && stim.slew2 > 0.0,
+             "drive_clock_pair: slews must be positive");
+  ClockDrive d;
+  d.raw1 = circuit.node(prefix + "phi1_raw");
+  d.raw2 = circuit.node(prefix + "phi2_raw");
+  // Positive skew delays phi2; negative skew delays phi1.
+  const double start1 = stim.edge_time + std::max(0.0, -stim.skew);
+  const double start2 = stim.edge_time + std::max(0.0, stim.skew);
+  d.source1 = circuit.add_vsource(prefix + "Vphi1", d.raw1, circuit.ground(),
+                                  clock_waveform(stim, start1, stim.slew1));
+  d.source2 = circuit.add_vsource(prefix + "Vphi2", d.raw2, circuit.ground(),
+                                  clock_waveform(stim, start2, stim.slew2));
+  circuit.add_resistor(prefix + "Rdrv1", d.raw1, phi1,
+                       stim.driver_resistance);
+  circuit.add_resistor(prefix + "Rdrv2", d.raw2, phi2,
+                       stim.driver_resistance);
+  return d;
+}
+
+esim::VsrcId add_supply(esim::Circuit& circuit, esim::NodeId vdd, double value,
+                        const std::string& prefix) {
+  return circuit.add_vsource(prefix + "Vdd", vdd, circuit.ground(),
+                             esim::Waveform::dc(value));
+}
+
+SensorBench make_sensor_bench(const Technology& tech,
+                              const SensorOptions& options,
+                              const ClockPairStimulus& stimulus) {
+  SensorBench bench;
+  bench.stimulus = stimulus;
+  bench.cell = build_skew_sensor(bench.circuit, tech, options);
+  bench.supply =
+      add_supply(bench.circuit, bench.cell.vdd, stimulus.vdd, options.prefix);
+  bench.drive = drive_clock_pair(bench.circuit, bench.cell.phi1,
+                                 bench.cell.phi2, stimulus, options.prefix);
+  // Clock wiring load on the monitored nodes (gates of a/d plus wiring).
+  const double cin = tech.gate_cap(3.0 * tech.wp) + 10e-15;
+  bench.circuit.add_capacitor(options.prefix + "cphi1", bench.cell.phi1,
+                              bench.circuit.ground(), cin);
+  bench.circuit.add_capacitor(options.prefix + "cphi2", bench.cell.phi2,
+                              bench.circuit.ground(), cin);
+  return bench;
+}
+
+esim::TransientOptions sensor_sim_options(const ClockPairStimulus& stimulus,
+                                          double dt, double t_end) {
+  esim::TransientOptions options;
+  options.t_end = t_end > 0.0 ? t_end : stimulus.suggested_t_end();
+  options.dt = dt;
+  return options;
+}
+
+}  // namespace sks::cell

@@ -1,0 +1,60 @@
+#include "cell/technology.hpp"
+
+namespace sks::cell {
+
+esim::MosParams Technology::nmos(double width_multiplier) const {
+  esim::MosParams p;
+  p.type = esim::MosType::kNmos;
+  p.w = wn * width_multiplier;
+  p.l = lmin;
+  p.kprime = kn;
+  p.vt = vtn;
+  p.lambda = lambda;
+  p.full_on_vgs = vdd;
+  return p;
+}
+
+esim::MosParams Technology::pmos(double width_multiplier) const {
+  esim::MosParams p;
+  p.type = esim::MosType::kPmos;
+  p.w = wp * width_multiplier;
+  p.l = lmin;
+  p.kprime = kp;
+  p.vt = vtp;
+  p.lambda = lambda;
+  p.full_on_vgs = vdd;
+  return p;
+}
+
+Technology Technology::at_supply(double new_vdd) const {
+  Technology scaled = *this;
+  scaled.vdd = new_vdd;
+  return scaled;
+}
+
+void apply_random_variation(esim::Circuit& circuit, const VariationSpec& spec,
+                            util::Prng& prng) {
+  // Global (process) factors: one draw per parameter class and polarity.
+  const double kn_f = spec.vary_strength ? prng.vary(1.0, spec.rel) : 1.0;
+  const double kp_f = spec.vary_strength ? prng.vary(1.0, spec.rel) : 1.0;
+  const double vtn_f = spec.vary_threshold ? prng.vary(1.0, spec.rel) : 1.0;
+  const double vtp_f = spec.vary_threshold ? prng.vary(1.0, spec.rel) : 1.0;
+
+  for (auto& m : circuit.mosfets()) {
+    const bool is_n = m.params.type == esim::MosType::kNmos;
+    m.params.kprime *= is_n ? kn_f : kp_f;
+    m.params.vt *= is_n ? vtn_f : vtp_f;
+    if (spec.per_device_mismatch) {
+      m.params.kprime = prng.vary(m.params.kprime, spec.mismatch_rel);
+      m.params.vt = prng.vary(m.params.vt, spec.mismatch_rel);
+      m.params.w = prng.vary(m.params.w, spec.mismatch_rel);
+    }
+  }
+  if (spec.vary_caps) {
+    for (auto& c : circuit.capacitors()) {
+      c.capacitance = prng.vary(c.capacitance, spec.rel);
+    }
+  }
+}
+
+}  // namespace sks::cell

@@ -1,0 +1,86 @@
+// Technology parameter set for a 1.2 um CMOS flavour.
+//
+// The paper evaluates "a 1.2um implementation of the sensing circuit" but
+// does not publish its device models.  We substitute textbook mid-90s
+// level-1 parameters (see DESIGN.md §4); everything downstream reads the
+// values from this one struct so the whole reproduction can be re-run on a
+// different parameter set by changing a single object.
+#pragma once
+
+#include "esim/mosfet_model.hpp"
+#include "esim/netlist.hpp"
+#include "util/prng.hpp"
+
+namespace sks::cell {
+
+struct Technology {
+  double vdd = 5.0;         // supply [V]
+  double vtn = 0.8;         // NMOS threshold [V]
+  double vtp = 0.9;         // PMOS threshold magnitude [V]
+  double kn = 60e-6;        // NMOS process transconductance [A/V^2]
+  double kp = 20e-6;        // PMOS process transconductance [A/V^2]
+  double lambda = 0.02;     // channel-length modulation [1/V]
+  double lmin = 1.2e-6;     // minimum channel length [m]
+  // Default device widths.  Chosen (see DESIGN.md §4) so that the sensor's
+  // sensitivity tau_min lands in the paper's 0.09-0.16 ns band over the
+  // 80-240 fF load sweep: the sensing cell is built from near-minimum
+  // devices, consistent with the paper's emphasis on compactness.
+  double wn = 1.2e-6;       // default NMOS width [m]
+  double wp = 2.4e-6;       // default PMOS width [m]
+  // Lumped junction + local-wiring capacitance contributed to a node per
+  // metre of connected transistor width [F/m].  2 fF/um is a reasonable
+  // 1.2um-era figure and only sets the scale of *internal* node caps; the
+  // experiments sweep the external load explicitly.
+  double cj_per_width = 2.0e-9;
+  // Gate oxide capacitance per area [F/m^2] (~1.5 fF/um^2 for a 1.2um
+  // process).  Loads every node that drives a gate.
+  double cox = 1.5e-3;
+
+  // Logic threshold used to interpret the sensing-circuit response.  The
+  // paper assumes an interpreting gate with logic threshold VDD/2 and takes
+  // a 10% worst-case variation, i.e. V_th = 1.1 * VDD / 2 = 2.75 V.
+  double interpretation_threshold() const { return 1.1 * vdd / 2.0; }
+
+  // Build level-1 model parameter blocks for devices of this technology.
+  esim::MosParams nmos(double width_multiplier = 1.0) const;
+  esim::MosParams pmos(double width_multiplier = 1.0) const;
+
+  // The same process operated at a different supply (the 5 V -> 3.3 V
+  // question of the paper's era): thresholds and transconductances are
+  // process constants and stay; the interpretation threshold and the
+  // stuck-on overdrive follow the new rail.
+  Technology at_supply(double new_vdd) const;
+
+  // Junction capacitance contributed by a device terminal of width w.
+  double junction_cap(double width) const { return cj_per_width * width; }
+
+  // Gate capacitance of a device of the given width (at channel length
+  // lmin, which every cell in this library uses).
+  double gate_cap(double width) const { return cox * width * lmin; }
+};
+
+// Monte-Carlo variation recipe (paper Sec. 2): "a uniform distribution
+// (with 0.15 as relative variation from the nominal value) of the circuit
+// parameter and of C_L", with the input slews and the loads independent "to
+// account for asymmetric conditions".
+//
+// The default models *process* variation: one factor per parameter class
+// (k'n, k'p, Vtn, Vtp) applied to every device — the two symmetric blocks
+// stay matched, as on one die.  Capacitors vary independently (the loads
+// are explicitly independent in the paper).  Set `per_device_mismatch` to
+// additionally give every transistor its own (smaller) random mismatch —
+// a harsher, modern-style analysis the paper did not run.
+struct VariationSpec {
+  double rel = 0.15;        // relative half-width of the uniform variation
+  bool vary_strength = true;   // k'
+  bool vary_threshold = true;  // Vt
+  bool vary_caps = true;       // all capacitors (incl. the external load)
+  bool per_device_mismatch = false;
+  double mismatch_rel = 0.03;  // per-device half-width when enabled
+};
+
+// Apply a random variation per the spec, in place.
+void apply_random_variation(esim::Circuit& circuit, const VariationSpec& spec,
+                            util::Prng& prng);
+
+}  // namespace sks::cell

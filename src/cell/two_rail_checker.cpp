@@ -1,0 +1,34 @@
+#include "cell/two_rail_checker.hpp"
+
+#include "cell/primitives.hpp"
+
+namespace sks::cell {
+
+TwoRailCheckerCell build_two_rail_checker(esim::Circuit& circuit,
+                                          const Technology& tech,
+                                          esim::NodeId a0, esim::NodeId a1,
+                                          esim::NodeId b0, esim::NodeId b1,
+                                          esim::NodeId vdd,
+                                          const std::string& prefix,
+                                          double strength) {
+  TwoRailCheckerCell cell;
+  cell.prefix = prefix;
+  cell.a0 = a0;
+  cell.a1 = a1;
+  cell.b0 = b0;
+  cell.b1 = b1;
+  cell.out0 = circuit.node(prefix + "out0");
+  cell.out1 = circuit.node(prefix + "out1");
+
+  const esim::NodeId n0 = circuit.node(prefix + "n0");
+  const esim::NodeId n1 = circuit.node(prefix + "n1");
+  // out0 = a0 b0 + a1 b1.
+  add_aoi22(circuit, tech, prefix + "aoi0", a0, b0, a1, b1, n0, vdd, strength);
+  add_inverter(circuit, tech, prefix + "inv0", n0, cell.out0, vdd, strength);
+  // out1 = a0 b1 + a1 b0.
+  add_aoi22(circuit, tech, prefix + "aoi1", a0, b1, a1, b0, n1, vdd, strength);
+  add_inverter(circuit, tech, prefix + "inv1", n1, cell.out1, vdd, strength);
+  return cell;
+}
+
+}  // namespace sks::cell

@@ -1,0 +1,38 @@
+// Transistor-level two-rail checker cell (Carter & Schneider [6]; the
+// checker the paper's on-line mode feeds: "their response ... could feed a
+// checker (in the case of on-line applications)").
+//
+// Classical realization: for input pairs (a0, a1) and (b0, b1),
+//
+//   out0 = a0 b0 + a1 b1   = INV(AOI22(a0, b0, a1, b1))
+//   out1 = a0 b1 + a1 b0   = INV(AOI22(a0, b1, a1, b0))
+//
+// Valid (complementary) inputs produce a valid output pair; any invalid
+// input pair — and any single internal fault of this gate structure — drives
+// the output to an invalid code.  A tree of these cells reduces N pairs to
+// one (scheme::two_rail_reduce is the behavioural twin, cross-validated in
+// the tests).
+#pragma once
+
+#include <string>
+
+#include "cell/technology.hpp"
+#include "esim/netlist.hpp"
+
+namespace sks::cell {
+
+struct TwoRailCheckerCell {
+  esim::NodeId a0, a1, b0, b1;  // input pairs
+  esim::NodeId out0, out1;      // output pair
+  std::string prefix;
+};
+
+TwoRailCheckerCell build_two_rail_checker(esim::Circuit& circuit,
+                                          const Technology& tech,
+                                          esim::NodeId a0, esim::NodeId a1,
+                                          esim::NodeId b0, esim::NodeId b1,
+                                          esim::NodeId vdd,
+                                          const std::string& prefix = "trc/",
+                                          double strength = 1.0);
+
+}  // namespace sks::cell

@@ -1,0 +1,50 @@
+#include "clocktree/buffering.hpp"
+
+#include <functional>
+
+namespace sks::clocktree {
+
+std::size_t insert_buffers_by_cap(ClockTree& tree,
+                                  const BufferingOptions& options) {
+  std::size_t inserted = 0;
+  // Bottom-up: stage_cap(v) = load seen looking into v's subtree, cut at
+  // buffered nodes (which present their input cap instead).
+  std::function<double(std::size_t)> visit = [&](std::size_t v) -> double {
+    const ClockTreeNode& n = tree.node(v);
+    double load = n.sink_cap;
+    for (const std::size_t c : n.children) {
+      const double child_load =
+          visit(c) + options.wire.capacitance(tree.node(c).wire_length);
+      load += child_load;
+    }
+    if (v != tree.root() && !n.is_sink() && load > options.max_stage_cap &&
+        !n.buffered) {
+      tree.set_buffer(v);
+      ++inserted;
+    }
+    return tree.node(v).buffered ? options.buffer.input_cap : load;
+  };
+  visit(tree.root());
+  return inserted;
+}
+
+std::size_t insert_buffers_at_depth(ClockTree& tree, std::size_t depth,
+                                    const BufferingOptions& options) {
+  (void)options;
+  std::size_t inserted = 0;
+  std::function<void(std::size_t, std::size_t)> visit =
+      [&](std::size_t v, std::size_t d) {
+        if (d == depth && v != tree.root() && !tree.node(v).is_sink()) {
+          if (!tree.node(v).buffered) {
+            tree.set_buffer(v);
+            ++inserted;
+          }
+          return;  // one buffer per root-to-leaf path at this depth
+        }
+        for (const std::size_t c : tree.node(v).children) visit(c, d + 1);
+      };
+  visit(tree.root(), 0);
+  return inserted;
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,37 @@
+// Buffer insertion for clock trees.
+//
+// Two strategies, reflecting the trade-off the paper sketches ("buffer
+// insertion implies extra delays, so that an optimal tradeoff between the
+// extra delay and skew minimization should be found"):
+//
+//  * cap-limited clustering — the classical bottom-up rule: whenever the
+//    unbuffered downstream load exceeds a limit, drop a buffer.  Cheap and
+//    load-aware, but it buffers asymmetrically on irregular trees, creating
+//    exactly the systematic skew the sensing scheme guards against;
+//  * symmetric level buffering — buffer every node at a given tree depth,
+//    preserving the symmetry (and hence zero skew) of H-trees.
+#pragma once
+
+#include <cstddef>
+
+#include "clocktree/topology.hpp"
+
+namespace sks::clocktree {
+
+struct BufferingOptions {
+  WireModel wire;
+  BufferModel buffer;
+  // A buffer is inserted where the accumulated unbuffered load (wire +
+  // sinks + downstream buffer inputs) exceeds this limit.
+  double max_stage_cap = 400e-15;  // [F]
+};
+
+// Cap-limited clustering; returns the number of buffers inserted.
+std::size_t insert_buffers_by_cap(ClockTree& tree,
+                                  const BufferingOptions& options);
+
+// Buffer every node at the given depth (root = depth 0); returns the count.
+std::size_t insert_buffers_at_depth(ClockTree& tree, std::size_t depth,
+                                    const BufferingOptions& options);
+
+}  // namespace sks::clocktree

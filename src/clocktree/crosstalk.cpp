@@ -1,0 +1,76 @@
+#include "clocktree/crosstalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+CrosstalkAssessment assess_crosstalk(const ClockTree& tree,
+                                     const AnalysisOptions& options,
+                                     const Aggressor& aggressor) {
+  sks::check(aggressor.victim_edge > 0 && aggressor.victim_edge < tree.size(),
+             "assess_crosstalk: bad victim edge");
+  sks::check(aggressor.window_end >= aggressor.window_start,
+             "assess_crosstalk: inverted aggressor window");
+
+  CrosstalkAssessment a;
+  const ArrivalAnalysis base = analyze(tree, options);
+
+  // Victim transition window at the coupled edge: centred on the arrival
+  // at the edge's far end, widened by the local slew (3-sigma each way).
+  const double arrival = base.arrival[aggressor.victim_edge];
+  const double sigma = base.slew_sigma[aggressor.victim_edge];
+  a.victim_window_start = arrival - 3.0 * sigma;
+  a.victim_window_end = arrival + 3.0 * sigma;
+  a.windows_overlap = aggressor.window_start <= a.victim_window_end &&
+                      aggressor.window_end >= a.victim_window_start;
+  a.miller_factor = aggressor.opposite_direction ? 2.0 : 0.0;
+  a.hit_probability = a.windows_overlap ? aggressor.activity : 0.0;
+
+  if (!a.windows_overlap || a.miller_factor == 0.0) return a;
+
+  // Extra delay when hit: re-analyze with the Miller-amplified coupling
+  // folded into the victim edge's capacitance.
+  const double wire_cap =
+      options.wire.capacitance(tree.node(aggressor.victim_edge).wire_length) *
+      options.edge_c(aggressor.victim_edge);
+  sks::check(wire_cap > 0.0, "assess_crosstalk: victim edge has no wire");
+  const double scale =
+      1.0 + a.miller_factor * aggressor.coupling_cap / wire_cap;
+
+  AnalysisOptions hit = options;
+  if (hit.edge_c_scale.empty()) hit.edge_c_scale.assign(tree.size(), 1.0);
+  hit.edge_c_scale[aggressor.victim_edge] *= scale;
+  const ArrivalAnalysis hurt = analyze(tree, hit);
+
+  for (const std::size_t s : tree.sinks()) {
+    a.worst_delta_delay = std::max(
+        a.worst_delta_delay, hurt.arrival[s] - base.arrival[s]);
+  }
+  a.worst_delta_skew = std::max(
+      0.0, max_sink_skew(tree, hurt) - max_sink_skew(tree, base));
+  return a;
+}
+
+TreeDefect crosstalk_defect(const ClockTree& tree,
+                            const AnalysisOptions& options,
+                            const Aggressor& aggressor) {
+  const CrosstalkAssessment a = assess_crosstalk(tree, options, aggressor);
+  const double wire_cap =
+      options.wire.capacitance(tree.node(aggressor.victim_edge).wire_length) *
+      options.edge_c(aggressor.victim_edge);
+
+  TreeDefect d;
+  d.kind = DefectKind::kCouplingCap;
+  d.node = aggressor.victim_edge;
+  d.magnitude =
+      1.0 + (aggressor.opposite_direction ? 2.0 : 0.0) *
+                aggressor.coupling_cap / wire_cap;
+  d.transient = true;
+  d.activation_probability = a.hit_probability;
+  return d;
+}
+
+}  // namespace sks::clocktree

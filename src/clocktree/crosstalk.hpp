@@ -1,0 +1,60 @@
+// Crosstalk on clock wires — one of the failure mechanisms the paper's
+// introduction lists ("crosstalk faults and environmental failures,
+// typically due to wire coupling").
+//
+// Deterministic timing-window analysis: an aggressor net couples C_c onto a
+// victim clock edge.  If the aggressor switches while the victim edge is in
+// flight, the coupling capacitance appears Miller-amplified (factor up to 2
+// for opposite-direction switching, down to 0 for same-direction), slowing
+// (or speeding up) every sink under the victim wire.  The result is both a
+// worst-case delta-delay bound and a `TreeDefect` that plugs into the
+// testing-scheme simulation with the overlap probability as its per-cycle
+// activation probability.
+#pragma once
+
+#include <cstddef>
+
+#include "clocktree/defects.hpp"
+#include "clocktree/topology.hpp"
+
+namespace sks::clocktree {
+
+struct Aggressor {
+  std::size_t victim_edge = 0;   // tree node: the coupled wire is the edge
+                                 // from this node to its parent
+  double coupling_cap = 50e-15;  // total coupling capacitance [F]
+  // The aggressor's switching window within the clock cycle, relative to
+  // the victim clock's launch (t = 0 at the clock source) [s].
+  double window_start = 0.0;
+  double window_end = 0.0;
+  bool opposite_direction = true;  // worst case: Miller factor 2
+  // Fraction of cycles on which the aggressor actually switches.
+  double activity = 0.5;
+};
+
+struct CrosstalkAssessment {
+  bool windows_overlap = false;  // aggressor can hit the victim in flight
+  double victim_window_start = 0.0;  // victim transition window at the edge
+  double victim_window_end = 0.0;
+  double miller_factor = 0.0;        // applied coupling amplification
+  double worst_delta_delay = 0.0;    // max extra sink delay when hit [s]
+  double worst_delta_skew = 0.0;     // max extra sink-pair skew when hit [s]
+  // Probability that a given cycle is affected: activity when windows
+  // overlap, 0 otherwise.
+  double hit_probability = 0.0;
+};
+
+// Assess one aggressor against the tree (nominal parameters + any
+// perturbations already in `options`).
+CrosstalkAssessment assess_crosstalk(const ClockTree& tree,
+                                     const AnalysisOptions& options,
+                                     const Aggressor& aggressor);
+
+// Fold the assessment into a transient TreeDefect for scheme simulation.
+// Returns a defect with activation probability = hit_probability; when the
+// windows cannot overlap the defect is returned with probability 0.
+TreeDefect crosstalk_defect(const ClockTree& tree,
+                            const AnalysisOptions& options,
+                            const Aggressor& aggressor);
+
+}  // namespace sks::clocktree

@@ -1,0 +1,124 @@
+#include "clocktree/defects.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sks::clocktree {
+
+std::string to_string(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kResistiveOpen:
+      return "resistive-open";
+    case DefectKind::kCouplingCap:
+      return "coupling-cap";
+    case DefectKind::kWeakBuffer:
+      return "weak-buffer";
+    case DefectKind::kSupplyDroop:
+      return "supply-droop";
+  }
+  return "?";
+}
+
+std::string TreeDefect::label() const {
+  return to_string(kind) + "@n" + std::to_string(node) + " x" +
+         util::fmt_fixed(magnitude, 2) + (transient ? " (transient)" : "");
+}
+
+namespace {
+
+void ensure_scales(std::vector<double>& v, std::size_t n) {
+  if (v.empty()) v.assign(n, 1.0);
+}
+
+}  // namespace
+
+AnalysisOptions apply_defect(const ClockTree& tree, AnalysisOptions options,
+                             const TreeDefect& defect) {
+  sks::check(defect.node < tree.size(), "apply_defect: bad node index");
+  const std::size_t n = tree.size();
+  switch (defect.kind) {
+    case DefectKind::kResistiveOpen:
+      ensure_scales(options.edge_r_scale, n);
+      options.edge_r_scale[defect.node] *= defect.magnitude;
+      break;
+    case DefectKind::kCouplingCap:
+      ensure_scales(options.edge_c_scale, n);
+      options.edge_c_scale[defect.node] *= defect.magnitude;
+      break;
+    case DefectKind::kWeakBuffer:
+      sks::check(tree.node(defect.node).buffered,
+                 "apply_defect: weak-buffer target is not buffered");
+      ensure_scales(options.buffer_delay_scale, n);
+      options.buffer_delay_scale[defect.node] *= defect.magnitude;
+      break;
+    case DefectKind::kSupplyDroop: {
+      ensure_scales(options.buffer_delay_scale, n);
+      // Slow every buffer in the defect's subtree.
+      std::function<void(std::size_t)> visit = [&](std::size_t v) {
+        if (tree.node(v).buffered) {
+          options.buffer_delay_scale[v] *= defect.magnitude;
+        }
+        for (const std::size_t c : tree.node(v).children) visit(c);
+      };
+      visit(defect.node);
+      break;
+    }
+  }
+  return options;
+}
+
+AnalysisOptions apply_random_variation(const ClockTree& tree,
+                                       AnalysisOptions options,
+                                       util::Prng& prng, double rel) {
+  const std::size_t n = tree.size();
+  ensure_scales(options.edge_r_scale, n);
+  ensure_scales(options.edge_c_scale, n);
+  ensure_scales(options.buffer_delay_scale, n);
+  ensure_scales(options.sink_cap_scale, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    options.edge_r_scale[i] *= prng.vary(1.0, rel);
+    options.edge_c_scale[i] *= prng.vary(1.0, rel);
+    options.buffer_delay_scale[i] *= prng.vary(1.0, rel);
+    options.sink_cap_scale[i] *= prng.vary(1.0, rel);
+  }
+  return options;
+}
+
+TreeDefect random_defect(const ClockTree& tree, util::Prng& prng) {
+  TreeDefect d;
+  // Collect candidate targets.
+  std::vector<std::size_t> edges;
+  std::vector<std::size_t> buffers;
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    if (tree.node(i).wire_length > 0.0) edges.push_back(i);
+    if (tree.node(i).buffered) buffers.push_back(i);
+  }
+  sks::check(!edges.empty(), "random_defect: tree has no wires");
+  const double pick = prng.uniform01();
+  if (pick < 0.4 || buffers.empty()) {
+    d.kind = DefectKind::kResistiveOpen;
+    d.node = edges[prng.below(edges.size())];
+    d.magnitude = prng.uniform(2.0, 20.0);
+  } else if (pick < 0.7) {
+    d.kind = DefectKind::kCouplingCap;
+    d.node = edges[prng.below(edges.size())];
+    d.magnitude = prng.uniform(1.5, 4.0);
+    d.transient = prng.uniform01() < 0.5;
+    d.activation_probability = prng.uniform(0.2, 0.8);
+  } else if (pick < 0.9) {
+    d.kind = DefectKind::kWeakBuffer;
+    d.node = buffers[prng.below(buffers.size())];
+    d.magnitude = prng.uniform(1.5, 5.0);
+  } else {
+    d.kind = DefectKind::kSupplyDroop;
+    d.node = buffers[prng.below(buffers.size())];
+    d.magnitude = prng.uniform(1.2, 2.0);
+    d.transient = true;
+    d.activation_probability = prng.uniform(0.05, 0.3);
+  }
+  return d;
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,61 @@
+// Clock-distribution defects and parameter variation.
+//
+// The failure mechanisms the paper lists in its introduction: "circuit
+// parameter fluctuations, inaccuracies in the delay models used to drive
+// the clock routing process, crosstalk faults and environmental failures".
+// Each maps onto the AnalysisOptions perturbation hooks:
+//
+//  * resistive open       — an edge's resistance multiplied (via, partial
+//    contact, electromigration); permanent;
+//  * coupling capacitance — extra Miller-factor capacitance on an edge from
+//    a switching neighbour (crosstalk); can be permanent (layout) or
+//    transient (only on cycles where the aggressor switches opposite);
+//  * weak buffer          — a degraded driver (hot-carrier aging, partial
+//    gate defect): intrinsic delay multiplied;
+//  * supply droop         — environmental: all buffers in a subtree slowed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clocktree/topology.hpp"
+#include "util/prng.hpp"
+
+namespace sks::clocktree {
+
+enum class DefectKind {
+  kResistiveOpen,
+  kCouplingCap,
+  kWeakBuffer,
+  kSupplyDroop,
+};
+
+std::string to_string(DefectKind kind);
+
+struct TreeDefect {
+  DefectKind kind = DefectKind::kResistiveOpen;
+  std::size_t node = 0;     // edge = (node -> parent); subtree root for droop
+  double magnitude = 2.0;   // multiplier (R, C, or buffer delay)
+  // Transient defects (crosstalk, droop) are active only on some cycles;
+  // permanent ones always.  The scheme layer uses this for the on-line
+  // experiments.
+  bool transient = false;
+  double activation_probability = 1.0;  // per cycle, when transient
+
+  std::string label() const;
+};
+
+// Fold a defect into a copy of the analysis options.
+AnalysisOptions apply_defect(const ClockTree& tree, AnalysisOptions options,
+                             const TreeDefect& defect);
+
+// Uniform +/-rel variation on every wire R/C, buffer delay and sink load —
+// the Monte-Carlo recipe for skew-criticality estimation.
+AnalysisOptions apply_random_variation(const ClockTree& tree,
+                                       AnalysisOptions options,
+                                       util::Prng& prng, double rel);
+
+// Draw a random defect: kind-weighted choice of target and magnitude.
+TreeDefect random_defect(const ClockTree& tree, util::Prng& prng);
+
+}  // namespace sks::clocktree

@@ -1,0 +1,159 @@
+#include "clocktree/dme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+namespace {
+
+struct SubTree {
+  Point root_pos;
+  double delay = 0.0;  // Elmore from this root to every sink below (equal)
+  double cap = 0.0;    // total downstream capacitance
+  int left = -1, right = -1;  // children in the pool
+  double wire_left = 0.0, wire_right = 0.0;  // routed lengths to children
+  int sink_index = -1;  // >= 0 for leaves
+};
+
+struct Builder {
+  const std::vector<Sink>& sinks;
+  const DmeOptions& options;
+  std::vector<SubTree> pool;
+
+  // Wire length needed for a subtree with (delay t, cap C) to present delay
+  // `target` at the far end of its connecting wire.  Solves
+  //   t + r l (c l / 2 + C) = target  for l >= 0.
+  double elongation(double t, double cap, double target) const {
+    const double r = options.wire.r_per_m;
+    const double c = options.wire.c_per_m;
+    const double need = target - t;
+    sks::check(need >= -1e-18, "dme: elongation target below subtree delay");
+    if (need <= 0.0) return 0.0;
+    // (r c / 2) l^2 + (r C) l - need = 0
+    const double a = 0.5 * r * c;
+    const double b = r * cap;
+    const double disc = b * b + 4.0 * a * need;
+    return (-b + std::sqrt(disc)) / (2.0 * a);
+  }
+
+  int merge(int ia, int ib) {
+    const SubTree a = pool[ia];
+    const SubTree b = pool[ib];
+    const double r = options.wire.r_per_m;
+    const double c = options.wire.c_per_m;
+    const double d = manhattan(a.root_pos, b.root_pos);
+
+    SubTree m;
+    m.left = ia;
+    m.right = ib;
+
+    double x = 0.5;
+    if (d > 0.0) {
+      const double rd = r * d;
+      const double cd = c * d;
+      // Chao et al. exact zero-skew tapping point.
+      x = (b.delay - a.delay + rd * (cd / 2.0 + b.cap)) /
+          (rd * (cd + a.cap + b.cap));
+    } else {
+      // Coincident roots: force the extension branch unless delays match.
+      x = (std::fabs(a.delay - b.delay) < 1e-21) ? 0.0 : -1.0;
+      if (a.delay < b.delay) x = 2.0;  // extend A
+    }
+
+    if (x >= 0.0 && x <= 1.0) {
+      m.wire_left = x * d;
+      m.wire_right = (1.0 - x) * d;
+      m.root_pos = along_l_path(a.root_pos, b.root_pos, m.wire_left);
+      m.delay =
+          a.delay + r * m.wire_left * (c * m.wire_left / 2.0 + a.cap);
+      m.cap = a.cap + b.cap + c * d;
+    } else if (x < 0.0) {
+      // A is too slow even with a direct connection: tap at A's root and
+      // snake B's wire.
+      m.root_pos = a.root_pos;
+      m.wire_left = 0.0;
+      m.wire_right = std::max(d, elongation(b.delay, b.cap, a.delay));
+      m.delay = a.delay;
+      m.cap = a.cap + b.cap + c * m.wire_right;
+    } else {
+      // B too slow: tap at B's root, snake A's wire.
+      m.root_pos = b.root_pos;
+      m.wire_right = 0.0;
+      m.wire_left = std::max(d, elongation(a.delay, a.cap, b.delay));
+      m.delay = b.delay;
+      m.cap = a.cap + b.cap + c * m.wire_left;
+    }
+    pool.push_back(m);
+    return static_cast<int>(pool.size()) - 1;
+  }
+
+  // Balanced bipartition by the median of the wider spread coordinate.
+  int build(std::vector<int> indices) {
+    sks::check(!indices.empty(), "dme: empty sink partition");
+    if (indices.size() == 1) {
+      SubTree leaf;
+      leaf.root_pos = sinks[indices[0]].pos;
+      leaf.cap = sinks[indices[0]].cap;
+      leaf.sink_index = indices[0];
+      pool.push_back(leaf);
+      return static_cast<int>(pool.size()) - 1;
+    }
+    double min_x = sinks[indices[0]].pos.x, max_x = min_x;
+    double min_y = sinks[indices[0]].pos.y, max_y = min_y;
+    for (int i : indices) {
+      min_x = std::min(min_x, sinks[i].pos.x);
+      max_x = std::max(max_x, sinks[i].pos.x);
+      min_y = std::min(min_y, sinks[i].pos.y);
+      max_y = std::max(max_y, sinks[i].pos.y);
+    }
+    const bool split_x = (max_x - min_x) >= (max_y - min_y);
+    std::sort(indices.begin(), indices.end(), [&](int lhs, int rhs) {
+      const Point& lp = sinks[lhs].pos;
+      const Point& rp = sinks[rhs].pos;
+      return split_x ? (lp.x < rp.x || (lp.x == rp.x && lp.y < rp.y))
+                     : (lp.y < rp.y || (lp.y == rp.y && lp.x < rp.x));
+    });
+    const std::size_t half = indices.size() / 2;
+    std::vector<int> lo(indices.begin(), indices.begin() + half);
+    std::vector<int> hi(indices.begin() + half, indices.end());
+    const int left = build(std::move(lo));
+    const int right = build(std::move(hi));
+    return merge(left, right);
+  }
+
+  void emit(int pool_index, ClockTree& tree, std::size_t tree_parent,
+            double wire_length) const {
+    const SubTree& st = pool[pool_index];
+    const std::string name =
+        st.sink_index >= 0 ? "sink" + std::to_string(st.sink_index) : "";
+    const std::size_t node =
+        tree.add_node(tree_parent, st.root_pos, wire_length, name);
+    if (st.sink_index >= 0) {
+      tree.set_sink(node, sinks[st.sink_index].cap);
+      return;
+    }
+    emit(st.left, tree, node, st.wire_left);
+    emit(st.right, tree, node, st.wire_right);
+  }
+};
+
+}  // namespace
+
+ClockTree build_zero_skew_tree(const std::vector<Sink>& sinks,
+                               const DmeOptions& options) {
+  sks::check(!sinks.empty(), "build_zero_skew_tree: no sinks");
+  Builder builder{sinks, options, {}};
+  std::vector<int> all(sinks.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i) all[i] = static_cast<int>(i);
+  const int top = builder.build(std::move(all));
+
+  ClockTree tree(options.source, "clkgen");
+  builder.emit(top, tree,  tree.root(),
+               manhattan(options.source, builder.pool[top].root_pos));
+  return tree;
+}
+
+}  // namespace sks::clocktree

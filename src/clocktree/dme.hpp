@@ -1,0 +1,47 @@
+// Zero-skew clock routing (after Chao, Hsu, Ho, Boese & Kahng [3] and
+// Boese & Kahng [2]).
+//
+// This implements the exact zero-skew merge under the Elmore model on a
+// recursively-partitioned connection topology:
+//
+//  * topology: sinks are split recursively by the median of the wider
+//    coordinate (a standard balanced bipartition, as in the DME literature);
+//  * merge: two zero-skew subtrees A and B are joined by a wire of length
+//    d = manhattan(root_A, root_B); the tapping point at distance x*d from
+//    A solves
+//        t_A + r x d (c x d / 2 + C_A) = t_B + r (1-x) d (c (1-x) d / 2 + C_B)
+//    (Chao et al.'s formula).  When x falls outside [0,1] the short side is
+//    connected directly and the long side's wire is elongated (snaking), the
+//    classical remedy.
+//
+// The difference from full DME: we commit each subtree root to a concrete
+// embedding immediately (the tapping point on the L-shaped path between the
+// two child roots) instead of deferring it as a merging segment.  Skew is
+// still exactly zero under Elmore; only a few percent of wirelength
+// optimality is given up.  DESIGN.md §6 records the simplification.
+#pragma once
+
+#include <vector>
+
+#include "clocktree/topology.hpp"
+
+namespace sks::clocktree {
+
+struct Sink {
+  Point pos;
+  double cap = 50e-15;  // [F]
+};
+
+struct DmeOptions {
+  WireModel wire;
+  // Position of the clock source; the tree root is routed to it.
+  Point source{0.0, 0.0};
+};
+
+// Build a zero-skew tree over the sinks.  The returned ClockTree is rooted
+// at the source, is unbuffered, and has exactly-balanced Elmore delays to
+// every sink (verified by tests to < 1 fs).
+ClockTree build_zero_skew_tree(const std::vector<Sink>& sinks,
+                               const DmeOptions& options);
+
+}  // namespace sks::clocktree

@@ -1,0 +1,20 @@
+#include "clocktree/geometry.hpp"
+
+#include <algorithm>
+
+namespace sks::clocktree {
+
+Point along_l_path(const Point& a, const Point& b, double dist) {
+  const double total = manhattan(a, b);
+  dist = std::clamp(dist, 0.0, total);
+  const double leg_x = std::fabs(b.x - a.x);
+  if (dist <= leg_x) {
+    const double step = (b.x >= a.x) ? dist : -dist;
+    return Point{a.x + step, a.y};
+  }
+  const double rest = dist - leg_x;
+  const double step = (b.y >= a.y) ? rest : -rest;
+  return Point{b.x, a.y + step};
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,33 @@
+// Planar geometry for clock routing (Manhattan metric).
+#pragma once
+
+#include <cmath>
+
+namespace sks::clocktree {
+
+struct Point {
+  double x = 0.0;  // [m]
+  double y = 0.0;  // [m]
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double manhattan(const Point& a, const Point& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline Point lerp(const Point& a, const Point& b, double t) {
+  return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+// Point at Manhattan distance `dist` from `a` along an L-shaped (x-first)
+// path from `a` to `b`.  `dist` is clamped to [0, manhattan(a,b)].
+Point along_l_path(const Point& a, const Point& b, double dist);
+
+}  // namespace sks::clocktree

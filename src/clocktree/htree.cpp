@@ -1,0 +1,52 @@
+#include "clocktree/htree.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+namespace {
+
+// Recursively emit one level of the H: from the centre node, route the
+// horizontal bar to the two arm centres, then the vertical half-bars to the
+// four quadrant centres.
+void emit_level(ClockTree& tree, std::size_t centre_node, Point centre,
+                double span, std::size_t level, const HTreeOptions& options) {
+  if (level == options.levels) {
+    // Leaf: attach the sink right here.
+    tree.set_sink(centre_node, options.sink_cap);
+    return;
+  }
+  const double arm = span / 4.0;
+  // Horizontal bar endpoints.
+  const Point left{centre.x - arm, centre.y};
+  const Point right{centre.x + arm, centre.y};
+  const std::size_t left_node = tree.add_node(centre_node, left);
+  const std::size_t right_node = tree.add_node(centre_node, right);
+  // Vertical half-bars to the quadrant centres.
+  for (const auto& [bar_node, bar_pos] :
+       {std::pair{left_node, left}, std::pair{right_node, right}}) {
+    for (const double dy : {-arm, +arm}) {
+      const Point quadrant{bar_pos.x, bar_pos.y + dy};
+      const std::size_t q_node = tree.add_node(bar_node, quadrant);
+      if (level + 1 < options.buffer_levels) tree.set_buffer(q_node);
+      emit_level(tree, q_node, quadrant, span / 2.0, level + 1, options);
+    }
+  }
+}
+
+}  // namespace
+
+ClockTree build_h_tree(const HTreeOptions& options) {
+  sks::check(options.levels >= 1, "build_h_tree: need at least one level");
+  sks::check(options.chip_width > 0.0, "build_h_tree: bad chip width");
+  const Point centre{options.chip_width / 2.0, options.chip_width / 2.0};
+  ClockTree tree(centre);
+  if (options.buffer_levels > 0) {
+    // Root buffer is implicit in the analysis source resistance; mark the
+    // centre itself unbuffered and start the H recursion.
+  }
+  emit_level(tree, tree.root(), centre, options.chip_width, 0, options);
+  return tree;
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,28 @@
+// H-tree clock distribution generator.
+//
+// The classical symmetric distribution (Bakoglu [1]): each level of the H
+// splits the region into four quadrants, halving the span; sinks sit on a
+// regular 2^L x 2^L grid.  By construction every root-to-sink path has the
+// same length, so the nominal skew is zero and the symmetry gives the
+// "couples of wires close to each other" that the paper's Fig. 6 exploits
+// to attach sensing circuits with balanced connections.
+#pragma once
+
+#include <cstddef>
+
+#include "clocktree/topology.hpp"
+
+namespace sks::clocktree {
+
+struct HTreeOptions {
+  std::size_t levels = 3;        // 4^levels sinks
+  double chip_width = 8e-3;      // [m] square die edge
+  double sink_cap = 50e-15;      // flip-flop clock pin load [F]
+  // Insert a buffer at the centre of every level below this depth
+  // (0 = no buffers; 2 = buffers at levels 0 and 1 centres).
+  std::size_t buffer_levels = 2;
+};
+
+ClockTree build_h_tree(const HTreeOptions& options);
+
+}  // namespace sks::clocktree

@@ -1,0 +1,91 @@
+#include "clocktree/rctree.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+RcTree::RcTree(double root_cap, std::string root_name) {
+  parent_.push_back(0);
+  res_.push_back(0.0);
+  cap_.push_back(root_cap);
+  name_.push_back(std::move(root_name));
+  children_.emplace_back();
+}
+
+std::size_t RcTree::add_node(std::size_t parent, double resistance,
+                             double capacitance, std::string name) {
+  sks::check(parent < parent_.size(), "RcTree::add_node: bad parent index");
+  sks::check(resistance >= 0.0, "RcTree::add_node: negative resistance");
+  sks::check(capacitance >= 0.0, "RcTree::add_node: negative capacitance");
+  const std::size_t index = parent_.size();
+  parent_.push_back(parent);
+  res_.push_back(resistance);
+  cap_.push_back(capacitance);
+  name_.push_back(name.empty() ? "n" + std::to_string(index) : std::move(name));
+  children_.emplace_back();
+  children_[parent].push_back(index);
+  return index;
+}
+
+void RcTree::set_resistance(std::size_t i, double r) {
+  sks::check(i > 0 && i < res_.size(), "RcTree::set_resistance: bad index");
+  sks::check(r >= 0.0, "RcTree::set_resistance: negative resistance");
+  res_[i] = r;
+}
+
+double RcTree::total_cap() const {
+  double total = 0.0;
+  for (double c : cap_) total += c;
+  return total;
+}
+
+std::vector<double> RcTree::downstream_caps() const {
+  // Children always have larger indices than their parents, so one reverse
+  // sweep accumulates subtree sums.
+  std::vector<double> down = cap_;
+  for (std::size_t i = size(); i-- > 1;) {
+    down[parent_[i]] += down[i];
+  }
+  return down;
+}
+
+std::vector<double> RcTree::path_weighted_sum(
+    const std::vector<double>& weights, double source_resistance) const {
+  sks::check(weights.size() == size(), "RcTree: weight vector size mismatch");
+  std::vector<double> down = weights;
+  for (std::size_t i = size(); i-- > 1;) {
+    down[parent_[i]] += down[i];
+  }
+  std::vector<double> out(size(), 0.0);
+  out[0] = source_resistance * down[0];
+  for (std::size_t i = 1; i < size(); ++i) {
+    out[i] = out[parent_[i]] + res_[i] * down[i];
+  }
+  return out;
+}
+
+std::vector<double> RcTree::elmore_delays(double source_resistance) const {
+  return path_weighted_sum(cap_, source_resistance);
+}
+
+std::vector<double> RcTree::second_moments(double source_resistance) const {
+  const std::vector<double> m1 = elmore_delays(source_resistance);
+  std::vector<double> weights(size());
+  for (std::size_t i = 0; i < size(); ++i) weights[i] = cap_[i] * m1[i];
+  return path_weighted_sum(weights, source_resistance);
+}
+
+std::vector<double> RcTree::sigma(double source_resistance) const {
+  const std::vector<double> m1 = elmore_delays(source_resistance);
+  const std::vector<double> m2 = second_moments(source_resistance);
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double var = 2.0 * m2[i] - m1[i] * m1[i];
+    out[i] = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace sks::clocktree

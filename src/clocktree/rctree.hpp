@@ -1,0 +1,69 @@
+// RC-tree interconnect model with Elmore delay and second-moment analysis.
+//
+// Unbalanced RC paths are the root cause the paper's scheme guards against
+// ("Unbalanced paths may result in large clock skews").  This module gives
+// the library the standard delay machinery of the zero-skew routing
+// literature the paper builds on (Bakoglu [1]; Chao et al. [3]):
+//
+//  * Elmore delay  (first moment of the impulse response),
+//  * second moment (for slew estimation: the impulse-response std-dev
+//    sigma = sqrt(2 m2 - m1^2), PERI-style).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sks::clocktree {
+
+// Index-based rooted RC tree.  Node 0 is the root (driving point).  Every
+// other node has a parent and a resistance on the edge to it; every node
+// carries a grounded capacitance.
+class RcTree {
+ public:
+  // Creates the tree with its root.  `root_cap` is the capacitance at the
+  // driving point (driver diffusion etc.).
+  explicit RcTree(double root_cap = 0.0, std::string root_name = "root");
+
+  // Add a node under `parent`.  Returns its index.
+  std::size_t add_node(std::size_t parent, double resistance,
+                       double capacitance, std::string name = {});
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t parent(std::size_t i) const { return parent_.at(i); }
+  double resistance(std::size_t i) const { return res_.at(i); }
+  double capacitance(std::size_t i) const { return cap_.at(i); }
+  const std::string& name(std::size_t i) const { return name_.at(i); }
+  void set_capacitance(std::size_t i, double c) { cap_.at(i) = c; }
+  void set_resistance(std::size_t i, double r);
+
+  // Total capacitance of the whole tree (the load seen by an ideal driver).
+  double total_cap() const;
+  // Capacitance of the subtree rooted at each node (one bottom-up pass).
+  std::vector<double> downstream_caps() const;
+
+  // Elmore delay from the root to every node, optionally including a driver
+  // (source) resistance feeding the root: m1[i] = sum_j R(i^j) * C_j.
+  std::vector<double> elmore_delays(double source_resistance = 0.0) const;
+
+  // Second moments m2[i] = sum_j R(i^j) * C_j * m1[j].
+  std::vector<double> second_moments(double source_resistance = 0.0) const;
+
+  // Impulse-response standard deviation per node:
+  // sigma = sqrt(max(0, 2 m2 - m1^2)).  A standard slew proxy.
+  std::vector<double> sigma(double source_resistance = 0.0) const;
+
+ private:
+  // Generic weighted common-path-resistance sum:
+  // out[i] = sum_j R(i^j) * w[j], computed in two passes.
+  std::vector<double> path_weighted_sum(const std::vector<double>& weights,
+                                        double source_resistance) const;
+
+  std::vector<std::size_t> parent_;
+  std::vector<double> res_;   // edge resistance to parent (0 for root)
+  std::vector<double> cap_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<std::size_t>> children_;
+};
+
+}  // namespace sks::clocktree

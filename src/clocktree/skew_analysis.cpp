@@ -1,0 +1,72 @@
+#include "clocktree/skew_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::clocktree {
+
+std::vector<PairCriticality> rank_critical_pairs(
+    const ClockTree& tree, const AnalysisOptions& analysis_options,
+    const CriticalityOptions& criticality_options) {
+  const auto sinks = tree.sinks();
+  const std::size_t n_sinks = sinks.size();
+  const std::size_t n_pairs = n_sinks * (n_sinks - 1) / 2;
+
+  std::vector<PairCriticality> pairs;
+  pairs.reserve(n_pairs);
+  const ArrivalAnalysis nominal = analyze(tree, analysis_options);
+  for (std::size_t i = 0; i < n_sinks; ++i) {
+    for (std::size_t j = i + 1; j < n_sinks; ++j) {
+      PairCriticality p;
+      p.a = sinks[i];
+      p.b = sinks[j];
+      p.nominal_skew = nominal.skew(p.a, p.b);
+      p.distance = manhattan(tree.node(p.a).pos, tree.node(p.b).pos);
+      pairs.push_back(p);
+    }
+  }
+
+  // Monte-Carlo accumulation (Welford on the fly, per pair).
+  std::vector<double> mean(n_pairs, 0.0);
+  std::vector<double> m2(n_pairs, 0.0);
+  std::vector<double> mean_abs(n_pairs, 0.0);
+  std::vector<double> worst(n_pairs, 0.0);
+  std::vector<std::size_t> exceed(n_pairs, 0);
+
+  util::Prng prng(criticality_options.seed);
+  for (std::size_t s = 0; s < criticality_options.samples; ++s) {
+    const AnalysisOptions varied = apply_random_variation(
+        tree, analysis_options, prng, criticality_options.rc_rel);
+    const ArrivalAnalysis analysis = analyze(tree, varied);
+    for (std::size_t k = 0; k < n_pairs; ++k) {
+      const double skew = analysis.skew(pairs[k].a, pairs[k].b);
+      const double delta = skew - mean[k];
+      mean[k] += delta / static_cast<double>(s + 1);
+      m2[k] += delta * (skew - mean[k]);
+      mean_abs[k] += (std::fabs(skew) - mean_abs[k]) /
+                     static_cast<double>(s + 1);
+      worst[k] = std::max(worst[k], std::fabs(skew));
+      if (std::fabs(skew) > criticality_options.skew_threshold) ++exceed[k];
+    }
+  }
+
+  const double n = static_cast<double>(criticality_options.samples);
+  for (std::size_t k = 0; k < n_pairs; ++k) {
+    pairs[k].mean_abs_skew = mean_abs[k];
+    pairs[k].sigma_skew =
+        criticality_options.samples > 1 ? std::sqrt(m2[k] / (n - 1.0)) : 0.0;
+    pairs[k].max_abs_skew = worst[k];
+    pairs[k].exceed_probability = static_cast<double>(exceed[k]) / n;
+  }
+
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairCriticality& x, const PairCriticality& y) {
+              if (x.exceed_probability != y.exceed_probability) {
+                return x.exceed_probability > y.exceed_probability;
+              }
+              return x.sigma_skew > y.sigma_skew;
+            });
+  return pairs;
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,47 @@
+// Skew-criticality analysis: which sink pairs deserve a sensing circuit?
+//
+// The paper's two placement criteria (Sec. 2):
+//   1. "the skew between them must be critical (accurate timing analysis
+//      tools should provide these data)";
+//   2. "they must be close enough to each other to allow for a suitable
+//      (i.e. balanced) connection to the sensing circuit".
+//
+// Criterion 1 is implemented as Monte-Carlo skew statistics under process
+// variation: a pair is critical when its skew spread makes exceeding the
+// timing budget likely.  Criterion 2 is a Manhattan-distance cut applied by
+// the placement layer (scheme/placement).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocktree/defects.hpp"
+#include "clocktree/topology.hpp"
+#include "util/prng.hpp"
+
+namespace sks::clocktree {
+
+struct PairCriticality {
+  std::size_t a = 0, b = 0;      // sink node indices
+  double nominal_skew = 0.0;     // signed, nominal parameters [s]
+  double mean_abs_skew = 0.0;    // E|skew| under variation [s]
+  double sigma_skew = 0.0;       // std of skew under variation [s]
+  double max_abs_skew = 0.0;     // worst sampled |skew| [s]
+  double exceed_probability = 0.0;  // P(|skew| > threshold)
+  double distance = 0.0;         // Manhattan distance between sinks [m]
+};
+
+struct CriticalityOptions {
+  std::size_t samples = 200;
+  double rc_rel = 0.10;          // uniform relative variation on wires/loads
+  double skew_threshold = 100e-12;  // timing budget [s]
+  std::uint64_t seed = 1;
+};
+
+// Monte-Carlo skew statistics for every sink pair, sorted most-critical
+// first (by exceed probability, then sigma).
+std::vector<PairCriticality> rank_critical_pairs(
+    const ClockTree& tree, const AnalysisOptions& analysis_options,
+    const CriticalityOptions& criticality_options);
+
+}  // namespace sks::clocktree

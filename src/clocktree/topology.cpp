@@ -1,0 +1,205 @@
+#include "clocktree/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+ClockTree::ClockTree(Point root_pos, std::string root_name) {
+  ClockTreeNode root;
+  root.name = std::move(root_name);
+  root.pos = root_pos;
+  root.parent = 0;
+  nodes_.push_back(std::move(root));
+}
+
+std::size_t ClockTree::add_node(std::size_t parent, Point pos,
+                                double wire_length, std::string name) {
+  sks::check(parent < nodes_.size(), "ClockTree::add_node: bad parent");
+  const double min_len = manhattan(pos, nodes_[parent].pos);
+  if (wire_length < 0.0) wire_length = min_len;
+  sks::check(wire_length >= min_len - 1e-12,
+             "ClockTree::add_node: wire shorter than Manhattan distance");
+  const std::size_t index = nodes_.size();
+  ClockTreeNode n;
+  n.name = name.empty() ? "n" + std::to_string(index) : std::move(name);
+  n.pos = pos;
+  n.parent = parent;
+  n.wire_length = wire_length;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(index);
+  return index;
+}
+
+void ClockTree::set_buffer(std::size_t i, bool buffered) {
+  nodes_.at(i).buffered = buffered;
+}
+
+void ClockTree::set_sink(std::size_t i, double sink_cap) {
+  sks::check(sink_cap > 0.0, "ClockTree::set_sink: sink cap must be > 0");
+  sks::check(nodes_.at(i).children.empty(),
+             "ClockTree::set_sink: sinks must be leaves");
+  nodes_.at(i).sink_cap = sink_cap;
+}
+
+std::vector<std::size_t> ClockTree::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_sink()) out.push_back(i);
+  }
+  return out;
+}
+
+double ClockTree::total_wire_length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    total += nodes_[i].wire_length;
+  }
+  return total;
+}
+
+std::vector<std::size_t> ClockTree::path_to_root(std::size_t i) const {
+  sks::check(i < nodes_.size(), "ClockTree::path_to_root: bad index");
+  std::vector<std::size_t> path{i};
+  while (i != 0) {
+    i = nodes_[i].parent;
+    path.push_back(i);
+  }
+  return path;
+}
+
+namespace {
+
+// Per-stage analysis state: expand one buffer stage into an RcTree.
+struct StageExpansion {
+  RcTree rc{0.0};
+  // tree node -> rc node for every tree node inside the stage (boundary
+  // buffered nodes included, represented by their input cap).
+  std::vector<std::pair<std::size_t, std::size_t>> mapping;
+  std::vector<std::size_t> boundary_buffers;  // tree nodes starting substages
+};
+
+void expand_subtree(const ClockTree& tree, const AnalysisOptions& options,
+                    std::size_t tree_node, std::size_t rc_parent,
+                    StageExpansion& stage) {
+  for (const std::size_t child : tree.node(tree_node).children) {
+    const ClockTreeNode& cn = tree.node(child);
+    const double r =
+        options.wire.resistance(cn.wire_length) * options.edge_r(child);
+    const double c =
+        options.wire.capacitance(cn.wire_length) * options.edge_c(child);
+    const std::size_t segments = std::max<std::size_t>(1, options.wire.segments);
+    const double n_seg = static_cast<double>(segments);
+
+    // Expand the wire into pi-sections: C/2N at the near end, C/N at the
+    // interior joints, C/2N at the far end.  A pi-ladder's Elmore delay
+    // equals the distributed line's R(C/2 + C_load) for ANY segment count,
+    // so the segmented analysis agrees exactly with the closed-form model
+    // the zero-skew router balances against.
+    stage.rc.set_capacitance(rc_parent, stage.rc.capacitance(rc_parent) +
+                                            c / (2.0 * n_seg));
+    std::size_t rc_at = rc_parent;
+    for (std::size_t s = 0; s < segments; ++s) {
+      const double seg_cap = (s + 1 < segments) ? c / n_seg : c / (2.0 * n_seg);
+      rc_at = stage.rc.add_node(rc_at, r / n_seg, seg_cap);
+    }
+    // Load at the far end: buffer input, sink pin, or plain routing point.
+    if (cn.buffered) {
+      stage.rc.set_capacitance(
+          rc_at,
+          stage.rc.capacitance(rc_at) + options.buffer.input_cap);
+      stage.mapping.emplace_back(child, rc_at);
+      stage.boundary_buffers.push_back(child);
+      continue;  // substage handled by the caller
+    }
+    if (cn.is_sink()) {
+      stage.rc.set_capacitance(rc_at, stage.rc.capacitance(rc_at) +
+                                          cn.sink_cap *
+                                              options.sink_scale(child));
+    }
+    stage.mapping.emplace_back(child, rc_at);
+    expand_subtree(tree, options, child, rc_at, stage);
+  }
+}
+
+}  // namespace
+
+ArrivalAnalysis analyze(const ClockTree& tree, const AnalysisOptions& options) {
+  if (!options.edge_r_scale.empty()) {
+    sks::check(options.edge_r_scale.size() == tree.size(),
+               "analyze: edge_r_scale size mismatch");
+  }
+  if (!options.edge_c_scale.empty()) {
+    sks::check(options.edge_c_scale.size() == tree.size(),
+               "analyze: edge_c_scale size mismatch");
+  }
+  ArrivalAnalysis out;
+  out.arrival.assign(tree.size(), 0.0);
+  out.slew_sigma.assign(tree.size(), 0.0);
+
+  // Iterative stage worklist: (stage root tree node, stage start time,
+  // driver resistance).
+  struct StageWork {
+    std::size_t root;
+    double t0;
+    double rdrive;
+  };
+  std::vector<StageWork> work{{tree.root(), 0.0, options.source_resistance}};
+
+  while (!work.empty()) {
+    const StageWork stage_work = work.back();
+    work.pop_back();
+
+    StageExpansion stage;
+    expand_subtree(tree, options, stage_work.root, 0, stage);
+    const std::vector<double> m1 = stage.rc.elmore_delays(stage_work.rdrive);
+    const std::vector<double> sig = stage.rc.sigma(stage_work.rdrive);
+
+    out.arrival[stage_work.root] = stage_work.t0;
+    for (const auto& [tree_node, rc_node] : stage.mapping) {
+      out.arrival[tree_node] = stage_work.t0 + m1[rc_node];
+      out.slew_sigma[tree_node] = sig[rc_node];
+    }
+    for (const std::size_t buffer_node : stage.boundary_buffers) {
+      const double t_in = out.arrival[buffer_node];
+      const double t_out = t_in + options.buffer.intrinsic_delay *
+                                      options.buf_scale(buffer_node);
+      out.arrival[buffer_node] = t_out;
+      work.push_back({buffer_node, t_out, options.buffer.drive_resistance});
+    }
+  }
+  return out;
+}
+
+double max_sink_skew(const ClockTree& tree, const ArrivalAnalysis& analysis) {
+  const auto sinks = tree.sinks();
+  if (sinks.size() < 2) return 0.0;
+  double lo = analysis.arrival[sinks[0]];
+  double hi = lo;
+  for (const std::size_t s : sinks) {
+    lo = std::min(lo, analysis.arrival[s]);
+    hi = std::max(hi, analysis.arrival[s]);
+  }
+  return hi - lo;
+}
+
+std::vector<SinkPair> all_sink_pairs(const ClockTree& tree,
+                                     const ArrivalAnalysis& analysis) {
+  const auto sinks = tree.sinks();
+  std::vector<SinkPair> pairs;
+  pairs.reserve(sinks.size() * (sinks.size() - 1) / 2);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+      SinkPair p;
+      p.a = sinks[i];
+      p.b = sinks[j];
+      p.skew = analysis.skew(p.a, p.b);
+      p.distance = manhattan(tree.node(p.a).pos, tree.node(p.b).pos);
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace sks::clocktree

@@ -1,0 +1,116 @@
+// Clock-tree topology and arrival-time analysis.
+//
+// A ClockTree is the logical distribution structure: a rooted tree of
+// routing points with wire lengths on the edges, optional buffers at nodes
+// ("the clock distribution tree is implemented in a hierarchical way, with
+// buffers driving optimized interconnection networks"), and flip-flop clock
+// pins (sinks) at the leaves.
+//
+// `analyze()` computes the arrival time and a slew proxy at every node by
+// decomposing the tree into buffer stages, expanding each stage's wiring
+// into a segmented RC tree, and running Elmore / second-moment analysis per
+// stage.  Defect and variation hooks enter as per-edge R/C multipliers and
+// per-buffer delay multipliers, which is how the defect and Monte-Carlo
+// layers perturb a tree without rebuilding it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clocktree/geometry.hpp"
+#include "clocktree/rctree.hpp"
+#include "clocktree/wire.hpp"
+
+namespace sks::clocktree {
+
+struct ClockTreeNode {
+  std::string name;
+  Point pos;
+  std::size_t parent = 0;      // own index for the root
+  double wire_length = 0.0;    // routed length to parent [m] (>= manhattan)
+  bool buffered = false;       // buffer driving this node's subtree
+  double sink_cap = 0.0;       // > 0 marks a sink (flip-flop clock pin)
+  std::vector<std::size_t> children;
+
+  bool is_sink() const { return sink_cap > 0.0; }
+};
+
+class ClockTree {
+ public:
+  explicit ClockTree(Point root_pos = {}, std::string root_name = "clkgen");
+
+  std::size_t size() const { return nodes_.size(); }
+  const ClockTreeNode& node(std::size_t i) const { return nodes_.at(i); }
+  ClockTreeNode& node(std::size_t i) { return nodes_.at(i); }
+  std::size_t root() const { return 0; }
+
+  // Add a routing point / sink under `parent`.  `wire_length` defaults to
+  // the Manhattan distance (pass a larger value for snaked routes).
+  std::size_t add_node(std::size_t parent, Point pos, double wire_length = -1.0,
+                       std::string name = {});
+
+  void set_buffer(std::size_t i, bool buffered = true);
+  void set_sink(std::size_t i, double sink_cap);
+
+  std::vector<std::size_t> sinks() const;
+  // Total routed wirelength [m].
+  double total_wire_length() const;
+  // Nodes on the path from `i` up to the root, inclusive.
+  std::vector<std::size_t> path_to_root(std::size_t i) const;
+
+ private:
+  std::vector<ClockTreeNode> nodes_;
+};
+
+struct AnalysisOptions {
+  WireModel wire;
+  BufferModel buffer;
+  double source_resistance = 250.0;  // clock generator output [ohm]
+
+  // Perturbation hooks (empty => all 1.0).  Indexed by tree node; the edge
+  // multipliers apply to the wire from node i to its parent.
+  std::vector<double> edge_r_scale;
+  std::vector<double> edge_c_scale;
+  std::vector<double> buffer_delay_scale;
+  std::vector<double> sink_cap_scale;
+
+  double edge_r(std::size_t i) const {
+    return edge_r_scale.empty() ? 1.0 : edge_r_scale.at(i);
+  }
+  double edge_c(std::size_t i) const {
+    return edge_c_scale.empty() ? 1.0 : edge_c_scale.at(i);
+  }
+  double buf_scale(std::size_t i) const {
+    return buffer_delay_scale.empty() ? 1.0 : buffer_delay_scale.at(i);
+  }
+  double sink_scale(std::size_t i) const {
+    return sink_cap_scale.empty() ? 1.0 : sink_cap_scale.at(i);
+  }
+};
+
+struct ArrivalAnalysis {
+  std::vector<double> arrival;     // per tree node [s]
+  std::vector<double> slew_sigma;  // impulse-response sigma per node [s]
+
+  // Skew between two nodes (arrival difference a - b).
+  double skew(std::size_t a, std::size_t b) const {
+    return arrival.at(a) - arrival.at(b);
+  }
+};
+
+ArrivalAnalysis analyze(const ClockTree& tree, const AnalysisOptions& options);
+
+// Convenience skew summaries over the tree's sinks.
+double max_sink_skew(const ClockTree& tree, const ArrivalAnalysis& analysis);
+
+struct SinkPair {
+  std::size_t a = 0, b = 0;
+  double skew = 0.0;      // arrival(a) - arrival(b) [s]
+  double distance = 0.0;  // Manhattan distance between the sinks [m]
+};
+
+std::vector<SinkPair> all_sink_pairs(const ClockTree& tree,
+                                     const ArrivalAnalysis& analysis);
+
+}  // namespace sks::clocktree

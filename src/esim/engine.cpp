@@ -1,0 +1,462 @@
+#include "esim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "esim/matrix.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+
+Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {}
+
+std::size_t Simulator::unknown_count() const {
+  return (circuit_.node_count() - 1) + circuit_.vsources().size();
+}
+
+std::size_t Simulator::node_unknown(NodeId n) const { return n.index - 1; }
+
+namespace {
+
+// Voltage of a node given the unknown vector (ground is 0 V).
+double node_v(const std::vector<double>& x, NodeId n) {
+  return n.index == 0 ? 0.0 : x[n.index - 1];
+}
+
+}  // namespace
+
+void Simulator::assemble(const std::vector<double>& x, double t, double h,
+                         bool use_trap, const std::vector<double>& cap_prev_v,
+                         const std::vector<double>& cap_prev_i, double gmin,
+                         double source_scale, std::vector<double>& f_out,
+                         DenseMatrix& j_out) const {
+  const std::size_t n_unknowns = unknown_count();
+  const std::size_t n_nodes = circuit_.node_count();
+  f_out.assign(n_unknowns, 0.0);
+  j_out.clear();
+
+  auto stamp_f = [&](NodeId n, double current) {
+    if (n.index != 0) f_out[node_unknown(n)] += current;
+  };
+  auto stamp_j = [&](NodeId row, NodeId col, double g) {
+    if (row.index != 0 && col.index != 0) {
+      j_out.at(node_unknown(row), node_unknown(col)) += g;
+    }
+  };
+
+  // gmin floor: a conductance from every non-ground node to ground.
+  for (std::size_t i = 1; i < n_nodes; ++i) {
+    f_out[i - 1] += gmin * x[i - 1];
+    j_out.at(i - 1, i - 1) += gmin;
+  }
+
+  // Resistors.
+  for (const auto& r : circuit_.resistors()) {
+    const double g = 1.0 / r.resistance;
+    const double i = g * (node_v(x, r.a) - node_v(x, r.b));
+    stamp_f(r.a, i);
+    stamp_f(r.b, -i);
+    stamp_j(r.a, r.a, g);
+    stamp_j(r.a, r.b, -g);
+    stamp_j(r.b, r.a, -g);
+    stamp_j(r.b, r.b, g);
+  }
+
+  // Capacitors (companion models).  In DC (h <= 0) they are open circuits.
+  if (h > 0.0) {
+    const auto& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      const auto& c = caps[ci];
+      const double v = node_v(x, c.a) - node_v(x, c.b);
+      double geq = 0.0;
+      double i = 0.0;
+      if (use_trap) {
+        geq = 2.0 * c.capacitance / h;
+        i = geq * (v - cap_prev_v[ci]) - cap_prev_i[ci];
+      } else {
+        geq = c.capacitance / h;
+        i = geq * (v - cap_prev_v[ci]);
+      }
+      stamp_f(c.a, i);
+      stamp_f(c.b, -i);
+      stamp_j(c.a, c.a, geq);
+      stamp_j(c.a, c.b, -geq);
+      stamp_j(c.b, c.a, -geq);
+      stamp_j(c.b, c.b, geq);
+    }
+  }
+
+  // MOSFETs.
+  for (const auto& m : circuit_.mosfets()) {
+    const MosEval e = eval_mosfet(m.params, m.fault, node_v(x, m.gate),
+                                  node_v(x, m.drain), node_v(x, m.source));
+    const double gms = -(e.gm + e.gds);  // dId/dVs
+    stamp_f(m.drain, e.id);
+    stamp_f(m.source, -e.id);
+    stamp_j(m.drain, m.gate, e.gm);
+    stamp_j(m.drain, m.drain, e.gds);
+    stamp_j(m.drain, m.source, gms);
+    stamp_j(m.source, m.gate, -e.gm);
+    stamp_j(m.source, m.drain, -e.gds);
+    stamp_j(m.source, m.source, -gms);
+  }
+
+  // Independent current sources: I(t) flows out of `from`, into `to`.
+  for (const auto& isrc : circuit_.isources()) {
+    const double i = source_scale * isrc.wave.value(t);
+    stamp_f(isrc.from, i);
+    stamp_f(isrc.to, -i);
+  }
+
+  // Voltage sources: branch current unknowns + constraint rows.
+  const std::size_t branch_base = n_nodes - 1;
+  const auto& vsrcs = circuit_.vsources();
+  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+    const auto& v = vsrcs[si];
+    const std::size_t bi = branch_base + si;
+    const double i_branch = x[bi];
+    // KCL: branch current leaves the positive node.
+    if (v.pos.index != 0) {
+      f_out[node_unknown(v.pos)] += i_branch;
+      j_out.at(node_unknown(v.pos), bi) += 1.0;
+    }
+    if (v.neg.index != 0) {
+      f_out[node_unknown(v.neg)] -= i_branch;
+      j_out.at(node_unknown(v.neg), bi) -= 1.0;
+    }
+    // Constraint: v_pos - v_neg = V(t) * scale.
+    f_out[bi] =
+        node_v(x, v.pos) - node_v(x, v.neg) - source_scale * v.wave.value(t);
+    if (v.pos.index != 0) j_out.at(bi, node_unknown(v.pos)) += 1.0;
+    if (v.neg.index != 0) j_out.at(bi, node_unknown(v.neg)) -= 1.0;
+  }
+}
+
+bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
+                             bool use_trap,
+                             const std::vector<double>& cap_prev_v,
+                             const std::vector<double>& cap_prev_i, double gmin,
+                             double source_scale,
+                             const NewtonOptions& options) const {
+  const std::size_t n = unknown_count();
+  const std::size_t n_voltage = circuit_.node_count() - 1;
+  std::vector<double> f;
+  std::vector<double> dx;
+  DenseMatrix j(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale, f,
+             j);
+
+    // Newton step: J dx = -F.
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+    if (!lu_solve(j, rhs, dx)) return false;
+
+    // Clamp the voltage updates (classic SPICE damping); branch currents
+    // are left unclamped.
+    double max_dv = 0.0;
+    double damping = 1.0;
+    for (std::size_t i = 0; i < n_voltage; ++i) {
+      max_dv = std::max(max_dv, std::fabs(dx[i]));
+    }
+    if (max_dv > options.max_step) damping = options.max_step / max_dv;
+    for (std::size_t i = 0; i < n; ++i) x[i] += damping * dx[i];
+
+    if (!std::isfinite(max_dv)) return false;
+    if (std::getenv("SKS_DEBUG_NR") != nullptr) {
+      std::fprintf(stderr, "  NR iter=%d t=%g h=%g max_dv=%g damp=%g\n", iter,
+                   t, h, max_dv, damping);
+    }
+
+    // Converged when both the update and the KCL residual are tiny.
+    if (max_dv * damping < options.vtol) {
+      assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale,
+               f, j);
+      double max_res = 0.0;
+      for (std::size_t i = 0; i < n_voltage; ++i) {
+        max_res = std::max(max_res, std::fabs(f[i]));
+      }
+      if (max_res < options.itol) return true;
+    }
+  }
+  return false;
+}
+
+bool Simulator::dc_solve(std::vector<double>& x, double t,
+                         const NewtonOptions& options) const {
+  const std::vector<double> no_caps;  // unused in DC
+  // The whole continuation ladder is retried with progressively heavier
+  // Newton damping: circuits with contention inside a positive-feedback
+  // loop (stuck-on faults, bridges across the cross-coupled outputs) make
+  // an undamped Newton cycle between attractors.
+  for (const double max_step : {options.max_step, 0.1, 0.02}) {
+    NewtonOptions damped = options;
+    damped.max_step = max_step;
+    damped.max_iterations =
+        std::max(options.max_iterations, static_cast<int>(600.0 * 0.02 / max_step));
+
+    // Strategy 1: plain Newton with the gmin floor.
+    std::vector<double> trial = x;
+    if (newton_solve(trial, t, -1.0, false, no_caps, no_caps, 1e-12, 1.0,
+                     damped)) {
+      x = trial;
+      return true;
+    }
+
+    // Strategy 2: gmin stepping — heavy conductance to ground, relaxed
+    // geometrically down to the floor, reusing each solution as the next
+    // starting point.
+    trial.assign(x.size(), 0.0);
+    bool ladder_ok = true;
+    for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 0.1) {
+      if (!newton_solve(trial, t, -1.0, false, no_caps, no_caps, gmin, 1.0,
+                        damped)) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      x = trial;
+      return true;
+    }
+
+    // Strategy 3: source stepping — ramp all sources from 0 to full value.
+    trial.assign(x.size(), 0.0);
+    bool sources_ok = true;
+    for (int step = 1; step <= 20 && sources_ok; ++step) {
+      const double scale = static_cast<double>(step) / 20.0;
+      sources_ok = newton_solve(trial, t, -1.0, false, no_caps, no_caps,
+                                1e-12, scale, damped);
+    }
+    if (sources_ok) {
+      x = trial;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> Simulator::dc_operating_point(double t) {
+  return dc_solution(t).node_v;
+}
+
+Simulator::DcSolution Simulator::dc_solution(
+    double t, const std::vector<double>* node_guess) {
+  std::vector<double> x(unknown_count(), 0.0);
+  if (node_guess != nullptr) {
+    sks::check(node_guess->size() == circuit_.node_count(),
+               "dc_solution: guess size mismatch");
+    for (std::size_t i = 1; i < circuit_.node_count(); ++i) {
+      x[i - 1] = (*node_guess)[i];
+    }
+  }
+  NewtonOptions options;
+  if (!dc_solve(x, t, options)) {
+    throw ConvergenceError("DC operating point did not converge");
+  }
+  DcSolution solution;
+  solution.node_v.assign(circuit_.node_count(), 0.0);
+  for (std::size_t i = 1; i < circuit_.node_count(); ++i) {
+    solution.node_v[i] = x[i - 1];
+  }
+  const std::size_t branch_base = circuit_.node_count() - 1;
+  solution.vsrc_i.assign(circuit_.vsources().size(), 0.0);
+  for (std::size_t s = 0; s < circuit_.vsources().size(); ++s) {
+    solution.vsrc_i[s] = x[branch_base + s];
+  }
+  return solution;
+}
+
+TransientResult Simulator::run_transient(const TransientOptions& options) {
+  sks::check(options.t_end > 0.0, "run_transient: t_end must be positive");
+  sks::check(options.dt > 0.0, "run_transient: dt must be positive");
+
+  const std::size_t n_nodes = circuit_.node_count();
+  const std::size_t n_vsrc = circuit_.vsources().size();
+  const std::size_t n_caps = circuit_.capacitors().size();
+
+  // Initial condition: DC operating point at t = 0.
+  std::vector<double> x(unknown_count(), 0.0);
+  NewtonOptions dc_options = options.newton;
+  dc_options.max_iterations = std::max(dc_options.max_iterations, 120);
+  if (!dc_solve(x, 0.0, dc_options)) {
+    throw ConvergenceError("transient: initial DC operating point failed");
+  }
+
+  // Collect breakpoints from all source waveforms.
+  std::vector<double> breakpoints;
+  for (const auto& v : circuit_.vsources()) {
+    const auto bp = v.wave.breakpoints(options.t_end);
+    breakpoints.insert(breakpoints.end(), bp.begin(), bp.end());
+  }
+  for (const auto& isrc : circuit_.isources()) {
+    const auto bp = isrc.wave.breakpoints(options.t_end);
+    breakpoints.insert(breakpoints.end(), bp.begin(), bp.end());
+  }
+  breakpoints.push_back(options.t_end);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
+                                [](double a, double b) {
+                                  return std::fabs(a - b) < 1e-18;
+                                }),
+                    breakpoints.end());
+
+  TransientResult result;
+  result.node_v.resize(n_nodes);
+  result.vsrc_i.resize(n_vsrc);
+
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    result.node_v[0].push_back(0.0);
+    for (std::size_t i = 1; i < n_nodes; ++i) {
+      result.node_v[i].push_back(x[i - 1]);
+    }
+    for (std::size_t s = 0; s < n_vsrc; ++s) {
+      result.vsrc_i[s].push_back(x[(n_nodes - 1) + s]);
+    }
+  };
+
+  // Capacitor companion state.
+  std::vector<double> cap_v(n_caps, 0.0);
+  std::vector<double> cap_i(n_caps, 0.0);
+  auto refresh_cap_state = [&](double h, bool used_trap) {
+    const auto& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < n_caps; ++ci) {
+      const double v_now = node_v(x, caps[ci].a) - node_v(x, caps[ci].b);
+      if (used_trap) {
+        cap_i[ci] =
+            (2.0 * caps[ci].capacitance / h) * (v_now - cap_v[ci]) - cap_i[ci];
+      } else {
+        cap_i[ci] = (caps[ci].capacitance / h) * (v_now - cap_v[ci]);
+      }
+      cap_v[ci] = v_now;
+    }
+  };
+  // Initialize companion voltages from the DC solution (currents are zero).
+  {
+    const auto& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < n_caps; ++ci) {
+      cap_v[ci] = node_v(x, caps[ci].a) - node_v(x, caps[ci].b);
+    }
+  }
+
+  record(0.0);
+
+  double t = 0.0;
+  std::size_t next_bp = 0;
+  while (next_bp < breakpoints.size() && breakpoints[next_bp] <= 1e-18) {
+    ++next_bp;
+  }
+  // Force one backward-Euler step after t=0 and after every breakpoint.
+  bool be_next = true;
+  double dt_current = options.dt;
+
+  while (t < options.t_end - 1e-18) {
+    double h = dt_current;
+    bool hit_bp = false;
+    if (next_bp < breakpoints.size() && t + h >= breakpoints[next_bp] - 1e-18) {
+      h = breakpoints[next_bp] - t;
+      hit_bp = true;
+    }
+    if (t + h > options.t_end) h = options.t_end - t;
+    if (h <= 0.0) {
+      ++next_bp;
+      continue;
+    }
+    if (h < options.dt_min) {
+      // Sub-resolution sliver left over by floating-point accumulation just
+      // before a breakpoint: advance time without solving (nothing can
+      // change in 10^-17 s) and damp the corner with a BE step.
+      t += h;
+      if (hit_bp) ++next_bp;
+      be_next = true;
+      continue;
+    }
+
+    // Attempt the step; on Newton failure fall back to backward Euler
+    // (better damped), then halve the step.
+    double h_try = h;
+    bool ok = false;
+    std::vector<double> x_saved = x;
+    const std::size_t n_voltage = n_nodes - 1;
+    while (h_try >= options.dt_min) {
+      const bool want_trap = options.trapezoidal && !be_next;
+      bool solved = false;
+      bool solved_with_trap = false;
+      for (const bool use_trap : {want_trap, false}) {
+        x = x_saved;
+        if (newton_solve(x, t + h_try, h_try, use_trap, cap_v, cap_i,
+                         options.gmin, 1.0, options.newton)) {
+          solved = true;
+          solved_with_trap = use_trap;
+          break;
+        }
+        if (!want_trap) break;  // BE already tried
+      }
+      if (solved) {
+        double max_dv = 0.0;
+        for (std::size_t i = 0; i < n_voltage; ++i) {
+          max_dv = std::max(max_dv, std::fabs(x[i] - x_saved[i]));
+        }
+        // Adaptive control: reject a step that moves any node too far (the
+        // curvature within it is unresolved), unless already at the floor.
+        if (options.adaptive && max_dv > options.dv_max &&
+            h_try > 4.0 * options.dt_min) {
+          h_try *= 0.5;
+          if (h_try < dt_current) dt_current = h_try;
+          continue;
+        }
+        refresh_cap_state(h_try, solved_with_trap);
+        t += h_try;
+        record(t);
+        ok = true;
+        // Quiet step: let the timestep recover toward dt_max.
+        if (options.adaptive && max_dv < 0.25 * options.dv_max) {
+          dt_current = std::min(dt_current * 1.5, options.dt_max);
+        }
+        break;
+      }
+      h_try *= 0.5;
+    }
+    if (!ok) {
+      if (std::getenv("SKS_DEBUG_NR") != nullptr) {
+        std::fprintf(stderr, "FAILSTATE t=%.6g h=%.3g\n", t, h);
+        for (std::size_t i = 0; i < x_saved.size(); ++i) {
+          std::fprintf(stderr, "  x[%zu] = %.6g\n", i, x_saved[i]);
+        }
+        for (std::size_t ci = 0; ci < cap_i.size(); ++ci) {
+          std::fprintf(stderr, "  cap[%zu] v=%.6g i=%.6g\n", ci, cap_v[ci],
+                       cap_i[ci]);
+        }
+      }
+      throw ConvergenceError("transient: Newton failed at t = " +
+                             std::to_string(t * 1e12) + " ps");
+    }
+
+    const bool completed_interval = h_try >= h - 1e-21;
+    if (hit_bp && completed_interval) {
+      ++next_bp;
+      be_next = true;  // damp the new corner with one BE step
+    } else {
+      be_next = false;
+    }
+  }
+
+  return result;
+}
+
+std::vector<double> dc_operating_point(const Circuit& circuit, double t) {
+  Simulator sim(circuit);
+  return sim.dc_operating_point(t);
+}
+
+TransientResult simulate(const Circuit& circuit,
+                         const TransientOptions& options) {
+  Simulator sim(circuit);
+  return sim.run_transient(options);
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,118 @@
+// Electrical-level simulation engine.
+//
+// Solves the circuit with modified nodal analysis (MNA): unknowns are the
+// non-ground node voltages plus one branch current per voltage source.  Each
+// Newton-Raphson iteration assembles the KCL residual F(x) and its Jacobian
+// and solves J dx = -F with a dense LU.
+//
+// DC operating point: plain Newton first, then gmin stepping, then source
+// stepping — the standard SPICE continuation ladder.
+//
+// Transient: fixed base timestep with breakpoint alignment on every source
+// corner; trapezoidal integration with a backward-Euler step right after
+// each breakpoint (damps the trapezoidal ringing a hard corner would
+// excite).  On local Newton failure the step is retried with a halved dt.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esim/netlist.hpp"
+
+namespace sks::esim {
+
+struct NewtonOptions {
+  int max_iterations = 80;
+  double vtol = 1e-6;       // max |dV| for convergence [V]
+  double itol = 1e-9;       // max |F| residual [A]
+  double max_step = 0.5;    // NR voltage-update clamp [V]
+};
+
+struct TransientOptions {
+  double t_end = 10e-9;       // [s]
+  double dt = 2e-12;          // base (and initial) timestep [s]
+  double dt_min = 1e-16;      // give up below this [s]
+  double gmin = 1e-12;        // conductance floor to ground on every node
+  bool trapezoidal = true;    // false => backward Euler everywhere
+  // Adaptive timestep (voltage-slope control): a step whose largest node
+  // movement exceeds dv_max is rejected and halved; quiet steps grow by
+  // 1.5x up to dt_max.  Breakpoints are still honoured exactly.  With
+  // adaptive off (default) the step is fixed at `dt`.
+  bool adaptive = false;
+  double dv_max = 0.25;       // [V] per step
+  double dt_max = 50e-12;     // [s]
+  NewtonOptions newton;
+};
+
+struct TransientResult {
+  std::vector<double> time;
+  // node_v[node_index][step]; node 0 (ground) is included and all-zero.
+  std::vector<std::vector<double>> node_v;
+  // vsrc_i[source_index][step]: MNA branch current, defined as the current
+  // flowing from the source's positive terminal *through the source* to the
+  // negative terminal.  The current a supply delivers to the circuit is the
+  // negative of this.
+  std::vector<std::vector<double>> vsrc_i;
+
+  std::size_t steps() const { return time.size(); }
+};
+
+class Simulator {
+ public:
+  // The circuit is copied: the simulator owns an immutable snapshot.
+  explicit Simulator(Circuit circuit);
+
+  const Circuit& circuit() const { return circuit_; }
+
+  // Node voltages (indexed by NodeId::index, ground included as 0 V) at the
+  // DC operating point with sources evaluated at time `t`.
+  // Throws ConvergenceError when every continuation strategy fails.
+  std::vector<double> dc_operating_point(double t = 0.0);
+
+  // Full DC solution (node voltages + voltage-source branch currents, see
+  // TransientResult::vsrc_i for the sign convention).  An optional warm
+  // start with previous node voltages lets sweeps follow hysteresis
+  // branches of latching circuits.
+  struct DcSolution {
+    std::vector<double> node_v;
+    std::vector<double> vsrc_i;
+  };
+  DcSolution dc_solution(double t = 0.0,
+                         const std::vector<double>* node_guess = nullptr);
+
+  TransientResult run_transient(const TransientOptions& options);
+
+ private:
+  std::size_t unknown_count() const;
+  std::size_t node_unknown(NodeId n) const;  // valid only for non-ground
+
+  // Assemble F and J at solution x.  `h <= 0` selects DC (capacitors open).
+  // `source_scale` multiplies every source value (used for source stepping).
+  void assemble(const std::vector<double>& x, double t, double h,
+                bool use_trap, const std::vector<double>& cap_prev_v,
+                const std::vector<double>& cap_prev_i, double gmin,
+                double source_scale, std::vector<double>& f_out,
+                class DenseMatrix& j_out) const;
+
+  // One Newton solve; returns true on convergence, x updated in place.
+  bool newton_solve(std::vector<double>& x, double t, double h, bool use_trap,
+                    const std::vector<double>& cap_prev_v,
+                    const std::vector<double>& cap_prev_i, double gmin,
+                    double source_scale, const NewtonOptions& options) const;
+
+  // DC solve with the full continuation ladder (plain NR, gmin stepping,
+  // source stepping).  Returns true on success, x updated in place.
+  bool dc_solve(std::vector<double>& x, double t,
+                const NewtonOptions& options) const;
+
+  Circuit circuit_;
+};
+
+// Convenience one-shot: DC operating point of a circuit.
+std::vector<double> dc_operating_point(const Circuit& circuit, double t = 0.0);
+
+// Convenience one-shot transient.
+TransientResult simulate(const Circuit& circuit,
+                         const TransientOptions& options);
+
+}  // namespace sks::esim

@@ -1,0 +1,59 @@
+#include "esim/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::esim {
+
+void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool lu_solve(DenseMatrix& a, std::vector<double>& b,
+              std::vector<double>& x_out) {
+  const std::size_t n = a.size();
+  if (b.size() != n) return false;
+  x_out.assign(n, 0.0);
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  // LU factorization with partial pivoting, operating on logical rows
+  // through the permutation vector.
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search.
+    std::size_t pivot = k;
+    double best = std::fabs(a.at(perm[k], k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::fabs(a.at(perm[r], k));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-30) return false;  // singular
+    std::swap(perm[k], perm[pivot]);
+
+    const double akk = a.at(perm[k], k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(perm[r], k) / akk;
+      if (factor == 0.0) continue;
+      a.at(perm[r], k) = factor;  // store L
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a.at(perm[r], c) -= factor * a.at(perm[k], c);
+      }
+      b[perm[r]] -= factor * b[perm[k]];
+    }
+  }
+
+  // Back substitution.
+  for (std::size_t ki = n; ki-- > 0;) {
+    double sum = b[perm[ki]];
+    for (std::size_t c = ki + 1; c < n; ++c) {
+      sum -= a.at(perm[ki], c) * x_out[c];
+    }
+    x_out[ki] = sum / a.at(perm[ki], ki);
+    if (!std::isfinite(x_out[ki])) return false;
+  }
+  return true;
+}
+
+}  // namespace sks::esim

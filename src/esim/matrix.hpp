@@ -1,0 +1,31 @@
+// Dense linear algebra for the MNA system.  Circuits in this library are
+// small (tens of unknowns), so a dense LU with partial pivoting is both the
+// simplest and the fastest appropriate solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sks::esim {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  void clear();
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+// Solve A x = b in place (A and b are destroyed).  Returns false when the
+// matrix is numerically singular.
+bool lu_solve(DenseMatrix& a, std::vector<double>& b,
+              std::vector<double>& x_out);
+
+}  // namespace sks::esim

@@ -1,0 +1,55 @@
+// SPICE level-1 (Shichman-Hodges) MOSFET model.
+//
+// This is the classical square-law model: cutoff / triode / saturation with
+// channel-length modulation.  It is evaluated symmetrically (drain and
+// source swap when Vds < 0), which matters for pass structures and for
+// bridging-fault simulations where a device can be driven backwards.
+//
+// Transistor-level fault modes live here too: a *stuck-open* device never
+// conducts; a *stuck-on* device conducts as if its gate were tied to the
+// full-on rail, which is the standard electrical model for gate-oxide /
+// gate-contact defects used by the paper's testability analysis (Sec. 3).
+#pragma once
+
+namespace sks::esim {
+
+enum class MosType { kNmos, kPmos };
+
+enum class MosFault {
+  kNone,
+  kStuckOpen,  // channel never conducts
+  kStuckOn,    // channel conducts with full gate overdrive regardless of Vg
+};
+
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double w = 3.0e-6;       // channel width [m]
+  double l = 1.2e-6;       // channel length [m]
+  double kprime = 60e-6;   // process transconductance k' = u*Cox [A/V^2]
+  double vt = 0.8;         // threshold voltage magnitude [V] (positive number)
+  double lambda = 0.02;    // channel-length modulation [1/V]
+  // Overdrive used for a stuck-on device (gate effectively at the rail).
+  double full_on_vgs = 5.0;
+
+  double beta() const { return kprime * w / l; }
+};
+
+struct MosEval {
+  double id = 0.0;   // drain terminal current (positive into the drain)
+  double gm = 0.0;   // dId/dVg
+  double gds = 0.0;  // dId/dVd
+  // dId/dVs = -(gm + gds): the model depends on terminal differences only
+  // (no body effect), so the three partials sum to zero.
+};
+
+// Drain terminal current at the given ground-referred terminal voltages.
+// Pure function of the arguments; handles PMOS mirroring and Vds<0 swap.
+double mosfet_current(const MosParams& params, MosFault fault, double vg,
+                      double vd, double vs);
+
+// Current plus partial derivatives (finite-difference; exact enough for the
+// Newton iteration and immune to sign errors in the swap/mirror algebra).
+MosEval eval_mosfet(const MosParams& params, MosFault fault, double vg,
+                    double vd, double vs);
+
+}  // namespace sks::esim

@@ -1,0 +1,138 @@
+#include "esim/netlist.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sks::esim {
+
+Circuit::Circuit() { node_names_.push_back("0"); }
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return ground();
+  if (auto found = find_node(name)) return *found;
+  node_names_.push_back(name);
+  return NodeId{node_names_.size() - 1};
+}
+
+std::optional<NodeId> Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return ground();
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return NodeId{i};
+  }
+  return std::nullopt;
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  sks::check(n.index < node_names_.size(), "node_name: bad NodeId");
+  return node_names_[n.index];
+}
+
+ResistorId Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                 double resistance) {
+  sks::check(resistance > 0.0, "add_resistor: resistance must be positive");
+  sks::check(!(a == b), "add_resistor: both terminals on the same node");
+  resistors_.push_back(Resistor{name, a, b, resistance});
+  return ResistorId{resistors_.size() - 1};
+}
+
+CapacitorId Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                   double capacitance) {
+  sks::check(capacitance > 0.0, "add_capacitor: capacitance must be positive");
+  sks::check(!(a == b), "add_capacitor: both terminals on the same node");
+  capacitors_.push_back(Capacitor{name, a, b, capacitance});
+  return CapacitorId{capacitors_.size() - 1};
+}
+
+VsrcId Circuit::add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                            Waveform wave) {
+  sks::check(!(pos == neg), "add_vsource: both terminals on the same node");
+  vsources_.push_back(Vsrc{name, pos, neg, std::move(wave)});
+  return VsrcId{vsources_.size() - 1};
+}
+
+IsrcId Circuit::add_isource(const std::string& name, NodeId from, NodeId to,
+                            Waveform wave) {
+  sks::check(!(from == to), "add_isource: both terminals on the same node");
+  isources_.push_back(Isrc{name, from, to, std::move(wave)});
+  return IsrcId{isources_.size() - 1};
+}
+
+MosfetId Circuit::add_mosfet(const std::string& name, const MosParams& params,
+                             NodeId gate, NodeId drain, NodeId source) {
+  sks::check(params.w > 0.0 && params.l > 0.0,
+             "add_mosfet: W and L must be positive");
+  mosfets_.push_back(Mosfet{name, gate, drain, source, params});
+  return MosfetId{mosfets_.size() - 1};
+}
+
+std::optional<MosfetId> Circuit::find_mosfet(const std::string& name) const {
+  for (std::size_t i = 0; i < mosfets_.size(); ++i) {
+    if (mosfets_[i].name == name) return MosfetId{i};
+  }
+  return std::nullopt;
+}
+
+std::optional<VsrcId> Circuit::find_vsource(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    if (vsources_[i].name == name) return VsrcId{i};
+  }
+  return std::nullopt;
+}
+
+std::optional<IsrcId> Circuit::find_isource(const std::string& name) const {
+  for (std::size_t i = 0; i < isources_.size(); ++i) {
+    if (isources_[i].name == name) return IsrcId{i};
+  }
+  return std::nullopt;
+}
+
+std::optional<CapacitorId> Circuit::find_capacitor(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < capacitors_.size(); ++i) {
+    if (capacitors_[i].name == name) return CapacitorId{i};
+  }
+  return std::nullopt;
+}
+
+std::optional<ResistorId> Circuit::find_resistor(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < resistors_.size(); ++i) {
+    if (resistors_[i].name == name) return ResistorId{i};
+  }
+  return std::nullopt;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "* circuit: " << node_count() << " nodes\n";
+  for (const auto& r : resistors_) {
+    os << "R " << r.name << ' ' << node_name(r.a) << ' ' << node_name(r.b)
+       << ' ' << util::fmt_sci(r.resistance, 3) << '\n';
+  }
+  for (const auto& c : capacitors_) {
+    os << "C " << c.name << ' ' << node_name(c.a) << ' ' << node_name(c.b)
+       << ' ' << util::fmt_sci(c.capacitance, 3) << '\n';
+  }
+  for (const auto& v : vsources_) {
+    os << "V " << v.name << ' ' << node_name(v.pos) << ' ' << node_name(v.neg)
+       << (v.wave.is_dc() ? " dc" : " waveform") << '\n';
+  }
+  for (const auto& i : isources_) {
+    os << "I " << i.name << ' ' << node_name(i.from) << ' '
+       << node_name(i.to) << (i.wave.is_dc() ? " dc" : " waveform") << '\n';
+  }
+  for (const auto& m : mosfets_) {
+    os << (m.params.type == MosType::kNmos ? "MN " : "MP ") << m.name << " g="
+       << node_name(m.gate) << " d=" << node_name(m.drain)
+       << " s=" << node_name(m.source) << " W/L="
+       << util::fmt_fixed(m.params.w / m.params.l, 2);
+    if (m.fault == MosFault::kStuckOpen) os << " [stuck-open]";
+    if (m.fault == MosFault::kStuckOn) os << " [stuck-on]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,144 @@
+// Circuit netlist: nodes and devices for the electrical-level simulator.
+//
+// `Circuit` is a plain value type (copying it deep-copies the netlist),
+// which is what the fault-injection and Monte-Carlo layers rely on: they
+// take a fault-free master netlist, copy it, and perturb the copy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "esim/mosfet_model.hpp"
+#include "esim/waveform.hpp"
+
+namespace sks::esim {
+
+struct NodeId {
+  std::size_t index = 0;
+  friend bool operator==(NodeId, NodeId) = default;
+};
+
+struct ResistorId {
+  std::size_t index = 0;
+  friend bool operator==(ResistorId, ResistorId) = default;
+};
+struct CapacitorId {
+  std::size_t index = 0;
+  friend bool operator==(CapacitorId, CapacitorId) = default;
+};
+struct VsrcId {
+  std::size_t index = 0;
+  friend bool operator==(VsrcId, VsrcId) = default;
+};
+struct IsrcId {
+  std::size_t index = 0;
+  friend bool operator==(IsrcId, IsrcId) = default;
+};
+struct MosfetId {
+  std::size_t index = 0;
+  friend bool operator==(MosfetId, MosfetId) = default;
+};
+
+struct Resistor {
+  std::string name;
+  NodeId a, b;
+  double resistance = 0.0;  // [ohm]
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a, b;
+  double capacitance = 0.0;  // [F]
+};
+
+struct Vsrc {
+  std::string name;
+  NodeId pos, neg;
+  Waveform wave = Waveform::dc(0.0);
+};
+
+// Independent current source: the value I(t) flows out of `from`, through
+// the source, into `to` (i.e. the source delivers current into `to`).
+struct Isrc {
+  std::string name;
+  NodeId from, to;
+  Waveform wave = Waveform::dc(0.0);
+};
+
+struct Mosfet {
+  std::string name;
+  NodeId gate, drain, source;
+  MosParams params;
+  MosFault fault = MosFault::kNone;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  // --- nodes ---
+  NodeId ground() const { return NodeId{0}; }
+  // Find-or-create a named node.  "0" and "gnd" are the ground node.
+  NodeId node(const std::string& name);
+  std::optional<NodeId> find_node(const std::string& name) const;
+  const std::string& node_name(NodeId n) const;
+  std::size_t node_count() const { return node_names_.size(); }
+
+  // --- device construction ---
+  ResistorId add_resistor(const std::string& name, NodeId a, NodeId b,
+                          double resistance);
+  CapacitorId add_capacitor(const std::string& name, NodeId a, NodeId b,
+                            double capacitance);
+  VsrcId add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                     Waveform wave);
+  IsrcId add_isource(const std::string& name, NodeId from, NodeId to,
+                     Waveform wave);
+  MosfetId add_mosfet(const std::string& name, const MosParams& params,
+                      NodeId gate, NodeId drain, NodeId source);
+
+  // --- device access (mutable, for fault injection / variation) ---
+  Resistor& resistor(ResistorId id) { return resistors_.at(id.index); }
+  Capacitor& capacitor(CapacitorId id) { return capacitors_.at(id.index); }
+  Vsrc& vsource(VsrcId id) { return vsources_.at(id.index); }
+  Mosfet& mosfet(MosfetId id) { return mosfets_.at(id.index); }
+  const Resistor& resistor(ResistorId id) const {
+    return resistors_.at(id.index);
+  }
+  const Capacitor& capacitor(CapacitorId id) const {
+    return capacitors_.at(id.index);
+  }
+  const Vsrc& vsource(VsrcId id) const { return vsources_.at(id.index); }
+  Isrc& isource(IsrcId id) { return isources_.at(id.index); }
+  const Isrc& isource(IsrcId id) const { return isources_.at(id.index); }
+  const Mosfet& mosfet(MosfetId id) const { return mosfets_.at(id.index); }
+
+  std::optional<MosfetId> find_mosfet(const std::string& name) const;
+  std::optional<VsrcId> find_vsource(const std::string& name) const;
+  std::optional<IsrcId> find_isource(const std::string& name) const;
+  std::optional<CapacitorId> find_capacitor(const std::string& name) const;
+  std::optional<ResistorId> find_resistor(const std::string& name) const;
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Vsrc>& vsources() const { return vsources_; }
+  const std::vector<Isrc>& isources() const { return isources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  std::vector<Mosfet>& mosfets() { return mosfets_; }
+  std::vector<Capacitor>& capacitors() { return capacitors_; }
+
+  // Human-readable netlist dump (SPICE-flavoured), used in examples and for
+  // debugging fault-injection transforms.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Vsrc> vsources_;
+  std::vector<Isrc> isources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace sks::esim

@@ -1,0 +1,300 @@
+#include "esim/spice_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sks::esim {
+
+namespace {
+
+std::string num(double v) { return util::fmt_sci(v, 9); }
+
+// The card type is carried by the name's first letter; devices whose
+// programmatic name starts with another letter (the paper's MOSFETs are
+// called "a".."l") get a conforming prefix on output.  write(parse(s)) is
+// then a fixpoint of s.
+std::string card_name(char letter, const std::string& name) {
+  if (!name.empty() &&
+      std::toupper(static_cast<unsigned char>(name[0])) == letter) {
+    return name;
+  }
+  return std::string(1, letter) + "_" + name;
+}
+
+std::string waveform_to_string(const Waveform& w) {
+  std::ostringstream os;
+  switch (w.kind()) {
+    case WaveKind::kDc:
+      os << "DC " << num(w.dc_level());
+      break;
+    case WaveKind::kPulse: {
+      const PulseSpec& p = w.pulse_spec();
+      os << "PULSE(" << num(p.v0) << ' ' << num(p.v1) << ' ' << num(p.delay)
+         << ' ' << num(p.rise) << ' ' << num(p.fall) << ' ' << num(p.width)
+         << ' ' << num(p.period) << ')';
+      break;
+    }
+    case WaveKind::kPwl: {
+      os << "PWL(";
+      const auto& ts = w.pwl_times();
+      const auto& vs = w.pwl_values();
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (i) os << ' ';
+        os << num(ts[i]) << ' ' << num(vs[i]);
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+// Tokenizer that keeps parenthesized groups intact as value lists.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' ||
+        ch == ')' || ch == ',') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  throw NetlistError("spice parse error at line " +
+                     std::to_string(line_number) + ": " + message);
+}
+
+struct Parser {
+  Circuit circuit;
+  std::size_t line_number = 0;
+
+  double number(const std::string& token) {
+    try {
+      return parse_spice_number(token);
+    } catch (const NetlistError& e) {
+      fail(line_number, e.what());
+    }
+  }
+
+  // key=value lookup within tokens [from, end).
+  double keyed(const std::vector<std::string>& tokens, std::size_t from,
+               const std::string& key, double fallback, bool required) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+      const std::string up = upper(tokens[i]);
+      if (up.rfind(key + "=", 0) == 0) {
+        return number(tokens[i].substr(key.size() + 1));
+      }
+    }
+    if (required) fail(line_number, "missing " + key + "= parameter");
+    return fallback;
+  }
+
+  Waveform source_waveform(const std::vector<std::string>& tokens,
+                           std::size_t from) {
+    if (from >= tokens.size()) fail(line_number, "missing source value");
+    const std::string kind = upper(tokens[from]);
+    if (kind == "DC") {
+      if (from + 1 >= tokens.size()) fail(line_number, "missing DC level");
+      return Waveform::dc(number(tokens[from + 1]));
+    }
+    if (kind == "PULSE") {
+      if (tokens.size() - from - 1 < 7) {
+        fail(line_number, "PULSE needs 7 values");
+      }
+      PulseSpec p;
+      p.v0 = number(tokens[from + 1]);
+      p.v1 = number(tokens[from + 2]);
+      p.delay = number(tokens[from + 3]);
+      p.rise = number(tokens[from + 4]);
+      p.fall = number(tokens[from + 5]);
+      p.width = number(tokens[from + 6]);
+      p.period = number(tokens[from + 7]);
+      return Waveform::pulse(p);
+    }
+    if (kind == "PWL") {
+      const std::size_t count = tokens.size() - (from + 1);
+      if (count == 0 || count % 2 != 0) {
+        fail(line_number, "PWL needs time/value pairs");
+      }
+      std::vector<double> ts;
+      std::vector<double> vs;
+      for (std::size_t i = from + 1; i + 1 < tokens.size(); i += 2) {
+        ts.push_back(number(tokens[i]));
+        vs.push_back(number(tokens[i + 1]));
+      }
+      return Waveform::pwl(std::move(ts), std::move(vs));
+    }
+    // Bare value: treat as DC.
+    return Waveform::dc(number(tokens[from]));
+  }
+
+  void parse_line(const std::string& raw) {
+    ++line_number;
+    const std::string line = raw.substr(0, raw.find(';'));
+    if (line.empty() || line[0] == '*') return;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) return;
+    const std::string head = upper(tokens[0]);
+    if (head == ".END" || head == ".TITLE") return;
+
+    const char kind = head[0];
+    const std::string name = tokens[0];
+    switch (kind) {
+      case 'R': {
+        if (tokens.size() < 4) fail(line_number, "R needs 2 nodes + value");
+        circuit.add_resistor(name, circuit.node(tokens[1]),
+                             circuit.node(tokens[2]), number(tokens[3]));
+        break;
+      }
+      case 'C': {
+        if (tokens.size() < 4) fail(line_number, "C needs 2 nodes + value");
+        circuit.add_capacitor(name, circuit.node(tokens[1]),
+                              circuit.node(tokens[2]), number(tokens[3]));
+        break;
+      }
+      case 'V': {
+        if (tokens.size() < 4) fail(line_number, "V needs 2 nodes + source");
+        circuit.add_vsource(name, circuit.node(tokens[1]),
+                            circuit.node(tokens[2]),
+                            source_waveform(tokens, 3));
+        break;
+      }
+      case 'I': {
+        if (tokens.size() < 4) fail(line_number, "I needs 2 nodes + source");
+        circuit.add_isource(name, circuit.node(tokens[1]),
+                            circuit.node(tokens[2]),
+                            source_waveform(tokens, 3));
+        break;
+      }
+      case 'M': {
+        if (tokens.size() < 5) {
+          fail(line_number, "M needs drain gate source type");
+        }
+        MosParams params;
+        const std::string type = upper(tokens[4]);
+        if (type == "NMOS") {
+          params.type = MosType::kNmos;
+        } else if (type == "PMOS") {
+          params.type = MosType::kPmos;
+        } else {
+          fail(line_number, "device type must be NMOS or PMOS");
+        }
+        params.w = keyed(tokens, 5, "W", params.w, true);
+        params.l = keyed(tokens, 5, "L", params.l, true);
+        params.kprime = keyed(tokens, 5, "KP", params.kprime, false);
+        params.vt = keyed(tokens, 5, "VT", params.vt, false);
+        params.lambda = keyed(tokens, 5, "LAMBDA", params.lambda, false);
+        params.full_on_vgs = keyed(tokens, 5, "VON", params.full_on_vgs,
+                                   false);
+        const MosfetId id = circuit.add_mosfet(
+            name, params, circuit.node(tokens[2]), circuit.node(tokens[1]),
+            circuit.node(tokens[3]));
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+          const std::string up = upper(tokens[i]);
+          if (up == "STUCKOPEN") circuit.mosfet(id).fault = MosFault::kStuckOpen;
+          if (up == "STUCKON") circuit.mosfet(id).fault = MosFault::kStuckOn;
+        }
+        break;
+      }
+      default:
+        fail(line_number, "unknown card '" + tokens[0] + "'");
+    }
+  }
+};
+
+}  // namespace
+
+std::string write_spice(const Circuit& circuit, const std::string& title) {
+  std::ostringstream os;
+  os << "* " << (title.empty() ? "skewsense netlist" : title) << '\n';
+  for (const auto& r : circuit.resistors()) {
+    os << card_name('R', r.name) << ' ' << circuit.node_name(r.a) << ' '
+       << circuit.node_name(r.b) << ' ' << num(r.resistance) << '\n';
+  }
+  for (const auto& c : circuit.capacitors()) {
+    os << card_name('C', c.name) << ' ' << circuit.node_name(c.a) << ' '
+       << circuit.node_name(c.b) << ' ' << num(c.capacitance) << '\n';
+  }
+  for (const auto& v : circuit.vsources()) {
+    os << card_name('V', v.name) << ' ' << circuit.node_name(v.pos) << ' '
+       << circuit.node_name(v.neg) << ' ' << waveform_to_string(v.wave)
+       << '\n';
+  }
+  for (const auto& i : circuit.isources()) {
+    os << card_name('I', i.name) << ' ' << circuit.node_name(i.from) << ' '
+       << circuit.node_name(i.to) << ' ' << waveform_to_string(i.wave)
+       << '\n';
+  }
+  for (const auto& m : circuit.mosfets()) {
+    os << card_name('M', m.name) << ' ' << circuit.node_name(m.drain) << ' '
+       << circuit.node_name(m.gate) << ' ' << circuit.node_name(m.source)
+       << (m.params.type == MosType::kNmos ? " NMOS" : " PMOS")
+       << " W=" << num(m.params.w) << " L=" << num(m.params.l)
+       << " KP=" << num(m.params.kprime) << " VT=" << num(m.params.vt)
+       << " LAMBDA=" << num(m.params.lambda)
+       << " VON=" << num(m.params.full_on_vgs);
+    if (m.fault == MosFault::kStuckOpen) os << " STUCKOPEN";
+    if (m.fault == MosFault::kStuckOn) os << " STUCKON";
+    os << '\n';
+  }
+  os << ".END\n";
+  return os.str();
+}
+
+Circuit parse_spice(const std::string& text) {
+  std::istringstream in(text);
+  return parse_spice(in);
+}
+
+Circuit parse_spice(std::istream& in) {
+  Parser parser;
+  std::string line;
+  while (std::getline(in, line)) {
+    parser.parse_line(line);
+  }
+  return std::move(parser.circuit);
+}
+
+double parse_spice_number(const std::string& token) {
+  if (token.empty()) throw NetlistError("empty number");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw NetlistError("bad number '" + token + "'");
+  }
+  std::string suffix = upper(token.substr(consumed));
+  if (suffix.empty()) return value;
+  if (suffix == "F") return value * 1e-15;
+  if (suffix == "P") return value * 1e-12;
+  if (suffix == "N") return value * 1e-9;
+  if (suffix == "U") return value * 1e-6;
+  if (suffix == "M") return value * 1e-3;
+  if (suffix == "K") return value * 1e3;
+  if (suffix == "MEG") return value * 1e6;
+  if (suffix == "G") return value * 1e9;
+  throw NetlistError("unknown unit suffix '" + suffix + "' in '" + token +
+                     "'");
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,48 @@
+#include "esim/sweep.hpp"
+
+#include "esim/engine.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+
+std::vector<double> DcSweepResult::voltage(const Circuit& circuit,
+                                           const std::string& node) const {
+  const auto id = circuit.find_node(node);
+  sks::check(id.has_value(), "DcSweepResult::voltage: unknown node '" + node +
+                                 "'");
+  return node_v.at(id->index);
+}
+
+DcSweepResult dc_sweep(const Circuit& circuit, const DcSweepOptions& options) {
+  sks::check(options.points >= 2, "dc_sweep: need at least two points");
+  const auto source = circuit.find_vsource(options.source_name);
+  sks::check(source.has_value(),
+             "dc_sweep: unknown source '" + options.source_name + "'");
+
+  DcSweepResult result;
+  result.node_v.assign(circuit.node_count(), {});
+  std::vector<double> guess;  // warm start carried across points
+
+  for (std::size_t p = 0; p < options.points; ++p) {
+    const double value =
+        options.from + (options.to - options.from) *
+                           static_cast<double>(p) /
+                           static_cast<double>(options.points - 1);
+    Circuit at_point = circuit;
+    at_point.vsource(*source).wave = Waveform::dc(value);
+    Simulator sim(std::move(at_point));
+    const auto solution =
+        sim.dc_solution(0.0, guess.empty() ? nullptr : &guess);
+    guess = solution.node_v;
+
+    result.sweep.push_back(value);
+    for (std::size_t n = 0; n < solution.node_v.size(); ++n) {
+      result.node_v[n].push_back(solution.node_v[n]);
+    }
+    // Delivered current = -branch current (see TransientResult::vsrc_i).
+    result.source_current.push_back(-solution.vsrc_i[source->index]);
+  }
+  return result;
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,36 @@
+// DC sweep analysis: vary one source and track the operating point —
+// the tool behind voltage-transfer curves (inverter VTC, the sensing
+// circuit's static response) and IDDQ-vs-bias characterizations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "esim/netlist.hpp"
+
+namespace sks::esim {
+
+struct DcSweepOptions {
+  std::string source_name;   // voltage source to sweep
+  double from = 0.0;         // [V]
+  double to = 5.0;           // [V]
+  std::size_t points = 51;   // >= 2
+};
+
+struct DcSweepResult {
+  std::vector<double> sweep;                 // swept source values
+  std::vector<std::vector<double>> node_v;   // [node][point]
+  std::vector<double> source_current;        // current delivered by the
+                                             // swept source at each point
+
+  // Voltage of a named node across the sweep.
+  std::vector<double> voltage(const Circuit& circuit,
+                              const std::string& node) const;
+};
+
+// Sweep the named DC source.  Each point warm-starts from the previous
+// solution, so sharp transfer characteristics (latching circuits) follow
+// their hysteresis branch.  Throws on unknown source or DC failure.
+DcSweepResult dc_sweep(const Circuit& circuit, const DcSweepOptions& options);
+
+}  // namespace sks::esim

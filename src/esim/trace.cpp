@@ -1,0 +1,92 @@
+#include "esim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/interp.hpp"
+
+namespace sks::esim {
+
+Trace::Trace(std::string name, std::vector<double> time,
+             std::vector<double> value)
+    : name_(std::move(name)), time_(std::move(time)), values_(std::move(value)) {
+  sks::check(time_.size() == values_.size(), "Trace: size mismatch");
+}
+
+Trace Trace::node_voltage(const TransientResult& result, const Circuit& circuit,
+                          const std::string& node) {
+  const auto id = circuit.find_node(node);
+  sks::check(id.has_value(), "Trace::node_voltage: unknown node '" + node + "'");
+  return Trace(node, result.time, result.node_v.at(id->index));
+}
+
+Trace Trace::supply_current(const TransientResult& result,
+                            const Circuit& circuit,
+                            const std::string& source_name) {
+  const auto id = circuit.find_vsource(source_name);
+  sks::check(id.has_value(),
+             "Trace::supply_current: unknown source '" + source_name + "'");
+  std::vector<double> delivered = result.vsrc_i.at(id->index);
+  for (double& v : delivered) v = -v;  // see TransientResult::vsrc_i docs
+  return Trace("I(" + source_name + ")", result.time, std::move(delivered));
+}
+
+double Trace::value_at(double t) const {
+  sks::check(!empty(), "Trace::value_at on empty trace");
+  if (t <= time_.front()) return values_.front();
+  if (t >= time_.back()) return values_.back();
+  const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const auto i = static_cast<std::size_t>(it - time_.begin());
+  const double frac = (t - time_[i - 1]) / (time_[i] - time_[i - 1]);
+  return util::lerp(values_[i - 1], values_[i], frac);
+}
+
+std::size_t Trace::index_at_or_after(double t) const {
+  const auto it = std::lower_bound(time_.begin(), time_.end(), t);
+  return static_cast<std::size_t>(it - time_.begin());
+}
+
+double Trace::min_in(double t0, double t1) const {
+  sks::check(!empty(), "Trace::min_in on empty trace");
+  double best = value_at(t0);
+  for (std::size_t i = index_at_or_after(t0); i < time_.size() && time_[i] <= t1;
+       ++i) {
+    best = std::min(best, values_[i]);
+  }
+  best = std::min(best, value_at(t1));
+  return best;
+}
+
+double Trace::max_in(double t0, double t1) const {
+  sks::check(!empty(), "Trace::max_in on empty trace");
+  double best = value_at(t0);
+  for (std::size_t i = index_at_or_after(t0); i < time_.size() && time_[i] <= t1;
+       ++i) {
+    best = std::max(best, values_[i]);
+  }
+  best = std::max(best, value_at(t1));
+  return best;
+}
+
+double Trace::final_value() const {
+  sks::check(!empty(), "Trace::final_value on empty trace");
+  return values_.back();
+}
+
+std::optional<double> Trace::first_crossing(double level, double t_from) const {
+  return util::first_crossing(time_, values_, level, index_at_or_after(t_from));
+}
+
+std::optional<double> Trace::first_rising_crossing(double level,
+                                                   double t_from) const {
+  return util::first_directional_crossing(time_, values_, level, true,
+                                          index_at_or_after(t_from));
+}
+
+std::optional<double> Trace::first_falling_crossing(double level,
+                                                    double t_from) const {
+  return util::first_directional_crossing(time_, values_, level, false,
+                                          index_at_or_after(t_from));
+}
+
+}  // namespace sks::esim

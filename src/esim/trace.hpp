@@ -1,0 +1,57 @@
+// Post-processing of transient results: named traces with interpolation,
+// window extrema and threshold crossings.  These are the measurements the
+// paper's figures are made of (V_min of y2, crossing delays, IDDQ levels).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "esim/engine.hpp"
+
+namespace sks::esim {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<double> time, std::vector<double> value);
+
+  // Extract a node-voltage trace from a transient result.
+  static Trace node_voltage(const TransientResult& result,
+                            const Circuit& circuit, const std::string& node);
+  // Current delivered by a voltage source (positive when the source pushes
+  // current out of its positive terminal into the circuit).  This is the
+  // supply current used by the IDDQ detector.
+  static Trace supply_current(const TransientResult& result,
+                              const Circuit& circuit,
+                              const std::string& source_name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& values() const { return values_; }
+  bool empty() const { return time_.empty(); }
+
+  // Linear interpolation; clamps outside the simulated interval.
+  double value_at(double t) const;
+
+  double min_in(double t0, double t1) const;
+  double max_in(double t0, double t1) const;
+  double final_value() const;
+
+  // First time the trace crosses `level` after `t_from`, optionally
+  // restricted to rising/falling crossings.
+  std::optional<double> first_crossing(double level, double t_from = 0.0) const;
+  std::optional<double> first_rising_crossing(double level,
+                                              double t_from = 0.0) const;
+  std::optional<double> first_falling_crossing(double level,
+                                               double t_from = 0.0) const;
+
+ private:
+  std::size_t index_at_or_after(double t) const;
+
+  std::string name_;
+  std::vector<double> time_;
+  std::vector<double> values_;
+};
+
+}  // namespace sks::esim

@@ -1,0 +1,119 @@
+#include "esim/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/interp.hpp"
+
+namespace sks::esim {
+
+Waveform Waveform::dc(double level) {
+  Waveform w;
+  w.kind_ = WaveKind::kDc;
+  w.level_ = level;
+  return w;
+}
+
+Waveform Waveform::pulse(const PulseSpec& spec) {
+  sks::check(spec.rise > 0.0 && spec.fall > 0.0,
+             "Waveform::pulse: rise/fall must be positive");
+  sks::check(spec.width >= 0.0, "Waveform::pulse: width must be >= 0");
+  if (spec.period > 0.0) {
+    sks::check(spec.period >= spec.rise + spec.width + spec.fall,
+               "Waveform::pulse: period shorter than pulse shape");
+  }
+  Waveform w;
+  w.kind_ = WaveKind::kPulse;
+  w.pulse_ = spec;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values) {
+  sks::check(times.size() == values.size() && !times.empty(),
+             "Waveform::pwl: need matching non-empty point lists");
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    sks::check(times[i] > times[i - 1],
+               "Waveform::pwl: times must be strictly increasing");
+  }
+  Waveform w;
+  w.kind_ = WaveKind::kPwl;
+  w.times_ = std::move(times);
+  w.values_ = std::move(values);
+  return w;
+}
+
+double Waveform::value(double t) const {
+  switch (kind_) {
+    case WaveKind::kDc:
+      return level_;
+    case WaveKind::kPulse: {
+      const PulseSpec& p = pulse_;
+      double local = t - p.delay;
+      if (local < 0.0) return p.v0;
+      if (p.period > 0.0) local = std::fmod(local, p.period);
+      if (local < p.rise) {
+        return p.v0 + (p.v1 - p.v0) * (local / p.rise);
+      }
+      local -= p.rise;
+      if (local < p.width) return p.v1;
+      local -= p.width;
+      if (local < p.fall) {
+        return p.v1 + (p.v0 - p.v1) * (local / p.fall);
+      }
+      return p.v0;
+    }
+    case WaveKind::kPwl: {
+      if (t <= times_.front()) return values_.front();
+      if (t >= times_.back()) return values_.back();
+      const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+      const auto i = static_cast<std::size_t>(it - times_.begin());
+      const double frac = (t - times_[i - 1]) / (times_[i] - times_[i - 1]);
+      return util::lerp(values_[i - 1], values_[i], frac);
+    }
+  }
+  return level_;
+}
+
+std::vector<double> Waveform::breakpoints(double t_end) const {
+  std::vector<double> bp;
+  switch (kind_) {
+    case WaveKind::kDc:
+      break;
+    case WaveKind::kPulse: {
+      const PulseSpec& p = pulse_;
+      const double period = p.period > 0.0 ? p.period : t_end + 1.0;
+      for (double t0 = p.delay; t0 <= t_end; t0 += period) {
+        bp.push_back(t0);
+        bp.push_back(t0 + p.rise);
+        bp.push_back(t0 + p.rise + p.width);
+        bp.push_back(t0 + p.rise + p.width + p.fall);
+        if (p.period <= 0.0) break;
+      }
+      break;
+    }
+    case WaveKind::kPwl:
+      bp = times_;
+      break;
+  }
+  std::vector<double> result;
+  for (double t : bp) {
+    if (t >= 0.0 && t <= t_end) result.push_back(t);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+Waveform rising_ramp(double v0, double v1, double start, double rise) {
+  sks::check(rise > 0.0, "rising_ramp: rise must be positive");
+  if (start <= 0.0) {
+    // Edge starts at or before t=0: represent the already-started ramp.
+    if (start + rise <= 0.0) return Waveform::dc(v1);
+    const double v_at_zero = v0 + (v1 - v0) * (-start / rise);
+    return Waveform::pwl({0.0, start + rise}, {v_at_zero, v1});
+  }
+  return Waveform::pwl({0.0, start, start + rise}, {v0, v0, v1});
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,69 @@
+// Source waveforms for the electrical simulator.
+//
+// Three shapes cover everything the paper's experiments need:
+//  * Dc     — constant level (supplies, stuck-at rails)
+//  * Pulse  — periodic trapezoid (clock generators)
+//  * Pwl    — piecewise-linear (skewed / slew-controlled clock edges)
+//
+// `breakpoints()` exposes the corner times so the transient engine can land
+// a timestep exactly on every edge instead of stepping over it.
+#pragma once
+
+#include <vector>
+
+namespace sks::esim {
+
+struct PulseSpec {
+  double v0 = 0.0;       // initial level [V]
+  double v1 = 5.0;       // pulsed level [V]
+  double delay = 0.0;    // time of first rising corner [s]
+  double rise = 1e-10;   // rise time [s]
+  double fall = 1e-10;   // fall time [s]
+  double width = 5e-9;   // time at v1 (between end of rise and start of fall)
+  double period = 10e-9; // repetition period [s]; 0 => single pulse
+};
+
+enum class WaveKind { kDc, kPulse, kPwl };
+
+class Waveform {
+ public:
+  // Constant level.
+  static Waveform dc(double level);
+  // Periodic trapezoid.
+  static Waveform pulse(const PulseSpec& spec);
+  // Piecewise linear through (t, v) points with t strictly increasing.
+  // Before the first point the value is the first level; after the last
+  // point it holds the last level.
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+  double value(double t) const;
+
+  // Corner times within [0, t_end] (sorted, deduplicated).
+  std::vector<double> breakpoints(double t_end) const;
+
+  bool is_dc() const { return kind_ == WaveKind::kDc; }
+
+  // Introspection (for serialization): kind plus the defining parameters.
+  WaveKind kind() const { return kind_; }
+  double dc_level() const { return level_; }          // kDc
+  const PulseSpec& pulse_spec() const { return pulse_; }  // kPulse
+  const std::vector<double>& pwl_times() const { return times_; }   // kPwl
+  const std::vector<double>& pwl_values() const { return values_; } // kPwl
+
+ private:
+  Waveform() = default;
+
+  WaveKind kind_ = WaveKind::kDc;
+  double level_ = 0.0;
+  PulseSpec pulse_{};
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+// Convenience: a single rising ramp from v0 to v1 starting at `start` with
+// the given rise time (10%-90% semantics are NOT used; the ramp is linear
+// over the full swing, matching the paper's "clock slew (i.e. the rise time
+// of phi1 and phi2)" usage).
+Waveform rising_ramp(double v0, double v1, double start, double rise);
+
+}  // namespace sks::esim

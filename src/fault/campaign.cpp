@@ -1,0 +1,72 @@
+#include "fault/campaign.hpp"
+
+namespace sks::fault {
+
+std::map<FaultKind, KindSummary> CampaignReport::by_kind() const {
+  std::map<FaultKind, KindSummary> summary;
+  for (const auto& v : verdicts) {
+    KindSummary& s = summary[v.fault.kind];
+    ++s.total;
+    if (!v.simulated) ++s.unsimulated;
+    if (v.logic_detected) {
+      ++s.logic_detected;
+    } else if (v.iddq_detected) {
+      ++s.iddq_only;
+    }
+  }
+  return summary;
+}
+
+KindSummary CampaignReport::overall() const {
+  KindSummary s;
+  for (const auto& [kind, ks] : by_kind()) {
+    (void)kind;
+    s.total += ks.total;
+    s.logic_detected += ks.logic_detected;
+    s.iddq_only += ks.iddq_only;
+    s.unsimulated += ks.unsimulated;
+  }
+  return s;
+}
+
+std::vector<std::string> CampaignReport::escapes(bool with_iddq) const {
+  std::vector<std::string> out;
+  for (const auto& v : verdicts) {
+    if (!v.detected(with_iddq)) out.push_back(v.fault.label());
+  }
+  return out;
+}
+
+util::TextTable CampaignReport::summary_table() const {
+  util::TextTable table({"fault kind", "total", "logic cov.", "+IDDQ cov.",
+                         "unsimulated"});
+  const auto summary = by_kind();
+  for (const auto& [kind, s] : summary) {
+    table.add_row({to_string(kind), std::to_string(s.total),
+                   util::fmt_percent(s.logic_coverage(), 1),
+                   util::fmt_percent(s.combined_coverage(), 1),
+                   std::to_string(s.unsimulated)});
+  }
+  const KindSummary all = overall();
+  table.add_row({"ALL", std::to_string(all.total),
+                 util::fmt_percent(all.logic_coverage(), 1),
+                 util::fmt_percent(all.combined_coverage(), 1),
+                 std::to_string(all.unsimulated)});
+  return table;
+}
+
+CampaignReport run_campaign(const esim::Circuit& good_circuit,
+                            const std::vector<Fault>& universe,
+                            const TestPlan& plan,
+                            const InjectOptions& inject_options) {
+  const Observation good_observation = observe(good_circuit, plan);
+  CampaignReport report;
+  report.verdicts.reserve(universe.size());
+  for (const Fault& f : universe) {
+    report.verdicts.push_back(
+        test_fault(good_circuit, good_observation, f, plan, inject_options));
+  }
+  return report;
+}
+
+}  // namespace sks::fault

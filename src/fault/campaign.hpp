@@ -1,0 +1,51 @@
+// Fault-simulation campaign: run a whole fault universe through the
+// electrical test and aggregate coverage, per fault kind, with and without
+// IDDQ — the numbers of the paper's Section 3.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "esim/netlist.hpp"
+#include "fault/detect.hpp"
+#include "util/table.hpp"
+
+namespace sks::fault {
+
+struct KindSummary {
+  std::size_t total = 0;
+  std::size_t logic_detected = 0;
+  std::size_t iddq_only = 0;   // detected by IDDQ but not logically
+  std::size_t unsimulated = 0;
+
+  double logic_coverage() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(logic_detected) /
+                            static_cast<double>(total);
+  }
+  double combined_coverage() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(logic_detected + iddq_only) /
+                            static_cast<double>(total);
+  }
+};
+
+struct CampaignReport {
+  std::vector<FaultVerdict> verdicts;
+
+  std::map<FaultKind, KindSummary> by_kind() const;
+  KindSummary overall() const;
+  // Labels of faults escaping logic detection (and, optionally, IDDQ too).
+  std::vector<std::string> escapes(bool with_iddq) const;
+
+  util::TextTable summary_table() const;
+};
+
+// Simulate the fault-free circuit once, then every fault in the universe.
+CampaignReport run_campaign(const esim::Circuit& good_circuit,
+                            const std::vector<Fault>& universe,
+                            const TestPlan& plan,
+                            const InjectOptions& inject_options = {});
+
+}  // namespace sks::fault

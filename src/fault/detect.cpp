@@ -1,0 +1,124 @@
+#include "fault/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cell/measure.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/error.hpp"
+
+namespace sks::fault {
+
+TestPlan default_sensor_test_plan(const cell::SensorBench& bench, double vth,
+                                  int cycles) {
+  sks::check(cycles >= 1, "default_sensor_test_plan: need >= 1 cycle");
+  TestPlan plan;
+  plan.stimulus = bench.stimulus;
+  plan.stimulus.full_clock = true;
+  plan.stimulus.skew = 0.0;  // fault-free clocks: the inputs move together
+  plan.vth = vth;
+  plan.observed_nodes = {bench.cell.qualified("y1"),
+                         bench.cell.qualified("y2")};
+  plan.supply_name = bench.cell.options.prefix + "Vdd";
+
+  const double t0 = plan.stimulus.edge_time;
+  const double period = plan.stimulus.period;
+  const double high = plan.stimulus.duty * period;
+  // High-phase and low-phase strobes in each cycle: dynamic faults
+  // (floating nodes holding stale charge, feedback-amplified asymmetries)
+  // may need later cycles to show.
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const double base = t0 + cycle * period;
+    plan.logic_strobes.push_back(base + 0.6 * high);          // high phase
+    plan.logic_strobes.push_back(base + period - 0.1 * period);  // low phase
+  }
+  plan.iddq_strobes = plan.logic_strobes;
+  plan.t_end = t0 + cycles * period;
+  return plan;
+}
+
+Observation observe(const esim::Circuit& circuit, const TestPlan& plan) {
+  esim::TransientOptions options;
+  options.dt = plan.dt;
+  options.t_end = plan.t_end > 0.0
+                      ? plan.t_end
+                      : *std::max_element(plan.logic_strobes.begin(),
+                                          plan.logic_strobes.end()) +
+                            1e-9;
+  const auto result = esim::simulate(circuit, options);
+
+  Observation obs;
+  obs.values.reserve(plan.logic_strobes.size());
+  std::vector<esim::Trace> traces;
+  traces.reserve(plan.observed_nodes.size());
+  for (const auto& node : plan.observed_nodes) {
+    traces.push_back(esim::Trace::node_voltage(result, circuit, node));
+  }
+  for (double t : plan.logic_strobes) {
+    std::vector<double> row;
+    row.reserve(traces.size());
+    for (const auto& trace : traces) row.push_back(trace.value_at(t));
+    obs.values.push_back(std::move(row));
+  }
+  const auto supply =
+      esim::Trace::supply_current(result, circuit, plan.supply_name);
+  for (double t : plan.iddq_strobes) {
+    obs.iddq.push_back(std::fabs(supply.value_at(t)));
+  }
+  return obs;
+}
+
+FaultVerdict test_fault(const esim::Circuit& good_circuit,
+                        const Observation& good_observation,
+                        const Fault& fault_to_test, const TestPlan& plan,
+                        const InjectOptions& inject_options) {
+  FaultVerdict verdict;
+  verdict.fault = fault_to_test;
+
+  esim::Circuit faulty = inject(good_circuit, fault_to_test, inject_options);
+  Observation faulty_observation;
+  try {
+    faulty_observation = observe(faulty, plan);
+  } catch (const ConvergenceError&) {
+    // A defect that defeats the solver is reported unsimulated (counted as
+    // undetected, the conservative choice).
+    return verdict;
+  }
+  verdict.simulated = true;
+
+  for (std::size_t s = 0; s < plan.logic_strobes.size(); ++s) {
+    for (std::size_t n = 0; n < plan.observed_nodes.size(); ++n) {
+      const bool good_high = good_observation.values[s][n] > plan.vth;
+      const bool faulty_high = faulty_observation.values[s][n] > plan.vth;
+      if (good_high != faulty_high) verdict.logic_detected = true;
+    }
+  }
+  for (std::size_t s = 0; s < plan.iddq_strobes.size(); ++s) {
+    const double excess = faulty_observation.iddq[s] - good_observation.iddq[s];
+    verdict.max_excess_iddq = std::max(verdict.max_excess_iddq, excess);
+  }
+  verdict.iddq_detected = verdict.max_excess_iddq > plan.iddq_threshold;
+  return verdict;
+}
+
+bool sensor_detects_skew_under_fault(const cell::Technology& tech,
+                                     const cell::SensorOptions& options,
+                                     const cell::ClockPairStimulus& stimulus,
+                                     const Fault& fault_to_test,
+                                     const InjectOptions& inject_options,
+                                     double dt) {
+  cell::SensorBench bench = cell::make_sensor_bench(tech, options, stimulus);
+  InjectOptions inj = inject_options;
+  inj.vdd_node = options.prefix + "vdd";
+  bench.circuit = inject(bench.circuit, fault_to_test, inj);
+  try {
+    const auto m =
+        cell::measure_bench(bench, tech.interpretation_threshold(), dt);
+    return m.error();
+  } catch (const ConvergenceError&) {
+    return false;
+  }
+}
+
+}  // namespace sks::fault

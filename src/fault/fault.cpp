@@ -1,0 +1,74 @@
+#include "fault/fault.hpp"
+
+namespace sks::fault {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeStuckAt0:
+      return "stuck-at-0";
+    case FaultKind::kNodeStuckAt1:
+      return "stuck-at-1";
+    case FaultKind::kStuckOpen:
+      return "stuck-open";
+    case FaultKind::kStuckOn:
+      return "stuck-on";
+    case FaultKind::kBridge:
+      return "bridging";
+  }
+  return "?";
+}
+
+std::string Fault::label() const {
+  switch (kind) {
+    case FaultKind::kNodeStuckAt0:
+      return "SA0(" + node + ")";
+    case FaultKind::kNodeStuckAt1:
+      return "SA1(" + node + ")";
+    case FaultKind::kStuckOpen:
+      return "SOP(" + device + ")";
+    case FaultKind::kStuckOn:
+      return "SON(" + device + ")";
+    case FaultKind::kBridge:
+      return "BR(" + node_a + "," + node_b + ")";
+  }
+  return "?";
+}
+
+Fault Fault::stuck_at0(std::string node) {
+  Fault f;
+  f.kind = FaultKind::kNodeStuckAt0;
+  f.node = std::move(node);
+  return f;
+}
+
+Fault Fault::stuck_at1(std::string node) {
+  Fault f;
+  f.kind = FaultKind::kNodeStuckAt1;
+  f.node = std::move(node);
+  return f;
+}
+
+Fault Fault::stuck_open(std::string device) {
+  Fault f;
+  f.kind = FaultKind::kStuckOpen;
+  f.device = std::move(device);
+  return f;
+}
+
+Fault Fault::stuck_on(std::string device) {
+  Fault f;
+  f.kind = FaultKind::kStuckOn;
+  f.device = std::move(device);
+  return f;
+}
+
+Fault Fault::bridge(std::string a, std::string b, double resistance) {
+  Fault f;
+  f.kind = FaultKind::kBridge;
+  f.node_a = std::move(a);
+  f.node_b = std::move(b);
+  f.bridge_resistance = resistance;
+  return f;
+}
+
+}  // namespace sks::fault

@@ -1,0 +1,48 @@
+// Fault descriptors for transistor-level fault injection.
+//
+// The fault universe follows the paper's Section 3 ("a set of realistic
+// faults, including stuck-ats, transistor faults and bridgings", after
+// Abraham & Fuchs' classical VLSI fault models):
+//
+//  * node stuck-at-0 / stuck-at-1 — a low-resistance short of a circuit
+//    node to GND / VDD;
+//  * transistor stuck-open  — the channel never conducts;
+//  * transistor stuck-on    — the channel conducts with full overdrive
+//    regardless of the gate voltage;
+//  * bridging — a resistive short between two circuit nodes (the paper uses
+//    a bridging resistance of 100 ohm).
+#pragma once
+
+#include <string>
+
+namespace sks::fault {
+
+enum class FaultKind {
+  kNodeStuckAt0,
+  kNodeStuckAt1,
+  kStuckOpen,
+  kStuckOn,
+  kBridge,
+};
+
+std::string to_string(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kNodeStuckAt0;
+  std::string node;       // stuck-at target (node name)
+  std::string device;     // stuck-open / stuck-on target (MOSFET name)
+  std::string node_a;     // bridge endpoints
+  std::string node_b;
+  double bridge_resistance = 100.0;  // [ohm]
+
+  // Human-readable id, e.g. "SA1(y1)", "SOP(c)", "BR(y1,y2)".
+  std::string label() const;
+
+  static Fault stuck_at0(std::string node);
+  static Fault stuck_at1(std::string node);
+  static Fault stuck_open(std::string device);
+  static Fault stuck_on(std::string device);
+  static Fault bridge(std::string a, std::string b, double resistance = 100.0);
+};
+
+}  // namespace sks::fault

@@ -1,0 +1,138 @@
+#include "fault/ifa.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace sks::fault {
+
+double LayoutModel::adjacency(const std::string& a,
+                              const std::string& b) const {
+  double total = 0.0;
+  for (const auto& sa : segments) {
+    if (sa.node != a) continue;
+    for (const auto& sb : segments) {
+      if (sb.node != b) continue;
+      const int dist = std::abs(sa.track - sb.track);
+      if (dist > max_track_distance) continue;
+      const double overlap =
+          std::min(sa.x_max, sb.x_max) - std::max(sa.x_min, sb.x_min);
+      if (overlap <= 0.0) continue;
+      // Closer tracks are likelier to be bridged by the same spot defect.
+      total += overlap / static_cast<double>(1 + dist);
+    }
+  }
+  return total;
+}
+
+double LayoutModel::wire_length(const std::string& node) const {
+  double total = 0.0;
+  for (const auto& s : segments) {
+    if (s.node == node) total += s.length();
+  }
+  return total;
+}
+
+LayoutModel synthetic_sensor_layout(const cell::SensorCell& cell) {
+  // Standard-cell style floorplan of the ten-transistor cell.  Device
+  // columns (x, in transistor pitches):
+  //   PMOS row:  a=0  b=1  c=2 | f=3  g=4  h=5
+  //   NMOS row:  d=1  e=2      | i=4  l=5
+  // Horizontal routing tracks between the rows (top to bottom):
+  //   7: VDD rail          6: n1 / n3 (split)       5: y1
+  //   4: y2                3: n2 / n4 (split)       2: phi1
+  //   1: phi2              0: GND rail
+  //
+  // The structure encodes the physically meaningful adjacencies: y1-y2 are
+  // neighbours (the bridge the paper singles out as undetectable), so are
+  // phi1-phi2; n1 and n3 share a track but do not overlap.
+  LayoutModel layout;
+  auto add = [&layout](const std::string& node, int track, double x0,
+                       double x1) {
+    layout.segments.push_back(WireSegment{node, track, x0, x1});
+  };
+  const auto q = [&cell](const char* local) { return cell.qualified(local); };
+
+  add(cell.options.prefix + "vdd", 7, 0.0, 6.0);
+  add(q("n1"), 6, 0.0, 2.5);
+  add(q("n3"), 6, 3.0, 5.5);
+  add(q("y1"), 5, 0.5, 5.5);   // b/c drains, d drain, gates of g and l
+  add(q("y2"), 4, 1.5, 5.5);   // g/h drains, i drain, gates of c and e
+  add(q("n2"), 3, 1.0, 2.0);
+  add(q("n4"), 3, 4.0, 5.0);
+  add(q("phi1"), 2, 0.0, 5.2); // gates of a, d, h
+  add(q("phi2"), 1, 0.0, 5.5); // gates of b, f, i
+  add("0", 0, 0.0, 6.0);
+  return layout;
+}
+
+std::vector<WeightedFault> weighted_sensor_universe(
+    const cell::SensorCell& cell, const LayoutModel& layout,
+    const IfaOptions& options) {
+  const std::string vdd_name = cell.options.prefix + "vdd";
+  const std::vector<std::string> signal_nodes = {
+      cell.qualified("phi1"), cell.qualified("phi2"), cell.qualified("y1"),
+      cell.qualified("y2"),   cell.qualified("n1"),   cell.qualified("n2"),
+      cell.qualified("n3"),   cell.qualified("n4")};
+
+  std::vector<WeightedFault> universe;
+
+  // Signal-to-signal bridges, adjacency-weighted.
+  double max_bridge_weight = 0.0;
+  std::vector<WeightedFault> bridges;
+  for (std::size_t i = 0; i < signal_nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < signal_nodes.size(); ++j) {
+      const double w = layout.bridge_density *
+                       layout.adjacency(signal_nodes[i], signal_nodes[j]);
+      if (w <= 0.0) continue;
+      bridges.push_back({Fault::bridge(signal_nodes[i], signal_nodes[j],
+                                       options.bridge_resistance),
+                         w});
+      max_bridge_weight = std::max(max_bridge_weight, w);
+    }
+  }
+  for (auto& b : bridges) {
+    if (b.weight >= options.prune_below * max_bridge_weight) {
+      universe.push_back(std::move(b));
+    }
+  }
+
+  // Rail bridges = node stuck-ats, weighted by rail adjacency.
+  for (const auto& node : signal_nodes) {
+    const double w1 = layout.bridge_density * layout.adjacency(node, vdd_name);
+    if (w1 > 0.0) universe.push_back({Fault::stuck_at1(node), w1});
+    const double w0 = layout.bridge_density * layout.adjacency(node, "0");
+    if (w0 > 0.0) universe.push_back({Fault::stuck_at0(node), w0});
+  }
+
+  // Device defects: uniform per present device.
+  for (const char* name : cell::kSensorDeviceNames) {
+    if (!cell.has_device(name)) continue;
+    universe.push_back(
+        {Fault::stuck_open(cell.qualified(name)), layout.gate_defect_density});
+    universe.push_back(
+        {Fault::stuck_on(cell.qualified(name)), layout.gate_defect_density});
+  }
+
+  sks::check(!universe.empty(), "weighted_sensor_universe: empty layout");
+  return universe;
+}
+
+double weighted_coverage(const std::vector<FaultVerdict>& verdicts,
+                         const std::vector<WeightedFault>& universe,
+                         bool with_iddq) {
+  sks::check(verdicts.size() == universe.size(),
+             "weighted_coverage: verdict/universe size mismatch");
+  double detected = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    sks::check(verdicts[i].fault.label() == universe[i].fault.label(),
+               "weighted_coverage: verdicts out of order");
+    total += universe[i].weight;
+    if (verdicts[i].detected(with_iddq)) detected += universe[i].weight;
+  }
+  return total > 0.0 ? detected / total : 0.0;
+}
+
+}  // namespace sks::fault

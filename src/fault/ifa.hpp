@@ -1,0 +1,90 @@
+// Inductive fault analysis (IFA-lite), after Shen, Maly & Ferguson
+// ("Inductive Fault Analysis of MOS Integrated Circuits", IEEE D&T 1985 —
+// the paper's ref. [13] for "bridging faults ... the most common kind of
+// failures in CMOS ICs").
+//
+// Classical IFA extracts realistic faults and their likelihoods from the
+// layout: a spot defect can only bridge wires that run close to each other,
+// with likelihood growing with their shared run length and shrinking with
+// their separation.  We do not have the authors' layout, so we provide:
+//
+//  * a `LayoutModel` abstraction: per-node wire segments on routing tracks;
+//  * a synthetic but structurally faithful standard-cell layout of the
+//    sensing circuit (PMOS row / NMOS row, devices in schematic order) —
+//    the same style the paper's layout-level DFT references [11,14] assume;
+//  * weighted fault universes: bridges weighted by adjacency (critical-area
+//    style), opens/stuck-ats weighted by wire length and device area;
+//  * defect-weighted coverage: the fraction of *likely* defects detected,
+//    which is the number IFA argues matters — not the uniform count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/skew_sensor.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+
+namespace sks::fault {
+
+// One horizontal wire segment owned by a node: track index (vertical
+// position, in track pitches) and an x span (in arbitrary length units).
+struct WireSegment {
+  std::string node;
+  int track = 0;
+  double x_min = 0.0;
+  double x_max = 0.0;
+
+  double length() const { return x_max - x_min; }
+};
+
+struct LayoutModel {
+  std::vector<WireSegment> segments;
+  // Bridges are considered between segments at most this many tracks
+  // apart (1 = only adjacent tracks; 0 = same track only).
+  int max_track_distance = 1;
+  // Relative defect densities (arbitrary units; only ratios matter).
+  double bridge_density = 1.0;   // per unit shared length, adjacent tracks
+  double open_density = 0.35;    // per unit wire length
+  double gate_defect_density = 0.2;  // per device (stuck-open/stuck-on)
+
+  // Total x overlap between two nodes' segments within track distance.
+  double adjacency(const std::string& a, const std::string& b) const;
+  // Total wire length of a node.
+  double wire_length(const std::string& node) const;
+};
+
+// A synthetic standard-cell layout of the sensing circuit: PMOS devices
+// (a, b, c, f, g, h) on the top row, NMOS (d, e, i, l) on the bottom,
+// nodes routed on horizontal tracks between them.  Node names are the
+// cell-qualified ones, so faults built from this layout inject directly
+// into a bench built with the same prefix.
+LayoutModel synthetic_sensor_layout(const cell::SensorCell& cell);
+
+struct WeightedFault {
+  Fault fault;
+  double weight = 1.0;  // relative likelihood
+};
+
+struct IfaOptions {
+  // Bridges with adjacency-derived weight below this fraction of the
+  // largest bridge weight are pruned (they would need a huge defect).
+  double prune_below = 0.01;
+  double bridge_resistance = 100.0;
+};
+
+// Build the weighted universe: bridges from layout adjacency; node
+// stuck-ats weighted by wire length (shorts to rails run everywhere);
+// transistor stuck-open/stuck-on weighted by the gate defect density.
+std::vector<WeightedFault> weighted_sensor_universe(
+    const cell::SensorCell& cell, const LayoutModel& layout,
+    const IfaOptions& options = {});
+
+// Defect-weighted coverage: sum of weights of detected faults over the
+// total weight.  `verdicts` must come from a campaign over exactly the
+// faults of `universe` (in order).
+double weighted_coverage(const std::vector<FaultVerdict>& verdicts,
+                         const std::vector<WeightedFault>& universe,
+                         bool with_iddq);
+
+}  // namespace sks::fault

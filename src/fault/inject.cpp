@@ -1,0 +1,64 @@
+#include "fault/inject.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::fault {
+
+namespace {
+
+esim::NodeId require_node(const esim::Circuit& circuit,
+                          const std::string& name) {
+  const auto id = circuit.find_node(name);
+  if (!id) throw NetlistError("inject: unknown node '" + name + "'");
+  return *id;
+}
+
+esim::MosfetId require_mosfet(const esim::Circuit& circuit,
+                              const std::string& name) {
+  const auto id = circuit.find_mosfet(name);
+  if (!id) throw NetlistError("inject: unknown MOSFET '" + name + "'");
+  return *id;
+}
+
+}  // namespace
+
+esim::Circuit inject(const esim::Circuit& master, const Fault& fault,
+                     const InjectOptions& options) {
+  esim::Circuit faulty = master;
+  switch (fault.kind) {
+    case FaultKind::kNodeStuckAt0: {
+      const auto target = require_node(faulty, fault.node);
+      faulty.add_resistor("flt." + fault.label(), target, faulty.ground(),
+                          options.stuck_at_resistance);
+      break;
+    }
+    case FaultKind::kNodeStuckAt1: {
+      const auto target = require_node(faulty, fault.node);
+      const auto rail = require_node(faulty, options.vdd_node);
+      faulty.add_resistor("flt." + fault.label(), target, rail,
+                          options.stuck_at_resistance);
+      break;
+    }
+    case FaultKind::kStuckOpen: {
+      faulty.mosfet(require_mosfet(faulty, fault.device)).fault =
+          esim::MosFault::kStuckOpen;
+      break;
+    }
+    case FaultKind::kStuckOn: {
+      faulty.mosfet(require_mosfet(faulty, fault.device)).fault =
+          esim::MosFault::kStuckOn;
+      break;
+    }
+    case FaultKind::kBridge: {
+      const auto a = require_node(faulty, fault.node_a);
+      const auto b = require_node(faulty, fault.node_b);
+      sks::check(!(a == b), "inject: bridge endpoints must differ");
+      faulty.add_resistor("flt." + fault.label(), a, b,
+                          fault.bridge_resistance);
+      break;
+    }
+  }
+  return faulty;
+}
+
+}  // namespace sks::fault

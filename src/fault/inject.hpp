@@ -1,0 +1,23 @@
+// Fault injection: apply a Fault to a copy of a fault-free master netlist.
+#pragma once
+
+#include "esim/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace sks::fault {
+
+struct InjectOptions {
+  // Resistance of the short realizing node stuck-at faults.  1 ohm beats
+  // any driver impedance in the library (clock drivers are ~100 ohm), as a
+  // hard defect would.
+  double stuck_at_resistance = 1.0;
+  // Name of the supply node stuck-at-1 faults short to.
+  std::string vdd_node = "vdd";
+};
+
+// Returns a faulty copy of `master`.  Throws NetlistError when the fault
+// references a node or device that does not exist in the netlist.
+esim::Circuit inject(const esim::Circuit& master, const Fault& fault,
+                     const InjectOptions& options = {});
+
+}  // namespace sks::fault

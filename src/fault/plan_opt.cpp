@@ -1,0 +1,89 @@
+#include "fault/plan_opt.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::fault {
+
+std::size_t StrobeMatrix::detectable() const {
+  std::size_t count = 0;
+  for (const auto& row : detected) {
+    for (const bool hit : row) {
+      if (hit) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+StrobeMatrix build_strobe_matrix(const esim::Circuit& good_circuit,
+                                 const std::vector<Fault>& universe,
+                                 const TestPlan& plan,
+                                 const InjectOptions& inject_options) {
+  sks::check(!plan.logic_strobes.empty(),
+             "build_strobe_matrix: plan has no strobes");
+  StrobeMatrix matrix;
+  matrix.strobes = plan.logic_strobes;
+  matrix.faults = universe;
+
+  const Observation good = observe(good_circuit, plan);
+  for (const Fault& f : universe) {
+    std::vector<bool> row(plan.logic_strobes.size(), false);
+    esim::Circuit faulty = inject(good_circuit, f, inject_options);
+    try {
+      const Observation obs = observe(faulty, plan);
+      for (std::size_t s = 0; s < plan.logic_strobes.size(); ++s) {
+        for (std::size_t n = 0; n < plan.observed_nodes.size(); ++n) {
+          const bool good_high = good.values[s][n] > plan.vth;
+          const bool bad_high = obs.values[s][n] > plan.vth;
+          if (good_high != bad_high) row[s] = true;
+        }
+      }
+    } catch (const ConvergenceError&) {
+      ++matrix.unsimulated;
+    }
+    matrix.detected.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+double StrobeSelection::coverage(const StrobeMatrix& matrix) const {
+  return matrix.faults.empty()
+             ? 0.0
+             : static_cast<double>(covered) /
+                   static_cast<double>(matrix.faults.size());
+}
+
+StrobeSelection select_strobes(const StrobeMatrix& matrix) {
+  StrobeSelection selection;
+  std::vector<bool> covered(matrix.faults.size(), false);
+  std::vector<bool> used(matrix.strobes.size(), false);
+
+  while (true) {
+    std::size_t best_strobe = matrix.strobes.size();
+    std::size_t best_gain = 0;
+    for (std::size_t s = 0; s < matrix.strobes.size(); ++s) {
+      if (used[s]) continue;
+      std::size_t gain = 0;
+      for (std::size_t f = 0; f < matrix.faults.size(); ++f) {
+        if (!covered[f] && matrix.detected[f][s]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_strobe = s;
+      }
+    }
+    if (best_strobe == matrix.strobes.size()) break;
+    used[best_strobe] = true;
+    selection.selected.push_back(best_strobe);
+    selection.marginal_gain.push_back(best_gain);
+    for (std::size_t f = 0; f < matrix.faults.size(); ++f) {
+      if (matrix.detected[f][best_strobe]) covered[f] = true;
+    }
+    selection.covered += best_gain;
+  }
+  return selection;
+}
+
+}  // namespace sks::fault

@@ -1,0 +1,51 @@
+// Test-plan optimization: which strobe instants are actually worth
+// observing?
+//
+// The off-line test cannot choose its stimuli (the clocks are what they
+// are), so the only degrees of freedom are WHERE (observed nodes) and WHEN
+// (strobe instants) to look.  This module builds the per-strobe detection
+// matrix for a fault universe and greedily selects a minimal strobe subset
+// achieving the full (logic) coverage of the candidate set — showing, for
+// the sensing circuit, that one high-phase and one low-phase strobe carry
+// almost all of the information, and that a second cycle adds exactly the
+// feedback-amplified stuck-ons (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/detect.hpp"
+
+namespace sks::fault {
+
+struct StrobeMatrix {
+  std::vector<double> strobes;  // candidate instants (copy of plan's)
+  // detected[f][s]: fault f flips an observed node at strobe s.
+  std::vector<std::vector<bool>> detected;
+  std::vector<Fault> faults;
+  std::size_t unsimulated = 0;
+
+  // Faults detectable by at least one candidate strobe.
+  std::size_t detectable() const;
+};
+
+// Simulate every fault once and fill the per-strobe detection matrix.
+// `plan.logic_strobes` are the candidates; IDDQ is ignored here.
+StrobeMatrix build_strobe_matrix(const esim::Circuit& good_circuit,
+                                 const std::vector<Fault>& universe,
+                                 const TestPlan& plan,
+                                 const InjectOptions& inject_options = {});
+
+struct StrobeSelection {
+  std::vector<std::size_t> selected;      // indices into matrix.strobes
+  std::vector<std::size_t> marginal_gain; // newly covered faults per pick
+  std::size_t covered = 0;                // faults covered by the selection
+
+  double coverage(const StrobeMatrix& matrix) const;
+};
+
+// Greedy minimum-strobe cover: repeatedly pick the strobe detecting the
+// most not-yet-covered faults, until no strobe adds coverage.
+StrobeSelection select_strobes(const StrobeMatrix& matrix);
+
+}  // namespace sks::fault

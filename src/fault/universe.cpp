@@ -1,0 +1,51 @@
+#include "fault/universe.hpp"
+
+namespace sks::fault {
+
+std::vector<Fault> enumerate_faults(const std::vector<std::string>& nodes,
+                                    const std::vector<std::string>& devices,
+                                    const UniverseOptions& options) {
+  std::vector<Fault> faults;
+  if (options.stuck_at) {
+    for (const auto& n : nodes) faults.push_back(Fault::stuck_at0(n));
+    for (const auto& n : nodes) faults.push_back(Fault::stuck_at1(n));
+  }
+  if (options.stuck_open) {
+    for (const auto& d : devices) faults.push_back(Fault::stuck_open(d));
+  }
+  if (options.stuck_on) {
+    for (const auto& d : devices) faults.push_back(Fault::stuck_on(d));
+  }
+  if (options.bridges) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        faults.push_back(
+            Fault::bridge(nodes[i], nodes[j], options.bridge_resistance));
+      }
+    }
+    if (options.bridges_to_rails) {
+      for (const auto& n : nodes) {
+        faults.push_back(Fault::bridge(n, "vdd", options.bridge_resistance));
+        faults.push_back(Fault::bridge(n, "0", options.bridge_resistance));
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> sensor_fault_universe(const cell::SensorCell& cell,
+                                         const UniverseOptions& options) {
+  std::vector<std::string> nodes;
+  for (const char* local :
+       {"phi1", "phi2", "y1", "y2", "n1", "n2", "n3", "n4"}) {
+    nodes.push_back(cell.qualified(local));
+  }
+  std::vector<std::string> devices;
+  for (const char* name : cell::kSensorDeviceNames) {
+    // The ablation variant omits a/f; enumerate only devices present.
+    if (cell.has_device(name)) devices.push_back(cell.qualified(name));
+  }
+  return enumerate_faults(nodes, devices, options);
+}
+
+}  // namespace sks::fault

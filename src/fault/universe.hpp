@@ -1,0 +1,42 @@
+// Fault-universe enumeration.
+//
+// Generic enumeration over a netlist region (a set of nodes and devices),
+// plus the specific universe of the paper's Section 3: every node stuck-at,
+// every transistor stuck-open/stuck-on, and every pairwise bridge among the
+// sensing circuit's nodes (bridging resistance 100 ohm).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/skew_sensor.hpp"
+#include "esim/netlist.hpp"
+#include "fault/fault.hpp"
+
+namespace sks::fault {
+
+struct UniverseOptions {
+  bool stuck_at = true;
+  bool stuck_open = true;
+  bool stuck_on = true;
+  bool bridges = true;
+  double bridge_resistance = 100.0;
+  // Bridges to the rails duplicate the stuck-at faults; keep them out of
+  // the bridge list by default (the paper counts them once, as stuck-ats).
+  bool bridges_to_rails = false;
+};
+
+// Enumerate faults over an explicit region: `nodes` get stuck-at faults and
+// pairwise bridges, `devices` get stuck-open/stuck-on.  Order is
+// deterministic: SA0s, SA1s, SOPs, SONs, bridges (lexicographic pairs).
+std::vector<Fault> enumerate_faults(const std::vector<std::string>& nodes,
+                                    const std::vector<std::string>& devices,
+                                    const UniverseOptions& options = {});
+
+// The sensing-circuit universe of Section 3: nodes {phi1, phi2, y1, y2,
+// n1..n4} and devices {a..e, f..i, l} of the given sensor instance, plus
+// (optionally) rail bridges.
+std::vector<Fault> sensor_fault_universe(const cell::SensorCell& cell,
+                                         const UniverseOptions& options = {});
+
+}  // namespace sks::fault

@@ -1,0 +1,111 @@
+#include "logic/netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+
+std::string to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kBuf:
+      return "BUF";
+    case GateKind::kInv:
+      return "INV";
+    case GateKind::kAnd2:
+      return "AND2";
+    case GateKind::kNand2:
+      return "NAND2";
+    case GateKind::kOr2:
+      return "OR2";
+    case GateKind::kNor2:
+      return "NOR2";
+    case GateKind::kXor2:
+      return "XOR2";
+  }
+  return "?";
+}
+
+Value evaluate_gate(GateKind kind, Value a, Value b) {
+  switch (kind) {
+    case GateKind::kBuf:
+      return a;
+    case GateKind::kInv:
+      return v_not(a);
+    case GateKind::kAnd2:
+      return v_and(a, b);
+    case GateKind::kNand2:
+      return v_not(v_and(a, b));
+    case GateKind::kOr2:
+      return v_or(a, b);
+    case GateKind::kNor2:
+      return v_not(v_or(a, b));
+    case GateKind::kXor2:
+      return v_xor(a, b);
+  }
+  return Value::kX;
+}
+
+NetId GateNetlist::add_net(const std::string& name) {
+  for (std::size_t i = 0; i < net_names_.size(); ++i) {
+    sks::check(net_names_[i] != name,
+               "GateNetlist::add_net: duplicate net '" + name + "'");
+  }
+  net_names_.push_back(name);
+  fanout_valid_ = false;
+  return NetId{net_names_.size() - 1};
+}
+
+NetId GateNetlist::net(const std::string& name) {
+  for (std::size_t i = 0; i < net_names_.size(); ++i) {
+    if (net_names_[i] == name) return NetId{i};
+  }
+  net_names_.push_back(name);
+  fanout_valid_ = false;
+  return NetId{net_names_.size() - 1};
+}
+
+GateId GateNetlist::add_gate(const std::string& name, GateKind kind, NetId a,
+                             NetId b, NetId output, double delay) {
+  sks::check(delay >= 0.0, "GateNetlist::add_gate: negative delay");
+  Gate g;
+  g.name = name;
+  g.kind = kind;
+  g.a = a;
+  g.b = b;
+  g.output = output;
+  g.delay = delay;
+  gates_.push_back(g);
+  fanout_valid_ = false;
+  return GateId{gates_.size() - 1};
+}
+
+GateId GateNetlist::add_gate1(const std::string& name, GateKind kind, NetId a,
+                              NetId output, double delay) {
+  sks::check(kind == GateKind::kBuf || kind == GateKind::kInv,
+             "GateNetlist::add_gate1: kind takes two inputs");
+  return add_gate(name, kind, a, a, output, delay);
+}
+
+DffId GateNetlist::add_dff(const std::string& name, NetId d, NetId q) {
+  Dff f;
+  f.name = name;
+  f.d = d;
+  f.q = q;
+  dffs_.push_back(f);
+  return DffId{dffs_.size() - 1};
+}
+
+const std::vector<std::size_t>& GateNetlist::fanout(NetId n) const {
+  if (!fanout_valid_) {
+    fanout_.assign(net_names_.size(), {});
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+      fanout_[gates_[g].a.index].push_back(g);
+      if (!gates_[g].single_input() && !(gates_[g].b == gates_[g].a)) {
+        fanout_[gates_[g].b.index].push_back(g);
+      }
+    }
+    fanout_valid_ = true;
+  }
+  return fanout_.at(n.index);
+}
+
+}  // namespace sks::logic

@@ -1,0 +1,89 @@
+// Gate-level netlist with pin-to-pin delays and edge-triggered flip-flops.
+//
+// Clocks are deliberately NOT nets here: each flip-flop's sampling instants
+// are scheduled externally from the clock-tree arrival analysis
+// (clocktree::analyze).  That is the whole point of this module — it lets
+// the experiments couple a *distribution-level* clock fault to its
+// *logic-level* consequence (delayed sampling), which the paper's intro
+// argues cannot be folded into ordinary combinational delay faults.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "logic/value.hpp"
+
+namespace sks::logic {
+
+struct NetId {
+  std::size_t index = 0;
+  friend bool operator==(NetId, NetId) = default;
+};
+struct GateId {
+  std::size_t index = 0;
+  friend bool operator==(GateId, GateId) = default;
+};
+struct DffId {
+  std::size_t index = 0;
+  friend bool operator==(DffId, DffId) = default;
+};
+
+enum class GateKind { kBuf, kInv, kAnd2, kNand2, kOr2, kNor2, kXor2 };
+
+std::string to_string(GateKind kind);
+
+Value evaluate_gate(GateKind kind, Value a, Value b);
+
+struct Gate {
+  std::string name;
+  GateKind kind = GateKind::kBuf;
+  NetId a, b;        // b ignored for single-input kinds
+  NetId output;
+  double delay = 100e-12;        // nominal propagation delay [s]
+  double extra_delay = 0.0;      // delay-fault injection hook [s]
+
+  bool single_input() const {
+    return kind == GateKind::kBuf || kind == GateKind::kInv;
+  }
+  double total_delay() const { return delay + extra_delay; }
+};
+
+struct Dff {
+  std::string name;
+  NetId d, q;
+  double clk_to_q = 150e-12;  // [s]
+  double setup = 80e-12;      // [s]
+  double hold = 40e-12;       // [s]
+};
+
+class GateNetlist {
+ public:
+  NetId add_net(const std::string& name);
+  NetId net(const std::string& name);  // find-or-create
+  GateId add_gate(const std::string& name, GateKind kind, NetId a, NetId b,
+                  NetId output, double delay);
+  GateId add_gate1(const std::string& name, GateKind kind, NetId a,
+                   NetId output, double delay);
+  DffId add_dff(const std::string& name, NetId d, NetId q);
+
+  std::size_t net_count() const { return net_names_.size(); }
+  const std::string& net_name(NetId n) const { return net_names_.at(n.index); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::vector<Gate>& gates() { return gates_; }
+  const std::vector<Dff>& dffs() const { return dffs_; }
+  Gate& gate(GateId g) { return gates_.at(g.index); }
+  const Dff& dff(DffId f) const { return dffs_.at(f.index); }
+
+  // Gates whose input a/b is this net (fanout list), built lazily.
+  const std::vector<std::size_t>& fanout(NetId n) const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::vector<Gate> gates_;
+  std::vector<Dff> dffs_;
+  mutable std::vector<std::vector<std::size_t>> fanout_;
+  mutable bool fanout_valid_ = false;
+};
+
+}  // namespace sks::logic

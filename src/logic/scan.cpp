@@ -1,0 +1,80 @@
+#include "logic/scan.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+
+ScanChainNetlist build_scan_chain(GateNetlist& netlist, std::size_t bits,
+                                  const std::string& prefix) {
+  sks::check(bits >= 1, "build_scan_chain: need at least one bit");
+  ScanChainNetlist chain;
+  chain.scan_enable = netlist.net(prefix + "se");
+  chain.scan_in = netlist.net(prefix + "si");
+  const NetId seb = netlist.net(prefix + "seb");
+  netlist.add_gate1(prefix + "inv_se", GateKind::kInv, chain.scan_enable, seb,
+                    50e-12);
+
+  NetId previous_q = chain.scan_in;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::string cell_prefix = prefix + std::to_string(i) + "/";
+    ScanCell cell;
+    cell.functional_d = netlist.net(prefix + "d" + std::to_string(i));
+    cell.scan_in = previous_q;
+    cell.q = netlist.net(cell_prefix + "q");
+    const NetId and_f = netlist.net(cell_prefix + "af");
+    const NetId and_s = netlist.net(cell_prefix + "as");
+    const NetId mux = netlist.net(cell_prefix + "mux");
+    cell.mux_and_f = netlist.add_gate(cell_prefix + "and_f", GateKind::kAnd2,
+                                      cell.functional_d, seb, and_f, 60e-12);
+    cell.mux_and_s = netlist.add_gate(cell_prefix + "and_s", GateKind::kAnd2,
+                                      cell.scan_in, chain.scan_enable, and_s,
+                                      60e-12);
+    cell.mux_or = netlist.add_gate(cell_prefix + "or", GateKind::kOr2, and_f,
+                                   and_s, mux, 60e-12);
+    cell.dff = netlist.add_dff(cell_prefix + "ff", mux, cell.q);
+    previous_q = cell.q;
+    chain.cells.push_back(cell);
+  }
+  chain.scan_out = previous_q;
+  return chain;
+}
+
+std::vector<Value> capture_and_shift(EventSimulator& sim,
+                                     const ScanChainNetlist& chain,
+                                     const std::vector<Value>& functional_values,
+                                     double t_start, double clock_period) {
+  sks::check(functional_values.size() == chain.cells.size(),
+             "capture_and_shift: value count mismatch");
+  sks::check(clock_period > 1e-9 * 0.4,
+             "capture_and_shift: period too short for the mux+ff delays");
+
+  // 1. functional mode: apply the D values, scan disabled.
+  sim.schedule_input(chain.scan_enable, Value::kZero, t_start);
+  sim.schedule_input(chain.scan_in, Value::kZero, t_start);
+  for (std::size_t i = 0; i < chain.cells.size(); ++i) {
+    sim.schedule_input(chain.cells[i].functional_d, functional_values[i],
+                       t_start);
+  }
+  // 2. capture edge.
+  const double t_capture = t_start + clock_period;
+  for (const auto& cell : chain.cells) {
+    sim.schedule_capture(cell.dff, t_capture);
+  }
+  // 3. shift mode.
+  sim.schedule_input(chain.scan_enable, Value::kOne,
+                     t_capture + 0.5 * clock_period);
+  std::vector<Value> readout;
+  for (std::size_t k = 0; k < chain.cells.size(); ++k) {
+    const double t_shift = t_capture + (k + 1) * clock_period;
+    // Sample the serial output just before the next shift edge.
+    sim.run(t_shift - 0.05 * clock_period);
+    readout.push_back(sim.value(chain.scan_out));
+    for (const auto& cell : chain.cells) {
+      sim.schedule_capture(cell.dff, t_shift);
+    }
+  }
+  sim.run(t_capture + (chain.cells.size() + 1) * clock_period);
+  return readout;
+}
+
+}  // namespace sks::logic

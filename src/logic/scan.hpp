@@ -1,0 +1,52 @@
+// Gate-level scan chain (mux-D style) — the off-line readout path of the
+// paper's scheme realized at the logic level.
+//
+// Each scan cell is a D flip-flop with a 2:1 input mux: in functional mode
+// it captures its functional D (here: an error indicator's output); in scan
+// mode the flops form a shift register clocked by the scan clock, and the
+// captured bits are shifted out serially — "their response could be driven
+// through a scan path (in the case of off-line testing)".
+//
+// Built on the event-driven simulator (logic/simulator.hpp); the behavioural
+// twin is scheme::ScanChain, and the tests cross-validate them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/netlist.hpp"
+#include "logic/simulator.hpp"
+
+namespace sks::logic {
+
+struct ScanCell {
+  NetId functional_d;  // captured in functional mode
+  NetId scan_in;       // previous cell's output (or the chain input)
+  NetId q;             // cell output / next cell's scan_in
+  DffId dff;
+  GateId mux_and_f, mux_and_s, mux_or;  // the 2:1 mux gates
+};
+
+struct ScanChainNetlist {
+  std::vector<ScanCell> cells;
+  NetId scan_enable;   // 1 = shift, 0 = capture
+  NetId scan_in;       // serial input of the whole chain
+  NetId scan_out;      // serial output (last cell's q)
+};
+
+// Build an n-bit scan chain into the netlist.  The functional D inputs are
+// fresh nets named "<prefix>d<i>"; drive them before capturing.
+ScanChainNetlist build_scan_chain(GateNetlist& netlist, std::size_t bits,
+                                  const std::string& prefix = "scan/");
+
+// Drive a full capture-then-shift sequence on the simulator:
+//  1. apply `functional_values` to the functional D nets and let them settle;
+//  2. one capture clock with scan_enable = 0;
+//  3. `bits` shift clocks with scan_enable = 1, sampling scan_out after each.
+// Returns the serial readout, last chain bit first (standard shift order).
+std::vector<Value> capture_and_shift(EventSimulator& sim,
+                                     const ScanChainNetlist& chain,
+                                     const std::vector<Value>& functional_values,
+                                     double t_start, double clock_period);
+
+}  // namespace sks::logic

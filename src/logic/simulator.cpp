@@ -1,0 +1,102 @@
+#include "logic/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+
+EventSimulator::EventSimulator(const GateNetlist& netlist)
+    : netlist_(netlist),
+      values_(netlist.net_count(), Value::kX),
+      last_change_(netlist.net_count(), -1.0),
+      history_(netlist.net_count()),
+      last_capture_(netlist.dffs().size(), -1.0) {}
+
+void EventSimulator::push(Event e) {
+  e.sequence = sequence_++;
+  queue_.push(e);
+}
+
+void EventSimulator::schedule_input(NetId net, Value value, double time) {
+  sks::check(time >= 0.0, "schedule_input: negative time");
+  Event e;
+  e.time = time;
+  e.kind = Event::Kind::kNetChange;
+  e.net = net;
+  e.value = value;
+  push(e);
+}
+
+void EventSimulator::schedule_capture(DffId dff, double time) {
+  sks::check(dff.index < netlist_.dffs().size(), "schedule_capture: bad dff");
+  Event e;
+  e.time = time;
+  e.kind = Event::Kind::kCapture;
+  e.dff = dff;
+  push(e);
+}
+
+void EventSimulator::run(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    const Event e = queue_.top();
+    queue_.pop();
+    if (e.kind == Event::Kind::kNetChange) {
+      apply_net_change(e);
+    } else {
+      apply_capture(e);
+    }
+  }
+}
+
+void EventSimulator::apply_net_change(const Event& e) {
+  if (values_[e.net.index] == e.value) return;  // no transition
+  values_[e.net.index] = e.value;
+  last_change_[e.net.index] = e.time;
+  history_[e.net.index].push_back({e.time, e.value});
+
+  // Hold check: did a flop capture just before this change?
+  for (std::size_t f = 0; f < netlist_.dffs().size(); ++f) {
+    const Dff& dff = netlist_.dffs()[f];
+    if (!(dff.d == e.net)) continue;
+    const double cap = last_capture_[f];
+    if (cap >= 0.0 && e.time > cap && e.time <= cap + dff.hold) {
+      hold_violations_.push_back({DffId{f}, cap, e.time});
+    }
+  }
+
+  // Propagate through fanout gates.
+  for (const std::size_t g : netlist_.fanout(e.net)) {
+    const Gate& gate = netlist_.gates()[g];
+    const Value out = evaluate_gate(gate.kind, values_[gate.a.index],
+                                    values_[gate.b.index]);
+    Event prop;
+    prop.time = e.time + gate.total_delay();
+    prop.kind = Event::Kind::kNetChange;
+    prop.net = gate.output;
+    prop.value = out;
+    push(prop);
+  }
+}
+
+void EventSimulator::apply_capture(const Event& e) {
+  const Dff& dff = netlist_.dff(e.dff);
+  CaptureRecord record;
+  record.dff = e.dff;
+  record.time = e.time;
+  const double d_changed = last_change_[dff.d.index];
+  record.setup_violation =
+      d_changed >= 0.0 && d_changed > e.time - dff.setup && d_changed <= e.time;
+  record.captured =
+      record.setup_violation ? Value::kX : values_[dff.d.index];
+  captures_.push_back(record);
+  last_capture_[e.dff.index] = e.time;
+
+  // Q output change after clk->q.
+  Event q;
+  q.time = e.time + dff.clk_to_q;
+  q.kind = Event::Kind::kNetChange;
+  q.net = dff.q;
+  q.value = record.captured;
+  push(q);
+}
+
+}  // namespace sks::logic

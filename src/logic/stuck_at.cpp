@@ -1,0 +1,109 @@
+#include "logic/stuck_at.hpp"
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace sks::logic {
+
+std::string NetStuckAt::label(const GateNetlist& netlist) const {
+  return "SA" + std::string(stuck_value ? "1" : "0") + "(" +
+         netlist.net_name(net) + ")";
+}
+
+std::vector<NetStuckAt> enumerate_net_faults(const GateNetlist& netlist) {
+  std::vector<NetStuckAt> faults;
+  faults.reserve(2 * netlist.net_count());
+  for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+    faults.push_back({NetId{n}, false});
+    faults.push_back({NetId{n}, true});
+  }
+  return faults;
+}
+
+std::vector<Value> evaluate_combinational(const GateNetlist& netlist,
+                                          const std::vector<NetId>& inputs,
+                                          const std::vector<Value>& input_values,
+                                          const NetStuckAt* forced) {
+  sks::check(inputs.size() == input_values.size(),
+             "evaluate_combinational: input size mismatch");
+  std::vector<Value> values(netlist.net_count(), Value::kX);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values[inputs[i].index] = input_values[i];
+  }
+  auto apply_force = [&]() {
+    if (forced != nullptr) {
+      values[forced->net.index] = from_bool(forced->stuck_value);
+    }
+  };
+  apply_force();
+
+  // Relax gates to a fixpoint; a combinational netlist converges in at
+  // most #gates rounds.
+  const std::size_t limit = netlist.gates().size() + 2;
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed) {
+    sks::check(++rounds <= limit,
+               "evaluate_combinational: combinational loop");
+    changed = false;
+    for (const Gate& g : netlist.gates()) {
+      if (forced != nullptr && g.output == forced->net) continue;
+      const Value out =
+          evaluate_gate(g.kind, values[g.a.index], values[g.b.index]);
+      if (out != values[g.output.index]) {
+        values[g.output.index] = out;
+        changed = true;
+      }
+    }
+    apply_force();
+  }
+  return values;
+}
+
+StuckAtCampaignResult random_test_campaign(
+    const GateNetlist& netlist, const std::vector<NetId>& inputs,
+    const std::vector<NetId>& outputs,
+    const StuckAtCampaignOptions& options) {
+  sks::check(!inputs.empty(), "random_test_campaign: no primary inputs");
+  sks::check(!outputs.empty(), "random_test_campaign: no primary outputs");
+
+  std::vector<NetStuckAt> remaining = enumerate_net_faults(netlist);
+  StuckAtCampaignResult result;
+  result.total_faults = remaining.size();
+
+  util::Prng prng(options.seed);
+  std::vector<Value> vector_values(inputs.size());
+  for (std::size_t v = 0; v < options.max_vectors; ++v) {
+    if (remaining.empty() && options.stop_when_complete) break;
+    for (auto& value : vector_values) {
+      value = from_bool(prng.uniform01() < 0.5);
+    }
+    ++result.vectors_used;
+    const auto good =
+        evaluate_combinational(netlist, inputs, vector_values, nullptr);
+
+    for (std::size_t f = 0; f < remaining.size();) {
+      const auto faulty = evaluate_combinational(netlist, inputs,
+                                                 vector_values, &remaining[f]);
+      bool detected = false;
+      for (const NetId out : outputs) {
+        const Value g = good[out.index];
+        const Value b = faulty[out.index];
+        if (g != Value::kX && b != Value::kX && g != b) {
+          detected = true;
+          break;
+        }
+      }
+      if (detected) {
+        ++result.detected;
+        remaining.erase(remaining.begin() + static_cast<long>(f));
+      } else {
+        ++f;
+      }
+    }
+  }
+  result.escapes = std::move(remaining);
+  return result;
+}
+
+}  // namespace sks::logic

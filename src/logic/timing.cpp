@@ -1,0 +1,108 @@
+#include "logic/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Longest and shortest combinational delay from `source_net` to every net.
+// Combinational netlists are DAGs; we relax gates to a fixpoint, guarding
+// against (illegal) combinational loops.
+struct Reach {
+  std::vector<double> max_delay;
+  std::vector<double> min_delay;
+};
+
+Reach propagate(const GateNetlist& netlist, NetId source_net) {
+  Reach r;
+  r.max_delay.assign(netlist.net_count(), -kInf);
+  r.min_delay.assign(netlist.net_count(), kInf);
+  r.max_delay[source_net.index] = 0.0;
+  r.min_delay[source_net.index] = 0.0;
+
+  const std::size_t limit = netlist.gates().size() + 1;
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed) {
+    sks::check(++rounds <= limit + 1,
+               "analyze_timing: combinational loop detected");
+    changed = false;
+    for (const Gate& g : netlist.gates()) {
+      const double d = g.total_delay();
+      for (const NetId in : {g.a, g.b}) {
+        const double new_max = r.max_delay[in.index] + d;
+        if (new_max > r.max_delay[g.output.index]) {
+          r.max_delay[g.output.index] = new_max;
+          changed = true;
+        }
+        const double new_min = r.min_delay[in.index] + d;
+        if (new_min < r.min_delay[g.output.index]) {
+          r.min_delay[g.output.index] = new_min;
+          changed = true;
+        }
+        if (g.single_input()) break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<PathTiming> analyze_timing(const GateNetlist& netlist,
+                                       const StaOptions& options) {
+  const auto& dffs = netlist.dffs();
+  if (!options.clock_arrival.empty()) {
+    sks::check(options.clock_arrival.size() == dffs.size(),
+               "analyze_timing: clock_arrival size mismatch");
+  }
+  auto arrival = [&](std::size_t f) {
+    return options.clock_arrival.empty() ? 0.0 : options.clock_arrival[f];
+  };
+
+  std::vector<PathTiming> paths;
+  for (std::size_t lf = 0; lf < dffs.size(); ++lf) {
+    const Reach reach = propagate(netlist, dffs[lf].q);
+    for (std::size_t cf = 0; cf < dffs.size(); ++cf) {
+      const double dmax = reach.max_delay[dffs[cf].d.index];
+      if (dmax == -kInf) continue;  // not connected
+      PathTiming p;
+      p.launch = DffId{lf};
+      p.capture = DffId{cf};
+      p.connected = true;
+      p.max_delay = dmax;
+      p.min_delay = reach.min_delay[dffs[cf].d.index];
+      const double launch_edge = arrival(lf) + dffs[lf].clk_to_q;
+      // Setup: data launched this cycle must settle before the NEXT capture
+      // edge minus setup.
+      p.setup_slack = (arrival(cf) + options.period - dffs[cf].setup) -
+                      (launch_edge + p.max_delay);
+      // Hold: data launched this cycle must not overtake THIS capture edge
+      // plus hold.
+      p.hold_slack =
+          (launch_edge + p.min_delay) - (arrival(cf) + dffs[cf].hold);
+      paths.push_back(p);
+    }
+  }
+  return paths;
+}
+
+double worst_setup_slack(const std::vector<PathTiming>& paths) {
+  double worst = kInf;
+  for (const auto& p : paths) worst = std::min(worst, p.setup_slack);
+  return worst;
+}
+
+double worst_hold_slack(const std::vector<PathTiming>& paths) {
+  double worst = kInf;
+  for (const auto& p : paths) worst = std::min(worst, p.hold_slack);
+  return worst;
+}
+
+}  // namespace sks::logic

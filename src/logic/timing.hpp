@@ -1,0 +1,39 @@
+// Static timing analysis over flip-flop to flip-flop paths, with per-flop
+// clock arrival times taken from the clock-tree analysis.
+//
+// This is the "conventional" timing view the paper contrasts with: it knows
+// about clock arrivals only as fixed offsets, so a clock-distribution fault
+// that delays BOTH the launch and capture edges of some region shifts the
+// slacks around in a way an at-speed combinational delay test cannot see.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/netlist.hpp"
+
+namespace sks::logic {
+
+struct StaOptions {
+  double period = 2e-9;                 // clock period [s]
+  std::vector<double> clock_arrival;    // per dff index [s]; empty => all 0
+};
+
+struct PathTiming {
+  DffId launch, capture;
+  double max_delay = 0.0;   // longest Q->D combinational delay [s]
+  double min_delay = 0.0;   // shortest [s]
+  double setup_slack = 0.0; // >= 0 means the path meets setup
+  double hold_slack = 0.0;  // >= 0 means the path meets hold
+  bool connected = false;   // a combinational path exists at all
+};
+
+// Every launch/capture flop pair with a combinational connection.
+std::vector<PathTiming> analyze_timing(const GateNetlist& netlist,
+                                       const StaOptions& options);
+
+// Worst setup / hold slack over all connected paths.
+double worst_setup_slack(const std::vector<PathTiming>& paths);
+double worst_hold_slack(const std::vector<PathTiming>& paths);
+
+}  // namespace sks::logic

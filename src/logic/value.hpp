@@ -1,0 +1,47 @@
+// Three-valued logic for the gate-level timing simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sks::logic {
+
+enum class Value : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline Value from_bool(bool b) { return b ? Value::kOne : Value::kZero; }
+
+inline std::string to_string(Value v) {
+  switch (v) {
+    case Value::kZero:
+      return "0";
+    case Value::kOne:
+      return "1";
+    case Value::kX:
+      return "X";
+  }
+  return "?";
+}
+
+inline Value v_not(Value a) {
+  if (a == Value::kX) return Value::kX;
+  return a == Value::kOne ? Value::kZero : Value::kOne;
+}
+
+inline Value v_and(Value a, Value b) {
+  if (a == Value::kZero || b == Value::kZero) return Value::kZero;
+  if (a == Value::kOne && b == Value::kOne) return Value::kOne;
+  return Value::kX;
+}
+
+inline Value v_or(Value a, Value b) {
+  if (a == Value::kOne || b == Value::kOne) return Value::kOne;
+  if (a == Value::kZero && b == Value::kZero) return Value::kZero;
+  return Value::kX;
+}
+
+inline Value v_xor(Value a, Value b) {
+  if (a == Value::kX || b == Value::kX) return Value::kX;
+  return a == b ? Value::kZero : Value::kOne;
+}
+
+}  // namespace sks::logic

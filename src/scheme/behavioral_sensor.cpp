@@ -1,0 +1,71 @@
+#include "scheme/behavioral_sensor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::scheme {
+
+cell::Indication BehavioralSensorModel::classify(double skew,
+                                                 util::Prng* prng) const {
+  const double magnitude = std::fabs(skew);
+  bool detected = false;
+  if (prng != nullptr && metastable_band > 0.0 &&
+      std::fabs(magnitude - tau_min) <= metastable_band / 2.0) {
+    // Inside the metastable band: detection probability ramps linearly
+    // across the band (matches the electrical V_min crossing Vth).
+    const double p =
+        (magnitude - (tau_min - metastable_band / 2.0)) / metastable_band;
+    detected = prng->uniform01() < p;
+  } else {
+    detected = magnitude >= tau_min;
+  }
+  if (!detected) return cell::Indication::kNone;
+  // Positive skew = phi2 late -> y2 stays high -> (y1,y2) = 01.
+  return skew > 0.0 ? cell::Indication::k01 : cell::Indication::k10;
+}
+
+SensorCalibration::SensorCalibration(std::vector<double> loads,
+                                     std::vector<double> tau_mins)
+    : table_(std::move(loads), std::move(tau_mins)) {}
+
+SensorCalibration SensorCalibration::default_table() {
+  // Measured with find_tau_min() on the shipped Technology defaults
+  // (wn = 1.2 um, wp = 2.4 um, VDD = 5 V, V_th = 2.75 V; slew 0.2 ns;
+  // half-period observation window).  Matches the paper's 0.09-0.16 ns
+  // span over the 80-240 fF load sweep.
+  return SensorCalibration(
+      {40e-15, 80e-15, 120e-15, 160e-15, 200e-15, 240e-15, 320e-15},
+      {0.0404e-9, 0.0618e-9, 0.0854e-9, 0.1105e-9, 0.1365e-9, 0.1630e-9,
+       0.2164e-9});
+}
+
+SensorCalibration SensorCalibration::from_simulation(
+    const cell::Technology& tech, const cell::SensorOptions& options,
+    const std::vector<double>& loads, double dt) {
+  std::vector<double> tau_mins;
+  tau_mins.reserve(loads.size());
+  for (const double load : loads) {
+    cell::SensorOptions opt = options;
+    opt.load_y1 = opt.load_y2 = load;
+    cell::ClockPairStimulus stimulus;
+    stimulus.vdd = tech.vdd;
+    tau_mins.push_back(
+        cell::find_tau_min(tech, opt, stimulus, 0.0, 1e-9, 2e-13, dt));
+  }
+  return SensorCalibration(loads, std::move(tau_mins));
+}
+
+double SensorCalibration::tau_min(double load) const {
+  sks::check(!table_.empty(), "SensorCalibration: empty table");
+  return table_(load);
+}
+
+BehavioralSensorModel SensorCalibration::model_for_load(double load) const {
+  BehavioralSensorModel model;
+  model.tau_min = tau_min(load);
+  model.metastable_band = 0.05 * model.tau_min;
+  return model;
+}
+
+}  // namespace sks::scheme

@@ -1,0 +1,58 @@
+// Behavioural model of the sensing circuit, calibrated against the
+// electrical simulation.
+//
+// Tree-level campaigns (Fig. 6, the on-line experiments) need thousands of
+// sensor evaluations per run; simulating every one at the electrical level
+// would be wasteful and adds nothing, because at that granularity the
+// sensor is fully characterized by its sensitivity tau_min(C_L) plus a
+// small metastable band around it.  This module provides that abstraction
+// and the calibration path back to `esim` (tests cross-validate the two).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/measure.hpp"
+#include "cell/technology.hpp"
+#include "util/interp.hpp"
+#include "util/prng.hpp"
+
+namespace sks::scheme {
+
+struct BehavioralSensorModel {
+  double tau_min = 0.11e-9;        // smallest detected |skew| [s]
+  // Around tau_min the electrical outcome is slew/noise dependent; within
+  // +/- band/2 the model resolves the indication pseudo-randomly.
+  double metastable_band = 5e-12;  // [s]
+
+  // Classify a signed skew (phi2 late = positive -> indication 01, the
+  // paper's convention).  `prng` resolves the metastable band; pass nullptr
+  // for the deterministic (threshold-exact) variant.
+  cell::Indication classify(double skew, util::Prng* prng = nullptr) const;
+};
+
+// tau_min as a function of the sensor's output load C_L.
+class SensorCalibration {
+ public:
+  SensorCalibration() = default;
+  SensorCalibration(std::vector<double> loads, std::vector<double> tau_mins);
+
+  // Table measured from the shipped Technology defaults (regenerate with
+  // from_simulation; tests assert the two agree).
+  static SensorCalibration default_table();
+
+  // Calibrate by electrical simulation: one find_tau_min bisection per load.
+  static SensorCalibration from_simulation(const cell::Technology& tech,
+                                           const cell::SensorOptions& options,
+                                           const std::vector<double>& loads,
+                                           double dt = 5e-12);
+
+  double tau_min(double load) const;
+  BehavioralSensorModel model_for_load(double load) const;
+  const util::PiecewiseLinear& table() const { return table_; }
+
+ private:
+  util::PiecewiseLinear table_;
+};
+
+}  // namespace sks::scheme

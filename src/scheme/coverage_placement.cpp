@@ -1,0 +1,106 @@
+#include "scheme/coverage_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sks::scheme {
+
+std::vector<std::size_t> observable_edges(const clocktree::ClockTree& tree,
+                                          std::size_t sink_a,
+                                          std::size_t sink_b) {
+  const auto path_a = tree.path_to_root(sink_a);
+  const auto path_b = tree.path_to_root(sink_b);
+  const std::set<std::size_t> set_a(path_a.begin(), path_a.end());
+  const std::set<std::size_t> set_b(path_b.begin(), path_b.end());
+  std::vector<std::size_t> edges;
+  for (const std::size_t n : path_a) {
+    if (n != tree.root() && set_b.find(n) == set_b.end()) edges.push_back(n);
+  }
+  for (const std::size_t n : path_b) {
+    if (n != tree.root() && set_a.find(n) == set_a.end()) edges.push_back(n);
+  }
+  return edges;
+}
+
+double placement_edge_coverage(const clocktree::ClockTree& tree,
+                               const Placement& placement) {
+  std::set<std::size_t> covered;
+  for (const auto& s : placement.sensors) {
+    const auto edges = observable_edges(tree, s.sink_a, s.sink_b);
+    covered.insert(edges.begin(), edges.end());
+  }
+  double covered_length = 0.0;
+  for (const std::size_t n : covered) {
+    covered_length += tree.node(n).wire_length;
+  }
+  const double total = tree.total_wire_length();
+  return total > 0.0 ? covered_length / total : 0.0;
+}
+
+Placement place_sensors_by_coverage(
+    const clocktree::ClockTree& tree,
+    const clocktree::AnalysisOptions& analysis_options,
+    const PlacementOptions& options, const SensorCalibration& calibration) {
+  Placement placement;
+  const BehavioralSensorModel model =
+      calibration.model_for_load(options.sensor_load);
+  const clocktree::ArrivalAnalysis nominal =
+      clocktree::analyze(tree, analysis_options);
+  const auto sinks = tree.sinks();
+
+  // Admissible candidate pairs with their observable edges.
+  struct Candidate {
+    std::size_t a, b;
+    double distance;
+    std::vector<std::size_t> edges;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+      const double distance =
+          manhattan(tree.node(sinks[i]).pos, tree.node(sinks[j]).pos);
+      if (distance > options.max_pair_distance) continue;
+      const double skew = nominal.skew(sinks[i], sinks[j]);
+      if (std::fabs(skew) > options.max_nominal_skew_fraction * model.tau_min) {
+        continue;
+      }
+      candidates.push_back({sinks[i], sinks[j], distance,
+                            observable_edges(tree, sinks[i], sinks[j])});
+    }
+  }
+
+  std::set<std::size_t> covered;
+  std::set<std::size_t> used_sinks;
+  while (placement.sensors.size() < options.max_sensors) {
+    double best_gain = 0.0;
+    const Candidate* best = nullptr;
+    for (const auto& c : candidates) {
+      if (used_sinks.count(c.a) != 0 || used_sinks.count(c.b) != 0) continue;
+      double gain = 0.0;
+      for (const std::size_t e : c.edges) {
+        if (covered.find(e) == covered.end()) {
+          gain += tree.node(e).wire_length;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;  // nothing adds coverage
+
+    PlacedSensor s;
+    s.sink_a = best->a;
+    s.sink_b = best->b;
+    s.distance = best->distance;
+    s.model = model;
+    placement.sensors.push_back(s);
+    covered.insert(best->edges.begin(), best->edges.end());
+    used_sinks.insert(best->a);
+    used_sinks.insert(best->b);
+  }
+  return placement;
+}
+
+}  // namespace sks::scheme

@@ -1,0 +1,43 @@
+// Coverage-driven sensor placement — an alternative to the paper's
+// criticality ranking (scheme/placement.hpp).
+//
+// A sensor on the couple (a, b) observes a defect only if the defect
+// shifts a's and b's arrivals *differently*: the observable region of a
+// couple is the symmetric difference of the two sinks' root paths (the
+// common prefix is common-mode and cancels).  Placement then becomes a
+// weighted maximum-coverage problem over tree edges, solved greedily:
+// each added sensor is the admissible pair that observes the most
+// not-yet-covered wire length.
+//
+// This formalizes the trade-off buried in the paper's two criteria: nearby
+// pairs (criterion 2) share most of their path, so each sensor observes
+// little; distant pairs observe a lot but cannot be connected in a
+// balanced way.  bench/ablation_placement quantifies the difference.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scheme/placement.hpp"
+
+namespace sks::scheme {
+
+// Tree edges (identified by their lower node) observable by a sensor on
+// (a, b): the symmetric difference of the root paths.
+std::vector<std::size_t> observable_edges(const clocktree::ClockTree& tree,
+                                          std::size_t sink_a,
+                                          std::size_t sink_b);
+
+// Fraction of the tree's total wire length lying on edges observable by at
+// least one placed sensor.
+double placement_edge_coverage(const clocktree::ClockTree& tree,
+                               const Placement& placement);
+
+// Greedy maximum-coverage placement under the same admissibility rules as
+// place_sensors (distance cut, nominal-skew cut, one sensor per sink).
+Placement place_sensors_by_coverage(
+    const clocktree::ClockTree& tree,
+    const clocktree::AnalysisOptions& analysis_options,
+    const PlacementOptions& options, const SensorCalibration& calibration);
+
+}  // namespace sks::scheme

@@ -1,0 +1,74 @@
+#include "scheme/indicator.hpp"
+
+#include "util/error.hpp"
+
+namespace sks::scheme {
+
+void ErrorIndicatorLatch::observe(cell::Indication indication) {
+  if (indication == cell::Indication::kNone) return;
+  ++error_count_;
+  if (!latched_) {
+    latched_ = true;
+    first_ = indication;
+  }
+}
+
+void ErrorIndicatorLatch::reset() {
+  latched_ = false;
+  error_count_ = 0;
+  first_ = cell::Indication::kNone;
+}
+
+std::vector<bool> ScanChain::scan_out() const {
+  std::vector<bool> bits;
+  bits.reserve(latches_.size());
+  for (const auto& l : latches_) bits.push_back(l.latched());
+  return bits;
+}
+
+void ScanChain::reset_all() {
+  for (auto& l : latches_) l.reset();
+}
+
+bool ScanChain::any_latched() const {
+  for (const auto& l : latches_) {
+    if (l.latched()) return true;
+  }
+  return false;
+}
+
+TwoRail two_rail_merge(const TwoRail& a, const TwoRail& b) {
+  // The classical 4-gate two-rail checker module:
+  //   out0 = (a0 & b0) | (a1 & b1)
+  //   out1 = (a0 & b1) | (a1 & b0)
+  // Valid inputs yield a valid output; any invalid input (or an internal
+  // single fault, in the gate-level realization) yields an invalid output.
+  TwoRail out;
+  out.rail0 = (a.rail0 && b.rail0) || (a.rail1 && b.rail1);
+  out.rail1 = (a.rail0 && b.rail1) || (a.rail1 && b.rail0);
+  return out;
+}
+
+TwoRail two_rail_reduce(const std::vector<TwoRail>& inputs) {
+  sks::check(!inputs.empty(), "two_rail_reduce: no inputs");
+  TwoRail acc = inputs.front();
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = two_rail_merge(acc, inputs[i]);
+  }
+  return acc;
+}
+
+void OnlineChecker::observe_cycle(
+    const std::vector<cell::Indication>& indications) {
+  sks::check(indications.size() == sensor_count_,
+             "OnlineChecker: indication count mismatch");
+  for (std::size_t s = 0; s < indications.size(); ++s) {
+    if (indications[s] != cell::Indication::kNone && !alarm_cycle_) {
+      alarm_cycle_ = cycle_;
+      alarm_sensor_ = s;
+    }
+  }
+  ++cycle_;
+}
+
+}  // namespace sks::scheme

@@ -1,0 +1,92 @@
+// Error-indication collection: latching indicators, the off-line scan path
+// and the on-line checker (paper Sec. 2, last paragraph: "simple error
+// indicators capable of latching on error indications can be used, and
+// their response could be driven through a scan path (in the case of
+// off-line testing) or could feed a checker (in the case of on-line
+// applications)").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cell/measure.hpp"
+
+namespace sks::scheme {
+
+// Behavioural counterpart of cell::build_error_indicator: latches the first
+// error indication and holds it until reset.
+class ErrorIndicatorLatch {
+ public:
+  void observe(cell::Indication indication);
+  void reset();
+
+  bool latched() const { return latched_; }
+  std::size_t error_count() const { return error_count_; }
+  cell::Indication first_indication() const { return first_; }
+
+ private:
+  bool latched_ = false;
+  std::size_t error_count_ = 0;
+  cell::Indication first_ = cell::Indication::kNone;
+};
+
+// Off-line readout: the indicators' states shifted out as a bit vector.
+class ScanChain {
+ public:
+  explicit ScanChain(std::size_t length) : latches_(length) {}
+
+  ErrorIndicatorLatch& latch(std::size_t i) { return latches_.at(i); }
+  const ErrorIndicatorLatch& latch(std::size_t i) const {
+    return latches_.at(i);
+  }
+  std::size_t size() const { return latches_.size(); }
+
+  // Serial shift-out, bit 0 = latch 0.
+  std::vector<bool> scan_out() const;
+  void reset_all();
+  bool any_latched() const;
+
+ private:
+  std::vector<ErrorIndicatorLatch> latches_;
+};
+
+// Standard self-checking two-rail checker (Carter & Schneider [6]):
+// combines dual-rail pairs (a, b) that encode valid data as complementary
+// values.  The output pair is itself dual-rail; (0,0)/(1,1) at the output
+// signals an error in any input pair or in the checker itself.
+//
+// In the testing scheme the full-swing sensor's outputs are turned into a
+// dual-rail pair per sensor (y_high = y1 OR y2, together with its
+// complement rail) and reduced by a checker tree.
+struct TwoRail {
+  bool rail0 = false;
+  bool rail1 = true;
+
+  bool valid() const { return rail0 != rail1; }
+};
+
+TwoRail two_rail_merge(const TwoRail& a, const TwoRail& b);
+TwoRail two_rail_reduce(const std::vector<TwoRail>& inputs);
+
+// On-line alarm: feeds per-cycle indications, reports first-alarm latency.
+class OnlineChecker {
+ public:
+  explicit OnlineChecker(std::size_t sensors) : sensor_count_(sensors) {}
+
+  // Called once per cycle with all sensors' indications for that cycle.
+  void observe_cycle(const std::vector<cell::Indication>& indications);
+
+  bool alarmed() const { return alarm_cycle_.has_value(); }
+  std::optional<std::size_t> alarm_cycle() const { return alarm_cycle_; }
+  std::optional<std::size_t> alarm_sensor() const { return alarm_sensor_; }
+  std::size_t cycles_observed() const { return cycle_; }
+
+ private:
+  std::size_t sensor_count_ = 0;
+  std::size_t cycle_ = 0;
+  std::optional<std::size_t> alarm_cycle_;
+  std::optional<std::size_t> alarm_sensor_;
+};
+
+}  // namespace sks::scheme

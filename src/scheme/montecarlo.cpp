@@ -1,0 +1,73 @@
+#include "scheme/montecarlo.hpp"
+
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/prng.hpp"
+
+namespace sks::scheme {
+
+std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
+                                          const cell::SensorOptions& base,
+                                          const McOptions& options) {
+  util::Prng prng(options.seed);
+  std::vector<McSample> samples;
+  samples.reserve(options.samples);
+
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    McSample s;
+    s.tau = prng.uniform(options.tau_lo, options.tau_hi);
+    s.slew1 = prng.uniform(options.slew_lo, options.slew_hi);
+    s.slew2 = options.common_slew
+                  ? s.slew1
+                  : prng.uniform(options.slew_lo, options.slew_hi);
+
+    cell::SensorOptions opt = base;
+    opt.load_y1 = opt.load_y2 = options.load;
+    cell::ClockPairStimulus stimulus;
+    stimulus.vdd = tech.vdd;
+    stimulus.skew = s.tau;
+    stimulus.slew1 = s.slew1;
+    stimulus.slew2 = s.slew2;
+
+    cell::SensorBench bench = cell::make_sensor_bench(tech, opt, stimulus);
+    cell::VariationSpec spec;
+    spec.rel = options.rel;
+    cell::apply_random_variation(bench.circuit, spec, prng);
+
+    const cell::SensorMeasurement m = cell::measure_bench(
+        bench, tech.interpretation_threshold(), options.dt);
+    // Positive tau delays phi2, so the late output is y2.
+    s.vmin_late = m.vmin_y2;
+    s.indication = m.indication;
+    s.detected = m.error();
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+ProbabilityEstimates estimate_probabilities(const std::vector<McSample>& mc,
+                                            double tau_min_nominal,
+                                            double vth) {
+  ProbabilityEstimates est;
+  est.tau_min_nominal = tau_min_nominal;
+  for (const McSample& s : mc) {
+    ++est.loose_joint.trials;
+    ++est.false_alarm_joint.trials;
+    if (s.tau > tau_min_nominal) {
+      ++est.loose.trials;
+      if (s.vmin_late < vth) {
+        ++est.loose.successes;
+        ++est.loose_joint.successes;
+      }
+    } else {
+      ++est.false_alarm.trials;
+      if (s.vmin_late > vth) {
+        ++est.false_alarm.successes;
+        ++est.false_alarm_joint.successes;
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace sks::scheme

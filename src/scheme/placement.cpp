@@ -1,0 +1,46 @@
+#include "scheme/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::scheme {
+
+bool Placement::covers(std::size_t sink) const {
+  return std::any_of(sensors.begin(), sensors.end(),
+                     [sink](const PlacedSensor& s) {
+                       return s.sink_a == sink || s.sink_b == sink;
+                     });
+}
+
+Placement place_sensors(const clocktree::ClockTree& tree,
+                        const clocktree::AnalysisOptions& analysis_options,
+                        const PlacementOptions& options,
+                        const SensorCalibration& calibration) {
+  Placement placement;
+  placement.ranking = clocktree::rank_critical_pairs(tree, analysis_options,
+                                                     options.criticality);
+  const BehavioralSensorModel model =
+      calibration.model_for_load(options.sensor_load);
+
+  for (const auto& pair : placement.ranking) {
+    if (placement.sensors.size() >= options.max_sensors) break;
+    if (pair.distance > options.max_pair_distance) continue;  // criterion 2
+    if (pair.exceed_probability < options.min_exceed_probability) continue;
+    if (std::fabs(pair.nominal_skew) >
+        options.max_nominal_skew_fraction * model.tau_min) {
+      continue;  // statically skewed by design: not a monitorable couple
+    }
+    // Spread the sensors: one per sink until everything critical is covered.
+    if (placement.covers(pair.a) || placement.covers(pair.b)) continue;
+    PlacedSensor s;
+    s.sink_a = pair.a;
+    s.sink_b = pair.b;
+    s.distance = pair.distance;
+    s.exceed_probability = pair.exceed_probability;
+    s.model = model;
+    placement.sensors.push_back(s);
+  }
+  return placement;
+}
+
+}  // namespace sks::scheme

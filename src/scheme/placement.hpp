@@ -1,0 +1,56 @@
+// Sensor-pair placement on a clock tree — the paper's two criteria:
+//
+//   1. the skew between the monitored wires must be critical (here:
+//      Monte-Carlo skew statistics from clocktree::rank_critical_pairs);
+//   2. the wires must be close enough for a balanced connection (Manhattan
+//      distance cut).
+//
+// Selection is greedy over the criticality ranking, spreading sensors so no
+// sink is monitored twice before every critical region has one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocktree/skew_analysis.hpp"
+#include "scheme/behavioral_sensor.hpp"
+
+namespace sks::scheme {
+
+struct PlacementOptions {
+  std::size_t max_sensors = 8;
+  double max_pair_distance = 2e-3;   // criterion 2 [m]
+  double sensor_load = 80e-15;       // C_L at the sensor outputs [F]
+  // Require at least this exceed-probability (criterion 1); pairs below it
+  // are not worth a sensor.
+  double min_exceed_probability = 0.0;
+  // A sensor on a pair whose NOMINAL (design) skew already approaches
+  // tau_min would alarm on every cycle; such pairs are design bugs to fix,
+  // not couples to monitor.  Pairs with |nominal skew| above this fraction
+  // of the sensor's tau_min are skipped.
+  double max_nominal_skew_fraction = 0.5;
+  clocktree::CriticalityOptions criticality;
+};
+
+struct PlacedSensor {
+  std::size_t sink_a = 0, sink_b = 0;  // tree node indices
+  double distance = 0.0;               // [m]
+  double exceed_probability = 0.0;     // from the criticality analysis
+  BehavioralSensorModel model;
+};
+
+struct Placement {
+  std::vector<PlacedSensor> sensors;
+  // The full ranking the selection was made from (for reporting).
+  std::vector<clocktree::PairCriticality> ranking;
+
+  // Is either wire of any sensor attached to this sink?
+  bool covers(std::size_t sink) const;
+};
+
+Placement place_sensors(const clocktree::ClockTree& tree,
+                        const clocktree::AnalysisOptions& analysis_options,
+                        const PlacementOptions& options,
+                        const SensorCalibration& calibration);
+
+}  // namespace sks::scheme

@@ -1,0 +1,74 @@
+// The testing scheme, end to end (paper Fig. 6): sensors placed on couples
+// of clock wires, error indicators latching their responses, a scan path
+// for off-line readout and an on-line checker for self-checking operation.
+//
+// The orchestrator simulates the scheme cycle by cycle at the behavioural
+// level: every cycle it computes per-sink clock arrivals (nominal tree +
+// permanent defects + transient defects active that cycle + random jitter),
+// feeds every placed sensor the skew it would see, and collects the
+// indications.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "clocktree/defects.hpp"
+#include "scheme/indicator.hpp"
+#include "scheme/placement.hpp"
+
+namespace sks::scheme {
+
+struct SchemeOptions {
+  PlacementOptions placement;
+  // Gaussian per-sink, per-cycle timing noise (PLL jitter, supply noise).
+  double cycle_jitter_sigma = 1e-12;  // [s]
+  std::uint64_t seed = 12345;
+};
+
+struct CampaignResult {
+  bool detected = false;
+  std::optional<std::size_t> first_detection_cycle;
+  std::optional<std::size_t> detecting_sensor;
+  std::vector<bool> scan_out;          // latched indicators (off-line view)
+  std::size_t cycles = 0;
+  double max_true_skew = 0.0;          // largest |sensor-pair skew| seen
+  std::size_t indication_cycles = 0;   // cycles with >= 1 indication
+};
+
+class TestingScheme {
+ public:
+  TestingScheme(clocktree::ClockTree tree,
+                clocktree::AnalysisOptions analysis_options,
+                SensorCalibration calibration, SchemeOptions options);
+
+  // Use an externally computed placement (e.g. coverage-driven, see
+  // scheme/coverage_placement.hpp) instead of the default criticality one.
+  TestingScheme(clocktree::ClockTree tree,
+                clocktree::AnalysisOptions analysis_options,
+                SensorCalibration calibration, SchemeOptions options,
+                Placement placement);
+
+  const Placement& placement() const { return placement_; }
+  const clocktree::ClockTree& tree() const { return tree_; }
+
+  // Simulate `cycles` clock cycles with the given defects present.
+  // Permanent defects apply to every cycle; transient ones are activated
+  // per cycle with their activation probability.
+  CampaignResult run(const std::vector<clocktree::TreeDefect>& defects,
+                     std::size_t cycles);
+
+  // False-alarm rate: run with no defects and report the fraction of
+  // cycles with an indication (jitter-induced).
+  double false_alarm_rate(std::size_t cycles);
+
+ private:
+  clocktree::ClockTree tree_;
+  clocktree::AnalysisOptions analysis_options_;
+  SensorCalibration calibration_;
+  SchemeOptions options_;
+  Placement placement_;
+  util::Prng prng_;
+};
+
+}  // namespace sks::scheme

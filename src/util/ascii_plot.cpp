@@ -1,0 +1,129 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace sks::util {
+
+namespace {
+
+char mark_for(const Series& s, std::size_t index) {
+  if (!s.name.empty() && std::isalnum(static_cast<unsigned char>(s.name[0]))) {
+    return s.name[0];
+  }
+  return static_cast<char>('a' + static_cast<char>(index % 26));
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  const int w = std::max(16, options.width);
+  const int h = std::max(6, options.height);
+
+  double xmin = options.x_min;
+  double xmax = options.x_max;
+  double ymin = options.y_min;
+  double ymax = options.y_max;
+  const bool auto_x = (xmin == 0.0 && xmax == 0.0);
+  const bool auto_y = (ymin == 0.0 && ymax == 0.0);
+  if (auto_x || auto_y) {
+    double axmin = std::numeric_limits<double>::infinity();
+    double axmax = -axmin;
+    double aymin = axmin;
+    double aymax = -axmin;
+    for (const auto& s : series) {
+      for (double v : s.x) {
+        axmin = std::min(axmin, v);
+        axmax = std::max(axmax, v);
+      }
+      for (double v : s.y) {
+        aymin = std::min(aymin, v);
+        aymax = std::max(aymax, v);
+      }
+    }
+    if (!std::isfinite(axmin)) {
+      axmin = 0.0;
+      axmax = 1.0;
+      aymin = 0.0;
+      aymax = 1.0;
+    }
+    if (auto_x) {
+      xmin = axmin;
+      xmax = axmax;
+    }
+    if (auto_y) {
+      ymin = aymin;
+      ymax = aymax;
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (x - xmin) / (xmax - xmin);
+    return static_cast<int>(std::lround(t * (w - 1)));
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - ymin) / (ymax - ymin);
+    return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+  };
+  auto put = [&](int col, int row, char mark) {
+    if (col < 0 || col >= w || row < 0 || row >= h) return;
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char mark = mark_for(s, si);
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    int prev_col = 0;
+    int prev_row = 0;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int col = to_col(s.x[i]);
+      const int row = to_row(s.y[i]);
+      if (options.connect && have_prev) {
+        // Bresenham-ish interpolation between consecutive samples.
+        const int steps = std::max(std::abs(col - prev_col),
+                                   std::abs(row - prev_row));
+        for (int k = 1; k <= steps; ++k) {
+          const double t = static_cast<double>(k) / std::max(1, steps);
+          put(prev_col + static_cast<int>(std::lround(t * (col - prev_col))),
+              prev_row + static_cast<int>(std::lround(t * (row - prev_row))),
+              mark);
+        }
+      } else {
+        put(col, row, mark);
+      }
+      prev_col = col;
+      prev_row = row;
+      have_prev = true;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  os << fmt_sci(ymax, 2) << '\n';
+  for (const auto& line : canvas) os << '|' << line << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  os << fmt_sci(ymin, 2) << "  x: [" << fmt_sci(xmin, 2) << ", "
+     << fmt_sci(xmax, 2) << "] " << options.x_label << '\n';
+  if (series.size() > 1) {
+    os << "legend:";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << ' ' << mark_for(series[si], si) << '=' << series[si].name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sks::util

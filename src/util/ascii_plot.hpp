@@ -1,0 +1,33 @@
+// ASCII plotting of waveforms and scatterplots.  The bench binaries that
+// regenerate the paper's figures print both the numeric series (CSV-style
+// rows) and a quick-look ASCII rendering of the figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sks::util {
+
+struct Series {
+  std::string name;        // one-character marks are taken from the name
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 78;          // characters
+  int height = 22;         // characters
+  std::string x_label;
+  std::string y_label;
+  // If both are zero the range is auto-fitted to the data.
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+  bool connect = true;     // line plot (true) vs scatter (false)
+};
+
+// Render one or more series into a multi-line string.  Each series is drawn
+// with a distinct mark ('a', 'b', ... or the first letter of its name).
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+}  // namespace sks::util

@@ -1,0 +1,36 @@
+// Error handling helpers.
+//
+// Library errors are reported with exceptions derived from `sks::Error`
+// (itself a `std::runtime_error`).  `check()` is the standard precondition /
+// invariant guard; it is kept enabled in release builds because every use in
+// this library sits far from any hot inner loop.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sks {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when a numerical routine fails to converge (DC operating point,
+// Newton-Raphson step, singular MNA matrix, ...).
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// Thrown on malformed netlists / trees (dangling node, duplicate name, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace sks

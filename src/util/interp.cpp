@@ -1,0 +1,70 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sks::util {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  check(xs_.size() == ys_.size(), "PiecewiseLinear: size mismatch");
+  check(!xs_.empty(), "PiecewiseLinear: empty table");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    check(xs_[i] > xs_[i - 1], "PiecewiseLinear: x grid must be increasing");
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  check(!xs_.empty(), "PiecewiseLinear: evaluating empty table");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto i = static_cast<std::size_t>(it - xs_.begin());
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return lerp(ys_[i - 1], ys_[i], t);
+}
+
+std::optional<double> PiecewiseLinear::first_crossing(double level) const {
+  return sks::util::first_crossing(xs_, ys_, level);
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+namespace {
+
+std::optional<double> crossing_impl(const std::vector<double>& x,
+                                    const std::vector<double>& y, double level,
+                                    std::size_t from, int direction) {
+  check(x.size() == y.size(), "first_crossing: size mismatch");
+  if (x.size() < 2 || from + 1 >= x.size()) return std::nullopt;
+  for (std::size_t i = from + 1; i < x.size(); ++i) {
+    const double a = y[i - 1] - level;
+    const double b = y[i] - level;
+    const bool crosses = (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+    if (!crosses || a == b) continue;
+    const bool rising_here = b > a;
+    if (direction > 0 && !rising_here) continue;
+    if (direction < 0 && rising_here) continue;
+    const double t = -a / (b - a);
+    return lerp(x[i - 1], x[i], t);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> first_crossing(const std::vector<double>& x,
+                                     const std::vector<double>& y, double level,
+                                     std::size_t from) {
+  return crossing_impl(x, y, level, from, 0);
+}
+
+std::optional<double> first_directional_crossing(const std::vector<double>& x,
+                                                 const std::vector<double>& y,
+                                                 double level, bool rising,
+                                                 std::size_t from) {
+  return crossing_impl(x, y, level, from, rising ? 1 : -1);
+}
+
+}  // namespace sks::util

@@ -1,0 +1,53 @@
+// Interpolation and curve utilities shared by waveform post-processing
+// (threshold-crossing detection, V_min extraction) and by the behavioural
+// sensor model's calibration tables.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sks::util {
+
+// Piecewise-linear function y(x) over a strictly increasing x grid.
+// Evaluation clamps outside the grid (constant extrapolation), which is the
+// right behaviour for calibration tables.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+  bool empty() const { return xs_.empty(); }
+  std::size_t size() const { return xs_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  // First x (scanning left to right) at which the curve crosses `level`.
+  // Interpolates between samples.  std::nullopt when no crossing exists.
+  std::optional<double> first_crossing(double level) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+// Linear interpolation between two points.
+double lerp(double a, double b, double t);
+
+// Given samples (x[i], y[i]) with x increasing, find the first x where y
+// crosses `level` going in either direction, starting from index `from`.
+std::optional<double> first_crossing(const std::vector<double>& x,
+                                     const std::vector<double>& y,
+                                     double level,
+                                     std::size_t from = 0);
+
+// Same, but restricted to crossings in the given direction:
+// rising = true  -> y goes from below `level` to >= `level`;
+// rising = false -> y goes from above `level` to <= `level`.
+std::optional<double> first_directional_crossing(const std::vector<double>& x,
+                                                 const std::vector<double>& y,
+                                                 double level, bool rising,
+                                                 std::size_t from = 0);
+
+}  // namespace sks::util

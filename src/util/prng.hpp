@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for Monte-Carlo campaigns.
+//
+// We ship our own xoshiro256++ so that every experiment in the repository is
+// bit-reproducible across standard libraries (std::mt19937 is portable but
+// the std distributions are not).  All distribution sampling here is
+// implemented from scratch on top of the raw generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sks::util {
+
+// xoshiro256++ 1.0 (Blackman & Vigna, public domain reference algorithm).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform relative variation: returns nominal * (1 + U[-rel, +rel]).
+  // This is the paper's Monte-Carlo recipe ("uniform distribution with 0.15
+  // as relative variation from the nominal value").
+  double vary(double nominal, double rel);
+
+  // Standard normal via Box-Muller (spare value cached).
+  double normal();
+  double normal(double mean, double sigma);
+
+  // Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child stream (for per-sample generators).
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sks::util

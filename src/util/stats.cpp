@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+double Proportion::estimate() const {
+  if (trials == 0) return 0.0;
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;
+
+double wilson_center(double p, double n, double z) {
+  return (p + z * z / (2.0 * n)) / (1.0 + z * z / n);
+}
+
+double wilson_halfwidth(double p, double n, double z) {
+  return (z / (1.0 + z * z / n)) *
+         std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+}
+}  // namespace
+
+double Proportion::wilson_low() const {
+  if (trials == 0) return 0.0;
+  const double p = estimate();
+  const double n = static_cast<double>(trials);
+  return std::max(0.0, wilson_center(p, n, kZ95) - wilson_halfwidth(p, n, kZ95));
+}
+
+double Proportion::wilson_high() const {
+  if (trials == 0) return 1.0;
+  const double p = estimate();
+  const double n = static_cast<double>(trials);
+  return std::min(1.0, wilson_center(p, n, kZ95) + wilson_halfwidth(p, n, kZ95));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  check(bins > 0, "Histogram needs at least one bin");
+  check(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<long>(t * static_cast<double>(counts_.size()));
+  i = std::clamp(i, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  check(!samples.empty(), "percentile of empty sample");
+  check(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  check(x.size() == y.size(), "correlation: size mismatch");
+  if (x.size() < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+}  // namespace sks::util

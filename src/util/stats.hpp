@@ -1,0 +1,69 @@
+// Small statistics toolkit used by the Monte-Carlo experiments
+// (Fig. 5 scatterplot, Table 1 probabilities) and by the test suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sks::util {
+
+// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Binomial proportion with a Wilson score confidence interval.  Used for
+// p_loose / p_false in Table 1, where the point estimates are small and a
+// naive normal interval would be misleading.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  double estimate() const;
+  // Wilson score interval at ~95% (z = 1.96).
+  double wilson_low() const;
+  double wilson_high() const;
+};
+
+// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the edge
+// bins so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Percentile of a sample (linear interpolation between order statistics).
+// `q` in [0,1].  The input is copied and sorted.
+double percentile(std::vector<double> samples, double q);
+
+// Pearson correlation coefficient; returns 0 when either side is constant.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace sks::util

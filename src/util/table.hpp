@@ -1,0 +1,39 @@
+// Console table / CSV output used by every bench binary to print the rows of
+// the paper's tables and the series of its figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sks::util {
+
+// A simple aligned text table: set headers, add rows of strings (use the
+// fmt_* helpers for numbers), then stream it.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+// Number formatting helpers (fixed precision / scientific / SI-scaled).
+std::string fmt_fixed(double v, int precision);
+std::string fmt_sci(double v, int precision);
+// Value printed in the given unit, e.g. fmt_unit(1.6e-10, units::ns, 2, "ns")
+// -> "0.16 ns".
+std::string fmt_unit(double v, double unit, int precision,
+                     const std::string& suffix);
+std::string fmt_percent(double fraction, int precision);
+
+}  // namespace sks::util

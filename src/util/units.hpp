@@ -1,0 +1,44 @@
+// SI unit constants and conversion helpers.
+//
+// The whole library works internally in plain SI units (volts, seconds,
+// farads, ohms, amperes, metres) held in `double`.  These constants make call
+// sites read like the paper: `0.16 * units::ns`, `80 * units::fF`.
+#pragma once
+
+namespace sks::units {
+
+// --- time ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- capacitance ---
+inline constexpr double F = 1.0;
+inline constexpr double uF = 1e-6;
+inline constexpr double nF = 1e-9;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// --- voltage / current / resistance ---
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double Mohm = 1e6;
+
+// --- length (layout geometry) ---
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Convert a value expressed in SI into the given unit (for printing).
+inline constexpr double in(double value, double unit) { return value / unit; }
+
+}  // namespace sks::units

@@ -1,0 +1,105 @@
+// Electrical tests of the transistor-level error indicator (ref. [9]
+// style): it must latch the sensor's error indication and stay quiet on
+// fault-free cycles.
+#include "cell/error_indicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/measure.hpp"
+#include "cell/stimuli.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/units.hpp"
+
+namespace sks::cell {
+namespace {
+
+using namespace sks::units;
+
+struct IndicatorBench {
+  esim::Circuit circuit;
+  SensorCell sensor;
+  ErrorIndicatorCell indicator;
+};
+
+// Sensor + indicator, with reset pulsed low at t=0..0.3 ns and the enable
+// strobe asserted late in the evaluation window (after the outputs have
+// settled / restored).
+IndicatorBench make_bench(double skew) {
+  const Technology tech;
+  IndicatorBench b;
+  SensorOptions options;
+  options.load_y1 = options.load_y2 = 120 * fF;
+  b.sensor = build_skew_sensor(b.circuit, tech, options);
+  add_supply(b.circuit, b.sensor.vdd, tech.vdd);
+  ClockPairStimulus stim;
+  stim.skew = skew;
+  drive_clock_pair(b.circuit, b.sensor.phi1, b.sensor.phi2, stim);
+  b.indicator = build_error_indicator(b.circuit, tech, b.sensor.y1,
+                                      b.sensor.y2, b.sensor.vdd, {});
+  // Precharge pulse, then enable during the settled part of the window.
+  b.circuit.add_vsource(
+      "Vrst", b.indicator.resetb, b.circuit.ground(),
+      esim::Waveform::pwl({0.0, 0.3e-9, 0.4e-9}, {0.0, 0.0, 5.0}));
+  b.circuit.add_vsource(
+      "Ven", b.indicator.enable, b.circuit.ground(),
+      esim::Waveform::pwl({0.0, 3.5e-9, 3.6e-9, 4.5e-9, 4.6e-9},
+                          {0.0, 0.0, 5.0, 5.0, 0.0}));
+  return b;
+}
+
+esim::Trace run_err(IndicatorBench& b, double t_end = 8e-9) {
+  esim::TransientOptions options;
+  options.t_end = t_end;
+  options.dt = 5e-12;
+  const auto result = esim::simulate(b.circuit, options);
+  return esim::Trace::node_voltage(result, b.circuit, "ei/err");
+}
+
+TEST(ErrorIndicator, QuietOnCleanClocks) {
+  IndicatorBench b = make_bench(0.0);
+  const auto err = run_err(b);
+  EXPECT_LT(err.max_in(4.8e-9, 8e-9), 1.0);
+}
+
+TEST(ErrorIndicator, LatchesOnSkewError) {
+  IndicatorBench b = make_bench(1.0e-9);
+  const auto err = run_err(b);
+  // Error raised during the strobe and HELD after enable deasserts (the
+  // keeper maintains the latched state).
+  EXPECT_GT(err.value_at(4.4e-9), 4.0);
+  EXPECT_GT(err.min_in(4.8e-9, 8e-9), 4.0);
+}
+
+TEST(ErrorIndicator, DetectsOppositeSkewToo) {
+  IndicatorBench b = make_bench(-1.0e-9);
+  const auto err = run_err(b);
+  EXPECT_GT(err.final_value(), 4.0);
+}
+
+TEST(ErrorIndicator, ResetPrechargesErrb) {
+  IndicatorBench b = make_bench(0.0);
+  esim::TransientOptions options;
+  options.t_end = 1e-9;
+  options.dt = 5e-12;
+  const auto result = esim::simulate(b.circuit, options);
+  const auto errb = esim::Trace::node_voltage(result, b.circuit, "ei/errb");
+  EXPECT_GT(errb.value_at(0.9e-9), 4.5);
+}
+
+TEST(ErrorIndicator, BuilderWiresNamedNodes) {
+  const Technology tech;
+  esim::Circuit c;
+  SensorOptions options;
+  const SensorCell s = build_skew_sensor(c, tech, options);
+  const ErrorIndicatorCell ei =
+      build_error_indicator(c, tech, s.y1, s.y2, s.vdd, {});
+  EXPECT_TRUE(c.find_node("ei/err").has_value());
+  EXPECT_TRUE(c.find_node("ei/errb").has_value());
+  EXPECT_TRUE(c.find_node("ei/en").has_value());
+  EXPECT_TRUE(c.find_mosfet("ei/mpre").has_value());
+  EXPECT_EQ(ei.y1, s.y1);
+}
+
+}  // namespace
+}  // namespace sks::cell

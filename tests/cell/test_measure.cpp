@@ -1,0 +1,131 @@
+#include "cell/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace sks::cell {
+namespace {
+
+using namespace sks::units;
+
+esim::Trace flat(const std::string& name, double level, double t_end = 6e-9) {
+  return esim::Trace(name, {0.0, t_end}, {level, level});
+}
+
+esim::Trace falling(const std::string& name, double t_fall, double to,
+                    double t_end = 6e-9) {
+  return esim::Trace(name, {0.0, t_fall, t_fall + 0.5e-9, t_end},
+                     {5.0, 5.0, to, to});
+}
+
+TEST(InterpretSensor, BothLowIsNoError) {
+  ClockPairStimulus stim;
+  const auto m = interpret_sensor(falling("y1", 1.2e-9, 1.4),
+                                  falling("y2", 1.2e-9, 1.4), stim, 2.75);
+  EXPECT_FALSE(m.error());
+  EXPECT_EQ(m.indication, Indication::kNone);
+  EXPECT_NEAR(m.vmin_y1, 1.4, 1e-9);
+}
+
+TEST(InterpretSensor, Y2HighIs01) {
+  ClockPairStimulus stim;
+  const auto m = interpret_sensor(falling("y1", 1.2e-9, 0.1),
+                                  flat("y2", 4.8), stim, 2.75);
+  EXPECT_EQ(m.indication, Indication::k01);
+  EXPECT_TRUE(m.y2_high);
+  EXPECT_FALSE(m.y1_high);
+}
+
+TEST(InterpretSensor, Y1HighIs10) {
+  ClockPairStimulus stim;
+  const auto m = interpret_sensor(flat("y1", 4.8),
+                                  falling("y2", 1.2e-9, 0.1), stim, 2.75);
+  EXPECT_EQ(m.indication, Indication::k10);
+}
+
+TEST(InterpretSensor, BothHighIsNotAnError) {
+  // Both stuck high (e.g. clocks never arrived) is not the 01/10 signature.
+  ClockPairStimulus stim;
+  const auto m =
+      interpret_sensor(flat("y1", 4.9), flat("y2", 4.9), stim, 2.75);
+  EXPECT_EQ(m.indication, Indication::kNone);
+}
+
+TEST(InterpretSensor, VminCriterionCatchesIncompleteTransitions) {
+  // Paper: detection uses V_min against V_th, not a single strobe — an
+  // output that dips to 3.0 V (above threshold) counts as high.
+  ClockPairStimulus stim;
+  const auto m = interpret_sensor(falling("y1", 1.2e-9, 0.1),
+                                  falling("y2", 1.2e-9, 3.0), stim, 2.75);
+  EXPECT_EQ(m.indication, Indication::k01);
+}
+
+TEST(InterpretSensor, ThresholdIsRespectedExactly) {
+  ClockPairStimulus stim;
+  const auto just_below = interpret_sensor(
+      falling("y1", 1.2e-9, 0.1), falling("y2", 1.2e-9, 2.74), stim, 2.75);
+  EXPECT_FALSE(just_below.y2_high);
+  const auto just_above = interpret_sensor(
+      falling("y1", 1.2e-9, 0.1), falling("y2", 1.2e-9, 2.76), stim, 2.75);
+  EXPECT_TRUE(just_above.y2_high);
+}
+
+TEST(InterpretSensor, DualRailMirrorsCriterion) {
+  // Dual sensor: outputs idle low and rise; an output stuck LOW is the
+  // error.  Build a "y2 stuck low" case.
+  ClockPairStimulus stim;
+  stim.falling_edge = true;
+  const auto rising1 =
+      esim::Trace("y1", {0.0, 1.2e-9, 1.7e-9, 6e-9}, {0.0, 0.0, 4.5, 4.5});
+  const auto stuck2 = flat("y2", 0.2);
+  const auto m = interpret_sensor(rising1, stuck2, stim, 2.75, true);
+  EXPECT_EQ(m.indication, Indication::k01);
+}
+
+TEST(FindTauMin, ReturnsBoundsWhenSaturated) {
+  Technology tech;
+  SensorOptions opt;
+  opt.load_y1 = opt.load_y2 = 160e-15;
+  ClockPairStimulus stim;
+  // Search window entirely above the sensitivity: detected at lo -> lo.
+  const double lo_result =
+      find_tau_min(tech, opt, stim, 0.5e-9, 1e-9, 1e-12, 10e-12);
+  EXPECT_DOUBLE_EQ(lo_result, 0.5e-9);
+}
+
+TEST(FindTauMin, BisectionConvergesToTolerance) {
+  Technology tech;
+  SensorOptions opt;
+  opt.load_y1 = opt.load_y2 = 80e-15;
+  ClockPairStimulus stim;
+  const double coarse = find_tau_min(tech, opt, stim, 0.0, 1e-9, 8e-12, 10e-12);
+  const double fine = find_tau_min(tech, opt, stim, 0.0, 1e-9, 1e-12, 10e-12);
+  EXPECT_NEAR(coarse, fine, 10e-12);
+}
+
+TEST(Stimulus, TimingHelpers) {
+  ClockPairStimulus stim;
+  stim.edge_time = 1 * ns;
+  stim.skew = 0.5 * ns;
+  stim.slew1 = 0.2 * ns;
+  stim.slew2 = 0.4 * ns;
+  EXPECT_DOUBLE_EQ(stim.last_edge_end(), 1.9 * ns);
+  EXPECT_GT(stim.strobe_time(), stim.last_edge_end());
+  EXPECT_GT(stim.suggested_t_end(), stim.strobe_time());
+}
+
+TEST(Stimulus, NegativeSkewDelaysPhi1) {
+  Technology tech;
+  ClockPairStimulus stim;
+  stim.skew = -1.0 * ns;
+  const auto bench = make_sensor_bench(tech, SensorOptions{}, stim);
+  // phi1's source waveform must start 1 ns later than phi2's.
+  const auto& w1 = bench.circuit.vsource(bench.drive.source1).wave;
+  const auto& w2 = bench.circuit.vsource(bench.drive.source2).wave;
+  EXPECT_LT(w1.value(1.5 * ns), 0.5);  // phi1 still low mid-way
+  EXPECT_GT(w2.value(1.5 * ns), 4.5);  // phi2 already up
+}
+
+}  // namespace
+}  // namespace sks::cell

@@ -1,0 +1,148 @@
+#include "cell/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "esim/engine.hpp"
+
+namespace sks::cell {
+namespace {
+
+// DC truth-table harness: drive the cell's inputs with DC sources and check
+// the output against the expected logic value at the operating point.
+struct Fixture {
+  Technology tech;
+  esim::Circuit circuit;
+  esim::NodeId vdd;
+
+  Fixture() {
+    vdd = circuit.node("vdd");
+    circuit.add_vsource("Vdd", vdd, circuit.ground(),
+                        esim::Waveform::dc(tech.vdd));
+  }
+
+  esim::NodeId input(const std::string& name, bool level) {
+    const esim::NodeId n = circuit.node(name);
+    circuit.add_vsource("V" + name, n, circuit.ground(),
+                        esim::Waveform::dc(level ? tech.vdd : 0.0));
+    return n;
+  }
+
+  double solve(esim::NodeId out) {
+    const auto v = esim::dc_operating_point(circuit);
+    return v[out.index];
+  }
+};
+
+TEST(Primitives, InverterTruth) {
+  for (const bool in : {false, true}) {
+    Fixture f;
+    const auto a = f.input("a", in);
+    const auto out = f.circuit.node("out");
+    add_inverter(f.circuit, f.tech, "inv", a, out, f.vdd);
+    const double v = f.solve(out);
+    if (in) {
+      EXPECT_LT(v, 0.1);
+    } else {
+      EXPECT_GT(v, 4.9);
+    }
+  }
+}
+
+using TwoInputCase = std::tuple<bool, bool>;
+
+class Nand2Truth : public ::testing::TestWithParam<TwoInputCase> {};
+
+TEST_P(Nand2Truth, MatchesLogic) {
+  const auto [a_in, b_in] = GetParam();
+  Fixture f;
+  const auto a = f.input("a", a_in);
+  const auto b = f.input("b", b_in);
+  const auto out = f.circuit.node("out");
+  add_nand2(f.circuit, f.tech, "nand", a, b, out, f.vdd);
+  const double v = f.solve(out);
+  const bool expected = !(a_in && b_in);
+  if (expected) {
+    EXPECT_GT(v, 4.9) << "inputs " << a_in << "," << b_in;
+  } else {
+    EXPECT_LT(v, 0.1) << "inputs " << a_in << "," << b_in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, Nand2Truth,
+                         ::testing::Values(TwoInputCase{false, false},
+                                           TwoInputCase{false, true},
+                                           TwoInputCase{true, false},
+                                           TwoInputCase{true, true}));
+
+class Nor2Truth : public ::testing::TestWithParam<TwoInputCase> {};
+
+TEST_P(Nor2Truth, MatchesLogic) {
+  const auto [a_in, b_in] = GetParam();
+  Fixture f;
+  const auto a = f.input("a", a_in);
+  const auto b = f.input("b", b_in);
+  const auto out = f.circuit.node("out");
+  add_nor2(f.circuit, f.tech, "nor", a, b, out, f.vdd);
+  const double v = f.solve(out);
+  const bool expected = !(a_in || b_in);
+  if (expected) {
+    EXPECT_GT(v, 4.9) << "inputs " << a_in << "," << b_in;
+  } else {
+    EXPECT_LT(v, 0.1) << "inputs " << a_in << "," << b_in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, Nor2Truth,
+                         ::testing::Values(TwoInputCase{false, false},
+                                           TwoInputCase{false, true},
+                                           TwoInputCase{true, false},
+                                           TwoInputCase{true, true}));
+
+TEST(Primitives, TgatePassesWhenEnabled) {
+  Fixture f;
+  const auto src = f.input("src", true);  // 5 V behind the gate
+  const auto en = f.input("en", true);
+  const auto enb = f.input("enb", false);
+  const auto out = f.circuit.node("out");
+  add_tgate(f.circuit, f.tech, "tg", src, out, en, enb);
+  f.circuit.add_resistor("Rload", out, f.circuit.ground(), 1e6);
+  EXPECT_GT(f.solve(out), 4.5);
+}
+
+TEST(Primitives, TgateBlocksWhenDisabled) {
+  Fixture f;
+  const auto src = f.input("src", true);
+  const auto en = f.input("en", false);
+  const auto enb = f.input("enb", true);
+  const auto out = f.circuit.node("out");
+  add_tgate(f.circuit, f.tech, "tg", src, out, en, enb);
+  f.circuit.add_resistor("Rload", out, f.circuit.ground(), 1e6);
+  EXPECT_LT(f.solve(out), 0.5);
+}
+
+TEST(Primitives, InverterStrengthScalesDevices) {
+  Fixture f;
+  const auto a = f.input("a", false);
+  const auto out = f.circuit.node("out");
+  const auto h = add_inverter(f.circuit, f.tech, "inv", a, out, f.vdd, 3.0);
+  EXPECT_DOUBLE_EQ(f.circuit.mosfet(h.pull_up).params.w, 3.0 * f.tech.wp);
+  EXPECT_DOUBLE_EQ(f.circuit.mosfet(h.pull_down).params.w, 3.0 * f.tech.wn);
+}
+
+TEST(Primitives, HandlesReportDevices) {
+  Fixture f;
+  const auto a = f.input("a", false);
+  const auto b = f.input("b", false);
+  const auto out = f.circuit.node("out");
+  const auto h = add_nand2(f.circuit, f.tech, "n", a, b, out, f.vdd);
+  EXPECT_EQ(f.circuit.mosfet(h.pu_a).params.type, esim::MosType::kPmos);
+  EXPECT_EQ(f.circuit.mosfet(h.pd_b).params.type, esim::MosType::kNmos);
+  // Series NMOS sized up.
+  EXPECT_GT(f.circuit.mosfet(h.pd_a).params.w,
+            f.circuit.mosfet(h.pu_a).params.w * 0.4);
+}
+
+}  // namespace
+}  // namespace sks::cell

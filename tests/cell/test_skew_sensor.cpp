@@ -1,0 +1,307 @@
+// Tests of the sensing circuit against every behaviour Section 2 of the
+// paper describes, at the electrical level.
+#include "cell/skew_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/measure.hpp"
+#include "cell/stimuli.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::cell {
+namespace {
+
+using namespace sks::units;
+
+constexpr double kDt = 5e-12;
+
+SensorOptions with_load(double load) {
+  SensorOptions o;
+  o.load_y1 = o.load_y2 = load;
+  return o;
+}
+
+TEST(SensorBuilder, CreatesAllNodesAndDevices) {
+  Technology tech;
+  esim::Circuit c;
+  const SensorCell cell = build_skew_sensor(c, tech, SensorOptions{});
+  for (const char* n : {"phi1", "phi2", "y1", "y2", "n1", "n2", "n3", "n4"}) {
+    EXPECT_TRUE(c.find_node(n).has_value()) << n;
+  }
+  for (const char* d : kSensorDeviceNames) {
+    EXPECT_TRUE(cell.has_device(d)) << d;
+    EXPECT_TRUE(c.find_mosfet(d).has_value()) << d;
+  }
+}
+
+TEST(SensorBuilder, TopologyMatchesReconstruction) {
+  Technology tech;
+  esim::Circuit c;
+  const SensorCell cell = build_skew_sensor(c, tech, SensorOptions{});
+  // Spot-check the reconstruction of Fig. 1 (see DESIGN.md §1).
+  const auto& a = c.mosfet(cell.device("a"));
+  EXPECT_EQ(a.params.type, esim::MosType::kPmos);
+  EXPECT_EQ(a.gate, cell.phi1);
+  EXPECT_EQ(a.source, cell.vdd);
+  EXPECT_EQ(a.drain, cell.n1);
+  const auto& e = c.mosfet(cell.device("e"));
+  EXPECT_EQ(e.params.type, esim::MosType::kNmos);
+  EXPECT_EQ(e.gate, cell.y2);  // cross-coupled feedback
+  const auto& l = c.mosfet(cell.device("l"));
+  EXPECT_EQ(l.gate, cell.y1);  // "the transistor driven by y1 (l)"
+  const auto& g = c.mosfet(cell.device("g"));
+  EXPECT_EQ(g.gate, cell.y1);  // feedback pull-up of block B
+  const auto& h = c.mosfet(cell.device("h"));
+  EXPECT_EQ(h.gate, cell.phi1);
+}
+
+TEST(SensorBuilder, PrefixIsolatesInstances) {
+  Technology tech;
+  esim::Circuit c;
+  SensorOptions o1;
+  o1.prefix = "s0/";
+  SensorOptions o2;
+  o2.prefix = "s1/";
+  const SensorCell c0 = build_skew_sensor(c, tech, o1);
+  const SensorCell c1 = build_skew_sensor(c, tech, o2);
+  EXPECT_FALSE(c0.y1 == c1.y1);
+  EXPECT_TRUE(c.find_mosfet("s0/a").has_value());
+  EXPECT_TRUE(c.find_mosfet("s1/a").has_value());
+  EXPECT_EQ(c0.qualified("y1"), "s0/y1");
+}
+
+TEST(SensorBuilder, AblationVariantOmitsSeriesEnables) {
+  Technology tech;
+  esim::Circuit c;
+  SensorOptions o;
+  o.variant = SensorVariant::kNoSeriesEnable;
+  const SensorCell cell = build_skew_sensor(c, tech, o);
+  EXPECT_FALSE(cell.has_device("a"));
+  EXPECT_FALSE(cell.has_device("f"));
+  EXPECT_TRUE(cell.has_device("b"));
+  EXPECT_THROW((void)cell.device("a"), Error);
+}
+
+TEST(SensorBuilder, ExternalNodeOverridesAreUsed) {
+  Technology tech;
+  esim::Circuit c;
+  const esim::NodeId my_clk = c.node("treewire7");
+  SensorOptions o;
+  o.phi1_node = my_clk;
+  const SensorCell cell = build_skew_sensor(c, tech, o);
+  EXPECT_EQ(cell.phi1, my_clk);
+}
+
+// --- behaviour: the three cases of Section 2 ---
+
+TEST(SensorBehaviour, NoSkewProducesNoErrorAndClamps) {
+  Technology tech;
+  ClockPairStimulus stim;  // zero skew
+  const auto m = measure_sensor(tech, with_load(160 * fF), stim, kDt);
+  EXPECT_FALSE(m.error());
+  // "the voltage of y1 and y2 cannot fall below the n-channel conductance
+  // threshold, because of the feedback" — the outputs clamp at an
+  // intermediate level above ground but safely below V_th.
+  EXPECT_GT(m.vmin_y1, 0.5);
+  EXPECT_LT(m.vmin_y1, tech.interpretation_threshold());
+  EXPECT_NEAR(m.vmin_y1, m.vmin_y2, 1e-3);  // symmetric
+}
+
+struct SkewCase {
+  double skew;
+  Indication expected;
+};
+
+class SensorSkewDirection : public ::testing::TestWithParam<SkewCase> {};
+
+TEST_P(SensorSkewDirection, IndicationMatchesPaperConvention) {
+  Technology tech;
+  ClockPairStimulus stim;
+  stim.skew = GetParam().skew;
+  const auto m = measure_sensor(tech, with_load(160 * fF), stim, kDt);
+  EXPECT_EQ(m.indication, GetParam().expected)
+      << "skew = " << GetParam().skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothDirectionsAndMagnitudes, SensorSkewDirection,
+    ::testing::Values(SkewCase{+1.0 * ns, Indication::k01},
+                      SkewCase{-1.0 * ns, Indication::k10},
+                      SkewCase{+0.3 * ns, Indication::k01},
+                      SkewCase{-0.3 * ns, Indication::k10},
+                      SkewCase{+0.02 * ns, Indication::kNone},
+                      SkewCase{-0.02 * ns, Indication::kNone}));
+
+TEST(SensorBehaviour, ErrorIndicationHeldForHalfPeriod) {
+  // "(y1,y2) = 01 ... holds for a time long enough (half of the clock
+  // period) to allow the detection of the problem."
+  Technology tech;
+  ClockPairStimulus stim;
+  stim.full_clock = true;
+  stim.skew = 1.0 * ns;
+  stim.period = 10 * ns;
+  const auto bench = make_sensor_bench(tech, with_load(160 * fF), stim);
+  esim::TransientOptions options;
+  options.t_end = 6 * ns;  // just before the falling edge at ~6 ns
+  options.dt = kDt;
+  const auto result = esim::simulate(bench.circuit, options);
+  const auto y2 = esim::Trace::node_voltage(result, bench.circuit, "y2");
+  // From the (late) phi2 edge to the end of the high phase, y2 stays high.
+  EXPECT_GT(y2.min_in(2.5 * ns, 5.9 * ns), 4.0);
+}
+
+TEST(SensorBehaviour, LateBlockOutputHighImpedanceThenRedriven) {
+  // While phi1 is high and phi2 still low, block B's output is described as
+  // high impedance, then re-driven high through h once y1 falls.  Net
+  // effect: y2 never leaves the high band during the whole episode.
+  Technology tech;
+  ClockPairStimulus stim;
+  stim.skew = 2.0 * ns;
+  const auto bench = make_sensor_bench(tech, with_load(160 * fF), stim);
+  esim::TransientOptions options;
+  options.t_end = 6 * ns;
+  options.dt = kDt;
+  const auto result = esim::simulate(bench.circuit, options);
+  const auto y2 = esim::Trace::node_voltage(result, bench.circuit, "y2");
+  EXPECT_GT(y2.min_in(1.0 * ns, 5.5 * ns), 4.0);
+}
+
+TEST(SensorBehaviour, SymmetricUnderSkewSignFlip) {
+  Technology tech;
+  ClockPairStimulus plus;
+  plus.skew = 0.5 * ns;
+  ClockPairStimulus minus;
+  minus.skew = -0.5 * ns;
+  const auto mp = measure_sensor(tech, with_load(160 * fF), plus, kDt);
+  const auto mm = measure_sensor(tech, with_load(160 * fF), minus, kDt);
+  EXPECT_NEAR(mp.vmin_y1, mm.vmin_y2, 0.05);
+  EXPECT_NEAR(mp.vmin_y2, mm.vmin_y1, 0.05);
+}
+
+// --- sensitivity (Fig. 4 behaviours) ---
+
+TEST(SensorSensitivity, TauMinGrowsWithLoad) {
+  Technology tech;
+  ClockPairStimulus stim;
+  double previous = 0.0;
+  for (const double load : {80 * fF, 160 * fF, 240 * fF}) {
+    const double tau =
+        find_tau_min(tech, with_load(load), stim, 0.0, 1 * ns, 1e-12, kDt);
+    EXPECT_GT(tau, previous) << "load " << load;
+    // Same sub-nanosecond decade as the paper's 0.09-0.16 ns.
+    EXPECT_GT(tau, 0.02 * ns);
+    EXPECT_LT(tau, 0.30 * ns);
+    previous = tau;
+  }
+}
+
+TEST(SensorSensitivity, InsensitiveToClockSlew) {
+  // Paper: "for each load value ... the resulting curves are almost
+  // indistinguishable" over slews 0.1-0.4 ns.
+  Technology tech;
+  double lo = 1e9, hi = 0.0;
+  for (const double slew : {0.1 * ns, 0.2 * ns, 0.4 * ns}) {
+    ClockPairStimulus stim;
+    stim.slew1 = stim.slew2 = slew;
+    const double tau =
+        find_tau_min(tech, with_load(160 * fF), stim, 0.0, 1 * ns, 1e-12, kDt);
+    lo = std::min(lo, tau);
+    hi = std::max(hi, tau);
+  }
+  EXPECT_LT((hi - lo) / lo, 0.10);  // < 10% spread
+}
+
+TEST(SensorSensitivity, StrongerDriveLowersTauMin) {
+  Technology tech;
+  ClockPairStimulus stim;
+  SensorOptions weak = with_load(160 * fF);
+  SensorOptions strong = with_load(160 * fF);
+  strong.drive = 2.0;
+  const double tau_weak =
+      find_tau_min(tech, weak, stim, 0.0, 1 * ns, 1e-12, kDt);
+  const double tau_strong =
+      find_tau_min(tech, strong, stim, 0.0, 1 * ns, 1e-12, kDt);
+  EXPECT_LT(tau_strong, tau_weak);
+}
+
+// --- variants ---
+
+TEST(SensorVariants, FullSwingRestoresOutputsTowardGround) {
+  Technology tech;
+  SensorOptions fs = with_load(160 * fF);
+  fs.variant = SensorVariant::kFullSwing;
+  fs.weak_keeper_drive = 0.3;
+  ClockPairStimulus stim;  // no skew
+  const auto bench = make_sensor_bench(tech, fs, stim);
+  esim::TransientOptions options;
+  options.t_end = 8 * ns;
+  options.dt = kDt;
+  const auto result = esim::simulate(bench.circuit, options);
+  const auto y1 = esim::Trace::node_voltage(result, bench.circuit, "y1");
+  // The basic circuit clamps near 1.4-1.8 V forever; the restorer pulls the
+  // output to a solid low.
+  EXPECT_LT(y1.value_at(8 * ns), 1.0);
+}
+
+TEST(SensorVariants, FullSwingStillDetectsSkew) {
+  Technology tech;
+  SensorOptions fs = with_load(160 * fF);
+  fs.variant = SensorVariant::kFullSwing;
+  ClockPairStimulus stim;
+  stim.skew = 1.0 * ns;
+  const auto m = measure_sensor(tech, fs, stim, kDt);
+  EXPECT_EQ(m.indication, Indication::k01);
+}
+
+TEST(SensorVariants, DualRailWatchesFallingEdges) {
+  Technology tech;
+  SensorOptions dual = with_load(160 * fF);
+  dual.dual_rail = true;
+  ClockPairStimulus stim;
+  stim.falling_edge = true;
+  stim.skew = 1.0 * ns;
+  const auto m = measure_sensor(tech, dual, stim, kDt);
+  EXPECT_EQ(m.indication, Indication::k01);
+
+  ClockPairStimulus clean;
+  clean.falling_edge = true;
+  const auto m0 = measure_sensor(tech, dual, clean, kDt);
+  EXPECT_FALSE(m0.error());
+}
+
+TEST(SensorVariants, AblationHasDegradedNoiseMargin) {
+  // The kNoSeriesEnable structure still detects, but the feedback pull-ups
+  // (sourced straight from the rail without a/f in series) actively hold
+  // the fault-free clamp around 2.2 V, while the basic circuit keeps
+  // decaying toward V_tn.  The series enables buy almost a volt of noise
+  // margin against V_th = 2.75 V (quantified by bench/ablation_sensitivity).
+  Technology tech;
+  ClockPairStimulus clean;
+  auto settle_level = [&](SensorVariant variant) {
+    SensorOptions o = with_load(160 * fF);
+    o.variant = variant;
+    const auto bench = make_sensor_bench(tech, o, clean);
+    esim::TransientOptions options;
+    options.t_end = 8 * ns;
+    options.dt = kDt;
+    const auto result = esim::simulate(bench.circuit, options);
+    return esim::Trace::node_voltage(result, bench.circuit, "y1")
+        .value_at(8 * ns);
+  };
+  const double basic = settle_level(SensorVariant::kBasic);
+  const double ablation = settle_level(SensorVariant::kNoSeriesEnable);
+  EXPECT_GT(ablation, basic + 0.5);
+  EXPECT_LT(ablation, tech.interpretation_threshold());  // still no error
+}
+
+TEST(SensorMeasurement, IndicationToString) {
+  EXPECT_EQ(to_string(Indication::kNone), "none");
+  EXPECT_EQ(to_string(Indication::k01), "01");
+  EXPECT_EQ(to_string(Indication::k10), "10");
+}
+
+}  // namespace
+}  // namespace sks::cell

@@ -1,0 +1,111 @@
+#include "cell/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::cell {
+namespace {
+
+TEST(Technology, DefaultsAreConsistent) {
+  const Technology tech;
+  EXPECT_DOUBLE_EQ(tech.vdd, 5.0);
+  EXPECT_DOUBLE_EQ(tech.interpretation_threshold(), 2.75);  // 1.1 * VDD/2
+  EXPECT_GT(tech.wp, tech.wn);  // PMOS widened for the mobility gap
+}
+
+TEST(Technology, NmosParamBlock) {
+  const Technology tech;
+  const auto p = tech.nmos();
+  EXPECT_EQ(p.type, esim::MosType::kNmos);
+  EXPECT_DOUBLE_EQ(p.w, tech.wn);
+  EXPECT_DOUBLE_EQ(p.l, tech.lmin);
+  EXPECT_DOUBLE_EQ(p.vt, tech.vtn);
+  EXPECT_DOUBLE_EQ(p.full_on_vgs, tech.vdd);
+}
+
+TEST(Technology, PmosParamBlock) {
+  const Technology tech;
+  const auto p = tech.pmos(2.0);
+  EXPECT_EQ(p.type, esim::MosType::kPmos);
+  EXPECT_DOUBLE_EQ(p.w, 2.0 * tech.wp);
+  EXPECT_DOUBLE_EQ(p.vt, tech.vtp);
+}
+
+TEST(Technology, CapacitanceHelpers) {
+  const Technology tech;
+  EXPECT_DOUBLE_EQ(tech.junction_cap(1e-6), tech.cj_per_width * 1e-6);
+  EXPECT_DOUBLE_EQ(tech.gate_cap(1e-6), tech.cox * 1e-6 * tech.lmin);
+  EXPECT_GT(tech.gate_cap(tech.wn), 0.5e-15);  // physically sensible
+  EXPECT_LT(tech.gate_cap(tech.wn), 20e-15);
+}
+
+TEST(Technology, AtSupplyScalesRailDerivedQuantities) {
+  const Technology tech;
+  const Technology low = tech.at_supply(3.3);
+  EXPECT_DOUBLE_EQ(low.vdd, 3.3);
+  EXPECT_DOUBLE_EQ(low.interpretation_threshold(), 1.1 * 3.3 / 2.0);
+  // Process constants unchanged.
+  EXPECT_DOUBLE_EQ(low.vtn, tech.vtn);
+  EXPECT_DOUBLE_EQ(low.kn, tech.kn);
+  // Stuck-on overdrive follows the rail.
+  EXPECT_DOUBLE_EQ(low.nmos().full_on_vgs, 3.3);
+}
+
+TEST(Variation, StaysWithinBand) {
+  const Technology tech;
+  esim::Circuit c;
+  const auto n = c.node("a");
+  c.add_mosfet("M", tech.nmos(), n, n, c.ground());
+  c.add_capacitor("C", n, c.ground(), 100e-15);
+
+  util::Prng prng(1);
+  for (int i = 0; i < 200; ++i) {
+    esim::Circuit varied = c;
+    VariationSpec spec;
+    spec.rel = 0.15;
+    apply_random_variation(varied, spec, prng);
+    const auto& m = varied.mosfet(esim::MosfetId{0});
+    EXPECT_GE(m.params.kprime, tech.kn * 0.85);
+    EXPECT_LE(m.params.kprime, tech.kn * 1.15);
+    EXPECT_GE(m.params.vt, tech.vtn * 0.85);
+    EXPECT_LE(m.params.vt, tech.vtn * 1.15);
+    const auto& cap = varied.capacitor(esim::CapacitorId{0});
+    EXPECT_GE(cap.capacitance, 85e-15);
+    EXPECT_LE(cap.capacitance, 115e-15);
+  }
+}
+
+TEST(Variation, FlagsDisableDimensions) {
+  const Technology tech;
+  esim::Circuit c;
+  const auto n = c.node("a");
+  c.add_mosfet("M", tech.nmos(), n, n, c.ground());
+  c.add_capacitor("C", n, c.ground(), 100e-15);
+  util::Prng prng(2);
+  VariationSpec spec;
+  spec.vary_strength = false;
+  spec.vary_threshold = false;
+  spec.vary_caps = false;
+  esim::Circuit varied = c;
+  apply_random_variation(varied, spec, prng);
+  EXPECT_DOUBLE_EQ(varied.mosfet(esim::MosfetId{0}).params.kprime, tech.kn);
+  EXPECT_DOUBLE_EQ(varied.mosfet(esim::MosfetId{0}).params.vt, tech.vtn);
+  EXPECT_DOUBLE_EQ(varied.capacitor(esim::CapacitorId{0}).capacitance, 100e-15);
+}
+
+TEST(Variation, IsDeterministicGivenSeed) {
+  const Technology tech;
+  auto make = [&](std::uint64_t seed) {
+    esim::Circuit c;
+    const auto n = c.node("a");
+    c.add_mosfet("M", tech.nmos(), n, n, c.ground());
+    util::Prng prng(seed);
+    VariationSpec spec;
+    apply_random_variation(c, spec, prng);
+    return c.mosfet(esim::MosfetId{0}).params.kprime;
+  };
+  EXPECT_EQ(make(99), make(99));
+  EXPECT_NE(make(99), make(100));
+}
+
+}  // namespace
+}  // namespace sks::cell

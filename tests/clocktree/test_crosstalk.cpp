@@ -1,0 +1,119 @@
+#include "clocktree/crosstalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocktree/htree.hpp"
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+ClockTree tree_under_test() {
+  HTreeOptions o;
+  o.levels = 2;
+  o.buffer_levels = 1;
+  return build_h_tree(o);
+}
+
+Aggressor hit_everything(const ClockTree& tree) {
+  Aggressor a;
+  a.victim_edge = tree.sinks()[0];
+  a.coupling_cap = 100e-15;
+  a.window_start = 0.0;
+  a.window_end = 1.0;  // covers any conceivable arrival
+  a.activity = 0.5;
+  return a;
+}
+
+TEST(Crosstalk, OverlappingWindowSlowsVictim) {
+  const ClockTree tree = tree_under_test();
+  const auto a = assess_crosstalk(tree, {}, hit_everything(tree));
+  EXPECT_TRUE(a.windows_overlap);
+  EXPECT_DOUBLE_EQ(a.miller_factor, 2.0);
+  EXPECT_GT(a.worst_delta_delay, 0.0);
+  EXPECT_GT(a.worst_delta_skew, 0.0);
+  EXPECT_DOUBLE_EQ(a.hit_probability, 0.5);
+}
+
+TEST(Crosstalk, DisjointWindowIsHarmless) {
+  const ClockTree tree = tree_under_test();
+  Aggressor a = hit_everything(tree);
+  a.window_start = 100.0;  // long after any clock edge
+  a.window_end = 101.0;
+  const auto result = assess_crosstalk(tree, {}, a);
+  EXPECT_FALSE(result.windows_overlap);
+  EXPECT_DOUBLE_EQ(result.worst_delta_delay, 0.0);
+  EXPECT_DOUBLE_EQ(result.hit_probability, 0.0);
+}
+
+TEST(Crosstalk, SameDirectionSwitchingIsBenign) {
+  const ClockTree tree = tree_under_test();
+  Aggressor a = hit_everything(tree);
+  a.opposite_direction = false;
+  const auto result = assess_crosstalk(tree, {}, a);
+  EXPECT_TRUE(result.windows_overlap);
+  EXPECT_DOUBLE_EQ(result.miller_factor, 0.0);
+  EXPECT_DOUBLE_EQ(result.worst_delta_delay, 0.0);
+}
+
+TEST(Crosstalk, DeltaGrowsWithCouplingCap) {
+  const ClockTree tree = tree_under_test();
+  Aggressor small = hit_everything(tree);
+  small.coupling_cap = 20e-15;
+  Aggressor big = hit_everything(tree);
+  big.coupling_cap = 200e-15;
+  EXPECT_LT(assess_crosstalk(tree, {}, small).worst_delta_delay,
+            assess_crosstalk(tree, {}, big).worst_delta_delay);
+}
+
+TEST(Crosstalk, VictimWindowCentredOnArrival) {
+  const ClockTree tree = tree_under_test();
+  const auto base = analyze(tree, {});
+  const Aggressor a = hit_everything(tree);
+  const auto result = assess_crosstalk(tree, {}, a);
+  const double arrival = base.arrival[a.victim_edge];
+  EXPECT_LT(result.victim_window_start, arrival);
+  EXPECT_GT(result.victim_window_end, arrival);
+}
+
+TEST(Crosstalk, DefectPlugsIntoAnalysis) {
+  const ClockTree tree = tree_under_test();
+  const Aggressor a = hit_everything(tree);
+  const TreeDefect d = crosstalk_defect(tree, {}, a);
+  EXPECT_EQ(d.kind, DefectKind::kCouplingCap);
+  EXPECT_TRUE(d.transient);
+  EXPECT_GT(d.magnitude, 1.0);
+  EXPECT_DOUBLE_EQ(d.activation_probability, 0.5);
+  // Applying it reproduces the assessed delay shift.
+  const auto base = analyze(tree, {});
+  const auto hurt = analyze(tree, apply_defect(tree, {}, d));
+  const auto assessed = assess_crosstalk(tree, {}, a);
+  double max_delta = 0.0;
+  for (const auto s : tree.sinks()) {
+    max_delta = std::max(max_delta, hurt.arrival[s] - base.arrival[s]);
+  }
+  EXPECT_NEAR(max_delta, assessed.worst_delta_delay,
+              1e-12 + 0.01 * assessed.worst_delta_delay);
+}
+
+TEST(Crosstalk, DisjointWindowDefectNeverFires) {
+  const ClockTree tree = tree_under_test();
+  Aggressor a = hit_everything(tree);
+  a.window_start = 50.0;
+  a.window_end = 51.0;
+  EXPECT_DOUBLE_EQ(crosstalk_defect(tree, {}, a).activation_probability, 0.0);
+}
+
+TEST(Crosstalk, Validation) {
+  const ClockTree tree = tree_under_test();
+  Aggressor bad = hit_everything(tree);
+  bad.victim_edge = 0;  // root has no edge
+  EXPECT_THROW(assess_crosstalk(tree, {}, bad), Error);
+  Aggressor inverted = hit_everything(tree);
+  inverted.window_start = 2.0;
+  inverted.window_end = 1.0;
+  EXPECT_THROW(assess_crosstalk(tree, {}, inverted), Error);
+}
+
+}  // namespace
+}  // namespace sks::clocktree

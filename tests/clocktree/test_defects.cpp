@@ -1,0 +1,171 @@
+#include "clocktree/defects.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocktree/htree.hpp"
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+ClockTree buffered_h_tree() {
+  HTreeOptions o;
+  o.levels = 3;
+  o.buffer_levels = 2;
+  return build_h_tree(o);
+}
+
+TEST(Defects, ResistiveOpenDelaysItsSubtreeOnly) {
+  const ClockTree t = buffered_h_tree();
+  const auto sinks = t.sinks();
+  TreeDefect d;
+  d.kind = DefectKind::kResistiveOpen;
+  d.node = sinks[3];  // leaf edge
+  d.magnitude = 10.0;
+  const auto base = analyze(t, AnalysisOptions{});
+  const auto faulty = analyze(t, apply_defect(t, AnalysisOptions{}, d));
+  EXPECT_GT(faulty.arrival[sinks[3]], base.arrival[sinks[3]]);
+  EXPECT_NEAR(faulty.arrival[sinks[0]], base.arrival[sinks[0]], 1e-18);
+  EXPECT_GT(max_sink_skew(t, faulty), 1e-12);
+}
+
+TEST(Defects, CouplingCapSlowsVictim) {
+  const ClockTree t = buffered_h_tree();
+  const auto sinks = t.sinks();
+  TreeDefect d;
+  d.kind = DefectKind::kCouplingCap;
+  d.node = sinks[0];
+  d.magnitude = 3.0;
+  const auto base = analyze(t, AnalysisOptions{});
+  const auto faulty = analyze(t, apply_defect(t, AnalysisOptions{}, d));
+  EXPECT_GT(faulty.arrival[sinks[0]], base.arrival[sinks[0]]);
+}
+
+TEST(Defects, WeakBufferSlowsWholeSubtree) {
+  const ClockTree t = buffered_h_tree();
+  std::size_t buffer_node = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.node(i).buffered) {
+      buffer_node = i;
+      break;
+    }
+  }
+  ASSERT_GT(buffer_node, 0u);
+  TreeDefect d;
+  d.kind = DefectKind::kWeakBuffer;
+  d.node = buffer_node;
+  d.magnitude = 2.0;
+  const auto base = analyze(t, AnalysisOptions{});
+  const auto faulty = analyze(t, apply_defect(t, AnalysisOptions{}, d));
+  // Every sink below that buffer moves by the same extra intrinsic delay.
+  AnalysisOptions probe;
+  std::size_t below = 0;
+  for (const auto s : t.sinks()) {
+    const auto path = t.path_to_root(s);
+    const bool in_subtree =
+        std::find(path.begin(), path.end(), buffer_node) != path.end();
+    if (in_subtree) {
+      ++below;
+      EXPECT_GT(faulty.arrival[s], base.arrival[s]);
+    } else {
+      EXPECT_NEAR(faulty.arrival[s], base.arrival[s], 1e-18);
+    }
+  }
+  EXPECT_GT(below, 0u);
+  (void)probe;
+}
+
+TEST(Defects, WeakBufferOnUnbufferedNodeThrows) {
+  const ClockTree t = buffered_h_tree();
+  TreeDefect d;
+  d.kind = DefectKind::kWeakBuffer;
+  d.node = t.sinks()[0];
+  EXPECT_THROW(apply_defect(t, AnalysisOptions{}, d), Error);
+}
+
+TEST(Defects, SupplyDroopSlowsAllBuffersBelow) {
+  const ClockTree t = buffered_h_tree();
+  TreeDefect d;
+  d.kind = DefectKind::kSupplyDroop;
+  d.node = 0;  // whole chip
+  d.magnitude = 1.5;
+  const auto base = analyze(t, AnalysisOptions{});
+  const auto droop = analyze(t, apply_defect(t, AnalysisOptions{}, d));
+  for (const auto s : t.sinks()) {
+    EXPECT_GT(droop.arrival[s], base.arrival[s]);
+  }
+  // Uniform droop on a symmetric tree keeps skew at zero: common-mode.
+  EXPECT_LT(max_sink_skew(t, droop), 1e-18);
+}
+
+TEST(Defects, DefectsCompose) {
+  const ClockTree t = buffered_h_tree();
+  TreeDefect d1;
+  d1.kind = DefectKind::kResistiveOpen;
+  d1.node = t.sinks()[0];
+  d1.magnitude = 5.0;
+  TreeDefect d2 = d1;
+  d2.node = t.sinks()[1];
+  AnalysisOptions o = apply_defect(t, AnalysisOptions{}, d1);
+  o = apply_defect(t, o, d2);
+  const auto a = analyze(t, o);
+  const auto base = analyze(t, AnalysisOptions{});
+  EXPECT_GT(a.arrival[t.sinks()[0]], base.arrival[t.sinks()[0]]);
+  EXPECT_GT(a.arrival[t.sinks()[1]], base.arrival[t.sinks()[1]]);
+}
+
+TEST(Defects, BadNodeIndexThrows) {
+  const ClockTree t = buffered_h_tree();
+  TreeDefect d;
+  d.node = t.size() + 5;
+  EXPECT_THROW(apply_defect(t, AnalysisOptions{}, d), Error);
+}
+
+TEST(Defects, LabelIsReadable) {
+  TreeDefect d;
+  d.kind = DefectKind::kCouplingCap;
+  d.node = 7;
+  d.magnitude = 2.5;
+  d.transient = true;
+  const std::string label = d.label();
+  EXPECT_NE(label.find("coupling-cap"), std::string::npos);
+  EXPECT_NE(label.find("n7"), std::string::npos);
+  EXPECT_NE(label.find("transient"), std::string::npos);
+}
+
+TEST(Defects, RandomVariationPerturbsSkew) {
+  const ClockTree t = buffered_h_tree();
+  util::Prng prng(5);
+  const auto varied =
+      apply_random_variation(t, AnalysisOptions{}, prng, 0.1);
+  const auto a = analyze(t, varied);
+  EXPECT_GT(max_sink_skew(t, a), 0.0);  // symmetry broken
+  for (const double s : varied.edge_r_scale) {
+    EXPECT_GE(s, 0.9);
+    EXPECT_LE(s, 1.1);
+  }
+}
+
+TEST(Defects, RandomDefectsAreValid) {
+  const ClockTree t = buffered_h_tree();
+  util::Prng prng(11);
+  for (int i = 0; i < 50; ++i) {
+    const TreeDefect d = random_defect(t, prng);
+    EXPECT_LT(d.node, t.size());
+    EXPECT_GT(d.magnitude, 1.0);
+    // Must be applicable without throwing.
+    (void)apply_defect(t, AnalysisOptions{}, d);
+    if (d.transient) {
+      EXPECT_GT(d.activation_probability, 0.0);
+      EXPECT_LE(d.activation_probability, 1.0);
+    }
+  }
+}
+
+TEST(Defects, KindNames) {
+  EXPECT_EQ(to_string(DefectKind::kResistiveOpen), "resistive-open");
+  EXPECT_EQ(to_string(DefectKind::kSupplyDroop), "supply-droop");
+}
+
+}  // namespace
+}  // namespace sks::clocktree

@@ -1,0 +1,132 @@
+#include "clocktree/dme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+std::vector<Sink> random_sinks(std::size_t n, std::uint64_t seed,
+                               double span = 8e-3) {
+  util::Prng prng(seed);
+  std::vector<Sink> sinks;
+  sinks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sinks.push_back({{prng.uniform(0.0, span), prng.uniform(0.0, span)},
+                     prng.uniform(20e-15, 120e-15)});
+  }
+  return sinks;
+}
+
+TEST(Dme, SingleSinkIsDirectRoute) {
+  const ClockTree t = build_zero_skew_tree({{{1e-3, 2e-3}, 50e-15}}, {});
+  EXPECT_EQ(t.sinks().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.total_wire_length(), 3e-3);
+}
+
+TEST(Dme, TwoEqualSinksTapMidway) {
+  DmeOptions o;
+  o.source = {0.0, 0.0};
+  const ClockTree t = build_zero_skew_tree(
+      {{{2e-3, 0.0}, 50e-15}, {{4e-3, 0.0}, 50e-15}}, o);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-18);
+  // Symmetric subtrees: the tapping point is the geometric midpoint.
+  bool found_mid = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std::abs(t.node(i).pos.x - 3e-3) < 1e-9 && !t.node(i).is_sink()) {
+      found_mid = true;
+    }
+  }
+  EXPECT_TRUE(found_mid);
+}
+
+TEST(Dme, UnequalLoadsShiftTappingPointTowardHeavy) {
+  // The heavier sink needs a shorter wire for delay balance.
+  DmeOptions o;
+  const ClockTree t = build_zero_skew_tree(
+      {{{0.0, 0.0}, 200e-15}, {{4e-3, 0.0}, 20e-15}}, o);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-18);
+  // Find the merge node (parent of both sinks).
+  const auto sinks = t.sinks();
+  const std::size_t merge = t.node(sinks[0]).parent;
+  EXPECT_EQ(t.node(sinks[1]).parent, merge);
+  const double d_heavy = manhattan(t.node(merge).pos, Point{0.0, 0.0});
+  const double d_light = manhattan(t.node(merge).pos, Point{4e-3, 0.0});
+  EXPECT_LT(d_heavy, d_light);
+}
+
+TEST(Dme, SnakingBalancesCoincidentFastAndSlowSubtrees) {
+  // Three sinks: two stacked far away (slow subtree) merged with one near
+  // the source — the near one's wire must be elongated, never negative.
+  const ClockTree t = build_zero_skew_tree(
+      {{{0.1e-3, 0.1e-3}, 30e-15},
+       {{7e-3, 7e-3}, 90e-15},
+       {{7.5e-3, 7e-3}, 90e-15}},
+      {});
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-15);
+  // Snaking shows up as wire length exceeding the Manhattan distance.
+  double excess = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double direct =
+        manhattan(t.node(i).pos, t.node(t.node(i).parent).pos);
+    excess += t.node(i).wire_length - direct;
+    EXPECT_GE(t.node(i).wire_length, direct - 1e-12);
+  }
+  EXPECT_GT(excess, 0.0);
+}
+
+TEST(Dme, RejectsEmptySinkList) {
+  EXPECT_THROW(build_zero_skew_tree({}, {}), Error);
+}
+
+class DmeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DmeRandom, ExactZeroSkewUnderElmore) {
+  const auto sinks =
+      random_sinks(4 + GetParam() * 7, static_cast<std::uint64_t>(GetParam()));
+  const ClockTree t = build_zero_skew_tree(sinks, {});
+  EXPECT_EQ(t.sinks().size(), sinks.size());
+  const auto a = analyze(t, AnalysisOptions{});
+  const auto sink_nodes = t.sinks();
+  // All arrivals identical to sub-femtosecond precision.
+  for (const auto s : sink_nodes) {
+    EXPECT_NEAR(a.arrival[s], a.arrival[sink_nodes[0]], 1e-16);
+  }
+}
+
+TEST_P(DmeRandom, WirelengthIsBoundedByStarRouting) {
+  // Sanity upper bound: DME must not exceed routing every sink separately
+  // from the source (a star), up to the snaking needed for balance.
+  const auto sinks =
+      random_sinks(12, static_cast<std::uint64_t>(GetParam()) + 100);
+  DmeOptions o;
+  o.source = {4e-3, 4e-3};
+  const ClockTree t = build_zero_skew_tree(sinks, o);
+  double star = 0.0;
+  for (const auto& s : sinks) star += manhattan(o.source, s.pos);
+  EXPECT_LT(t.total_wire_length(), 1.5 * star);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmeRandom, ::testing::Range(1, 9));
+
+TEST(Dme, CoincidentSinksHandled) {
+  const ClockTree t = build_zero_skew_tree(
+      {{{1e-3, 1e-3}, 50e-15}, {{1e-3, 1e-3}, 50e-15}}, {});
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-18);
+}
+
+TEST(Dme, CoincidentUnequalSinksNeedSnake) {
+  const ClockTree t = build_zero_skew_tree(
+      {{{1e-3, 1e-3}, 20e-15}, {{1e-3, 1e-3}, 200e-15}}, {});
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-16);
+}
+
+}  // namespace
+}  // namespace sks::clocktree

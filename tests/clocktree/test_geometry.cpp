@@ -1,0 +1,72 @@
+#include "clocktree/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::clocktree {
+namespace {
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(manhattan({2, 3}, {2, 3}), 0.0);
+}
+
+TEST(Geometry, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Geometry, Lerp) {
+  const Point mid = lerp({0, 0}, {2, 4}, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.0);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+}
+
+TEST(LPath, WalksXFirst) {
+  // L path from (0,0) to (3,4): x leg then y leg.
+  const Point p1 = along_l_path({0, 0}, {3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(p1.x, 2.0);
+  EXPECT_DOUBLE_EQ(p1.y, 0.0);
+  const Point p2 = along_l_path({0, 0}, {3, 4}, 5.0);
+  EXPECT_DOUBLE_EQ(p2.x, 3.0);
+  EXPECT_DOUBLE_EQ(p2.y, 2.0);
+}
+
+TEST(LPath, EndpointsExact) {
+  const Point a{1, 2};
+  const Point b{4, -1};
+  EXPECT_EQ(along_l_path(a, b, 0.0), a);
+  EXPECT_EQ(along_l_path(a, b, manhattan(a, b)), b);
+}
+
+TEST(LPath, ClampsOutOfRangeDistances) {
+  const Point a{0, 0};
+  const Point b{1, 1};
+  EXPECT_EQ(along_l_path(a, b, -5.0), a);
+  EXPECT_EQ(along_l_path(a, b, 100.0), b);
+}
+
+TEST(LPath, HandlesNegativeDirections) {
+  const Point p = along_l_path({3, 4}, {0, 0}, 3.5);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 3.5);
+}
+
+// Property: every point along the path preserves total distance.
+class LPathParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(LPathParam, DistanceSplitsExactly) {
+  const Point a{-2, 5};
+  const Point b{7, -3};
+  const double total = manhattan(a, b);
+  const double d = GetParam() * total;
+  const Point p = along_l_path(a, b, d);
+  EXPECT_NEAR(manhattan(a, p) + manhattan(p, b), total, 1e-12);
+  EXPECT_NEAR(manhattan(a, p), d, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, LPathParam,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.99,
+                                           1.0));
+
+}  // namespace
+}  // namespace sks::clocktree

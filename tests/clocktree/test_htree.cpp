@@ -1,0 +1,111 @@
+#include "clocktree/htree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+TEST(HTree, SinkCountIsFourToTheLevels) {
+  for (const std::size_t levels : {1u, 2u, 3u}) {
+    HTreeOptions o;
+    o.levels = levels;
+    o.buffer_levels = 0;
+    const ClockTree t = build_h_tree(o);
+    EXPECT_EQ(t.sinks().size(), static_cast<std::size_t>(std::pow(4, levels)))
+        << levels;
+  }
+}
+
+TEST(HTree, RejectsDegenerateOptions) {
+  HTreeOptions o;
+  o.levels = 0;
+  EXPECT_THROW(build_h_tree(o), Error);
+  o.levels = 2;
+  o.chip_width = 0.0;
+  EXPECT_THROW(build_h_tree(o), Error);
+}
+
+TEST(HTree, SinksCarryTheConfiguredLoad) {
+  HTreeOptions o;
+  o.levels = 2;
+  o.sink_cap = 77e-15;
+  const ClockTree t = build_h_tree(o);
+  for (const auto s : t.sinks()) {
+    EXPECT_DOUBLE_EQ(t.node(s).sink_cap, 77e-15);
+  }
+}
+
+TEST(HTree, SinksFormRegularGrid) {
+  HTreeOptions o;
+  o.levels = 2;
+  o.chip_width = 8e-3;
+  const ClockTree t = build_h_tree(o);
+  // 16 sinks at the centres of a 4x4 grid: coordinates in {1,3,5,7} mm.
+  for (const auto s : t.sinks()) {
+    const Point p = t.node(s).pos;
+    const double gx = p.x / 1e-3;
+    const double gy = p.y / 1e-3;
+    EXPECT_NEAR(std::fmod(gx, 2.0), 1.0, 1e-9) << gx;
+    EXPECT_NEAR(std::fmod(gy, 2.0), 1.0, 1e-9) << gy;
+  }
+}
+
+class HTreeZeroSkew : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HTreeZeroSkew, PerfectlyBalancedWithoutBuffers) {
+  HTreeOptions o;
+  o.levels = GetParam();
+  o.buffer_levels = 0;
+  const ClockTree t = build_h_tree(o);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-18);
+}
+
+TEST_P(HTreeZeroSkew, StillBalancedWithSymmetricBuffers) {
+  HTreeOptions o;
+  o.levels = GetParam();
+  o.buffer_levels = 2;
+  const ClockTree t = build_h_tree(o);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_LT(max_sink_skew(t, a), 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HTreeZeroSkew, ::testing::Values(1, 2, 3, 4));
+
+TEST(HTree, BufferLevelsInsertBuffers) {
+  HTreeOptions with;
+  with.levels = 3;
+  with.buffer_levels = 2;
+  HTreeOptions without = with;
+  without.buffer_levels = 0;
+  const ClockTree tb = build_h_tree(with);
+  const ClockTree tp = build_h_tree(without);
+  std::size_t buffers = 0;
+  for (std::size_t i = 0; i < tb.size(); ++i) {
+    if (tb.node(i).buffered) ++buffers;
+  }
+  EXPECT_GT(buffers, 0u);
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    EXPECT_FALSE(tp.node(i).buffered);
+  }
+}
+
+TEST(HTree, DeeperTreesHaveLargerDelay) {
+  HTreeOptions shallow;
+  shallow.levels = 1;
+  shallow.buffer_levels = 0;
+  HTreeOptions deep = shallow;
+  deep.levels = 3;
+  const ClockTree ts = build_h_tree(shallow);
+  const ClockTree td = build_h_tree(deep);
+  const auto as = analyze(ts, AnalysisOptions{});
+  const auto ad = analyze(td, AnalysisOptions{});
+  EXPECT_GT(ad.arrival[td.sinks()[0]], as.arrival[ts.sinks()[0]]);
+}
+
+}  // namespace
+}  // namespace sks::clocktree

@@ -1,0 +1,133 @@
+#include "clocktree/rctree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+TEST(RcTree, SingleRcSegmentElmore) {
+  // root --R-- n1(C): delay = R*C.
+  RcTree t(0.0);
+  const std::size_t n1 = t.add_node(0, 1000.0, 1e-12);
+  const auto d = t.elmore_delays();
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[n1], 1e-9);
+}
+
+TEST(RcTree, SourceResistanceAddsToAllNodes) {
+  RcTree t(0.5e-12);
+  const std::size_t n1 = t.add_node(0, 1000.0, 1e-12);
+  const auto d = t.elmore_delays(2000.0);
+  // Root: Rs * Ctotal = 2000 * 1.5e-12 = 3 ns.
+  EXPECT_DOUBLE_EQ(d[0], 3e-9);
+  EXPECT_DOUBLE_EQ(d[n1], 3e-9 + 1e-9);
+}
+
+TEST(RcTree, BranchingHandComputed) {
+  //        root
+  //         |R1=100, C=1p (a)
+  //    +----a----+
+  //  R2=200,2p   R3=300,3p
+  //    b         c
+  RcTree t(0.0);
+  const auto a = t.add_node(0, 100.0, 1e-12);
+  const auto b = t.add_node(a, 200.0, 2e-12);
+  const auto c = t.add_node(a, 300.0, 3e-12);
+  const auto d = t.elmore_delays();
+  // delay(a) = R1 * (Ca+Cb+Cc) = 100 * 6p = 0.6 ns
+  EXPECT_NEAR(d[a], 0.6e-9, 1e-18);
+  // delay(b) = d(a) + R2 * Cb = 0.6n + 200*2p = 1.0 ns
+  EXPECT_NEAR(d[b], 1.0e-9, 1e-18);
+  // delay(c) = d(a) + R3 * Cc = 0.6n + 0.9n = 1.5 ns
+  EXPECT_NEAR(d[c], 1.5e-9, 1e-18);
+}
+
+TEST(RcTree, DownstreamCaps) {
+  RcTree t(1e-15);
+  const auto a = t.add_node(0, 1.0, 2e-15);
+  const auto b = t.add_node(a, 1.0, 3e-15);
+  const auto down = t.downstream_caps();
+  EXPECT_DOUBLE_EQ(down[b], 3e-15);
+  EXPECT_DOUBLE_EQ(down[a], 5e-15);
+  EXPECT_DOUBLE_EQ(down[0], 6e-15);
+  EXPECT_DOUBLE_EQ(t.total_cap(), 6e-15);
+}
+
+TEST(RcTree, SecondMomentSingleSegment) {
+  // For a single R-C lump: m1 = RC, m2 = R*C*m1 = (RC)^2.
+  RcTree t(0.0);
+  const auto n1 = t.add_node(0, 1000.0, 1e-12);
+  const auto m2 = t.second_moments();
+  EXPECT_NEAR(m2[n1], 1e-18, 1e-27);
+}
+
+TEST(RcTree, SigmaZeroForSingleLump) {
+  // var = 2*m2 - m1^2 = 2(RC)^2 - (RC)^2 = (RC)^2 -> sigma = RC.
+  RcTree t(0.0);
+  const auto n1 = t.add_node(0, 1000.0, 1e-12);
+  const auto s = t.sigma();
+  EXPECT_NEAR(s[n1], 1e-9, 1e-15);
+}
+
+TEST(RcTree, SigmaShrinksRelativeToDelayForLongChains) {
+  // A distributed line's response is sharper (sigma/m1 smaller) than a
+  // single lump's.
+  RcTree lump(0.0);
+  const auto nl = lump.add_node(0, 1000.0, 1e-12);
+  RcTree chain(0.0);
+  std::size_t at = 0;
+  for (int i = 0; i < 10; ++i) at = chain.add_node(at, 100.0, 0.1e-12);
+  const double ratio_lump = lump.sigma()[nl] / lump.elmore_delays()[nl];
+  const double ratio_chain =
+      chain.sigma()[at] / chain.elmore_delays()[at];
+  EXPECT_LT(ratio_chain, ratio_lump);
+}
+
+TEST(RcTree, SetResistanceAndCapacitance) {
+  RcTree t(0.0);
+  const auto n1 = t.add_node(0, 100.0, 1e-12);
+  t.set_resistance(n1, 500.0);
+  t.set_capacitance(n1, 2e-12);
+  EXPECT_DOUBLE_EQ(t.elmore_delays()[n1], 1e-9);
+}
+
+TEST(RcTree, Validation) {
+  RcTree t(0.0);
+  EXPECT_THROW(t.add_node(5, 1.0, 1e-15), Error);
+  EXPECT_THROW(t.add_node(0, -1.0, 1e-15), Error);
+  EXPECT_THROW(t.add_node(0, 1.0, -1e-15), Error);
+  EXPECT_THROW(t.set_resistance(0, 1.0), Error);  // root has no edge
+}
+
+TEST(RcTree, NamesAreStoredAndGenerated) {
+  RcTree t(0.0, "drv");
+  const auto a = t.add_node(0, 1.0, 0.0, "wire1");
+  const auto b = t.add_node(a, 1.0, 0.0);
+  EXPECT_EQ(t.name(0), "drv");
+  EXPECT_EQ(t.name(a), "wire1");
+  EXPECT_FALSE(t.name(b).empty());
+}
+
+// Property: Elmore delays are monotone along any root-to-leaf path.
+class RcTreeChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcTreeChain, DelayMonotoneAlongPath) {
+  RcTree t(0.1e-12);
+  std::size_t at = 0;
+  std::vector<std::size_t> path{0};
+  for (int i = 0; i < GetParam(); ++i) {
+    at = t.add_node(at, 50.0 * (i + 1), 0.2e-12);
+    path.push_back(at);
+  }
+  const auto d = t.elmore_delays(100.0);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GT(d[path[i]], d[path[i - 1]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RcTreeChain, ::testing::Values(1, 3, 8, 20));
+
+}  // namespace
+}  // namespace sks::clocktree

@@ -1,0 +1,129 @@
+#include "clocktree/skew_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocktree/htree.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+TEST(SkewAnalysis, AllPairsPresentAndSorted) {
+  HTreeOptions ho;
+  ho.levels = 2;  // 16 sinks -> 120 pairs
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions co;
+  co.samples = 20;
+  const auto ranked = rank_critical_pairs(t, AnalysisOptions{}, co);
+  EXPECT_EQ(ranked.size(), 120u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    const bool ordered =
+        ranked[i - 1].exceed_probability > ranked[i].exceed_probability ||
+        (ranked[i - 1].exceed_probability == ranked[i].exceed_probability &&
+         ranked[i - 1].sigma_skew >= ranked[i].sigma_skew);
+    EXPECT_TRUE(ordered) << i;
+  }
+}
+
+TEST(SkewAnalysis, NominalSkewZeroOnSymmetricTree) {
+  HTreeOptions ho;
+  ho.levels = 2;
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions co;
+  co.samples = 10;
+  const auto ranked = rank_critical_pairs(t, AnalysisOptions{}, co);
+  for (const auto& p : ranked) {
+    EXPECT_NEAR(p.nominal_skew, 0.0, 1e-18);
+  }
+}
+
+TEST(SkewAnalysis, DistantPairsHaveLargerSigma) {
+  // Pairs sharing most of their path vary together; distant pairs don't.
+  HTreeOptions ho;
+  ho.levels = 2;
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions co;
+  co.samples = 60;
+  co.seed = 3;
+  const auto ranked = rank_critical_pairs(t, AnalysisOptions{}, co);
+  // Average sigma of the quartile of most-distant pairs vs nearest pairs.
+  std::vector<PairCriticality> by_distance = ranked;
+  std::sort(by_distance.begin(), by_distance.end(),
+            [](const auto& a, const auto& b) { return a.distance < b.distance; });
+  const std::size_t q = by_distance.size() / 4;
+  double near_sigma = 0.0;
+  double far_sigma = 0.0;
+  for (std::size_t i = 0; i < q; ++i) {
+    near_sigma += by_distance[i].sigma_skew;
+    far_sigma += by_distance[by_distance.size() - 1 - i].sigma_skew;
+  }
+  EXPECT_GT(far_sigma, near_sigma);
+}
+
+TEST(SkewAnalysis, StatisticsAreInternallyConsistent) {
+  HTreeOptions ho;
+  ho.levels = 1;
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions co;
+  co.samples = 50;
+  const auto ranked = rank_critical_pairs(t, AnalysisOptions{}, co);
+  for (const auto& p : ranked) {
+    EXPECT_GE(p.max_abs_skew, p.mean_abs_skew);
+    EXPECT_GE(p.sigma_skew, 0.0);
+    EXPECT_GE(p.exceed_probability, 0.0);
+    EXPECT_LE(p.exceed_probability, 1.0);
+    EXPECT_GT(p.distance, 0.0);
+  }
+}
+
+TEST(SkewAnalysis, ThresholdControlsExceedProbability) {
+  HTreeOptions ho;
+  ho.levels = 2;
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions loose;
+  loose.samples = 40;
+  loose.skew_threshold = 1.0;  // impossible to exceed
+  const auto none = rank_critical_pairs(t, AnalysisOptions{}, loose);
+  for (const auto& p : none) EXPECT_EQ(p.exceed_probability, 0.0);
+
+  CriticalityOptions tight = loose;
+  tight.skew_threshold = 0.0;  // everything exceeds
+  const auto all = rank_critical_pairs(t, AnalysisOptions{}, tight);
+  for (const auto& p : all) EXPECT_EQ(p.exceed_probability, 1.0);
+}
+
+TEST(SkewAnalysis, DeterministicForSeed) {
+  HTreeOptions ho;
+  ho.levels = 1;
+  const ClockTree t = build_h_tree(ho);
+  CriticalityOptions co;
+  co.samples = 30;
+  co.seed = 42;
+  const auto a = rank_critical_pairs(t, AnalysisOptions{}, co);
+  const auto b = rank_critical_pairs(t, AnalysisOptions{}, co);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].sigma_skew, b[i].sigma_skew);
+  }
+}
+
+TEST(SkewAnalysis, PermanentDefectDominatesRanking) {
+  HTreeOptions ho;
+  ho.levels = 2;
+  const ClockTree t = build_h_tree(ho);
+  const auto victim = t.sinks()[5];
+  TreeDefect d;
+  d.kind = DefectKind::kResistiveOpen;
+  d.node = victim;
+  d.magnitude = 30.0;
+  const AnalysisOptions faulty = apply_defect(t, AnalysisOptions{}, d);
+  CriticalityOptions co;
+  co.samples = 30;
+  co.skew_threshold = 10e-12;
+  const auto ranked = rank_critical_pairs(t, faulty, co);
+  // The top pair must involve the defective sink.
+  EXPECT_TRUE(ranked.front().a == victim || ranked.front().b == victim);
+  EXPECT_GT(ranked.front().exceed_probability, 0.9);
+}
+
+}  // namespace
+}  // namespace sks::clocktree

@@ -1,0 +1,171 @@
+#include "clocktree/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+namespace {
+
+TEST(ClockTree, ConstructionAndAccess) {
+  ClockTree t({1e-3, 1e-3}, "gen");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.node(0).name, "gen");
+  const auto a = t.add_node(0, {2e-3, 1e-3});
+  EXPECT_DOUBLE_EQ(t.node(a).wire_length, 1e-3);
+  EXPECT_EQ(t.node(0).children.size(), 1u);
+}
+
+TEST(ClockTree, SnakedWireAllowed) {
+  ClockTree t;
+  const auto a = t.add_node(0, {1e-3, 0}, 2.5e-3);
+  EXPECT_DOUBLE_EQ(t.node(a).wire_length, 2.5e-3);
+  EXPECT_THROW(t.add_node(0, {1e-3, 0}, 0.5e-3), Error);  // < manhattan
+}
+
+TEST(ClockTree, SinksMustBeLeaves) {
+  ClockTree t;
+  const auto a = t.add_node(0, {1e-3, 0});
+  const auto b = t.add_node(a, {2e-3, 0});
+  EXPECT_THROW(t.set_sink(a, 50e-15), Error);  // has a child
+  t.set_sink(b, 50e-15);
+  EXPECT_EQ(t.sinks().size(), 1u);
+  EXPECT_THROW(t.set_sink(b, 0.0), Error);
+}
+
+TEST(ClockTree, PathToRoot) {
+  ClockTree t;
+  const auto a = t.add_node(0, {1e-3, 0});
+  const auto b = t.add_node(a, {2e-3, 0});
+  const auto path = t.path_to_root(b);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], b);
+  EXPECT_EQ(path[1], a);
+  EXPECT_EQ(path[2], 0u);
+}
+
+TEST(ClockTree, TotalWireLength) {
+  ClockTree t;
+  const auto a = t.add_node(0, {1e-3, 0});
+  t.add_node(a, {1e-3, 2e-3});
+  EXPECT_DOUBLE_EQ(t.total_wire_length(), 3e-3);
+}
+
+TEST(Analyze, SingleWireMatchesHandElmore) {
+  // Source resistance Rs drives a wire of length L to a sink of cap Cs.
+  ClockTree t;
+  const auto s = t.add_node(0, {1e-3, 0});
+  t.set_sink(s, 100e-15);
+  AnalysisOptions o;
+  o.source_resistance = 500.0;
+  const double rw = o.wire.resistance(1e-3);
+  const double cw = o.wire.capacitance(1e-3);
+  const auto a = analyze(t, o);
+  // Distributed line + source R: Rs*(Cw+Cs) + Rw*(Cw/2 + Cs).
+  const double expected =
+      500.0 * (cw + 100e-15) + rw * (cw / 2.0 + 100e-15);
+  EXPECT_NEAR(a.arrival[s], expected, expected * 1e-9);
+}
+
+TEST(Analyze, PiSectionsExactForAnySegmentCount) {
+  ClockTree t;
+  const auto s = t.add_node(0, {2e-3, 0});
+  t.set_sink(s, 80e-15);
+  double reference = -1.0;
+  for (const std::size_t segments : {1u, 2u, 4u, 16u}) {
+    AnalysisOptions o;
+    o.wire.segments = segments;
+    const auto a = analyze(t, o);
+    if (reference < 0.0) {
+      reference = a.arrival[s];
+    } else {
+      EXPECT_NEAR(a.arrival[s], reference, reference * 1e-12) << segments;
+    }
+  }
+}
+
+TEST(Analyze, BufferSplitsStagesAndAddsDelay) {
+  // root --wire-- b(buffered) --wire-- sink.
+  ClockTree t;
+  const auto b = t.add_node(0, {1e-3, 0});
+  const auto s = t.add_node(b, {2e-3, 0});
+  t.set_sink(s, 50e-15);
+  AnalysisOptions without;
+  AnalysisOptions with = without;
+  ClockTree tb = t;
+  tb.set_buffer(b);
+  const auto plain = analyze(t, without);
+  const auto buffered = analyze(tb, with);
+  // The buffer decouples the downstream load and adds its intrinsic delay;
+  // arrival at the buffer input stage differs from the plain wire case.
+  EXPECT_NE(plain.arrival[s], buffered.arrival[s]);
+  // Arrival at sink includes at least the intrinsic delay.
+  EXPECT_GT(buffered.arrival[s], with.buffer.intrinsic_delay);
+}
+
+TEST(Analyze, EdgeScalingHooksShiftArrival) {
+  ClockTree t;
+  const auto s = t.add_node(0, {1e-3, 0});
+  t.set_sink(s, 50e-15);
+  AnalysisOptions nominal;
+  const auto base = analyze(t, nominal);
+
+  AnalysisOptions slower = nominal;
+  slower.edge_r_scale.assign(t.size(), 1.0);
+  slower.edge_r_scale[s] = 3.0;
+  const auto scaled = analyze(t, slower);
+  EXPECT_GT(scaled.arrival[s], base.arrival[s]);
+
+  AnalysisOptions heavier = nominal;
+  heavier.sink_cap_scale.assign(t.size(), 1.0);
+  heavier.sink_cap_scale[s] = 2.0;
+  const auto heavy = analyze(t, heavier);
+  EXPECT_GT(heavy.arrival[s], base.arrival[s]);
+}
+
+TEST(Analyze, ScaleSizeMismatchThrows) {
+  ClockTree t;
+  const auto s = t.add_node(0, {1e-3, 0});
+  t.set_sink(s, 50e-15);
+  AnalysisOptions bad;
+  bad.edge_r_scale = {1.0};  // wrong size
+  EXPECT_THROW(analyze(t, bad), Error);
+}
+
+TEST(Analyze, SlewSigmaPositiveAndGrowsDownstream) {
+  ClockTree t;
+  const auto m = t.add_node(0, {1e-3, 0});
+  const auto s = t.add_node(m, {3e-3, 0});
+  t.set_sink(s, 80e-15);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_GT(a.slew_sigma[s], 0.0);
+  EXPECT_GE(a.slew_sigma[s], a.slew_sigma[m]);
+}
+
+TEST(SkewSummaries, MaxSinkSkewAndPairs) {
+  // Deliberately unbalanced: one short and one long branch.
+  ClockTree t;
+  const auto s1 = t.add_node(0, {1e-3, 0});
+  const auto s2 = t.add_node(0, {4e-3, 0});
+  t.set_sink(s1, 50e-15);
+  t.set_sink(s2, 50e-15);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_GT(max_sink_skew(t, a), 0.0);
+  const auto pairs = all_sink_pairs(t, a);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 3e-3);
+  EXPECT_NEAR(pairs[0].skew, a.arrival[s1] - a.arrival[s2], 1e-18);
+  EXPECT_LT(pairs[0].skew, 0.0);  // s1 closer -> earlier
+}
+
+TEST(SkewSummaries, FewerThanTwoSinksIsZero) {
+  ClockTree t;
+  const auto s = t.add_node(0, {1e-3, 0});
+  t.set_sink(s, 50e-15);
+  const auto a = analyze(t, AnalysisOptions{});
+  EXPECT_DOUBLE_EQ(max_sink_skew(t, a), 0.0);
+  EXPECT_TRUE(all_sink_pairs(t, a).empty());
+}
+
+}  // namespace
+}  // namespace sks::clocktree

@@ -1,0 +1,113 @@
+// Adaptive-timestep transient: accuracy against the fixed-step reference
+// and actual step savings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cell/measure.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+
+namespace sks::esim {
+namespace {
+
+Circuit rc_step() {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, c.ground(), 1e-12);
+  return c;
+}
+
+TEST(AdaptiveTransient, MatchesAnalyticRcResponse) {
+  TransientOptions options;
+  options.t_end = 5e-9;
+  options.dt = 5e-12;
+  options.adaptive = true;
+  options.dv_max = 0.05;
+  options.dt_max = 200e-12;
+  const auto result = simulate(rc_step(), options);
+  const Circuit c = rc_step();
+  const auto trace = Trace::node_voltage(result, c, "out");
+  for (const double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expected = 1.0 - std::exp(-(t - 1e-12) / 1e-9);
+    EXPECT_NEAR(trace.value_at(t), expected, 0.02) << t;
+  }
+}
+
+TEST(AdaptiveTransient, UsesFewerStepsThanFixed) {
+  TransientOptions fixed;
+  fixed.t_end = 20e-9;
+  fixed.dt = 2e-12;
+  TransientOptions adaptive = fixed;
+  adaptive.adaptive = true;
+  adaptive.dv_max = 0.2;
+  adaptive.dt_max = 100e-12;
+  const auto fixed_result = simulate(rc_step(), fixed);
+  const auto adaptive_result = simulate(rc_step(), adaptive);
+  EXPECT_LT(adaptive_result.steps(), fixed_result.steps() / 4);
+}
+
+TEST(AdaptiveTransient, StepsShrinkDuringFastEdges) {
+  // The step history must show small steps around the edge at 1 ps and
+  // large ones in the flat tail.
+  TransientOptions options;
+  options.t_end = 10e-9;
+  options.dt = 2e-12;
+  options.adaptive = true;
+  options.dv_max = 0.05;
+  options.dt_max = 500e-12;
+  const auto result = simulate(rc_step(), options);
+  double tail_step = 0.0;
+  for (std::size_t i = 1; i < result.time.size(); ++i) {
+    if (result.time[i] > 8e-9) {
+      tail_step = std::max(tail_step, result.time[i] - result.time[i - 1]);
+    }
+  }
+  EXPECT_GT(tail_step, 100e-12);  // recovered in the quiet tail
+}
+
+TEST(AdaptiveTransient, SensorMeasurementAgreesWithFixedStep) {
+  // The figure-generating measurement must be timestep-policy independent.
+  const cell::Technology tech;
+  cell::SensorOptions sensor;
+  sensor.load_y1 = sensor.load_y2 = 160e-15;
+  cell::ClockPairStimulus stim;
+  stim.skew = 0.2e-9;
+  const auto bench = cell::make_sensor_bench(tech, sensor, stim);
+
+  TransientOptions fixed = cell::sensor_sim_options(stim, 2e-12);
+  TransientOptions adaptive = fixed;
+  adaptive.adaptive = true;
+  adaptive.dv_max = 0.1;
+  adaptive.dt_max = 25e-12;
+
+  const auto rf = simulate(bench.circuit, fixed);
+  const auto ra = simulate(bench.circuit, adaptive);
+  const auto yf = Trace::node_voltage(rf, bench.circuit, "y2");
+  const auto ya = Trace::node_voltage(ra, bench.circuit, "y2");
+  const double t0 = stim.edge_time;
+  const double t1 = stim.strobe_time();
+  EXPECT_NEAR(ya.min_in(t0, t1), yf.min_in(t0, t1), 0.05);
+  EXPECT_LT(ra.steps(), rf.steps());
+}
+
+TEST(AdaptiveTransient, BreakpointsStillHonoured) {
+  TransientOptions options;
+  options.t_end = 5e-9;
+  options.dt = 2e-12;
+  options.adaptive = true;
+  options.dt_max = 1e-9;  // huge: would step over the edge if unguarded
+  const Circuit c = rc_step();
+  const auto result = simulate(c, options);
+  bool found = false;
+  for (const double t : result.time) {
+    if (std::fabs(t - 1e-12) < 1e-18) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sks::esim

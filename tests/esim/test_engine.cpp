@@ -1,0 +1,261 @@
+#include "esim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "esim/trace.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+MosParams nmos(double w = 2.4e-6) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = w;
+  p.l = 1.2e-6;
+  p.kprime = 60e-6;
+  p.vt = 0.8;
+  p.lambda = 0.02;
+  return p;
+}
+
+MosParams pmos(double w = 4.8e-6) {
+  MosParams p = nmos(w);
+  p.type = MosType::kPmos;
+  p.kprime = 20e-6;
+  p.vt = 0.9;
+  return p;
+}
+
+TEST(EngineDc, ResistorDivider) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", vin, c.ground(), Waveform::dc(10.0));
+  c.add_resistor("R1", vin, mid, 1000.0);
+  c.add_resistor("R2", mid, c.ground(), 3000.0);
+  const auto v = dc_operating_point(c);
+  EXPECT_NEAR(v[vin.index], 10.0, 1e-9);
+  EXPECT_NEAR(v[mid.index], 7.5, 1e-6);
+}
+
+TEST(EngineDc, FloatingNodeSettlesThroughGmin) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_capacitor("C1", a, c.ground(), 1e-15);
+  const auto v = dc_operating_point(c);
+  EXPECT_NEAR(v[a.index], 0.0, 1e-6);
+}
+
+TEST(EngineDc, InverterVtcEndpoints) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_vsource("Vin", in, c.ground(), Waveform::dc(0.0));
+  c.add_mosfet("MP", pmos(), in, out, vdd);
+  c.add_mosfet("MN", nmos(), in, out, c.ground());
+
+  const auto v_low_in = dc_operating_point(c);
+  EXPECT_NEAR(v_low_in[out.index], 5.0, 0.01);
+
+  Circuit c2 = c;
+  c2.vsource(*c2.find_vsource("Vin")).wave = Waveform::dc(5.0);
+  const auto v_high_in = dc_operating_point(c2);
+  EXPECT_NEAR(v_high_in[out.index], 0.0, 0.01);
+}
+
+TEST(EngineDc, InverterMidpointIsIntermediate) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_vsource("Vin", in, c.ground(), Waveform::dc(2.4));
+  c.add_mosfet("MP", pmos(), in, out, vdd);
+  c.add_mosfet("MN", nmos(), in, out, c.ground());
+  const auto v = dc_operating_point(c);
+  EXPECT_GT(v[out.index], 0.5);
+  EXPECT_LT(v[out.index], 4.5);
+}
+
+TEST(EngineDc, DiodeConnectedNmosThroughResistor) {
+  // VDD -- R -- drain=gate of NMOS -> classic diode drop.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_resistor("R", vdd, d, 10e3);
+  c.add_mosfet("M", nmos(), d, d, c.ground());
+  const auto v = dc_operating_point(c);
+  // Must sit above vt and well below vdd.
+  EXPECT_GT(v[d.index], 0.8);
+  EXPECT_LT(v[d.index], 3.0);
+  // KCL at node d: resistor current equals device current.
+  const double ir = (5.0 - v[d.index]) / 10e3;
+  const double id =
+      mosfet_current(nmos(), MosFault::kNone, v[d.index], v[d.index], 0.0);
+  EXPECT_NEAR(ir, id, 1e-8);
+}
+
+TEST(EngineDc, ContentionResolvesToIntermediateVoltage) {
+  // Stuck-on style contention: strong NMOS fighting strong PMOS.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_mosfet("MP", pmos(), c.ground(), out, vdd);  // gate 0: on
+  c.add_mosfet("MN", nmos(), vdd, out, c.ground());  // gate 5: on
+  const auto v = dc_operating_point(c);
+  EXPECT_GT(v[out.index], 0.2);
+  EXPECT_LT(v[out.index], 4.8);
+}
+
+TEST(EngineTransient, RcChargingMatchesAnalytic) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const double r = 1000.0;
+  const double cap = 1e-12;  // tau = 1 ns
+  c.add_vsource("V1", in, c.ground(), Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  c.add_resistor("R1", in, out, r);
+  c.add_capacitor("C1", out, c.ground(), cap);
+
+  TransientOptions options;
+  options.t_end = 5e-9;
+  options.dt = 10e-12;
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "out");
+  for (const double t : {1e-9, 2e-9, 3e-9}) {
+    const double expected = 1.0 - std::exp(-(t - 1e-12) / (r * cap));
+    EXPECT_NEAR(trace.value_at(t), expected, 0.01);
+  }
+}
+
+TEST(EngineTransient, StartsFromDcOperatingPoint) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, c.ground(), Waveform::dc(2.0));
+  const NodeId b = c.node("b");
+  c.add_resistor("R", a, b, 1000.0);
+  c.add_capacitor("C", b, c.ground(), 1e-12);
+  TransientOptions options;
+  options.t_end = 1e-9;
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "b");
+  // No transient: already at equilibrium.
+  EXPECT_NEAR(trace.value_at(0.0), 2.0, 1e-6);
+  EXPECT_NEAR(trace.value_at(1e-9), 2.0, 1e-6);
+}
+
+TEST(EngineTransient, SupplyCurrentSignConvention) {
+  // A 5 V source driving 1 kohm delivers 5 mA.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, c.ground(), Waveform::dc(5.0));
+  c.add_resistor("R", a, c.ground(), 1000.0);
+  TransientOptions options;
+  options.t_end = 1e-10;
+  const auto result = simulate(c, options);
+  const auto supply = Trace::supply_current(result, c, "V1");
+  EXPECT_NEAR(supply.final_value(), 5e-3, 1e-8);
+}
+
+TEST(EngineTransient, BreakpointsAreHit) {
+  // A PWL corner between grid points must appear exactly in the time base.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, c.ground(),
+                Waveform::pwl({0.0, 1.05e-9, 1.15e-9}, {0.0, 0.0, 1.0}));
+  c.add_resistor("R", a, c.ground(), 1000.0);
+  TransientOptions options;
+  options.t_end = 2e-9;
+  options.dt = 0.1e-9;
+  const auto result = simulate(c, options);
+  bool found = false;
+  for (const double t : result.time) {
+    if (std::fabs(t - 1.05e-9) < 1e-15) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTransient, InverterPropagatesAndSwingsFully) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_vsource("Vin", in, c.ground(),
+                Waveform::pwl({0.0, 1e-9, 1.2e-9}, {0.0, 0.0, 5.0}));
+  c.add_mosfet("MP", pmos(), in, out, vdd);
+  c.add_mosfet("MN", nmos(), in, out, c.ground());
+  c.add_capacitor("CL", out, c.ground(), 50e-15);
+  TransientOptions options;
+  options.t_end = 4e-9;
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "out");
+  EXPECT_NEAR(trace.value_at(0.9e-9), 5.0, 0.05);
+  EXPECT_NEAR(trace.value_at(4e-9), 0.0, 0.05);
+  const auto cross = trace.first_falling_crossing(2.5, 1e-9);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_GT(*cross, 1e-9);
+  EXPECT_LT(*cross, 2e-9);
+}
+
+TEST(EngineTransient, ChargeConservationOnCapDivider) {
+  // Step into two series caps: final voltages divide by 1/C.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", in, c.ground(),
+                Waveform::pwl({0.0, 1e-12}, {0.0, 3.0}));
+  c.add_capacitor("C1", in, mid, 2e-12);
+  c.add_capacitor("C2", mid, c.ground(), 1e-12);
+  TransientOptions options;
+  options.t_end = 1e-10;
+  options.gmin = 1e-15;  // keep the divider from bleeding
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "mid");
+  EXPECT_NEAR(trace.final_value(), 2.0, 0.02);
+}
+
+TEST(EngineTransient, RejectsBadOptions) {
+  Circuit c;
+  c.add_resistor("R", c.node("a"), c.ground(), 1.0);
+  TransientOptions bad;
+  bad.t_end = -1.0;
+  EXPECT_THROW(simulate(c, bad), Error);
+  bad.t_end = 1e-9;
+  bad.dt = 0.0;
+  EXPECT_THROW(simulate(c, bad), Error);
+}
+
+TEST(EngineTransient, BackwardEulerOptionWorks) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, c.ground(), 1e-12);
+  TransientOptions options;
+  options.t_end = 5e-9;
+  options.dt = 10e-12;
+  options.trapezoidal = false;
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "out");
+  EXPECT_NEAR(trace.value_at(3e-9), 1.0 - std::exp(-3.0), 0.02);
+}
+
+TEST(EngineDc, NodeVoltagesVectorCoversAllNodes) {
+  Circuit c;
+  c.add_resistor("R", c.node("x"), c.ground(), 5.0);
+  const auto v = dc_operating_point(c);
+  EXPECT_EQ(v.size(), c.node_count());
+  EXPECT_EQ(v[0], 0.0);  // ground
+}
+
+}  // namespace
+}  // namespace sks::esim

@@ -1,0 +1,174 @@
+#include "esim/mosfet_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace sks::esim {
+namespace {
+
+MosParams nmos() {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = 2.4e-6;
+  p.l = 1.2e-6;
+  p.kprime = 60e-6;
+  p.vt = 0.8;
+  p.lambda = 0.0;  // no CLM: exact square-law checks
+  return p;
+}
+
+MosParams pmos() {
+  MosParams p = nmos();
+  p.type = MosType::kPmos;
+  p.kprime = 20e-6;
+  p.vt = 0.9;
+  return p;
+}
+
+TEST(Mosfet, CutoffConductsOnlyLeakage) {
+  const double id = mosfet_current(nmos(), MosFault::kNone, 0.5, 5.0, 0.0);
+  EXPECT_LT(std::fabs(id), 1e-10);
+}
+
+TEST(Mosfet, SaturationSquareLaw) {
+  // vgs = 3 V, vds = 5 V >= vov = 2.2 V -> saturation.
+  const MosParams p = nmos();
+  const double id = mosfet_current(p, MosFault::kNone, 3.0, 5.0, 0.0);
+  const double expected = 0.5 * p.beta() * 2.2 * 2.2;
+  EXPECT_NEAR(id, expected, expected * 1e-6 + 1e-11);
+}
+
+TEST(Mosfet, TriodeRegion) {
+  // vgs = 5 V, vds = 1 V < vov = 4.2 V -> triode.
+  const MosParams p = nmos();
+  const double id = mosfet_current(p, MosFault::kNone, 5.0, 1.0, 0.0);
+  const double expected = p.beta() * (4.2 * 1.0 - 0.5);
+  EXPECT_NEAR(id, expected, expected * 1e-6 + 1e-11);
+}
+
+TEST(Mosfet, ChannelLengthModulationIncreasesSatCurrent) {
+  MosParams with_clm = nmos();
+  with_clm.lambda = 0.02;
+  const double id0 = mosfet_current(nmos(), MosFault::kNone, 3.0, 5.0, 0.0);
+  const double id1 = mosfet_current(with_clm, MosFault::kNone, 3.0, 5.0, 0.0);
+  EXPECT_GT(id1, id0);
+  EXPECT_NEAR(id1 / id0, 1.1, 1e-6);  // 1 + 0.02 * 5
+}
+
+TEST(Mosfet, SymmetricUnderTerminalSwap) {
+  // Swapping drain and source must negate the current exactly.
+  const MosParams p = nmos();
+  const double fwd = mosfet_current(p, MosFault::kNone, 3.0, 2.0, 0.0);
+  const double rev = mosfet_current(p, MosFault::kNone, 3.0, 0.0, 2.0);
+  EXPECT_NEAR(fwd, -rev, std::fabs(fwd) * 1e-12);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  // A PMOS with mirrored voltages carries the mirrored current.
+  MosParams n = nmos();
+  MosParams pp = n;
+  pp.type = MosType::kPmos;
+  const double idn = mosfet_current(n, MosFault::kNone, 3.0, 4.0, 0.0);
+  const double idp = mosfet_current(pp, MosFault::kNone, -3.0, -4.0, 0.0);
+  EXPECT_NEAR(idp, -idn, std::fabs(idn) * 1e-12);
+}
+
+TEST(Mosfet, PmosConductsWithSourceAtVdd) {
+  // Classic pull-up: source 5 V, gate 0 V, drain 2 V -> current flows
+  // source->drain, i.e. *out of* the drain terminal (negative drain
+  // current by our convention).
+  const double id = mosfet_current(pmos(), MosFault::kNone, 0.0, 2.0, 5.0);
+  EXPECT_LT(id, -1e-5);
+}
+
+TEST(Mosfet, PmosOffWhenGateHigh) {
+  const double id = mosfet_current(pmos(), MosFault::kNone, 5.0, 2.0, 5.0);
+  EXPECT_NEAR(id, 0.0, 1e-10);
+}
+
+TEST(Mosfet, StuckOpenNeverConducts) {
+  const double id =
+      mosfet_current(nmos(), MosFault::kStuckOpen, 5.0, 5.0, 0.0);
+  EXPECT_LT(std::fabs(id), 1e-10);
+}
+
+TEST(Mosfet, StuckOnConductsWithGateLow) {
+  const double id = mosfet_current(nmos(), MosFault::kStuckOn, 0.0, 2.0, 0.0);
+  EXPECT_GT(id, 1e-5);
+}
+
+TEST(Mosfet, StuckOnIgnoresGate) {
+  const double a = mosfet_current(nmos(), MosFault::kStuckOn, 0.0, 2.0, 0.0);
+  const double b = mosfet_current(nmos(), MosFault::kStuckOn, 5.0, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Mosfet, EvalDerivativesMatchFiniteDifferences) {
+  const MosParams p = nmos();
+  for (const double vg : {1.0, 2.5, 5.0}) {
+    for (const double vd : {0.3, 2.0, 5.0}) {
+      const MosEval e = eval_mosfet(p, MosFault::kNone, vg, vd, 0.0);
+      const double h = 1e-7;
+      const double gm_fd =
+          (mosfet_current(p, MosFault::kNone, vg + h, vd, 0.0) -
+           mosfet_current(p, MosFault::kNone, vg - h, vd, 0.0)) /
+          (2.0 * h);
+      const double gds_fd =
+          (mosfet_current(p, MosFault::kNone, vg, vd + h, 0.0) -
+           mosfet_current(p, MosFault::kNone, vg, vd - h, 0.0)) /
+          (2.0 * h);
+      EXPECT_NEAR(e.gm, gm_fd, std::fabs(gm_fd) * 1e-3 + 1e-9);
+      EXPECT_NEAR(e.gds, gds_fd, std::fabs(gds_fd) * 1e-3 + 1e-9);
+    }
+  }
+}
+
+TEST(Mosfet, CurrentContinuousAcrossSaturationBoundary) {
+  const MosParams p = nmos();
+  const double vov = 2.0;  // vgs = 2.8
+  const double below =
+      mosfet_current(p, MosFault::kNone, p.vt + vov, vov - 1e-9, 0.0);
+  const double above =
+      mosfet_current(p, MosFault::kNone, p.vt + vov, vov + 1e-9, 0.0);
+  EXPECT_NEAR(below, above, std::fabs(above) * 1e-6);
+}
+
+TEST(Mosfet, CurrentContinuousAcrossCutoff) {
+  const MosParams p = nmos();
+  const double below = mosfet_current(p, MosFault::kNone, p.vt - 1e-9, 3.0, 0.0);
+  const double above = mosfet_current(p, MosFault::kNone, p.vt + 1e-9, 3.0, 0.0);
+  EXPECT_NEAR(below, above, 1e-9);
+}
+
+// Property sweep: monotonicity of Id in Vgs and Vds (NMOS, forward).
+class MosfetMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetMonotonicity, IdNondecreasingInVgs) {
+  const double vds = GetParam();
+  const MosParams p = nmos();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 5.0; vgs += 0.1) {
+    const double id = mosfet_current(p, MosFault::kNone, vgs, vds, 0.0);
+    EXPECT_GE(id, prev - 1e-15);
+    prev = id;
+  }
+}
+
+TEST_P(MosfetMonotonicity, IdNondecreasingInVds) {
+  const double vgs = GetParam() + 0.8;  // keep above threshold for interest
+  const MosParams p = nmos();
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 5.0; vds += 0.1) {
+    const double id = mosfet_current(p, MosFault::kNone, vgs, vds, 0.0);
+    EXPECT_GE(id, prev - 1e-15);
+    prev = id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPoints, MosfetMonotonicity,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.5, 5.0));
+
+}  // namespace
+}  // namespace sks::esim

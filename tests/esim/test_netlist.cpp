@@ -1,0 +1,101 @@
+#include "esim/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Circuit c;
+  EXPECT_EQ(c.node("0").index, 0u);
+  EXPECT_EQ(c.node("gnd").index, 0u);
+  EXPECT_EQ(c.node("GND").index, 0u);
+  EXPECT_EQ(c.ground().index, 0u);
+}
+
+TEST(Netlist, NodeFindOrCreate) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId a2 = c.node("a");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(c.node_count(), 2u);  // ground + a
+  EXPECT_EQ(c.node_name(a), "a");
+}
+
+TEST(Netlist, FindNodeReturnsNulloptForUnknown) {
+  Circuit c;
+  EXPECT_FALSE(c.find_node("nope").has_value());
+  c.node("yes");
+  EXPECT_TRUE(c.find_node("yes").has_value());
+}
+
+TEST(Netlist, AddDevicesAndAccess) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const ResistorId r = c.add_resistor("R1", a, b, 100.0);
+  const CapacitorId cap = c.add_capacitor("C1", a, c.ground(), 1e-12);
+  const VsrcId v = c.add_vsource("V1", a, c.ground(), Waveform::dc(5.0));
+  MosParams mp;
+  const MosfetId m = c.add_mosfet("M1", mp, a, b, c.ground());
+
+  EXPECT_EQ(c.resistor(r).resistance, 100.0);
+  EXPECT_EQ(c.capacitor(cap).capacitance, 1e-12);
+  EXPECT_EQ(c.vsource(v).name, "V1");
+  EXPECT_EQ(c.mosfet(m).name, "M1");
+  EXPECT_EQ(c.resistors().size(), 1u);
+  EXPECT_EQ(c.mosfets().size(), 1u);
+}
+
+TEST(Netlist, FindDevicesByName) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_mosfet("M1", MosParams{}, a, a, c.ground());
+  c.add_vsource("V1", a, c.ground(), Waveform::dc(1.0));
+  c.add_resistor("R1", a, c.ground(), 1.0);
+  c.add_capacitor("C1", a, c.ground(), 1e-15);
+  EXPECT_TRUE(c.find_mosfet("M1").has_value());
+  EXPECT_FALSE(c.find_mosfet("M2").has_value());
+  EXPECT_TRUE(c.find_vsource("V1").has_value());
+  EXPECT_TRUE(c.find_resistor("R1").has_value());
+  EXPECT_TRUE(c.find_capacitor("C1").has_value());
+}
+
+TEST(Netlist, RejectsInvalidDevices) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_resistor("R", a, a, 100.0), Error);
+  EXPECT_THROW(c.add_resistor("R", a, c.ground(), 0.0), Error);
+  EXPECT_THROW(c.add_resistor("R", a, c.ground(), -5.0), Error);
+  EXPECT_THROW(c.add_capacitor("C", a, a, 1e-12), Error);
+  EXPECT_THROW(c.add_capacitor("C", a, c.ground(), 0.0), Error);
+  EXPECT_THROW(c.add_vsource("V", a, a, Waveform::dc(1.0)), Error);
+  MosParams bad;
+  bad.w = 0.0;
+  EXPECT_THROW(c.add_mosfet("M", bad, a, a, c.ground()), Error);
+}
+
+TEST(Netlist, CopyIsDeep) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const MosfetId m = c.add_mosfet("M1", MosParams{}, a, a, c.ground());
+  Circuit copy = c;
+  copy.mosfet(m).fault = MosFault::kStuckOpen;
+  EXPECT_EQ(c.mosfet(m).fault, MosFault::kNone);
+  EXPECT_EQ(copy.mosfet(m).fault, MosFault::kStuckOpen);
+}
+
+TEST(Netlist, ToStringMentionsDevicesAndFaults) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const MosfetId m = c.add_mosfet("Mx", MosParams{}, a, a, c.ground());
+  c.mosfet(m).fault = MosFault::kStuckOn;
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("Mx"), std::string::npos);
+  EXPECT_NE(s.find("[stuck-on]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sks::esim

@@ -1,0 +1,151 @@
+#include "esim/spice_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/skew_sensor.hpp"
+#include "cell/stimuli.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-2.5"), -2.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3.3E2"), 330.0);
+}
+
+TEST(SpiceNumber, SiSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("80f"), 80e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5p"), 5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2n"), 2e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7m"), 7e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2k"), 2200.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.2U"), 1.2e-6);  // case-insensitive
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+  EXPECT_THROW(parse_spice_number(""), NetlistError);
+  EXPECT_THROW(parse_spice_number("abc"), NetlistError);
+  EXPECT_THROW(parse_spice_number("1.5x"), NetlistError);
+}
+
+TEST(SpiceParse, MinimalRcCircuit) {
+  const Circuit c = parse_spice(
+      "* test\n"
+      "V1 in 0 DC 5\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1p\n"
+      ".END\n");
+  EXPECT_EQ(c.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.resistors()[0].resistance, 1000.0);
+  EXPECT_DOUBLE_EQ(c.capacitors()[0].capacitance, 1e-12);
+  const auto v = dc_operating_point(c);
+  EXPECT_NEAR(v[c.find_node("out")->index], 5.0, 1e-6);
+}
+
+TEST(SpiceParse, PulseAndPwlSources) {
+  const Circuit c = parse_spice(
+      "Vp a 0 PULSE(0 5 1n 0.1n 0.1n 4n 10n)\n"
+      "Vw b 0 PWL(0 0 1n 0 1.2n 5)\n"
+      "R1 a 0 1k\n"
+      "R2 b 0 1k\n");
+  const auto& pw = c.vsource(*c.find_vsource("Vp")).wave;
+  EXPECT_DOUBLE_EQ(pw.value(3e-9), 5.0);
+  EXPECT_DOUBLE_EQ(pw.value(0.5e-9), 0.0);
+  const auto& ww = c.vsource(*c.find_vsource("Vw")).wave;
+  EXPECT_NEAR(ww.value(1.1e-9), 2.5, 1e-9);
+}
+
+TEST(SpiceParse, CurrentSource) {
+  const Circuit c = parse_spice(
+      "I1 0 out DC 1m\n"
+      "R1 out 0 1k\n");
+  const auto v = dc_operating_point(c);
+  EXPECT_NEAR(v[c.find_node("out")->index], 1.0, 1e-6);  // 1mA * 1k
+}
+
+TEST(SpiceParse, MosfetWithParamsAndFaults) {
+  const Circuit c = parse_spice(
+      "Vd d 0 DC 5\n"
+      "M1 d g 0 NMOS W=2.4u L=1.2u KP=60u VT=0.8 LAMBDA=0.02\n"
+      "M2 d g 0 PMOS W=1u L=1u STUCKOPEN\n");
+  const auto& m1 = c.mosfet(*c.find_mosfet("M1"));
+  EXPECT_EQ(m1.params.type, MosType::kNmos);
+  EXPECT_DOUBLE_EQ(m1.params.w, 2.4e-6);
+  EXPECT_DOUBLE_EQ(m1.params.vt, 0.8);
+  EXPECT_EQ(c.mosfet(*c.find_mosfet("M2")).fault, MosFault::kStuckOpen);
+}
+
+TEST(SpiceParse, ErrorsCarryLineNumbers) {
+  try {
+    parse_spice("R1 a 0 1k\nXBAD a b c\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_spice("M1 d g 0 JFET W=1u L=1u\n"), NetlistError);
+  EXPECT_THROW(parse_spice("M1 d g 0 NMOS L=1u\n"), NetlistError);  // no W
+  EXPECT_THROW(parse_spice("Vx a 0 PWL(1 2 3)\n"), NetlistError);
+}
+
+TEST(SpiceParse, CommentsAndBlanksIgnored) {
+  const Circuit c = parse_spice(
+      "* a header\n"
+      "\n"
+      "R1 a 0 50 ; trailing comment\n");
+  EXPECT_EQ(c.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.resistors()[0].resistance, 50.0);
+}
+
+TEST(SpiceRoundTrip, WriteParseWriteIsFixpoint) {
+  // The full sensing-circuit bench, with fancy names and waveforms.
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  cell::ClockPairStimulus stim;
+  stim.skew = 0.2e-9;
+  const auto bench = cell::make_sensor_bench(tech, options, stim);
+
+  const std::string first = write_spice(bench.circuit, "bench");
+  const Circuit reparsed = parse_spice(first);
+  const std::string second = write_spice(reparsed, "bench");
+  EXPECT_EQ(first, second);
+}
+
+TEST(SpiceRoundTrip, ReloadedCircuitSimulatesIdentically) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160e-15;
+  cell::ClockPairStimulus stim;
+  stim.skew = 1e-9;
+  const auto bench = cell::make_sensor_bench(tech, options, stim);
+  const Circuit reloaded = parse_spice(write_spice(bench.circuit));
+
+  TransientOptions sim;
+  sim.t_end = 4e-9;
+  sim.dt = 10e-12;
+  const auto a = simulate(bench.circuit, sim);
+  const auto b = simulate(reloaded, sim);
+  const auto ya = Trace::node_voltage(a, bench.circuit, "y2");
+  const auto yb = Trace::node_voltage(b, reloaded, "y2");
+  for (const double t : {1e-9, 2e-9, 3e-9, 4e-9}) {
+    EXPECT_NEAR(ya.value_at(t), yb.value_at(t), 1e-6) << t;
+  }
+}
+
+TEST(SpiceWrite, NonconformingNamesGetPrefixed) {
+  Circuit c;
+  const auto n = c.node("x");
+  c.add_mosfet("a", MosParams{}, n, n, c.ground());
+  const std::string text = write_spice(c);
+  EXPECT_NE(text.find("M_a "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sks::esim

@@ -1,0 +1,95 @@
+#include "esim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/primitives.hpp"
+#include "esim/engine.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+Circuit divider() {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("Vin", in, c.ground(), Waveform::dc(0.0));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_resistor("R2", out, c.ground(), 1000.0);
+  return c;
+}
+
+TEST(DcSweep, LinearDividerTracksHalfInput) {
+  const auto result = dc_sweep(divider(), {"Vin", 0.0, 4.0, 5});
+  ASSERT_EQ(result.sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.sweep.front(), 0.0);
+  EXPECT_DOUBLE_EQ(result.sweep.back(), 4.0);
+  const auto out = result.voltage(divider(), "out");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], result.sweep[i] / 2.0, 1e-6);
+  }
+}
+
+TEST(DcSweep, SourceCurrentIsDelivered) {
+  const auto result = dc_sweep(divider(), {"Vin", 2.0, 2.0 + 1e-9, 2});
+  // 2 V across 2 kOhm: 1 mA out of the source.
+  EXPECT_NEAR(result.source_current[0], 1e-3, 1e-9);
+}
+
+TEST(DcSweep, InverterVtcIsMonotoneFalling) {
+  cell::Technology tech;
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), Waveform::dc(tech.vdd));
+  c.add_vsource("Vin", in, c.ground(), Waveform::dc(0.0));
+  cell::add_inverter(c, tech, "inv", in, out, vdd);
+
+  const auto result = dc_sweep(c, {"Vin", 0.0, 5.0, 26});
+  const auto vtc = result.voltage(c, "out");
+  EXPECT_GT(vtc.front(), 4.9);
+  EXPECT_LT(vtc.back(), 0.1);
+  for (std::size_t i = 1; i < vtc.size(); ++i) {
+    EXPECT_LE(vtc[i], vtc[i - 1] + 1e-6);
+  }
+  // Switching threshold in a plausible band.
+  bool crossed = false;
+  for (std::size_t i = 1; i < vtc.size(); ++i) {
+    if (vtc[i - 1] > 2.5 && vtc[i] <= 2.5) {
+      EXPECT_GT(result.sweep[i], 1.5);
+      EXPECT_LT(result.sweep[i], 3.5);
+      crossed = true;
+    }
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(DcSweep, Validation) {
+  EXPECT_THROW(dc_sweep(divider(), {"nope", 0.0, 1.0, 5}), Error);
+  EXPECT_THROW(dc_sweep(divider(), {"Vin", 0.0, 1.0, 1}), Error);
+}
+
+TEST(DcSweep, DoesNotMutateInput) {
+  const Circuit c = divider();
+  (void)dc_sweep(c, {"Vin", 0.0, 4.0, 3});
+  EXPECT_DOUBLE_EQ(c.vsource(*c.find_vsource("Vin")).wave.dc_level(), 0.0);
+}
+
+TEST(IsrcDevice, TransientStampWorks) {
+  Circuit c;
+  const auto out = c.node("out");
+  c.add_isource("I1", c.ground(), out,
+                Waveform::pwl({0.0, 1e-9}, {0.0, 2e-3}));
+  c.add_resistor("R1", out, c.ground(), 500.0);
+  Simulator sim(c);
+  TransientOptions options;
+  options.t_end = 2e-9;
+  options.dt = 50e-12;
+  const auto result = sim.run_transient(options);
+  // At t >= 1 ns: 2 mA into 500 ohm = 1 V.
+  EXPECT_NEAR(result.node_v[out.index].back(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sks::esim

@@ -1,0 +1,95 @@
+#include "esim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+Trace make_triangle() {
+  // 0 -> 4 -> 0 over t = 0..2.
+  return Trace("tri", {0.0, 1.0, 2.0}, {0.0, 4.0, 0.0});
+}
+
+TEST(Trace, ValueAtInterpolates) {
+  const Trace t = make_triangle();
+  EXPECT_DOUBLE_EQ(t.value_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.75), 1.0);
+}
+
+TEST(Trace, ValueAtClampsOutside) {
+  const Trace t = make_triangle();
+  EXPECT_DOUBLE_EQ(t.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.value_at(99.0), 0.0);
+}
+
+TEST(Trace, MinMaxInWindow) {
+  const Trace t = make_triangle();
+  EXPECT_DOUBLE_EQ(t.max_in(0.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.min_in(0.5, 1.5), 2.0);  // window endpoints interpolated
+  EXPECT_DOUBLE_EQ(t.max_in(0.0, 0.5), 2.0);
+}
+
+TEST(Trace, CrossingsDirectional) {
+  const Trace t = make_triangle();
+  const auto rising = t.first_rising_crossing(2.0);
+  ASSERT_TRUE(rising.has_value());
+  EXPECT_DOUBLE_EQ(*rising, 0.5);
+  const auto falling = t.first_falling_crossing(2.0);
+  ASSERT_TRUE(falling.has_value());
+  EXPECT_DOUBLE_EQ(*falling, 1.5);
+  const auto any = t.first_crossing(2.0, 1.0);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_DOUBLE_EQ(*any, 1.5);
+}
+
+TEST(Trace, NoCrossingGivesNullopt) {
+  const Trace t = make_triangle();
+  EXPECT_FALSE(t.first_crossing(10.0).has_value());
+}
+
+TEST(Trace, FinalValue) {
+  EXPECT_DOUBLE_EQ(make_triangle().final_value(), 0.0);
+}
+
+TEST(Trace, SizeMismatchThrows) {
+  EXPECT_THROW(Trace("bad", {0.0, 1.0}, {0.0}), Error);
+}
+
+TEST(Trace, EmptyTraceThrowsOnUse) {
+  Trace t;
+  EXPECT_THROW(t.value_at(0.0), Error);
+  EXPECT_THROW(t.final_value(), Error);
+}
+
+TEST(Trace, NodeVoltageExtraction) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V", a, c.ground(), Waveform::dc(1.5));
+  c.add_resistor("R", a, c.ground(), 1.0);
+  TransientOptions options;
+  options.t_end = 1e-10;
+  const auto result = simulate(c, options);
+  const auto trace = Trace::node_voltage(result, c, "a");
+  EXPECT_EQ(trace.name(), "a");
+  EXPECT_NEAR(trace.final_value(), 1.5, 1e-9);
+  EXPECT_THROW(Trace::node_voltage(result, c, "missing"), Error);
+}
+
+TEST(Trace, SupplyCurrentExtraction) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V", a, c.ground(), Waveform::dc(2.0));
+  c.add_resistor("R", a, c.ground(), 100.0);
+  TransientOptions options;
+  options.t_end = 1e-10;
+  const auto result = simulate(c, options);
+  const auto supply = Trace::supply_current(result, c, "V");
+  EXPECT_NEAR(supply.final_value(), 0.02, 1e-9);
+  EXPECT_THROW(Trace::supply_current(result, c, "nope"), Error);
+}
+
+}  // namespace
+}  // namespace sks::esim

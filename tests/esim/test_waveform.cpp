@@ -1,0 +1,131 @@
+#include "esim/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::esim {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e-6), 3.3);
+  EXPECT_TRUE(w.is_dc());
+  EXPECT_TRUE(w.breakpoints(1e-6).empty());
+}
+
+TEST(Waveform, PulseShape) {
+  PulseSpec p;
+  p.v0 = 0.0;
+  p.v1 = 5.0;
+  p.delay = 1e-9;
+  p.rise = 0.2e-9;
+  p.fall = 0.2e-9;
+  p.width = 3e-9;
+  p.period = 10e-9;
+  const Waveform w = Waveform::pulse(p);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 0.0);           // rise starts
+  EXPECT_NEAR(w.value(1.1e-9), 2.5, 1e-9);        // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(2e-9), 5.0);           // high
+  EXPECT_NEAR(w.value(4.3e-9), 2.5, 1e-9);        // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(6e-9), 0.0);           // low
+}
+
+TEST(Waveform, PulseIsPeriodic) {
+  PulseSpec p;
+  p.delay = 1e-9;
+  p.rise = 0.1e-9;
+  p.fall = 0.1e-9;
+  p.width = 4e-9;
+  p.period = 10e-9;
+  const Waveform w = Waveform::pulse(p);
+  EXPECT_DOUBLE_EQ(w.value(3e-9), w.value(13e-9));
+  EXPECT_DOUBLE_EQ(w.value(7e-9), w.value(27e-9));
+}
+
+TEST(Waveform, SinglePulseWhenPeriodZero) {
+  PulseSpec p;
+  p.delay = 0.0;
+  p.rise = 0.1e-9;
+  p.fall = 0.1e-9;
+  p.width = 1e-9;
+  p.period = 0.0;
+  const Waveform w = Waveform::pulse(p);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(10e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(100e-9), 0.0);
+}
+
+TEST(Waveform, PulseValidation) {
+  PulseSpec p;
+  p.rise = 0.0;
+  EXPECT_THROW(Waveform::pulse(p), Error);
+  PulseSpec q;
+  q.rise = q.fall = 1e-9;
+  q.width = 9e-9;
+  q.period = 10e-9;  // rise+width+fall = 11ns > period
+  EXPECT_THROW(Waveform::pulse(q), Error);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({1.0, 2.0, 3.0}, {0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);   // before first point
+  EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);   // interpolated
+  EXPECT_DOUBLE_EQ(w.value(99.0), 10.0); // after last point
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(Waveform::pwl({}, {}), Error);
+  EXPECT_THROW(Waveform::pwl({1.0, 1.0}, {0.0, 1.0}), Error);
+  EXPECT_THROW(Waveform::pwl({1.0}, {0.0, 1.0}), Error);
+}
+
+TEST(Waveform, BreakpointsSortedWithinRange) {
+  PulseSpec p;
+  p.delay = 1e-9;
+  p.rise = 0.2e-9;
+  p.fall = 0.2e-9;
+  p.width = 3e-9;
+  p.period = 10e-9;
+  const Waveform w = Waveform::pulse(p);
+  const auto bp = w.breakpoints(12e-9);
+  ASSERT_FALSE(bp.empty());
+  for (std::size_t i = 1; i < bp.size(); ++i) EXPECT_GT(bp[i], bp[i - 1]);
+  for (double t : bp) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 12e-9);
+  }
+  // First cycle corners present.
+  EXPECT_DOUBLE_EQ(bp.front(), 1e-9);
+}
+
+TEST(RisingRamp, NormalCase) {
+  const Waveform w = rising_ramp(0.0, 5.0, 1e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 0.0);
+  EXPECT_NEAR(w.value(1.1e-9), 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(2e-9), 5.0);
+}
+
+TEST(RisingRamp, StartInThePastIsHandled) {
+  // Edge started before t=0: the waveform begins mid-ramp.
+  const Waveform w = rising_ramp(0.0, 5.0, -0.1e-9, 0.2e-9);
+  EXPECT_NEAR(w.value(0.0), 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.2e-9), 5.0);
+}
+
+TEST(RisingRamp, CompletedBeforeZeroIsDc) {
+  const Waveform w = rising_ramp(0.0, 5.0, -1e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 5.0);
+}
+
+TEST(RisingRamp, FallingDirectionWorksToo) {
+  const Waveform w = rising_ramp(5.0, 0.0, 1e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(2e-9), 0.0);
+}
+
+}  // namespace
+}  // namespace sks::esim

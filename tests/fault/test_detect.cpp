@@ -1,0 +1,145 @@
+#include "fault/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::fault {
+namespace {
+
+using namespace sks::units;
+
+struct DetectFixture : ::testing::Test {
+  cell::Technology tech;
+  cell::SensorBench bench;
+  TestPlan plan;
+
+  DetectFixture() {
+    cell::SensorOptions options;
+    options.load_y1 = options.load_y2 = 160 * fF;
+    cell::ClockPairStimulus stim;
+    stim.full_clock = true;
+    bench = cell::make_sensor_bench(tech, options, stim);
+    plan = default_sensor_test_plan(bench, tech.interpretation_threshold());
+    plan.dt = 10e-12;  // coarse is fine for these checks
+  }
+};
+
+TEST_F(DetectFixture, PlanShape) {
+  EXPECT_EQ(plan.observed_nodes.size(), 2u);
+  EXPECT_EQ(plan.logic_strobes.size(), 4u);  // 2 cycles x (high, low)
+  EXPECT_EQ(plan.iddq_strobes.size(), 4u);
+  EXPECT_GT(plan.t_end, plan.logic_strobes.back());
+  EXPECT_DOUBLE_EQ(plan.vth, 2.75);
+}
+
+TEST_F(DetectFixture, SingleCyclePlan) {
+  const TestPlan one =
+      default_sensor_test_plan(bench, tech.interpretation_threshold(), 1);
+  EXPECT_EQ(one.logic_strobes.size(), 2u);
+  EXPECT_THROW(
+      default_sensor_test_plan(bench, tech.interpretation_threshold(), 0),
+      Error);
+}
+
+TEST_F(DetectFixture, ObservationShape) {
+  const Observation obs = observe(bench.circuit, plan);
+  EXPECT_EQ(obs.values.size(), plan.logic_strobes.size());
+  EXPECT_EQ(obs.values[0].size(), plan.observed_nodes.size());
+  EXPECT_EQ(obs.iddq.size(), plan.iddq_strobes.size());
+}
+
+TEST_F(DetectFixture, FaultFreeObservationsAreAsExpected) {
+  const Observation obs = observe(bench.circuit, plan);
+  // High-phase strobes: outputs clamp low(ish); low-phase: recharged high.
+  EXPECT_LT(obs.values[0][0], plan.vth);
+  EXPECT_GT(obs.values[1][0], plan.vth);
+  // Quiescent current is tiny at the low-phase strobe? Not necessarily at
+  // high-phase (the clamp decays), but far below any defect current.
+  for (const double i : obs.iddq) EXPECT_LT(i, 1e-3);
+}
+
+TEST_F(DetectFixture, GoodCircuitIsNotDetectedAgainstItself) {
+  const Observation good = observe(bench.circuit, plan);
+  // Inject a fault object that does nothing harmful: bridge y1-y2 (the
+  // paper's canonical undetectable fault under identical clocks).
+  const FaultVerdict v = test_fault(
+      bench.circuit, good,
+      Fault::bridge(bench.cell.qualified("y1"), bench.cell.qualified("y2")),
+      plan);
+  EXPECT_TRUE(v.simulated);
+  EXPECT_FALSE(v.logic_detected);
+}
+
+TEST_F(DetectFixture, StuckAtOnOutputIsDetected) {
+  const Observation good = observe(bench.circuit, plan);
+  for (const auto& fault :
+       {Fault::stuck_at0(bench.cell.qualified("y1")),
+        Fault::stuck_at1(bench.cell.qualified("y1")),
+        Fault::stuck_at0(bench.cell.qualified("phi2")),
+        Fault::stuck_at1(bench.cell.qualified("n2"))}) {
+    const FaultVerdict v = test_fault(bench.circuit, good, fault, plan);
+    EXPECT_TRUE(v.simulated) << fault.label();
+    EXPECT_TRUE(v.logic_detected) << fault.label();
+  }
+}
+
+TEST_F(DetectFixture, StuckOpenOnPullDownIsDetected) {
+  const Observation good = observe(bench.circuit, plan);
+  const FaultVerdict v = test_fault(
+      bench.circuit, good, Fault::stuck_open(bench.cell.qualified("d")),
+      plan);
+  EXPECT_TRUE(v.logic_detected);
+}
+
+TEST_F(DetectFixture, FeedbackPullUpStuckOpensEscape) {
+  // Paper: "all faults of this kind are detected apart from those affecting
+  // the transistors c and g".
+  const Observation good = observe(bench.circuit, plan);
+  for (const char* dev : {"c", "g"}) {
+    const FaultVerdict v = test_fault(
+        bench.circuit, good, Fault::stuck_open(bench.cell.qualified(dev)),
+        plan);
+    EXPECT_TRUE(v.simulated) << dev;
+    EXPECT_FALSE(v.logic_detected) << dev;
+  }
+}
+
+TEST_F(DetectFixture, EscapingStuckOpensDoNotMaskSkewDetection) {
+  // Paper: those faults "do not mask the presence of abnormal skews at the
+  // inputs of the sensing circuit".
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160 * fF;
+  cell::ClockPairStimulus skewed;
+  skewed.skew = 1 * ns;
+  for (const char* dev : {"c", "g"}) {
+    EXPECT_TRUE(sensor_detects_skew_under_fault(
+        tech, options, skewed, Fault::stuck_open(dev), {}, 10e-12))
+        << dev;
+  }
+}
+
+TEST_F(DetectFixture, IddqCatchesRailBridge) {
+  const Observation good = observe(bench.circuit, plan);
+  // A resistive short from an internal node to ground draws static current
+  // whenever the pull-up holds the node high.
+  const FaultVerdict v = test_fault(
+      bench.circuit, good,
+      Fault::bridge(bench.cell.qualified("n1"), "0", 1000.0), plan);
+  EXPECT_TRUE(v.simulated);
+  EXPECT_TRUE(v.iddq_detected);
+  EXPECT_GT(v.max_excess_iddq, plan.iddq_threshold);
+}
+
+TEST_F(DetectFixture, UnsimulatableFaultReportedNotDetected) {
+  const Observation good = observe(bench.circuit, plan);
+  FaultVerdict v;
+  v.fault = Fault::stuck_on("d");
+  v.simulated = false;
+  EXPECT_FALSE(v.detected(true));
+  (void)good;
+}
+
+}  // namespace
+}  // namespace sks::fault

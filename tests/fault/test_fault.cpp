@@ -1,0 +1,42 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::fault {
+namespace {
+
+TEST(Fault, LabelsAreReadable) {
+  EXPECT_EQ(Fault::stuck_at0("y1").label(), "SA0(y1)");
+  EXPECT_EQ(Fault::stuck_at1("n2").label(), "SA1(n2)");
+  EXPECT_EQ(Fault::stuck_open("c").label(), "SOP(c)");
+  EXPECT_EQ(Fault::stuck_on("g").label(), "SON(g)");
+  EXPECT_EQ(Fault::bridge("y1", "y2").label(), "BR(y1,y2)");
+}
+
+TEST(Fault, KindNames) {
+  EXPECT_EQ(to_string(FaultKind::kNodeStuckAt0), "stuck-at-0");
+  EXPECT_EQ(to_string(FaultKind::kNodeStuckAt1), "stuck-at-1");
+  EXPECT_EQ(to_string(FaultKind::kStuckOpen), "stuck-open");
+  EXPECT_EQ(to_string(FaultKind::kStuckOn), "stuck-on");
+  EXPECT_EQ(to_string(FaultKind::kBridge), "bridging");
+}
+
+TEST(Fault, FactoriesSetFields) {
+  const Fault f = Fault::bridge("a", "b", 250.0);
+  EXPECT_EQ(f.kind, FaultKind::kBridge);
+  EXPECT_EQ(f.node_a, "a");
+  EXPECT_EQ(f.node_b, "b");
+  EXPECT_DOUBLE_EQ(f.bridge_resistance, 250.0);
+
+  const Fault s = Fault::stuck_open("mx");
+  EXPECT_EQ(s.kind, FaultKind::kStuckOpen);
+  EXPECT_EQ(s.device, "mx");
+}
+
+TEST(Fault, DefaultBridgeResistanceMatchesPaper) {
+  // Section 3 considers "a bridging resistance of 100 [ohm]".
+  EXPECT_DOUBLE_EQ(Fault::bridge("a", "b").bridge_resistance, 100.0);
+}
+
+}  // namespace
+}  // namespace sks::fault

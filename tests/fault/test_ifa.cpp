@@ -1,0 +1,176 @@
+#include "fault/ifa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::fault {
+namespace {
+
+using namespace sks::units;
+
+cell::SensorCell make_cell(esim::Circuit& circuit) {
+  cell::Technology tech;
+  return cell::build_skew_sensor(circuit, tech, cell::SensorOptions{});
+}
+
+TEST(LayoutModel, AdjacencyOverlapAndTracks) {
+  LayoutModel layout;
+  layout.segments = {{"a", 0, 0.0, 4.0},
+                     {"b", 1, 2.0, 6.0},
+                     {"c", 3, 0.0, 10.0}};
+  // a-b: adjacent tracks, overlap [2,4] = 2, distance 1 -> 2/2 = 1.
+  EXPECT_DOUBLE_EQ(layout.adjacency("a", "b"), 1.0);
+  EXPECT_DOUBLE_EQ(layout.adjacency("b", "a"), 1.0);
+  // a-c: 3 tracks apart > max_track_distance -> 0.
+  EXPECT_DOUBLE_EQ(layout.adjacency("a", "c"), 0.0);
+  EXPECT_DOUBLE_EQ(layout.wire_length("a"), 4.0);
+}
+
+TEST(LayoutModel, SameTrackNeedsOverlap) {
+  LayoutModel layout;
+  layout.segments = {{"a", 0, 0.0, 2.0}, {"b", 0, 3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(layout.adjacency("a", "b"), 0.0);
+}
+
+TEST(SyntheticLayout, EncodesThePapersAdjacencies) {
+  esim::Circuit c;
+  const auto cell = make_cell(c);
+  const LayoutModel layout = synthetic_sensor_layout(cell);
+  // The bridges the paper discusses are between neighbours:
+  EXPECT_GT(layout.adjacency("y1", "y2"), 0.0);
+  EXPECT_GT(layout.adjacency("phi1", "phi2"), 0.0);
+  // n1 and n3 share a track without overlap: no plausible bridge.
+  EXPECT_DOUBLE_EQ(layout.adjacency("n1", "n3"), 0.0);
+  // y1 and n4 are far apart vertically.
+  EXPECT_DOUBLE_EQ(layout.adjacency("y1", "phi2"), 0.0);
+}
+
+TEST(WeightedUniverse, ContainsExpectedKindsAndPrunes) {
+  esim::Circuit c;
+  const auto cell = make_cell(c);
+  const LayoutModel layout = synthetic_sensor_layout(cell);
+  const auto universe = weighted_sensor_universe(cell, layout);
+
+  std::size_t bridges = 0;
+  std::size_t stuck_ats = 0;
+  std::size_t device_faults = 0;
+  bool has_n1_n3 = false;
+  for (const auto& wf : universe) {
+    EXPECT_GT(wf.weight, 0.0) << wf.fault.label();
+    switch (wf.fault.kind) {
+      case FaultKind::kBridge:
+        ++bridges;
+        if (wf.fault.label() == "BR(n1,n3)") has_n1_n3 = true;
+        break;
+      case FaultKind::kNodeStuckAt0:
+      case FaultKind::kNodeStuckAt1:
+        ++stuck_ats;
+        break;
+      default:
+        ++device_faults;
+    }
+  }
+  EXPECT_GT(bridges, 3u);
+  EXPECT_GT(stuck_ats, 2u);
+  EXPECT_EQ(device_faults, 20u);  // 10 devices x {SOP, SON}
+  EXPECT_FALSE(has_n1_n3);        // zero adjacency -> pruned
+}
+
+TEST(WeightedUniverse, Y1Y2BridgeIsHeavy) {
+  // The long parallel run of y1 and y2 makes their bridge one of the most
+  // likely defects — exactly why the paper worries about it.
+  esim::Circuit c;
+  const auto cell = make_cell(c);
+  const auto universe =
+      weighted_sensor_universe(cell, synthetic_sensor_layout(cell));
+  double y1y2 = 0.0;
+  double max_bridge = 0.0;
+  for (const auto& wf : universe) {
+    if (wf.fault.kind != FaultKind::kBridge) continue;
+    max_bridge = std::max(max_bridge, wf.weight);
+    if (wf.fault.label() == "BR(y1,y2)") y1y2 = wf.weight;
+  }
+  EXPECT_GT(y1y2, 0.5 * max_bridge);
+}
+
+TEST(WeightedCoverage, ComputesWeightedFraction) {
+  std::vector<WeightedFault> universe;
+  universe.push_back({Fault::stuck_at0("a"), 3.0});
+  universe.push_back({Fault::stuck_at1("a"), 1.0});
+  std::vector<FaultVerdict> verdicts(2);
+  verdicts[0].fault = universe[0].fault;
+  verdicts[0].simulated = true;
+  verdicts[0].logic_detected = true;
+  verdicts[1].fault = universe[1].fault;
+  verdicts[1].simulated = true;
+  verdicts[1].iddq_detected = true;
+  EXPECT_DOUBLE_EQ(weighted_coverage(verdicts, universe, false), 0.75);
+  EXPECT_DOUBLE_EQ(weighted_coverage(verdicts, universe, true), 1.0);
+}
+
+TEST(WeightedCoverage, RejectsMismatchedInputs) {
+  std::vector<WeightedFault> universe{{Fault::stuck_at0("a"), 1.0}};
+  std::vector<FaultVerdict> wrong_size;
+  EXPECT_THROW(weighted_coverage(wrong_size, universe, false), Error);
+  std::vector<FaultVerdict> wrong_order(1);
+  wrong_order[0].fault = Fault::stuck_at1("b");
+  EXPECT_THROW(weighted_coverage(wrong_order, universe, false), Error);
+}
+
+TEST(WeightedCoverage, EndToEndShowsTheLayoutLesson) {
+  // Full IFA flow: weighted universe -> electrical campaign -> weighted
+  // coverage.  The layout-aware number comes out LOWER than the uniform
+  // count, because the single most likely bridge (y1-y2, the longest
+  // parallel run) is exactly the undetectable one — quantifying why the
+  // paper says such bridges' "occurrence probability should be reduced by
+  // acting at the layout level [14]".  Separating the y1/y2 runs (the
+  // layout fix) restores the weighted coverage.
+  cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160 * fF;
+  cell::ClockPairStimulus stim;
+  stim.full_clock = true;
+  const auto bench = cell::make_sensor_bench(tech, options, stim);
+  const auto layout = synthetic_sensor_layout(bench.cell);
+  const auto universe = weighted_sensor_universe(bench.cell, layout);
+
+  TestPlan plan =
+      default_sensor_test_plan(bench, tech.interpretation_threshold(), 1);
+  plan.dt = 10e-12;
+  std::vector<Fault> plain;
+  plain.reserve(universe.size());
+  for (const auto& wf : universe) plain.push_back(wf.fault);
+  const auto report = run_campaign(bench.circuit, plain, plan);
+  const double uniform =
+      static_cast<double>(report.overall().logic_detected +
+                          report.overall().iddq_only) /
+      static_cast<double>(report.overall().total);
+  const double weighted = weighted_coverage(report.verdicts, universe, true);
+  EXPECT_GT(weighted, 0.4);
+  EXPECT_LT(weighted, uniform);  // the heavy y1-y2 bridge escapes
+
+  // The layout fix: spread y1 and y2 apart (tracks 5 and 3).  The bridge
+  // weight collapses and the weighted coverage recovers.
+  LayoutModel fixed = layout;
+  for (auto& s : fixed.segments) {
+    if (s.node == bench.cell.qualified("y2")) s.track = 3;
+    if (s.node == bench.cell.qualified("n2") ||
+        s.node == bench.cell.qualified("n4")) {
+      s.track = 4;
+    }
+  }
+  const auto fixed_universe = weighted_sensor_universe(bench.cell, fixed);
+  std::vector<Fault> fixed_plain;
+  for (const auto& wf : fixed_universe) fixed_plain.push_back(wf.fault);
+  const auto fixed_report = run_campaign(bench.circuit, fixed_plain, plan);
+  const double fixed_weighted =
+      weighted_coverage(fixed_report.verdicts, fixed_universe, true);
+  EXPECT_GT(fixed_weighted, weighted + 0.05);
+}
+
+}  // namespace
+}  // namespace sks::fault

@@ -1,0 +1,112 @@
+#include "fault/inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include "esim/engine.hpp"
+#include "util/error.hpp"
+
+namespace sks::fault {
+namespace {
+
+esim::Circuit make_master() {
+  esim::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto a = c.node("a");
+  const auto b = c.node("b");
+  c.add_vsource("Vdd", vdd, c.ground(), esim::Waveform::dc(5.0));
+  c.add_resistor("R1", vdd, a, 10e3);
+  c.add_resistor("R2", a, c.ground(), 10e3);
+  c.add_mosfet("M1", esim::MosParams{}, a, b, c.ground());
+  c.add_capacitor("C1", b, c.ground(), 10e-15);
+  return c;
+}
+
+TEST(Inject, MasterIsNeverModified) {
+  const esim::Circuit master = make_master();
+  const std::size_t devices_before = master.resistors().size();
+  (void)inject(master, Fault::stuck_at0("a"));
+  (void)inject(master, Fault::stuck_on("M1"));
+  EXPECT_EQ(master.resistors().size(), devices_before);
+  EXPECT_EQ(master.mosfet(esim::MosfetId{0}).fault, esim::MosFault::kNone);
+}
+
+TEST(Inject, StuckAt0PullsNodeDown) {
+  const esim::Circuit master = make_master();
+  const esim::Circuit faulty = inject(master, Fault::stuck_at0("a"));
+  const auto v = esim::dc_operating_point(faulty);
+  EXPECT_LT(v[faulty.find_node("a")->index], 0.01);
+}
+
+TEST(Inject, StuckAt1PullsNodeUp) {
+  const esim::Circuit master = make_master();
+  const esim::Circuit faulty = inject(master, Fault::stuck_at1("a"));
+  const auto v = esim::dc_operating_point(faulty);
+  EXPECT_GT(v[faulty.find_node("a")->index], 4.99);
+}
+
+TEST(Inject, StuckOpenSetsDeviceFlag) {
+  const esim::Circuit faulty =
+      inject(make_master(), Fault::stuck_open("M1"));
+  EXPECT_EQ(faulty.mosfet(*faulty.find_mosfet("M1")).fault,
+            esim::MosFault::kStuckOpen);
+}
+
+TEST(Inject, StuckOnSetsDeviceFlag) {
+  const esim::Circuit faulty = inject(make_master(), Fault::stuck_on("M1"));
+  EXPECT_EQ(faulty.mosfet(*faulty.find_mosfet("M1")).fault,
+            esim::MosFault::kStuckOn);
+}
+
+TEST(Inject, BridgeAddsResistor) {
+  const esim::Circuit master = make_master();
+  const std::size_t before = master.resistors().size();
+  const esim::Circuit faulty =
+      inject(master, Fault::bridge("a", "b", 100.0));
+  EXPECT_EQ(faulty.resistors().size(), before + 1);
+  const auto& r = faulty.resistors().back();
+  EXPECT_DOUBLE_EQ(r.resistance, 100.0);
+}
+
+TEST(Inject, BridgeElectricallyTiesNodes) {
+  const esim::Circuit faulty =
+      inject(make_master(), Fault::bridge("vdd", "a", 1.0));
+  const auto v = esim::dc_operating_point(faulty);
+  EXPECT_GT(v[faulty.find_node("a")->index], 4.9);
+}
+
+TEST(Inject, UnknownTargetsThrow) {
+  const esim::Circuit master = make_master();
+  EXPECT_THROW(inject(master, Fault::stuck_at0("nope")), NetlistError);
+  EXPECT_THROW(inject(master, Fault::stuck_open("Mx")), NetlistError);
+  EXPECT_THROW(inject(master, Fault::bridge("a", "nope")), NetlistError);
+}
+
+TEST(Inject, StuckAt1RequiresRail) {
+  esim::Circuit norail;
+  norail.add_resistor("R", norail.node("a"), norail.ground(), 1.0);
+  EXPECT_THROW(inject(norail, Fault::stuck_at1("a")), NetlistError);
+}
+
+TEST(Inject, CustomRailNameHonoured) {
+  esim::Circuit c;
+  const auto rail = c.node("vcc");
+  const auto a = c.node("a");
+  c.add_vsource("V", rail, c.ground(), esim::Waveform::dc(3.0));
+  c.add_resistor("R", a, c.ground(), 1e3);
+  InjectOptions options;
+  options.vdd_node = "vcc";
+  const auto faulty = inject(c, Fault::stuck_at1("a"), options);
+  const auto v = esim::dc_operating_point(faulty);
+  EXPECT_GT(v[faulty.find_node("a")->index], 2.99);
+}
+
+TEST(Inject, ShortResistanceConfigurable) {
+  InjectOptions options;
+  options.stuck_at_resistance = 50.0;
+  const auto faulty =
+      inject(make_master(), Fault::stuck_at0("a"), options);
+  EXPECT_DOUBLE_EQ(faulty.resistors().back().resistance, 50.0);
+}
+
+}  // namespace
+}  // namespace sks::fault

@@ -1,0 +1,123 @@
+#include "fault/plan_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hpp"
+#include "fault/universe.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::fault {
+namespace {
+
+using namespace sks::units;
+
+struct PlanOptFixture : ::testing::Test {
+  cell::Technology tech;
+  cell::SensorBench bench;
+  TestPlan plan;  // 2-cycle plan: 4 candidate strobes
+
+  PlanOptFixture() {
+    cell::SensorOptions options;
+    options.load_y1 = options.load_y2 = 160 * fF;
+    cell::ClockPairStimulus stim;
+    stim.full_clock = true;
+    bench = cell::make_sensor_bench(tech, options, stim);
+    plan = default_sensor_test_plan(bench, tech.interpretation_threshold(), 2);
+    plan.dt = 10e-12;
+  }
+};
+
+TEST_F(PlanOptFixture, MatrixShapeAndConsistency) {
+  const auto universe = sensor_fault_universe(bench.cell);
+  const auto matrix = build_strobe_matrix(bench.circuit, universe, plan);
+  EXPECT_EQ(matrix.strobes.size(), 4u);
+  EXPECT_EQ(matrix.detected.size(), universe.size());
+  EXPECT_EQ(matrix.faults.size(), universe.size());
+  EXPECT_EQ(matrix.unsimulated, 0u);
+
+  // The matrix must agree with the campaign's logic verdicts: a fault is
+  // logic-detected iff some strobe flags it.
+  const auto report = run_campaign(bench.circuit, universe, plan);
+  for (std::size_t f = 0; f < universe.size(); ++f) {
+    bool any = false;
+    for (const bool hit : matrix.detected[f]) any |= hit;
+    EXPECT_EQ(any, report.verdicts[f].logic_detected)
+        << universe[f].label();
+  }
+}
+
+TEST_F(PlanOptFixture, GreedySelectionCoversAllDetectable) {
+  const auto universe = sensor_fault_universe(bench.cell);
+  const auto matrix = build_strobe_matrix(bench.circuit, universe, plan);
+  const auto selection = select_strobes(matrix);
+  EXPECT_EQ(selection.covered, matrix.detectable());
+  EXPECT_FALSE(selection.selected.empty());
+  // Marginal gains are non-increasing (greedy invariant).
+  for (std::size_t i = 1; i < selection.marginal_gain.size(); ++i) {
+    EXPECT_LE(selection.marginal_gain[i], selection.marginal_gain[i - 1]);
+  }
+  // And strictly positive: the greedy stops instead of picking dead weight.
+  for (const std::size_t gain : selection.marginal_gain) {
+    EXPECT_GT(gain, 0u);
+  }
+}
+
+TEST_F(PlanOptFixture, TwoStrobesCarryMostOfTheCoverage) {
+  // The engineering payoff: of the 4 candidates, two strobes (one
+  // high-phase, one low-phase) already cover the large majority.
+  const auto universe = sensor_fault_universe(bench.cell);
+  const auto matrix = build_strobe_matrix(bench.circuit, universe, plan);
+  const auto selection = select_strobes(matrix);
+  ASSERT_GE(selection.selected.size(), 2u);
+  const double first_two =
+      static_cast<double>(selection.marginal_gain[0] +
+                          selection.marginal_gain[1]) /
+      static_cast<double>(matrix.detectable());
+  EXPECT_GT(first_two, 0.85);
+}
+
+TEST_F(PlanOptFixture, SecondCycleStrobesAddTheStuckOns) {
+  // Restrict the universe to stuck-ons: the cycle-2 strobes must add
+  // coverage that cycle-1 strobes alone cannot reach.
+  UniverseOptions uo;
+  uo.stuck_at = false;
+  uo.stuck_open = false;
+  uo.bridges = false;
+  const auto stuck_ons = sensor_fault_universe(bench.cell, uo);
+  const auto matrix = build_strobe_matrix(bench.circuit, stuck_ons, plan);
+  // Coverage using only the first two strobes (cycle 1)...
+  std::size_t cycle1 = 0;
+  std::size_t all = 0;
+  for (const auto& row : matrix.detected) {
+    if (row[0] || row[1]) ++cycle1;
+    if (row[0] || row[1] || row[2] || row[3]) ++all;
+  }
+  EXPECT_GT(all, cycle1);
+}
+
+TEST(PlanOpt, EmptyPlanRejected) {
+  esim::Circuit c;
+  c.add_resistor("R", c.node("a"), c.ground(), 1.0);
+  TestPlan empty;
+  EXPECT_THROW(build_strobe_matrix(c, {}, empty), Error);
+}
+
+TEST(PlanOpt, SelectionOnSyntheticMatrix) {
+  StrobeMatrix m;
+  m.strobes = {1.0, 2.0, 3.0};
+  m.faults = std::vector<Fault>(4, Fault::stuck_at0("x"));
+  // strobe 0 catches faults {0,1}; strobe 1 catches {1,2}; strobe 2: {3}.
+  m.detected = {{true, false, false},
+                {true, true, false},
+                {false, true, false},
+                {false, false, true}};
+  const auto sel = select_strobes(m);
+  EXPECT_EQ(sel.covered, 4u);
+  EXPECT_EQ(sel.selected.size(), 3u);
+  EXPECT_EQ(sel.selected[0], 0u);  // ties broken toward the earliest
+  EXPECT_DOUBLE_EQ(sel.coverage(m), 1.0);
+}
+
+}  // namespace
+}  // namespace sks::fault

@@ -1,0 +1,102 @@
+#include "fault/universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sks::fault {
+namespace {
+
+std::size_t count_kind(const std::vector<Fault>& faults, FaultKind kind) {
+  return std::count_if(faults.begin(), faults.end(),
+                       [kind](const Fault& f) { return f.kind == kind; });
+}
+
+TEST(Universe, CountsForExplicitRegion) {
+  const auto faults =
+      enumerate_faults({"a", "b", "c"}, {"m1", "m2"}, UniverseOptions{});
+  EXPECT_EQ(count_kind(faults, FaultKind::kNodeStuckAt0), 3u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kNodeStuckAt1), 3u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kStuckOpen), 2u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kStuckOn), 2u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kBridge), 3u);  // C(3,2)
+  EXPECT_EQ(faults.size(), 13u);
+}
+
+TEST(Universe, OptionsDisableCategories) {
+  UniverseOptions options;
+  options.stuck_at = false;
+  options.bridges = false;
+  const auto faults = enumerate_faults({"a", "b"}, {"m"}, options);
+  EXPECT_EQ(faults.size(), 2u);  // SOP + SON
+}
+
+TEST(Universe, BridgeResistancePropagates) {
+  UniverseOptions options;
+  options.bridge_resistance = 470.0;
+  const auto faults = enumerate_faults({"a", "b"}, {}, options);
+  for (const auto& f : faults) {
+    if (f.kind == FaultKind::kBridge) {
+      EXPECT_DOUBLE_EQ(f.bridge_resistance, 470.0);
+    }
+  }
+}
+
+TEST(Universe, RailBridgesOptIn) {
+  UniverseOptions options;
+  options.bridges_to_rails = true;
+  const auto faults = enumerate_faults({"a", "b"}, {}, options);
+  // 1 pair bridge + 2 nodes x 2 rails.
+  EXPECT_EQ(count_kind(faults, FaultKind::kBridge), 5u);
+}
+
+TEST(Universe, NoDuplicateLabels) {
+  const auto faults = enumerate_faults({"a", "b", "c", "d"},
+                                       {"m1", "m2", "m3"}, UniverseOptions{});
+  std::set<std::string> labels;
+  for (const auto& f : faults) labels.insert(f.label());
+  EXPECT_EQ(labels.size(), faults.size());
+}
+
+TEST(Universe, SensorUniverseMatchesPaperCounts) {
+  // 8 nodes (phi1, phi2, y1, y2, n1..n4) and 10 transistors:
+  // 16 stuck-ats + 10 stuck-opens + 10 stuck-ons + C(8,2)=28 bridges.
+  cell::Technology tech;
+  esim::Circuit c;
+  const auto cell = cell::build_skew_sensor(c, tech, cell::SensorOptions{});
+  const auto faults = sensor_fault_universe(cell);
+  EXPECT_EQ(count_kind(faults, FaultKind::kNodeStuckAt0), 8u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kNodeStuckAt1), 8u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kStuckOpen), 10u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kStuckOn), 10u);
+  EXPECT_EQ(count_kind(faults, FaultKind::kBridge), 28u);
+  EXPECT_EQ(faults.size(), 64u);
+}
+
+TEST(Universe, SensorUniverseRespectsPrefix) {
+  cell::Technology tech;
+  esim::Circuit c;
+  cell::SensorOptions options;
+  options.prefix = "s7/";
+  const auto cell = cell::build_skew_sensor(c, tech, options);
+  const auto faults = sensor_fault_universe(cell);
+  for (const auto& f : faults) {
+    if (f.kind == FaultKind::kStuckOpen) {
+      EXPECT_EQ(f.device.rfind("s7/", 0), 0u) << f.label();
+    }
+  }
+}
+
+TEST(Universe, AblationVariantHasEightTransistors) {
+  cell::Technology tech;
+  esim::Circuit c;
+  cell::SensorOptions options;
+  options.variant = cell::SensorVariant::kNoSeriesEnable;
+  const auto cell = cell::build_skew_sensor(c, tech, options);
+  const auto faults = sensor_fault_universe(cell);
+  EXPECT_EQ(count_kind(faults, FaultKind::kStuckOpen), 8u);
+}
+
+}  // namespace
+}  // namespace sks::fault

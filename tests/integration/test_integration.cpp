@@ -1,0 +1,156 @@
+// Cross-module integration tests: the behavioural abstractions must agree
+// with the electrical ground truth they were calibrated from, and the
+// interconnect analysis must agree with the circuit simulator.
+#include <gtest/gtest.h>
+
+#include "cell/measure.hpp"
+#include "clocktree/defects.hpp"
+#include "clocktree/htree.hpp"
+#include "esim/engine.hpp"
+#include "esim/trace.hpp"
+#include "scheme/behavioral_sensor.hpp"
+#include "scheme/scheme.hpp"
+#include "util/units.hpp"
+
+namespace sks {
+namespace {
+
+using namespace sks::units;
+
+TEST(Integration, BehavioralSensorMatchesElectricalOnSkewGrid) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160 * fF;
+  const auto model =
+      scheme::SensorCalibration::default_table().model_for_load(160 * fF);
+
+  for (const double skew :
+       {-0.5 * ns, -0.2 * ns, -0.05 * ns, 0.0, 0.05 * ns, 0.2 * ns,
+        0.5 * ns}) {
+    // Skip the metastable band around +/- tau_min.
+    if (std::fabs(std::fabs(skew) - model.tau_min) < 3.0 * model.metastable_band) {
+      continue;
+    }
+    cell::ClockPairStimulus stim;
+    stim.skew = skew;
+    const auto electrical = cell::measure_sensor(tech, options, stim, 10e-12);
+    const auto behavioral = model.classify(skew);
+    EXPECT_EQ(electrical.indication, behavioral) << "skew " << skew;
+  }
+}
+
+TEST(Integration, ElmoreAgreesWithElectricalRcDelay) {
+  // A 3 mm wire driven through the clock buffer's output resistance into a
+  // sink load, built both as a clocktree stage and as an esim netlist.
+  const double length = 3e-3;
+  const double sink_cap = 100e-15;
+  clocktree::ClockTree tree;
+  const auto sink = tree.add_node(0, {length, 0});
+  tree.set_sink(sink, sink_cap);
+  clocktree::AnalysisOptions topt;
+  topt.source_resistance = 250.0;
+  const double elmore = clocktree::analyze(tree, topt).arrival[sink];
+
+  esim::Circuit c;
+  const auto in = c.node("in");
+  c.add_vsource("V", in, c.ground(),
+                esim::Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  // 8 pi-sections + driver resistance.
+  const double rw = topt.wire.resistance(length);
+  const double cw = topt.wire.capacitance(length);
+  const int n_seg = 8;
+  auto at = c.node("drv");
+  c.add_resistor("Rs", in, at, 250.0);
+  c.add_capacitor("Cnear", at, c.ground(), cw / (2 * n_seg));
+  for (int s = 0; s < n_seg; ++s) {
+    const auto next = c.node("w" + std::to_string(s));
+    c.add_resistor("Rw" + std::to_string(s), at, next, rw / n_seg);
+    const double cap = (s + 1 < n_seg) ? cw / n_seg : cw / (2 * n_seg);
+    c.add_capacitor("Cw" + std::to_string(s), next, c.ground(), cap);
+    at = next;
+  }
+  c.add_capacitor("Csink", at, c.ground(), sink_cap);
+
+  esim::TransientOptions eopt;
+  eopt.t_end = 10.0 * elmore;
+  eopt.dt = elmore / 200.0;
+  const auto result = esim::simulate(c, eopt);
+  const auto out = esim::Trace::node_voltage(result, c, c.node_name(at));
+  const auto t50 = out.first_rising_crossing(0.5);
+  ASSERT_TRUE(t50.has_value());
+  // For RC trees the 50% delay is ~0.7x Elmore (log 2 for a single pole;
+  // distributed lines land close to that).
+  EXPECT_GT(*t50, 0.4 * elmore);
+  EXPECT_LT(*t50, 1.0 * elmore);
+}
+
+TEST(Integration, TreeDefectSkewDrivesElectricalSensor) {
+  // Full vertical slice: defect -> arrival analysis -> skew -> the actual
+  // transistor-level sensor flags it.
+  clocktree::HTreeOptions ho;
+  ho.levels = 2;
+  clocktree::ClockTree tree = build_h_tree(ho);
+  const auto sinks = tree.sinks();
+  const std::size_t victim = sinks[0];
+  const std::size_t reference = sinks[1];
+
+  clocktree::TreeDefect defect;
+  defect.kind = clocktree::DefectKind::kResistiveOpen;
+  defect.node = victim;
+  defect.magnitude = 150.0;
+  const auto faulty = clocktree::analyze(
+      tree, clocktree::apply_defect(tree, clocktree::AnalysisOptions{}, defect));
+  const double skew = faulty.arrival[victim] - faulty.arrival[reference];
+  ASSERT_GT(std::fabs(skew), 0.15 * ns);  // a strong open
+
+  // Feed the two arrivals into the sensor: phi1 = reference, phi2 = victim.
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 80 * fF;
+  cell::ClockPairStimulus stim;
+  stim.skew = skew;
+  const auto m = cell::measure_sensor(tech, options, stim, 10e-12);
+  EXPECT_TRUE(m.error());
+  EXPECT_EQ(m.indication, cell::Indication::k01);  // victim (phi2) late
+}
+
+TEST(Integration, SchemeDetectionAgreesWithElectricalThreshold) {
+  // The behavioural scheme and the electrical sensor must agree on whether
+  // a given defect magnitude is detectable.
+  clocktree::HTreeOptions ho;
+  ho.levels = 2;
+  ho.buffer_levels = 2;
+  scheme::SchemeOptions so;
+  so.placement.criticality.samples = 20;
+  so.placement.max_pair_distance = 2.1e-3;
+  so.cycle_jitter_sigma = 0.0;  // deterministic
+  scheme::TestingScheme testing_scheme(build_h_tree(ho),
+                                       clocktree::AnalysisOptions{},
+                                       scheme::SensorCalibration::default_table(),
+                                       so);
+  ASSERT_FALSE(testing_scheme.placement().sensors.empty());
+  const auto& sensor = testing_scheme.placement().sensors[0];
+
+  // Find the defect magnitude that produces ~1.5x tau_min at the sensor.
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kResistiveOpen;
+  d.node = sensor.sink_a;
+  for (const double magnitude : {5.0, 20.0, 60.0, 150.0, 400.0}) {
+    d.magnitude = magnitude;
+    const auto analysis = clocktree::analyze(
+        testing_scheme.tree(),
+        clocktree::apply_defect(testing_scheme.tree(),
+                                clocktree::AnalysisOptions{}, d));
+    const double skew = std::fabs(analysis.arrival[sensor.sink_a] -
+                                  analysis.arrival[sensor.sink_b]);
+    if (std::fabs(skew - sensor.model.tau_min) <
+        3.0 * sensor.model.metastable_band) {
+      continue;  // too close to the threshold to demand agreement
+    }
+    const auto r = testing_scheme.run({d}, 1);
+    EXPECT_EQ(r.detected, skew > sensor.model.tau_min) << magnitude;
+  }
+}
+
+}  // namespace
+}  // namespace sks

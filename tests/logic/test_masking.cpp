@@ -1,0 +1,85 @@
+// The paper's motivating phenomenon: a clock-distribution fault masks a
+// combinational delay fault from the conventional at-speed test.
+#include "logic/masking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+namespace {
+
+MaskingScenario base_scenario() {
+  MaskingScenario s;
+  s.period = 2e-9;
+  s.chain_length = 8;
+  s.gate_delay = 150e-12;
+  return s;
+}
+
+TEST(Masking, FaultFreeAtSpeedTestPasses) {
+  const MaskingResult r = run_masking_experiment(base_scenario());
+  EXPECT_TRUE(r.forward_test_passes);
+  EXPECT_GT(r.forward_setup_slack, 0.0);
+  EXPECT_GT(r.reverse_setup_slack, 0.0);
+  EXPECT_DOUBLE_EQ(r.clock_skew, 0.0);
+}
+
+TEST(Masking, DelayFaultAloneIsDetected) {
+  MaskingScenario s = base_scenario();
+  s.delay_fault = 0.6e-9;  // eats the ~0.42 ns slack
+  const MaskingResult r = run_masking_experiment(s);
+  EXPECT_FALSE(r.forward_test_passes);
+  EXPECT_LT(r.forward_setup_slack, 0.0);
+}
+
+TEST(Masking, ClockFaultMasksTheDelayFault) {
+  MaskingScenario s = base_scenario();
+  s.delay_fault = 0.6e-9;
+  s.clock_delay_ff2 = 0.7e-9;  // the clock-distribution fault
+  const MaskingResult r = run_masking_experiment(s);
+  // The conventional at-speed test now PASSES: masked.
+  EXPECT_TRUE(r.forward_test_passes);
+  EXPECT_GT(r.forward_setup_slack, 0.0);
+  // ... but the reverse path lost exactly that slack.
+  EXPECT_LT(r.reverse_setup_slack, 0.0);
+  // The skew sensor sees the clock fault directly.
+  EXPECT_NEAR(r.clock_skew, 0.7e-9, 1e-15);
+}
+
+TEST(Masking, SlackConservationAcrossTheRing) {
+  // Whatever setup slack the forward path gains from the late capture
+  // clock, the reverse path loses (same-magnitude shift).
+  const MaskingResult base = run_masking_experiment(base_scenario());
+  MaskingScenario s = base_scenario();
+  s.clock_delay_ff2 = 0.4e-9;
+  const MaskingResult shifted = run_masking_experiment(s);
+  EXPECT_NEAR(shifted.forward_setup_slack - base.forward_setup_slack, 0.4e-9,
+              1e-15);
+  EXPECT_NEAR(base.reverse_setup_slack - shifted.reverse_setup_slack, 0.4e-9,
+              1e-15);
+}
+
+TEST(Masking, HoldSlackDegradesWithSkew) {
+  MaskingScenario s = base_scenario();
+  s.clock_delay_ff2 = 0.4e-9;
+  const MaskingResult base = run_masking_experiment(base_scenario());
+  const MaskingResult skewed = run_masking_experiment(s);
+  EXPECT_LT(skewed.worst_hold, base.worst_hold);
+}
+
+TEST(Masking, ShortChainValidationThrows) {
+  MaskingScenario s = base_scenario();
+  s.chain_length = 0;
+  EXPECT_THROW(run_masking_experiment(s), Error);
+}
+
+TEST(Masking, OddChainLengthAlsoWorks) {
+  MaskingScenario s = base_scenario();
+  s.chain_length = 7;
+  const MaskingResult r = run_masking_experiment(s);
+  EXPECT_TRUE(r.forward_test_passes);
+}
+
+}  // namespace
+}  // namespace sks::logic

@@ -1,0 +1,91 @@
+#include "logic/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+namespace {
+
+TEST(GateNetlist, NetFindOrCreate) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  EXPECT_EQ(n.net("a"), a);
+  EXPECT_EQ(n.net_count(), 1u);
+  EXPECT_EQ(n.net_name(a), "a");
+}
+
+TEST(GateNetlist, AddNetRejectsDuplicates) {
+  GateNetlist n;
+  n.add_net("x");
+  EXPECT_THROW(n.add_net("x"), Error);
+}
+
+TEST(GateNetlist, GatesAndDffs) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId b = n.net("b");
+  const NetId o = n.net("o");
+  const GateId g = n.add_gate("g1", GateKind::kNand2, a, b, o, 100e-12);
+  EXPECT_EQ(n.gates().size(), 1u);
+  EXPECT_EQ(n.gate(g).kind, GateKind::kNand2);
+  const DffId f = n.add_dff("ff", o, a);
+  EXPECT_EQ(n.dff(f).d, o);
+}
+
+TEST(GateNetlist, SingleInputHelper) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId o = n.net("o");
+  const GateId g = n.add_gate1("inv", GateKind::kInv, a, o, 50e-12);
+  EXPECT_TRUE(n.gates()[g.index].single_input());
+  EXPECT_THROW(n.add_gate1("bad", GateKind::kAnd2, a, o, 1e-12), Error);
+}
+
+TEST(GateNetlist, NegativeDelayRejected) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  EXPECT_THROW(n.add_gate("g", GateKind::kBuf, a, a, n.net("o"), -1.0), Error);
+}
+
+TEST(GateNetlist, FanoutLists) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId b = n.net("b");
+  const NetId o1 = n.net("o1");
+  const NetId o2 = n.net("o2");
+  n.add_gate("g1", GateKind::kAnd2, a, b, o1, 1e-12);
+  n.add_gate1("g2", GateKind::kInv, a, o2, 1e-12);
+  EXPECT_EQ(n.fanout(a).size(), 2u);
+  EXPECT_EQ(n.fanout(b).size(), 1u);
+  EXPECT_TRUE(n.fanout(o2).empty());
+}
+
+TEST(GateNetlist, ExtraDelayFoldsIntoTotal) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const GateId g = n.add_gate1("g", GateKind::kBuf, a, n.net("o"), 100e-12);
+  n.gate(g).extra_delay = 40e-12;
+  EXPECT_DOUBLE_EQ(n.gates()[g.index].total_delay(), 140e-12);
+}
+
+TEST(EvaluateGate, AllKinds) {
+  const Value o = Value::kOne;
+  const Value z = Value::kZero;
+  EXPECT_EQ(evaluate_gate(GateKind::kBuf, o, z), o);
+  EXPECT_EQ(evaluate_gate(GateKind::kInv, o, z), z);
+  EXPECT_EQ(evaluate_gate(GateKind::kAnd2, o, z), z);
+  EXPECT_EQ(evaluate_gate(GateKind::kNand2, o, z), o);
+  EXPECT_EQ(evaluate_gate(GateKind::kOr2, o, z), o);
+  EXPECT_EQ(evaluate_gate(GateKind::kNor2, o, z), z);
+  EXPECT_EQ(evaluate_gate(GateKind::kXor2, o, z), o);
+  EXPECT_EQ(evaluate_gate(GateKind::kXor2, o, o), z);
+}
+
+TEST(GateKindNames, Readable) {
+  EXPECT_EQ(to_string(GateKind::kNand2), "NAND2");
+  EXPECT_EQ(to_string(GateKind::kInv), "INV");
+}
+
+}  // namespace
+}  // namespace sks::logic

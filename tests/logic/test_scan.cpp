@@ -1,0 +1,110 @@
+#include "logic/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+namespace {
+
+constexpr double kPeriod = 2e-9;
+
+std::vector<Value> pattern_to_values(const std::vector<int>& bits) {
+  std::vector<Value> v;
+  for (const int b : bits) v.push_back(from_bool(b != 0));
+  return v;
+}
+
+TEST(ScanChain, BuilderShape) {
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 4);
+  EXPECT_EQ(chain.cells.size(), 4u);
+  EXPECT_EQ(n.dffs().size(), 4u);
+  // Serial connectivity: cell k's scan input is cell k-1's q.
+  for (std::size_t i = 1; i < chain.cells.size(); ++i) {
+    EXPECT_EQ(chain.cells[i].scan_in, chain.cells[i - 1].q);
+  }
+  EXPECT_EQ(chain.scan_out, chain.cells.back().q);
+  EXPECT_THROW(build_scan_chain(n, 0, "x/"), Error);
+}
+
+TEST(ScanChain, CaptureAndShiftReadsOutThePattern) {
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 4);
+  EventSimulator sim(n);
+  const auto readout = capture_and_shift(
+      sim, chain, pattern_to_values({1, 0, 1, 1}), 0.0, kPeriod);
+  // Serial order: last chain bit first.
+  ASSERT_EQ(readout.size(), 4u);
+  EXPECT_EQ(readout[0], Value::kOne);   // d3
+  EXPECT_EQ(readout[1], Value::kOne);   // d2
+  EXPECT_EQ(readout[2], Value::kZero);  // d1
+  EXPECT_EQ(readout[3], Value::kOne);   // d0
+}
+
+TEST(ScanChain, AllZerosAndAllOnes) {
+  for (const int bit : {0, 1}) {
+    GateNetlist n;
+    const auto chain = build_scan_chain(n, 5);
+    EventSimulator sim(n);
+    const auto readout = capture_and_shift(
+        sim, chain, pattern_to_values({bit, bit, bit, bit, bit}), 0.0,
+        kPeriod);
+    for (const Value v : readout) {
+      EXPECT_EQ(v, from_bool(bit != 0));
+    }
+  }
+}
+
+TEST(ScanChain, SingleBitChain) {
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 1);
+  EventSimulator sim(n);
+  const auto readout =
+      capture_and_shift(sim, chain, pattern_to_values({1}), 0.0, kPeriod);
+  ASSERT_EQ(readout.size(), 1u);
+  EXPECT_EQ(readout[0], Value::kOne);
+}
+
+TEST(ScanChain, NoTimingViolationsDuringShift) {
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 6);
+  EventSimulator sim(n);
+  (void)capture_and_shift(sim, chain, pattern_to_values({1, 0, 1, 0, 1, 0}),
+                          0.0, kPeriod);
+  for (const auto& cap : sim.captures()) {
+    EXPECT_FALSE(cap.setup_violation);
+  }
+  EXPECT_TRUE(sim.hold_violations().empty());
+}
+
+TEST(ScanChain, MatchesBehaviouralScanSemantics) {
+  // Same story as scheme::ScanChain::scan_out(): the serial stream is the
+  // captured vector, last bit first.
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 3);
+  EventSimulator sim(n);
+  const std::vector<int> pattern{0, 1, 0};
+  const auto readout =
+      capture_and_shift(sim, chain, pattern_to_values(pattern), 0.0, kPeriod);
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    EXPECT_EQ(readout[k],
+              from_bool(pattern[pattern.size() - 1 - k] != 0))
+        << k;
+  }
+}
+
+TEST(ScanChain, ValidationErrors) {
+  GateNetlist n;
+  const auto chain = build_scan_chain(n, 2);
+  EventSimulator sim(n);
+  EXPECT_THROW(
+      capture_and_shift(sim, chain, pattern_to_values({1}), 0.0, kPeriod),
+      Error);
+  EXPECT_THROW(capture_and_shift(sim, chain, pattern_to_values({1, 0}), 0.0,
+                                 0.1e-9),
+               Error);
+}
+
+}  // namespace
+}  // namespace sks::logic

@@ -1,0 +1,160 @@
+#include "logic/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+namespace {
+
+TEST(EventSimulator, InputChangePropagatesAfterDelay) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId o = n.net("o");
+  n.add_gate1("inv", GateKind::kInv, a, o, 100e-12);
+  EventSimulator sim(n);
+  sim.schedule_input(a, Value::kZero, 0.0);
+  sim.schedule_input(a, Value::kOne, 1e-9);
+  sim.run(2e-9);
+  EXPECT_EQ(sim.value(o), Value::kZero);
+  EXPECT_NEAR(sim.last_change(o), 1.1e-9, 1e-15);
+}
+
+TEST(EventSimulator, ChainDelayAccumulates) {
+  GateNetlist n;
+  NetId at = n.net("in");
+  const NetId in = at;
+  for (int i = 0; i < 5; ++i) {
+    const NetId next = n.net("n" + std::to_string(i));
+    n.add_gate1("b" + std::to_string(i), GateKind::kBuf, at, next, 100e-12);
+    at = next;
+  }
+  EventSimulator sim(n);
+  sim.schedule_input(in, Value::kZero, 0.0);
+  sim.schedule_input(in, Value::kOne, 1e-9);
+  sim.run(3e-9);
+  EXPECT_EQ(sim.value(at), Value::kOne);
+  EXPECT_NEAR(sim.last_change(at), 1.5e-9, 1e-15);
+}
+
+TEST(EventSimulator, NoEventWhenValueUnchanged) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId o = n.net("o");
+  n.add_gate1("buf", GateKind::kBuf, a, o, 100e-12);
+  EventSimulator sim(n);
+  sim.schedule_input(a, Value::kOne, 0.0);
+  sim.schedule_input(a, Value::kOne, 1e-9);  // same value again
+  sim.run(2e-9);
+  EXPECT_EQ(sim.history(o).size(), 1u);  // only the initial propagation
+}
+
+TEST(EventSimulator, TwoInputGateReconverges) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId b = n.net("b");
+  const NetId o = n.net("o");
+  n.add_gate("and", GateKind::kAnd2, a, b, o, 50e-12);
+  EventSimulator sim(n);
+  sim.schedule_input(a, Value::kOne, 0.0);
+  sim.schedule_input(b, Value::kZero, 0.0);
+  sim.schedule_input(b, Value::kOne, 1e-9);
+  sim.run(2e-9);
+  EXPECT_EQ(sim.value(o), Value::kOne);
+  EXPECT_NEAR(sim.last_change(o), 1.05e-9, 1e-15);
+}
+
+TEST(EventSimulator, CaptureRecordsDataAtClockInstant) {
+  GateNetlist n;
+  const NetId d = n.net("d");
+  const NetId q = n.net("q");
+  const DffId ff = n.add_dff("ff", d, q);
+  EventSimulator sim(n);
+  sim.schedule_input(d, Value::kOne, 0.0);
+  sim.schedule_capture(ff, 1e-9);
+  sim.run(2e-9);
+  ASSERT_EQ(sim.captures().size(), 1u);
+  EXPECT_EQ(sim.captures()[0].captured, Value::kOne);
+  EXPECT_FALSE(sim.captures()[0].setup_violation);
+  // Q follows after clk->q.
+  EXPECT_EQ(sim.value(q), Value::kOne);
+  EXPECT_NEAR(sim.last_change(q), 1e-9 + n.dff(ff).clk_to_q, 1e-15);
+}
+
+TEST(EventSimulator, SetupViolationCapturesX) {
+  GateNetlist n;
+  const NetId d = n.net("d");
+  const NetId q = n.net("q");
+  const DffId ff = n.add_dff("ff", d, q);
+  EventSimulator sim(n);
+  sim.schedule_input(d, Value::kZero, 0.0);
+  // Change D 10 ps before the capture: inside the 80 ps setup window.
+  sim.schedule_input(d, Value::kOne, 1e-9 - 10e-12);
+  sim.schedule_capture(ff, 1e-9);
+  sim.run(2e-9);
+  ASSERT_EQ(sim.captures().size(), 1u);
+  EXPECT_TRUE(sim.captures()[0].setup_violation);
+  EXPECT_EQ(sim.captures()[0].captured, Value::kX);
+}
+
+TEST(EventSimulator, HoldViolationReported) {
+  GateNetlist n;
+  const NetId d = n.net("d");
+  const NetId q = n.net("q");
+  const DffId ff = n.add_dff("ff", d, q);
+  EventSimulator sim(n);
+  sim.schedule_input(d, Value::kZero, 0.0);
+  sim.schedule_capture(ff, 1e-9);
+  // D flips 20 ps after the capture: inside the 40 ps hold window.
+  sim.schedule_input(d, Value::kOne, 1e-9 + 20e-12);
+  sim.run(2e-9);
+  ASSERT_EQ(sim.hold_violations().size(), 1u);
+  EXPECT_EQ(sim.hold_violations()[0].dff, ff);
+}
+
+TEST(EventSimulator, CleanTimingHasNoViolations) {
+  GateNetlist n;
+  const NetId d = n.net("d");
+  const NetId q = n.net("q");
+  const DffId ff = n.add_dff("ff", d, q);
+  EventSimulator sim(n);
+  sim.schedule_input(d, Value::kOne, 0.0);
+  sim.schedule_capture(ff, 1e-9);
+  sim.schedule_input(d, Value::kZero, 1.5e-9);  // far outside hold
+  sim.run(2e-9);
+  EXPECT_FALSE(sim.captures()[0].setup_violation);
+  EXPECT_TRUE(sim.hold_violations().empty());
+}
+
+TEST(EventSimulator, UninitialisedNetsAreX) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId o = n.net("o");
+  n.add_gate1("inv", GateKind::kInv, a, o, 1e-12);
+  EventSimulator sim(n);
+  sim.run(1e-9);
+  EXPECT_EQ(sim.value(a), Value::kX);
+  EXPECT_EQ(sim.value(o), Value::kX);
+}
+
+TEST(EventSimulator, RunOnlyProcessesUpToTEnd) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  EventSimulator sim(n);
+  sim.schedule_input(a, Value::kOne, 5e-9);
+  sim.run(1e-9);
+  EXPECT_EQ(sim.value(a), Value::kX);
+  sim.run(6e-9);
+  EXPECT_EQ(sim.value(a), Value::kOne);
+}
+
+TEST(EventSimulator, RejectsBadInputs) {
+  GateNetlist n;
+  const NetId a = n.net("a");
+  EventSimulator sim(n);
+  EXPECT_THROW(sim.schedule_input(a, Value::kOne, -1.0), Error);
+  EXPECT_THROW(sim.schedule_capture(DffId{3}, 1e-9), Error);
+}
+
+}  // namespace
+}  // namespace sks::logic

@@ -1,0 +1,153 @@
+#include "logic/stuck_at.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::logic {
+namespace {
+
+// c17-style miniature: 2 NANDs into a NAND.
+struct Circuit17 {
+  GateNetlist netlist;
+  std::vector<NetId> inputs;
+  std::vector<NetId> outputs;
+
+  Circuit17() {
+    const NetId a = netlist.net("a");
+    const NetId b = netlist.net("b");
+    const NetId c = netlist.net("c");
+    const NetId d = netlist.net("d");
+    const NetId n1 = netlist.net("n1");
+    const NetId n2 = netlist.net("n2");
+    const NetId out = netlist.net("out");
+    netlist.add_gate("g1", GateKind::kNand2, a, b, n1, 1e-10);
+    netlist.add_gate("g2", GateKind::kNand2, c, d, n2, 1e-10);
+    netlist.add_gate("g3", GateKind::kNand2, n1, n2, out, 1e-10);
+    inputs = {a, b, c, d};
+    outputs = {out};
+  }
+};
+
+TEST(StuckAt, EnumerationCountsTwoPerNet) {
+  Circuit17 c;
+  const auto faults = enumerate_net_faults(c.netlist);
+  EXPECT_EQ(faults.size(), 2 * c.netlist.net_count());
+  EXPECT_EQ(faults[0].label(c.netlist), "SA0(a)");
+  EXPECT_EQ(faults[1].label(c.netlist), "SA1(a)");
+}
+
+TEST(StuckAt, CombinationalEvaluationTruth) {
+  Circuit17 c;
+  const Value one = Value::kOne;
+  const Value zero = Value::kZero;
+  // a=b=1 -> n1=0 -> out=1 regardless of n2.
+  auto v = evaluate_combinational(c.netlist, c.inputs, {one, one, zero, zero});
+  EXPECT_EQ(v[c.outputs[0].index], one);
+  // all inputs 0: n1=n2=1 -> out=0.
+  v = evaluate_combinational(c.netlist, c.inputs, {zero, zero, zero, zero});
+  EXPECT_EQ(v[c.outputs[0].index], zero);
+}
+
+TEST(StuckAt, ForcedNetOverridesDrivers) {
+  Circuit17 c;
+  const NetStuckAt f{c.netlist.net("n1"), true};  // n1 stuck at 1
+  const auto v = evaluate_combinational(
+      c.netlist, c.inputs,
+      {Value::kOne, Value::kOne, Value::kZero, Value::kZero}, &f);
+  // Fault-free n1 would be 0 and out 1; with n1 = 1 and n2 = 1, out = 0.
+  EXPECT_EQ(v[c.netlist.net("n1").index], Value::kOne);
+  EXPECT_EQ(v[c.outputs[0].index], Value::kZero);
+}
+
+TEST(StuckAt, XInputsPropagate) {
+  Circuit17 c;
+  const auto v = evaluate_combinational(
+      c.netlist, c.inputs,
+      {Value::kX, Value::kX, Value::kZero, Value::kZero});
+  EXPECT_EQ(v[c.netlist.net("n1").index], Value::kX);
+  // n2 = 1 (c=d=0), out = NAND(X, 1) = X.
+  EXPECT_EQ(v[c.outputs[0].index], Value::kX);
+}
+
+TEST(StuckAt, LoopDetection) {
+  // A ring oscillator never reaches a fixpoint once seeded with a defined
+  // value.  (A cross-coupled inverter pair, in contrast, is a stable latch
+  // and an all-X loop stays X — both legitimately converge.)
+  GateNetlist n;
+  const NetId a = n.net("a");
+  n.add_gate1("ring", GateKind::kInv, a, a, 1e-10);
+  EXPECT_THROW(
+      evaluate_combinational(n, {a}, {Value::kZero}, nullptr), Error);
+}
+
+TEST(StuckAt, RandomCampaignReachesFullCoverageOnC17) {
+  Circuit17 c;
+  StuckAtCampaignOptions options;
+  options.max_vectors = 64;
+  options.seed = 3;
+  const auto result =
+      random_test_campaign(c.netlist, c.inputs, c.outputs, options);
+  EXPECT_EQ(result.coverage(), 1.0) << result.escapes.size() << " escapes";
+  EXPECT_LT(result.vectors_used, 64u);  // stops early
+}
+
+TEST(StuckAt, RedundantFaultEscapes) {
+  // out = OR(a, AND(a, b)): the AND is redundant, so faults on its output
+  // that keep the OR dominated are undetectable.
+  GateNetlist n;
+  const NetId a = n.net("a");
+  const NetId b = n.net("b");
+  const NetId m = n.net("m");
+  const NetId out = n.net("out");
+  n.add_gate("and", GateKind::kAnd2, a, b, m, 1e-10);
+  n.add_gate("or", GateKind::kOr2, a, m, out, 1e-10);
+  StuckAtCampaignOptions options;
+  options.max_vectors = 200;
+  const auto result = random_test_campaign(n, {a, b}, {out}, options);
+  EXPECT_LT(result.coverage(), 1.0);
+  bool m_sa0_escapes = false;
+  for (const auto& f : result.escapes) {
+    if (f.label(n) == "SA0(m)") m_sa0_escapes = true;
+  }
+  EXPECT_TRUE(m_sa0_escapes);  // m stuck-0 only matters when a=0,b=1 -> m=0 anyway? no:
+  // a=0,b=1: m=0 fault-free as well; a=1: OR dominated by a. a=0,b=0: m=0. -> undetectable.
+}
+
+TEST(StuckAt, CampaignValidation) {
+  Circuit17 c;
+  EXPECT_THROW(random_test_campaign(c.netlist, {}, c.outputs, {}), Error);
+  EXPECT_THROW(random_test_campaign(c.netlist, c.inputs, {}, {}), Error);
+}
+
+TEST(StuckAt, CampaignIsDeterministic) {
+  Circuit17 c;
+  StuckAtCampaignOptions options;
+  options.max_vectors = 16;
+  const auto a = random_test_campaign(c.netlist, c.inputs, c.outputs, options);
+  const auto b = random_test_campaign(c.netlist, c.inputs, c.outputs, options);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.vectors_used, b.vectors_used);
+}
+
+TEST(StuckAt, LogicTestIsBlindToClockFaults) {
+  // The paper's core argument, stated as a test: a full-coverage stuck-at
+  // logic test says nothing about clock distribution.  The campaign's
+  // verdict is identical whether or not the design's flops sample late,
+  // because combinational test vectors never exercise clock timing.
+  Circuit17 c;
+  StuckAtCampaignOptions options;
+  options.max_vectors = 64;
+  const auto verdict =
+      random_test_campaign(c.netlist, c.inputs, c.outputs, options);
+  EXPECT_EQ(verdict.coverage(), 1.0);
+  // (The clock-side escape is demonstrated dynamically in
+  // logic/test_masking.cpp; here we assert the structural blindness: no
+  // clock entity exists in the combinational fault universe at all.)
+  for (const auto& f : enumerate_net_faults(c.netlist)) {
+    EXPECT_EQ(f.label(c.netlist).find("clk"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sks::logic

@@ -1,0 +1,59 @@
+#include "logic/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace sks::logic {
+namespace {
+
+TEST(Value, Not) {
+  EXPECT_EQ(v_not(Value::kZero), Value::kOne);
+  EXPECT_EQ(v_not(Value::kOne), Value::kZero);
+  EXPECT_EQ(v_not(Value::kX), Value::kX);
+}
+
+TEST(Value, AndWithControllingZero) {
+  EXPECT_EQ(v_and(Value::kZero, Value::kX), Value::kZero);
+  EXPECT_EQ(v_and(Value::kX, Value::kZero), Value::kZero);
+}
+
+TEST(Value, OrWithControllingOne) {
+  EXPECT_EQ(v_or(Value::kOne, Value::kX), Value::kOne);
+  EXPECT_EQ(v_or(Value::kX, Value::kOne), Value::kOne);
+}
+
+TEST(Value, XPropagatesWhenUncontrolled) {
+  EXPECT_EQ(v_and(Value::kOne, Value::kX), Value::kX);
+  EXPECT_EQ(v_or(Value::kZero, Value::kX), Value::kX);
+  EXPECT_EQ(v_xor(Value::kOne, Value::kX), Value::kX);
+}
+
+TEST(Value, FromBoolAndToString) {
+  EXPECT_EQ(from_bool(true), Value::kOne);
+  EXPECT_EQ(from_bool(false), Value::kZero);
+  EXPECT_EQ(to_string(Value::kX), "X");
+  EXPECT_EQ(to_string(Value::kOne), "1");
+}
+
+using BinCase = std::tuple<int, int>;
+
+class BooleanTables : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BooleanTables, MatchBoolSemanticsOnDefinedValues) {
+  const auto [ai, bi] = GetParam();
+  const bool ab = ai != 0;
+  const bool bb = bi != 0;
+  const Value a = from_bool(ab);
+  const Value b = from_bool(bb);
+  EXPECT_EQ(v_and(a, b), from_bool(ab && bb));
+  EXPECT_EQ(v_or(a, b), from_bool(ab || bb));
+  EXPECT_EQ(v_xor(a, b), from_bool(ab != bb));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, BooleanTables,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace sks::logic

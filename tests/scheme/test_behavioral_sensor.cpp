@@ -1,0 +1,98 @@
+#include "scheme/behavioral_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::scheme {
+namespace {
+
+TEST(BehavioralSensor, DeterministicClassification) {
+  BehavioralSensorModel m;
+  m.tau_min = 0.1e-9;
+  m.metastable_band = 0.0;
+  EXPECT_EQ(m.classify(+0.2e-9), cell::Indication::k01);
+  EXPECT_EQ(m.classify(-0.2e-9), cell::Indication::k10);
+  EXPECT_EQ(m.classify(+0.05e-9), cell::Indication::kNone);
+  EXPECT_EQ(m.classify(0.0), cell::Indication::kNone);
+}
+
+TEST(BehavioralSensor, ThresholdIsInclusiveAtTauMin) {
+  BehavioralSensorModel m;
+  m.tau_min = 0.1e-9;
+  m.metastable_band = 0.0;
+  EXPECT_EQ(m.classify(0.1e-9), cell::Indication::k01);
+}
+
+TEST(BehavioralSensor, MetastableBandIsProbabilistic) {
+  BehavioralSensorModel m;
+  m.tau_min = 0.1e-9;
+  m.metastable_band = 0.02e-9;
+  util::Prng prng(5);
+  int detections = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (m.classify(0.1e-9, &prng) != cell::Indication::kNone) ++detections;
+  }
+  // At the exact centre of the band the detection probability is ~50%.
+  EXPECT_GT(detections, trials / 2 - 150);
+  EXPECT_LT(detections, trials / 2 + 150);
+}
+
+TEST(BehavioralSensor, OutsideBandIsDeterministicEvenWithPrng) {
+  BehavioralSensorModel m;
+  m.tau_min = 0.1e-9;
+  m.metastable_band = 0.02e-9;
+  util::Prng prng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.classify(0.2e-9, &prng), cell::Indication::k01);
+    EXPECT_EQ(m.classify(0.01e-9, &prng), cell::Indication::kNone);
+  }
+}
+
+TEST(Calibration, DefaultTableIsMonotone) {
+  const SensorCalibration cal = SensorCalibration::default_table();
+  double prev = 0.0;
+  for (const double load : {40e-15, 80e-15, 120e-15, 160e-15, 200e-15}) {
+    const double tau = cal.tau_min(load);
+    EXPECT_GT(tau, prev);
+    prev = tau;
+  }
+}
+
+TEST(Calibration, InterpolatesBetweenGridLoads) {
+  const SensorCalibration cal = SensorCalibration::default_table();
+  const double mid = cal.tau_min(100e-15);
+  EXPECT_GT(mid, cal.tau_min(80e-15));
+  EXPECT_LT(mid, cal.tau_min(120e-15));
+}
+
+TEST(Calibration, ModelForLoadScalesBand) {
+  const SensorCalibration cal = SensorCalibration::default_table();
+  const BehavioralSensorModel m = cal.model_for_load(160e-15);
+  EXPECT_NEAR(m.tau_min, cal.tau_min(160e-15), 1e-18);
+  EXPECT_GT(m.metastable_band, 0.0);
+  EXPECT_LT(m.metastable_band, m.tau_min);
+}
+
+TEST(Calibration, EmptyTableThrows) {
+  SensorCalibration empty;
+  EXPECT_THROW(empty.tau_min(100e-15), Error);
+}
+
+TEST(Calibration, FromSimulationAgreesWithDefaultTable) {
+  // The shipped table must match a fresh electrical calibration (coarse
+  // timestep, two loads to keep the test fast).
+  const cell::Technology tech;
+  const auto fresh = SensorCalibration::from_simulation(
+      tech, cell::SensorOptions{}, {80e-15, 160e-15}, 10e-12);
+  const auto shipped = SensorCalibration::default_table();
+  for (const double load : {80e-15, 160e-15}) {
+    EXPECT_NEAR(fresh.tau_min(load), shipped.tau_min(load),
+                0.15 * shipped.tau_min(load))
+        << load;
+  }
+}
+
+}  // namespace
+}  // namespace sks::scheme

@@ -1,0 +1,136 @@
+#include "scheme/coverage_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clocktree/htree.hpp"
+#include "scheme/scheme.hpp"
+
+namespace sks::scheme {
+namespace {
+
+clocktree::ClockTree test_tree() {
+  clocktree::HTreeOptions o;
+  o.levels = 2;
+  return build_h_tree(o);
+}
+
+TEST(ObservableEdges, SymmetricDifferenceOfPaths) {
+  // Tiny tree: root -> m -> {a, b}; root -> c.
+  clocktree::ClockTree t;
+  const auto m = t.add_node(0, {1e-3, 0});
+  const auto a = t.add_node(m, {2e-3, 0});
+  const auto b = t.add_node(m, {1e-3, 1e-3});
+  const auto c = t.add_node(0, {0, 1e-3});
+  t.set_sink(a, 50e-15);
+  t.set_sink(b, 50e-15);
+  t.set_sink(c, 50e-15);
+
+  // (a, b): common prefix root->m cancels; observable = {a, b}.
+  auto edges = observable_edges(t, a, b);
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<std::size_t>{a, b}));
+
+  // (a, c): only the root is shared; observable = {m, a, c}.
+  edges = observable_edges(t, a, c);
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<std::size_t>{m, a, c}));
+}
+
+TEST(ObservableEdges, CommonModeEdgeIsInvisible) {
+  // A defect on the shared edge root->m moves both a and b: a sensor on
+  // (a,b) must NOT list it.
+  clocktree::ClockTree t;
+  const auto m = t.add_node(0, {1e-3, 0});
+  const auto a = t.add_node(m, {2e-3, 0});
+  const auto b = t.add_node(m, {1e-3, 1e-3});
+  t.set_sink(a, 50e-15);
+  t.set_sink(b, 50e-15);
+  const auto edges = observable_edges(t, a, b);
+  EXPECT_EQ(std::count(edges.begin(), edges.end(), m), 0);
+}
+
+TEST(CoveragePlacement, CoversMoreWireThanCriticalityPlacement) {
+  const auto tree = test_tree();
+  PlacementOptions options;
+  options.max_sensors = 6;
+  options.max_pair_distance = 5e-3;  // allow mid-range pairs
+  options.criticality.samples = 25;
+  const auto cal = SensorCalibration::default_table();
+
+  const Placement greedy =
+      place_sensors_by_coverage(tree, {}, options, cal);
+  const Placement critical = place_sensors(tree, {}, options, cal);
+  EXPECT_FALSE(greedy.sensors.empty());
+  EXPECT_GE(placement_edge_coverage(tree, greedy),
+            placement_edge_coverage(tree, critical));
+}
+
+TEST(CoveragePlacement, RespectsAdmissibilityRules) {
+  const auto tree = test_tree();
+  PlacementOptions options;
+  options.max_sensors = 4;
+  options.max_pair_distance = 2.1e-3;
+  const Placement p =
+      place_sensors_by_coverage(tree, {}, options, SensorCalibration::default_table());
+  EXPECT_LE(p.sensors.size(), 4u);
+  std::set<std::size_t> used;
+  for (const auto& s : p.sensors) {
+    EXPECT_LE(s.distance, 2.1e-3);
+    EXPECT_EQ(used.count(s.sink_a), 0u);
+    EXPECT_EQ(used.count(s.sink_b), 0u);
+    used.insert(s.sink_a);
+    used.insert(s.sink_b);
+  }
+}
+
+TEST(CoveragePlacement, StopsWhenNothingNewIsCovered) {
+  // Two sinks: one admissible pair; asking for 8 sensors yields 1.
+  clocktree::ClockTree t;
+  const auto a = t.add_node(0, {1e-3, 0});
+  const auto b = t.add_node(0, {1e-3, 0.5e-3});
+  t.set_sink(a, 50e-15);
+  t.set_sink(b, 50e-15);
+  PlacementOptions options;
+  options.max_sensors = 8;
+  const Placement p =
+      place_sensors_by_coverage(t, {}, options, SensorCalibration::default_table());
+  EXPECT_EQ(p.sensors.size(), 1u);
+}
+
+TEST(CoveragePlacement, EdgeCoverageFractionBounds) {
+  const auto tree = test_tree();
+  PlacementOptions options;
+  options.max_sensors = 20;
+  options.max_pair_distance = 20e-3;  // everything admissible
+  const Placement p =
+      place_sensors_by_coverage(tree, {}, options, SensorCalibration::default_table());
+  const double cover = placement_edge_coverage(tree, p);
+  EXPECT_GT(cover, 0.3);
+  EXPECT_LE(cover, 1.0);
+  EXPECT_EQ(placement_edge_coverage(tree, Placement{}), 0.0);
+}
+
+TEST(CoveragePlacement, PlugsIntoTestingScheme) {
+  const auto tree = test_tree();
+  PlacementOptions options;
+  options.max_sensors = 6;
+  options.max_pair_distance = 5e-3;
+  const auto cal = SensorCalibration::default_table();
+  Placement p = place_sensors_by_coverage(tree, {}, options, cal);
+  SchemeOptions so;
+  so.cycle_jitter_sigma = 0.0;
+  TestingScheme scheme(tree, {}, cal, so, std::move(p));
+  ASSERT_FALSE(scheme.placement().sensors.empty());
+  // A strong open under a monitored (observable) edge is caught.
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kResistiveOpen;
+  d.node = scheme.placement().sensors[0].sink_a;
+  d.magnitude = 200.0;
+  EXPECT_TRUE(scheme.run({d}, 5).detected);
+}
+
+}  // namespace
+}  // namespace sks::scheme

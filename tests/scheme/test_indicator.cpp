@@ -1,0 +1,113 @@
+#include "scheme/indicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace sks::scheme {
+namespace {
+
+TEST(ErrorIndicatorLatch, LatchesFirstIndication) {
+  ErrorIndicatorLatch latch;
+  EXPECT_FALSE(latch.latched());
+  latch.observe(cell::Indication::kNone);
+  EXPECT_FALSE(latch.latched());
+  latch.observe(cell::Indication::k01);
+  EXPECT_TRUE(latch.latched());
+  EXPECT_EQ(latch.first_indication(), cell::Indication::k01);
+  latch.observe(cell::Indication::k10);
+  EXPECT_EQ(latch.first_indication(), cell::Indication::k01);  // kept
+  EXPECT_EQ(latch.error_count(), 2u);
+}
+
+TEST(ErrorIndicatorLatch, ResetClears) {
+  ErrorIndicatorLatch latch;
+  latch.observe(cell::Indication::k10);
+  latch.reset();
+  EXPECT_FALSE(latch.latched());
+  EXPECT_EQ(latch.error_count(), 0u);
+  EXPECT_EQ(latch.first_indication(), cell::Indication::kNone);
+}
+
+TEST(ScanChain, ShiftsOutLatchStates) {
+  ScanChain chain(4);
+  chain.latch(1).observe(cell::Indication::k01);
+  chain.latch(3).observe(cell::Indication::k10);
+  const auto bits = chain.scan_out();
+  ASSERT_EQ(bits.size(), 4u);
+  EXPECT_FALSE(bits[0]);
+  EXPECT_TRUE(bits[1]);
+  EXPECT_FALSE(bits[2]);
+  EXPECT_TRUE(bits[3]);
+  EXPECT_TRUE(chain.any_latched());
+  chain.reset_all();
+  EXPECT_FALSE(chain.any_latched());
+}
+
+// Exhaustive two-rail checker truth table: valid inputs -> output validity
+// mirrors input validity.
+using TwoRailCase = std::tuple<int, int, int, int>;
+
+class TwoRailTruth : public ::testing::TestWithParam<TwoRailCase> {};
+
+TEST_P(TwoRailTruth, OutputValidIffBothInputsValid) {
+  const auto [a0, a1, b0, b1] = GetParam();
+  const TwoRail a{a0 != 0, a1 != 0};
+  const TwoRail b{b0 != 0, b1 != 0};
+  const TwoRail out = two_rail_merge(a, b);
+  EXPECT_EQ(out.valid(), a.valid() && b.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(All16, TwoRailTruth,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1)));
+
+TEST(TwoRail, MergePreservesDataXor) {
+  // For valid dual-rail inputs the checker computes the pairwise XOR of the
+  // encoded bits on rail1 (the standard morphic function).
+  const TwoRail zero{false, true};
+  const TwoRail one{true, false};
+  EXPECT_TRUE(two_rail_merge(zero, zero).valid());
+  EXPECT_TRUE(two_rail_merge(one, zero).valid());
+  EXPECT_TRUE(two_rail_merge(one, one).valid());
+}
+
+TEST(TwoRail, ReduceTree) {
+  std::vector<TwoRail> valid(5, TwoRail{false, true});
+  EXPECT_TRUE(two_rail_reduce(valid).valid());
+  valid[3] = TwoRail{true, true};  // one invalid pair poisons the tree
+  EXPECT_FALSE(two_rail_reduce(valid).valid());
+  EXPECT_THROW(two_rail_reduce({}), Error);
+}
+
+TEST(OnlineChecker, ReportsFirstAlarmCycleAndSensor) {
+  OnlineChecker checker(2);
+  checker.observe_cycle({cell::Indication::kNone, cell::Indication::kNone});
+  checker.observe_cycle({cell::Indication::kNone, cell::Indication::k01});
+  checker.observe_cycle({cell::Indication::k10, cell::Indication::kNone});
+  EXPECT_TRUE(checker.alarmed());
+  EXPECT_EQ(checker.alarm_cycle().value(), 1u);
+  EXPECT_EQ(checker.alarm_sensor().value(), 1u);
+  EXPECT_EQ(checker.cycles_observed(), 3u);
+}
+
+TEST(OnlineChecker, NoAlarmOnCleanRun) {
+  OnlineChecker checker(1);
+  for (int i = 0; i < 10; ++i) {
+    checker.observe_cycle({cell::Indication::kNone});
+  }
+  EXPECT_FALSE(checker.alarmed());
+  EXPECT_FALSE(checker.alarm_cycle().has_value());
+}
+
+TEST(OnlineChecker, RejectsWrongWidth) {
+  OnlineChecker checker(2);
+  EXPECT_THROW(checker.observe_cycle({cell::Indication::kNone}), Error);
+}
+
+}  // namespace
+}  // namespace sks::scheme

@@ -1,0 +1,118 @@
+#include "scheme/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::scheme {
+namespace {
+
+McOptions small_mc() {
+  McOptions o;
+  o.samples = 40;
+  o.load = 160e-15;
+  o.dt = 10e-12;
+  o.seed = 9;
+  return o;
+}
+
+TEST(MonteCarlo, SamplesRespectConfiguredRanges) {
+  const cell::Technology tech;
+  const auto mc = run_vmin_montecarlo(tech, cell::SensorOptions{}, small_mc());
+  ASSERT_EQ(mc.size(), 40u);
+  for (const auto& s : mc) {
+    EXPECT_GE(s.tau, 0.0);
+    EXPECT_LE(s.tau, 0.3e-9);
+    EXPECT_GE(s.slew1, 0.1e-9);
+    EXPECT_LE(s.slew1, 0.4e-9);
+    EXPECT_GE(s.slew2, 0.1e-9);
+    EXPECT_LE(s.slew2, 0.4e-9);
+    EXPECT_GE(s.vmin_late, -0.2);
+    EXPECT_LE(s.vmin_late, 5.5);
+  }
+}
+
+TEST(MonteCarlo, VminIncreasesWithTauOverall) {
+  // The Fig. 5 scatterplot's essential shape: V_min of the late output is
+  // (noisily) increasing in the skew.
+  const cell::Technology tech;
+  McOptions o = small_mc();
+  o.samples = 60;
+  const auto mc = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  std::vector<double> taus;
+  std::vector<double> vmins;
+  for (const auto& s : mc) {
+    taus.push_back(s.tau);
+    vmins.push_back(s.vmin_late);
+  }
+  EXPECT_GT(util::correlation(taus, vmins), 0.6);
+}
+
+TEST(MonteCarlo, DetectionConsistentWithThreshold) {
+  const cell::Technology tech;
+  const auto mc = run_vmin_montecarlo(tech, cell::SensorOptions{}, small_mc());
+  for (const auto& s : mc) {
+    // The late output staying above V_th must yield the (y1,y2)=01 code;
+    // when it completes its transition, 01 is impossible (a 10 from the
+    // other output would be a false indication, counted separately).
+    if (s.vmin_late > tech.interpretation_threshold() + 0.3) {
+      EXPECT_EQ(s.indication, cell::Indication::k01) << s.tau;
+    }
+    if (s.vmin_late < tech.interpretation_threshold() - 0.3) {
+      EXPECT_NE(s.indication, cell::Indication::k01) << s.tau;
+    }
+  }
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const cell::Technology tech;
+  McOptions o = small_mc();
+  o.samples = 10;
+  const auto a = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  const auto b = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].vmin_late, b[i].vmin_late);
+  }
+}
+
+TEST(Probabilities, ClassifyAgainstNominalTauMin) {
+  std::vector<McSample> mc;
+  auto sample = [](double tau, double vmin, bool detected) {
+    McSample s;
+    s.tau = tau;
+    s.vmin_late = vmin;
+    s.indication = detected ? cell::Indication::k01 : cell::Indication::kNone;
+    s.detected = detected;
+    return s;
+  };
+  // Above tau_min with low vmin -> lost indication.
+  mc.push_back(sample(0.2e-9, 2.0, false));
+  // Above tau_min with high vmin -> correct detection.
+  mc.push_back(sample(0.2e-9, 4.0, true));
+  // Below tau_min with high vmin -> false indication.
+  mc.push_back(sample(0.05e-9, 3.0, true));
+  // Below tau_min with low vmin -> correct silence.
+  mc.push_back(sample(0.05e-9, 1.0, false));
+  const auto est = estimate_probabilities(mc, 0.1e-9, 2.75);
+  EXPECT_EQ(est.loose.trials, 2u);
+  EXPECT_EQ(est.loose.successes, 1u);
+  EXPECT_EQ(est.false_alarm.trials, 2u);
+  EXPECT_EQ(est.false_alarm.successes, 1u);
+  EXPECT_DOUBLE_EQ(est.loose.estimate(), 0.5);
+}
+
+TEST(Probabilities, SmallOnRealPopulation) {
+  // The paper's qualitative claim: "the proposed circuit is slightly
+  // sensitive to parameters variations" — both error probabilities stay
+  // in the few-percent regime.
+  const cell::Technology tech;
+  McOptions o = small_mc();
+  o.samples = 80;
+  const auto mc = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  const double tau_min_nominal = 0.1104e-9;  // default table @160 fF
+  const auto est =
+      estimate_probabilities(mc, tau_min_nominal, tech.interpretation_threshold());
+  EXPECT_LT(est.loose.estimate(), 0.25);
+  EXPECT_LT(est.false_alarm.estimate(), 0.25);
+}
+
+}  // namespace
+}  // namespace sks::scheme

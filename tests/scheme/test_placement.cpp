@@ -1,0 +1,111 @@
+#include "scheme/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocktree/htree.hpp"
+
+namespace sks::scheme {
+namespace {
+
+clocktree::ClockTree test_tree() {
+  clocktree::HTreeOptions o;
+  o.levels = 2;  // 16 sinks, neighbours 2 mm apart on an 8 mm die
+  return build_h_tree(o);
+}
+
+PlacementOptions fast_options() {
+  PlacementOptions o;
+  o.criticality.samples = 25;
+  return o;
+}
+
+TEST(Placement, RespectsMaxSensors) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  o.max_sensors = 3;
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o,
+                                    SensorCalibration::default_table());
+  EXPECT_LE(p.sensors.size(), 3u);
+  EXPECT_FALSE(p.sensors.empty());
+}
+
+TEST(Placement, RespectsDistanceCriterion) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  o.max_pair_distance = 2.1e-3;
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o,
+                                    SensorCalibration::default_table());
+  for (const auto& s : p.sensors) {
+    EXPECT_LE(s.distance, 2.1e-3);
+  }
+}
+
+TEST(Placement, ImpossibleDistanceYieldsNoSensors) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  o.max_pair_distance = 0.1e-3;  // closer than any sink pair
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o,
+                                    SensorCalibration::default_table());
+  EXPECT_TRUE(p.sensors.empty());
+}
+
+TEST(Placement, SpreadsSensorsAcrossSinks) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  o.max_sensors = 8;
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o,
+                                    SensorCalibration::default_table());
+  // No sink monitored by two sensors.
+  std::vector<std::size_t> seen;
+  for (const auto& s : p.sensors) {
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), s.sink_a), 0) << s.sink_a;
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), s.sink_b), 0) << s.sink_b;
+    seen.push_back(s.sink_a);
+    seen.push_back(s.sink_b);
+  }
+}
+
+TEST(Placement, SensorsGetCalibratedModel) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  o.sensor_load = 160e-15;
+  const auto cal = SensorCalibration::default_table();
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o, cal);
+  ASSERT_FALSE(p.sensors.empty());
+  for (const auto& s : p.sensors) {
+    EXPECT_NEAR(s.model.tau_min, cal.tau_min(160e-15), 1e-15);
+  }
+}
+
+TEST(Placement, RankingIsExposedForReporting) {
+  const auto tree = test_tree();
+  const Placement p =
+      place_sensors(tree, clocktree::AnalysisOptions{}, fast_options(),
+                    SensorCalibration::default_table());
+  EXPECT_EQ(p.ranking.size(), 120u);  // C(16,2)
+}
+
+TEST(Placement, CoversQuery) {
+  const auto tree = test_tree();
+  const Placement p =
+      place_sensors(tree, clocktree::AnalysisOptions{}, fast_options(),
+                    SensorCalibration::default_table());
+  ASSERT_FALSE(p.sensors.empty());
+  EXPECT_TRUE(p.covers(p.sensors[0].sink_a));
+  EXPECT_FALSE(p.covers(99999));
+}
+
+TEST(Placement, MinExceedProbabilityFilters) {
+  const auto tree = test_tree();
+  PlacementOptions o = fast_options();
+  // A zero-skew H-tree under mild variation almost never exceeds 100 ps:
+  // requiring certainty must yield an empty placement.
+  o.min_exceed_probability = 0.999;
+  o.criticality.skew_threshold = 100e-12;
+  const Placement p = place_sensors(tree, clocktree::AnalysisOptions{}, o,
+                                    SensorCalibration::default_table());
+  EXPECT_TRUE(p.sensors.empty());
+}
+
+}  // namespace
+}  // namespace sks::scheme

@@ -1,0 +1,130 @@
+#include "scheme/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocktree/htree.hpp"
+
+namespace sks::scheme {
+namespace {
+
+clocktree::ClockTree test_tree() {
+  clocktree::HTreeOptions o;
+  o.levels = 2;
+  o.buffer_levels = 2;
+  return build_h_tree(o);
+}
+
+SchemeOptions fast_scheme_options() {
+  SchemeOptions o;
+  o.placement.criticality.samples = 25;
+  o.placement.max_sensors = 8;
+  o.placement.max_pair_distance = 2.1e-3;
+  o.cycle_jitter_sigma = 1e-12;
+  return o;
+}
+
+TestingScheme make_scheme(std::uint64_t seed = 1) {
+  SchemeOptions o = fast_scheme_options();
+  o.seed = seed;
+  return TestingScheme(test_tree(), clocktree::AnalysisOptions{},
+                       SensorCalibration::default_table(), o);
+}
+
+TEST(TestingScheme, PlacesSensorsOnConstruction) {
+  TestingScheme scheme = make_scheme();
+  EXPECT_FALSE(scheme.placement().sensors.empty());
+}
+
+TEST(TestingScheme, CleanTreeRaisesNoAlarm) {
+  TestingScheme scheme = make_scheme();
+  const CampaignResult r = scheme.run({}, 200);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.indication_cycles, 0u);
+  EXPECT_FALSE(r.first_detection_cycle.has_value());
+  // Residual "skew" seen by sensors is only jitter: picoseconds.
+  EXPECT_LT(r.max_true_skew, 20e-12);
+}
+
+TEST(TestingScheme, FalseAlarmRateIsLowWithSmallJitter) {
+  TestingScheme scheme = make_scheme();
+  EXPECT_DOUBLE_EQ(scheme.false_alarm_rate(300), 0.0);
+}
+
+TEST(TestingScheme, PermanentDefectUnderASensorIsDetectedImmediately) {
+  TestingScheme scheme = make_scheme(3);
+  ASSERT_FALSE(scheme.placement().sensors.empty());
+  // Break the wire feeding a monitored sink hard enough to blow through
+  // tau_min (~60-130 ps for the default loads).
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kResistiveOpen;
+  d.node = scheme.placement().sensors[0].sink_a;
+  d.magnitude = 200.0;
+  const CampaignResult r = scheme.run({d}, 50);
+  EXPECT_TRUE(r.detected);
+  ASSERT_TRUE(r.first_detection_cycle.has_value());
+  EXPECT_EQ(*r.first_detection_cycle, 0u);  // permanent: first cycle
+  EXPECT_EQ(*r.detecting_sensor, 0u);
+  EXPECT_GT(r.max_true_skew, 100e-12);
+}
+
+TEST(TestingScheme, DefectOutsideAnySensorPairEscapes) {
+  TestingScheme scheme = make_scheme(4);
+  // A common-mode defect at the root slows every sink equally on the
+  // symmetric H-tree: no sensor pair sees differential skew.
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kSupplyDroop;
+  d.node = 0;
+  d.magnitude = 2.0;
+  const CampaignResult r = scheme.run({d}, 50);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(TestingScheme, TransientDefectDetectedWithLatency) {
+  TestingScheme scheme = make_scheme(5);
+  ASSERT_FALSE(scheme.placement().sensors.empty());
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kCouplingCap;
+  d.node = scheme.placement().sensors[0].sink_b;
+  d.magnitude = 60.0;  // strong crosstalk event
+  d.transient = true;
+  d.activation_probability = 0.2;
+  const CampaignResult r = scheme.run({d}, 400);
+  EXPECT_TRUE(r.detected);
+  ASSERT_TRUE(r.first_detection_cycle.has_value());
+  // Roughly geometric latency: nonzero with high probability and far from
+  // the end of the run.
+  EXPECT_LT(*r.first_detection_cycle, 100u);
+  // Intermittent: strictly fewer indication cycles than total cycles.
+  EXPECT_LT(r.indication_cycles, 400u);
+  EXPECT_GT(r.indication_cycles, 10u);
+}
+
+TEST(TestingScheme, ScanOutMatchesDetectingSensor) {
+  TestingScheme scheme = make_scheme(6);
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kResistiveOpen;
+  d.node = scheme.placement().sensors[1].sink_a;
+  d.magnitude = 200.0;
+  const CampaignResult r = scheme.run({d}, 20);
+  ASSERT_TRUE(r.detected);
+  ASSERT_EQ(r.scan_out.size(), scheme.placement().sensors.size());
+  EXPECT_TRUE(r.scan_out[*r.detecting_sensor]);
+}
+
+TEST(TestingScheme, DeterministicForSeed) {
+  TestingScheme a = make_scheme(77);
+  TestingScheme b = make_scheme(77);
+  clocktree::TreeDefect d;
+  d.kind = clocktree::DefectKind::kCouplingCap;
+  d.node = a.placement().sensors[0].sink_a;
+  d.magnitude = 60.0;
+  d.transient = true;
+  d.activation_probability = 0.1;
+  const CampaignResult ra = a.run({d}, 100);
+  const CampaignResult rb = b.run({d}, 100);
+  EXPECT_EQ(ra.detected, rb.detected);
+  EXPECT_EQ(ra.indication_cycles, rb.indication_cycles);
+}
+
+}  // namespace
+}  // namespace sks::scheme

@@ -1,0 +1,72 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::util {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesMarks) {
+  Series s{"a", {0.0, 1.0, 2.0}, {0.0, 1.0, 0.0}};
+  PlotOptions opt;
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);  // axis
+}
+
+TEST(AsciiPlot, LegendAppearsForMultipleSeries) {
+  Series s1{"one", {0.0, 1.0}, {0.0, 1.0}};
+  Series s2{"two", {0.0, 1.0}, {1.0, 0.0}};
+  PlotOptions opt;
+  const std::string plot = render_plot({s1, s2}, opt);
+  EXPECT_NE(plot.find("legend:"), std::string::npos);
+  EXPECT_NE(plot.find("one"), std::string::npos);
+  EXPECT_NE(plot.find("two"), std::string::npos);
+}
+
+TEST(AsciiPlot, NoLegendForSingleSeries) {
+  Series s{"solo", {0.0, 1.0}, {0.0, 1.0}};
+  const std::string plot = render_plot({s}, PlotOptions{});
+  EXPECT_EQ(plot.find("legend:"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyData) {
+  const std::string plot = render_plot({}, PlotOptions{});
+  EXPECT_FALSE(plot.empty());
+}
+
+TEST(AsciiPlot, FixedRangesAreHonoured) {
+  Series s{"a", {0.0, 1.0}, {0.5, 0.5}};
+  PlotOptions opt;
+  opt.x_min = 0.0;
+  opt.x_max = 2.0;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find("2.00e+00"), std::string::npos);
+}
+
+TEST(AsciiPlot, ScatterModeDrawsPointsOnly) {
+  Series s{"p", {0.0, 10.0}, {0.0, 1.0}};
+  PlotOptions opt;
+  opt.connect = false;
+  const std::string plot = render_plot({s}, opt);
+  // Count the marks: scatter should place exactly 2.
+  std::size_t count = 0;
+  for (char ch : plot) {
+    if (ch == 'p') ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(AsciiPlot, LabelsIncluded) {
+  Series s{"a", {0.0, 1.0}, {0.0, 1.0}};
+  PlotOptions opt;
+  opt.x_label = "time";
+  opt.y_label = "volts";
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find("time"), std::string::npos);
+  EXPECT_NE(plot.find("volts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sks::util

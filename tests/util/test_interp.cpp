@@ -1,0 +1,100 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sks::util {
+namespace {
+
+TEST(PiecewiseLinear, InterpolatesMidpoints) {
+  PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 10.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideGrid) {
+  PiecewiseLinear f({1.0, 2.0}, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 7.0);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant) {
+  PiecewiseLinear f({2.0}, {42.0});
+  EXPECT_DOUBLE_EQ(f(-1.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 42.0);
+}
+
+TEST(PiecewiseLinear, RejectsBadConstruction) {
+  EXPECT_THROW(PiecewiseLinear({}, {}), Error);
+  EXPECT_THROW(PiecewiseLinear({1.0, 1.0}, {0.0, 0.0}), Error);
+  EXPECT_THROW(PiecewiseLinear({2.0, 1.0}, {0.0, 0.0}), Error);
+  EXPECT_THROW(PiecewiseLinear({1.0}, {0.0, 0.0}), Error);
+}
+
+TEST(PiecewiseLinear, FirstCrossingFindsLevel) {
+  PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  const auto x = f.first_crossing(5.0);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ(*x, 0.5);
+}
+
+TEST(Lerp, Basics) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(lerp(5.0, 5.0, 0.9), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(10.0, 0.0, 1.0), 0.0);
+}
+
+TEST(FirstCrossing, FindsInterpolatedPoint) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 4.0, 0.0};
+  const auto up = first_crossing(x, y, 2.0);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_DOUBLE_EQ(*up, 0.5);
+}
+
+TEST(FirstCrossing, NoCrossingReturnsNullopt) {
+  EXPECT_FALSE(first_crossing({0.0, 1.0}, {0.0, 1.0}, 5.0).has_value());
+}
+
+TEST(FirstCrossing, RespectsFromIndex) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{0.0, 4.0, 0.0, 4.0};
+  const auto second = first_crossing(x, y, 2.0, 2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(*second, 2.5);
+}
+
+TEST(FirstDirectionalCrossing, RisingOnly) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{4.0, 0.0, 4.0};
+  const auto rising = first_directional_crossing(x, y, 2.0, true);
+  ASSERT_TRUE(rising.has_value());
+  EXPECT_DOUBLE_EQ(*rising, 1.5);
+}
+
+TEST(FirstDirectionalCrossing, FallingOnly) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{4.0, 0.0, 4.0};
+  const auto falling = first_directional_crossing(x, y, 2.0, false);
+  ASSERT_TRUE(falling.has_value());
+  EXPECT_DOUBLE_EQ(*falling, 0.5);
+}
+
+TEST(FirstCrossing, FlatSegmentAtLevelIsIgnored) {
+  // A plateau exactly at the level must not divide by zero.
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 2.0, 2.0, 5.0};
+  const auto c = first_crossing(x, y, 2.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 2.0);
+}
+
+TEST(FirstCrossing, SizeMismatchThrows) {
+  EXPECT_THROW(first_crossing({0.0, 1.0}, {0.0}, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace sks::util

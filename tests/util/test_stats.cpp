@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sks::util {
+namespace {
+
+TEST(RunningStats, EmptyIsSane) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance (n-1): sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 50.0);
+  EXPECT_EQ(s.min(), -5.0);
+}
+
+TEST(Proportion, EstimateBasics) {
+  Proportion p{3, 10};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.3);
+  EXPECT_EQ(Proportion{}.estimate(), 0.0);
+}
+
+TEST(Proportion, WilsonBracketsEstimate) {
+  Proportion p{7, 50};
+  EXPECT_LT(p.wilson_low(), p.estimate());
+  EXPECT_GT(p.wilson_high(), p.estimate());
+  EXPECT_GE(p.wilson_low(), 0.0);
+  EXPECT_LE(p.wilson_high(), 1.0);
+}
+
+TEST(Proportion, WilsonZeroSuccessesHasPositiveUpperBound) {
+  Proportion p{0, 100};
+  EXPECT_NEAR(p.wilson_low(), 0.0, 1e-12);
+  EXPECT_GT(p.wilson_high(), 0.0);
+  EXPECT_LT(p.wilson_high(), 0.06);  // ~3.7% for 0/100
+}
+
+TEST(Proportion, WilsonAllSuccesses) {
+  Proportion p{100, 100};
+  EXPECT_LT(p.wilson_low(), 1.0);
+  EXPECT_GT(p.wilson_low(), 0.94);
+  EXPECT_EQ(p.wilson_high(), 1.0);
+}
+
+TEST(Proportion, WilsonShrinksWithSamples) {
+  Proportion small{5, 20};
+  Proportion large{50, 200};
+  EXPECT_GT(small.wilson_high() - small.wilson_low(),
+            large.wilson_high() - large.wilson_low());
+}
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsFall) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(+100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+}
+
+TEST(Correlation, PerfectPositive) {
+  EXPECT_NEAR(correlation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  EXPECT_NEAR(correlation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSideIsZero) {
+  EXPECT_EQ(correlation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Correlation, MismatchedSizesThrow) {
+  EXPECT_THROW(correlation({1, 2}, {1, 2, 3}), Error);
+}
+
+}  // namespace
+}  // namespace sks::util

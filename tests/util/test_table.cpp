@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::util {
+namespace {
+
+TEST(TextTable, PrintsHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderListThrows) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("v"), std::string::npos);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 0), "-1");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_sci(1234.5, 2), "1.23e+03");
+}
+
+TEST(Format, UnitScaling) {
+  EXPECT_EQ(fmt_unit(0.16e-9, units::ns, 2, "ns"), "0.16 ns");
+  EXPECT_EQ(fmt_unit(80e-15, units::fF, 0, "fF"), "80 fF");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.756, 1), "75.6%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Units, InConvertsForPrinting) {
+  EXPECT_DOUBLE_EQ(units::in(5e-9, units::ns), 5.0);
+  EXPECT_DOUBLE_EQ(units::in(2.5, units::V), 2.5);
+}
+
+}  // namespace
+}  // namespace sks::util
