@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_waveforms.dir/fig2_waveforms.cpp.o"
+  "CMakeFiles/fig2_waveforms.dir/fig2_waveforms.cpp.o.d"
+  "fig2_waveforms"
+  "fig2_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

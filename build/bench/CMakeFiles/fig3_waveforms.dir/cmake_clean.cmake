@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_waveforms.dir/fig3_waveforms.cpp.o"
+  "CMakeFiles/fig3_waveforms.dir/fig3_waveforms.cpp.o.d"
+  "fig3_waveforms"
+  "fig3_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vmin_vs_skew.dir/fig4_vmin_vs_skew.cpp.o"
+  "CMakeFiles/fig4_vmin_vs_skew.dir/fig4_vmin_vs_skew.cpp.o.d"
+  "fig4_vmin_vs_skew"
+  "fig4_vmin_vs_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vmin_vs_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_montecarlo.dir/fig5_montecarlo.cpp.o"
+  "CMakeFiles/fig5_montecarlo.dir/fig5_montecarlo.cpp.o.d"
+  "fig5_montecarlo"
+  "fig5_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

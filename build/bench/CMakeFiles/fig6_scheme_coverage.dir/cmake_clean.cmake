@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scheme_coverage.dir/fig6_scheme_coverage.cpp.o"
+  "CMakeFiles/fig6_scheme_coverage.dir/fig6_scheme_coverage.cpp.o.d"
+  "fig6_scheme_coverage"
+  "fig6_scheme_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scheme_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

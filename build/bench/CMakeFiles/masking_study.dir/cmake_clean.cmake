@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masking_study.dir/masking_study.cpp.o"
+  "CMakeFiles/masking_study.dir/masking_study.cpp.o.d"
+  "masking_study"
+  "masking_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masking_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_testability.dir/sec3_testability.cpp.o"
+  "CMakeFiles/sec3_testability.dir/sec3_testability.cpp.o.d"
+  "sec3_testability"
+  "sec3_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

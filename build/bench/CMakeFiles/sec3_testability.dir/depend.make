@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3_testability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_probabilities.dir/tab1_probabilities.cpp.o"
+  "CMakeFiles/tab1_probabilities.dir/tab1_probabilities.cpp.o.d"
+  "tab1_probabilities"
+  "tab1_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_tree_monitoring.dir/clock_tree_monitoring.cpp.o"
+  "CMakeFiles/clock_tree_monitoring.dir/clock_tree_monitoring.cpp.o.d"
+  "clock_tree_monitoring"
+  "clock_tree_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_tree_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masking_demo.dir/masking_demo.cpp.o"
+  "CMakeFiles/masking_demo.dir/masking_demo.cpp.o.d"
+  "masking_demo"
+  "masking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_checking.dir/online_checking.cpp.o"
+  "CMakeFiles/online_checking.dir/online_checking.cpp.o.d"
+  "online_checking"
+  "online_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_skew_routing.dir/zero_skew_routing.cpp.o"
+  "CMakeFiles/zero_skew_routing.dir/zero_skew_routing.cpp.o.d"
+  "zero_skew_routing"
+  "zero_skew_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_skew_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zero_skew_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/error_indicator.cpp" "src/cell/CMakeFiles/sks_cell.dir/error_indicator.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/error_indicator.cpp.o.d"
+  "/root/repo/src/cell/measure.cpp" "src/cell/CMakeFiles/sks_cell.dir/measure.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/measure.cpp.o.d"
+  "/root/repo/src/cell/primitives.cpp" "src/cell/CMakeFiles/sks_cell.dir/primitives.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/primitives.cpp.o.d"
+  "/root/repo/src/cell/skew_sensor.cpp" "src/cell/CMakeFiles/sks_cell.dir/skew_sensor.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/skew_sensor.cpp.o.d"
+  "/root/repo/src/cell/stimuli.cpp" "src/cell/CMakeFiles/sks_cell.dir/stimuli.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/stimuli.cpp.o.d"
+  "/root/repo/src/cell/technology.cpp" "src/cell/CMakeFiles/sks_cell.dir/technology.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/technology.cpp.o.d"
+  "/root/repo/src/cell/two_rail_checker.cpp" "src/cell/CMakeFiles/sks_cell.dir/two_rail_checker.cpp.o" "gcc" "src/cell/CMakeFiles/sks_cell.dir/two_rail_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

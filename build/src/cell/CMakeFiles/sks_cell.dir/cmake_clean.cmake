@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_cell.dir/error_indicator.cpp.o"
+  "CMakeFiles/sks_cell.dir/error_indicator.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/measure.cpp.o"
+  "CMakeFiles/sks_cell.dir/measure.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/primitives.cpp.o"
+  "CMakeFiles/sks_cell.dir/primitives.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/skew_sensor.cpp.o"
+  "CMakeFiles/sks_cell.dir/skew_sensor.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/stimuli.cpp.o"
+  "CMakeFiles/sks_cell.dir/stimuli.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/technology.cpp.o"
+  "CMakeFiles/sks_cell.dir/technology.cpp.o.d"
+  "CMakeFiles/sks_cell.dir/two_rail_checker.cpp.o"
+  "CMakeFiles/sks_cell.dir/two_rail_checker.cpp.o.d"
+  "libsks_cell.a"
+  "libsks_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

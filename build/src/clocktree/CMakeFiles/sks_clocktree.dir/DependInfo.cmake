@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocktree/buffering.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/buffering.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/buffering.cpp.o.d"
+  "/root/repo/src/clocktree/crosstalk.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/crosstalk.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/crosstalk.cpp.o.d"
+  "/root/repo/src/clocktree/defects.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/defects.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/defects.cpp.o.d"
+  "/root/repo/src/clocktree/dme.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/dme.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/dme.cpp.o.d"
+  "/root/repo/src/clocktree/geometry.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/geometry.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/geometry.cpp.o.d"
+  "/root/repo/src/clocktree/htree.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/htree.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/htree.cpp.o.d"
+  "/root/repo/src/clocktree/rctree.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/rctree.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/rctree.cpp.o.d"
+  "/root/repo/src/clocktree/skew_analysis.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/skew_analysis.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/skew_analysis.cpp.o.d"
+  "/root/repo/src/clocktree/topology.cpp" "src/clocktree/CMakeFiles/sks_clocktree.dir/topology.cpp.o" "gcc" "src/clocktree/CMakeFiles/sks_clocktree.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_clocktree.dir/buffering.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/buffering.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/crosstalk.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/crosstalk.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/defects.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/defects.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/dme.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/dme.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/geometry.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/geometry.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/htree.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/htree.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/rctree.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/rctree.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/skew_analysis.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/skew_analysis.cpp.o.d"
+  "CMakeFiles/sks_clocktree.dir/topology.cpp.o"
+  "CMakeFiles/sks_clocktree.dir/topology.cpp.o.d"
+  "libsks_clocktree.a"
+  "libsks_clocktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

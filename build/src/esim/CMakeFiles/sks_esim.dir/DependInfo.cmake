@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esim/engine.cpp" "src/esim/CMakeFiles/sks_esim.dir/engine.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/engine.cpp.o.d"
+  "/root/repo/src/esim/matrix.cpp" "src/esim/CMakeFiles/sks_esim.dir/matrix.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/matrix.cpp.o.d"
+  "/root/repo/src/esim/mosfet_model.cpp" "src/esim/CMakeFiles/sks_esim.dir/mosfet_model.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/mosfet_model.cpp.o.d"
+  "/root/repo/src/esim/netlist.cpp" "src/esim/CMakeFiles/sks_esim.dir/netlist.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/netlist.cpp.o.d"
+  "/root/repo/src/esim/spice_io.cpp" "src/esim/CMakeFiles/sks_esim.dir/spice_io.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/spice_io.cpp.o.d"
+  "/root/repo/src/esim/sweep.cpp" "src/esim/CMakeFiles/sks_esim.dir/sweep.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/sweep.cpp.o.d"
+  "/root/repo/src/esim/trace.cpp" "src/esim/CMakeFiles/sks_esim.dir/trace.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/trace.cpp.o.d"
+  "/root/repo/src/esim/waveform.cpp" "src/esim/CMakeFiles/sks_esim.dir/waveform.cpp.o" "gcc" "src/esim/CMakeFiles/sks_esim.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_esim.dir/engine.cpp.o"
+  "CMakeFiles/sks_esim.dir/engine.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/matrix.cpp.o"
+  "CMakeFiles/sks_esim.dir/matrix.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/mosfet_model.cpp.o"
+  "CMakeFiles/sks_esim.dir/mosfet_model.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/netlist.cpp.o"
+  "CMakeFiles/sks_esim.dir/netlist.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/spice_io.cpp.o"
+  "CMakeFiles/sks_esim.dir/spice_io.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/sweep.cpp.o"
+  "CMakeFiles/sks_esim.dir/sweep.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/trace.cpp.o"
+  "CMakeFiles/sks_esim.dir/trace.cpp.o.d"
+  "CMakeFiles/sks_esim.dir/waveform.cpp.o"
+  "CMakeFiles/sks_esim.dir/waveform.cpp.o.d"
+  "libsks_esim.a"
+  "libsks_esim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_esim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

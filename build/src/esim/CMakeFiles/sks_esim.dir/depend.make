@@ -1,0 +1,2 @@
+# Empty dependencies file for sks_esim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/campaign.cpp" "src/fault/CMakeFiles/sks_fault.dir/campaign.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/campaign.cpp.o.d"
+  "/root/repo/src/fault/detect.cpp" "src/fault/CMakeFiles/sks_fault.dir/detect.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/detect.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/sks_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/ifa.cpp" "src/fault/CMakeFiles/sks_fault.dir/ifa.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/ifa.cpp.o.d"
+  "/root/repo/src/fault/inject.cpp" "src/fault/CMakeFiles/sks_fault.dir/inject.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/inject.cpp.o.d"
+  "/root/repo/src/fault/plan_opt.cpp" "src/fault/CMakeFiles/sks_fault.dir/plan_opt.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/plan_opt.cpp.o.d"
+  "/root/repo/src/fault/universe.cpp" "src/fault/CMakeFiles/sks_fault.dir/universe.cpp.o" "gcc" "src/fault/CMakeFiles/sks_fault.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_fault.dir/campaign.cpp.o"
+  "CMakeFiles/sks_fault.dir/campaign.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/detect.cpp.o"
+  "CMakeFiles/sks_fault.dir/detect.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/fault.cpp.o"
+  "CMakeFiles/sks_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/ifa.cpp.o"
+  "CMakeFiles/sks_fault.dir/ifa.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/inject.cpp.o"
+  "CMakeFiles/sks_fault.dir/inject.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/plan_opt.cpp.o"
+  "CMakeFiles/sks_fault.dir/plan_opt.cpp.o.d"
+  "CMakeFiles/sks_fault.dir/universe.cpp.o"
+  "CMakeFiles/sks_fault.dir/universe.cpp.o.d"
+  "libsks_fault.a"
+  "libsks_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

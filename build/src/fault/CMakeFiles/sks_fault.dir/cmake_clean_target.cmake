@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsks_fault.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/masking.cpp" "src/logic/CMakeFiles/sks_logic.dir/masking.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/masking.cpp.o.d"
+  "/root/repo/src/logic/netlist.cpp" "src/logic/CMakeFiles/sks_logic.dir/netlist.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/netlist.cpp.o.d"
+  "/root/repo/src/logic/scan.cpp" "src/logic/CMakeFiles/sks_logic.dir/scan.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/scan.cpp.o.d"
+  "/root/repo/src/logic/simulator.cpp" "src/logic/CMakeFiles/sks_logic.dir/simulator.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/simulator.cpp.o.d"
+  "/root/repo/src/logic/stuck_at.cpp" "src/logic/CMakeFiles/sks_logic.dir/stuck_at.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/stuck_at.cpp.o.d"
+  "/root/repo/src/logic/timing.cpp" "src/logic/CMakeFiles/sks_logic.dir/timing.cpp.o" "gcc" "src/logic/CMakeFiles/sks_logic.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

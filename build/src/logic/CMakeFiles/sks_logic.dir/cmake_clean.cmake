@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_logic.dir/masking.cpp.o"
+  "CMakeFiles/sks_logic.dir/masking.cpp.o.d"
+  "CMakeFiles/sks_logic.dir/netlist.cpp.o"
+  "CMakeFiles/sks_logic.dir/netlist.cpp.o.d"
+  "CMakeFiles/sks_logic.dir/scan.cpp.o"
+  "CMakeFiles/sks_logic.dir/scan.cpp.o.d"
+  "CMakeFiles/sks_logic.dir/simulator.cpp.o"
+  "CMakeFiles/sks_logic.dir/simulator.cpp.o.d"
+  "CMakeFiles/sks_logic.dir/stuck_at.cpp.o"
+  "CMakeFiles/sks_logic.dir/stuck_at.cpp.o.d"
+  "CMakeFiles/sks_logic.dir/timing.cpp.o"
+  "CMakeFiles/sks_logic.dir/timing.cpp.o.d"
+  "libsks_logic.a"
+  "libsks_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

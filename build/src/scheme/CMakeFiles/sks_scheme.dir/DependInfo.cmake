@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheme/behavioral_sensor.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/behavioral_sensor.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/behavioral_sensor.cpp.o.d"
+  "/root/repo/src/scheme/coverage_placement.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/coverage_placement.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/coverage_placement.cpp.o.d"
+  "/root/repo/src/scheme/indicator.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/indicator.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/indicator.cpp.o.d"
+  "/root/repo/src/scheme/montecarlo.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/montecarlo.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/scheme/placement.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/placement.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/placement.cpp.o.d"
+  "/root/repo/src/scheme/scheme.cpp" "src/scheme/CMakeFiles/sks_scheme.dir/scheme.cpp.o" "gcc" "src/scheme/CMakeFiles/sks_scheme.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/sks_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_scheme.dir/behavioral_sensor.cpp.o"
+  "CMakeFiles/sks_scheme.dir/behavioral_sensor.cpp.o.d"
+  "CMakeFiles/sks_scheme.dir/coverage_placement.cpp.o"
+  "CMakeFiles/sks_scheme.dir/coverage_placement.cpp.o.d"
+  "CMakeFiles/sks_scheme.dir/indicator.cpp.o"
+  "CMakeFiles/sks_scheme.dir/indicator.cpp.o.d"
+  "CMakeFiles/sks_scheme.dir/montecarlo.cpp.o"
+  "CMakeFiles/sks_scheme.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/sks_scheme.dir/placement.cpp.o"
+  "CMakeFiles/sks_scheme.dir/placement.cpp.o.d"
+  "CMakeFiles/sks_scheme.dir/scheme.cpp.o"
+  "CMakeFiles/sks_scheme.dir/scheme.cpp.o.d"
+  "libsks_scheme.a"
+  "libsks_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sks_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sks_util.dir/interp.cpp.o"
+  "CMakeFiles/sks_util.dir/interp.cpp.o.d"
+  "CMakeFiles/sks_util.dir/prng.cpp.o"
+  "CMakeFiles/sks_util.dir/prng.cpp.o.d"
+  "CMakeFiles/sks_util.dir/stats.cpp.o"
+  "CMakeFiles/sks_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sks_util.dir/table.cpp.o"
+  "CMakeFiles/sks_util.dir/table.cpp.o.d"
+  "libsks_util.a"
+  "libsks_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

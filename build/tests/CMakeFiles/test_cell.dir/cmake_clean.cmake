@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell.dir/cell/test_error_indicator.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_error_indicator.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_measure.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_measure.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_primitives.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_primitives.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_skew_sensor.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_skew_sensor.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_technology.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_technology.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_two_rail_checker.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_two_rail_checker.cpp.o.d"
+  "test_cell"
+  "test_cell.pdb"
+  "test_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clocktree/test_buffering.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_buffering.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_buffering.cpp.o.d"
+  "/root/repo/tests/clocktree/test_crosstalk.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_crosstalk.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_crosstalk.cpp.o.d"
+  "/root/repo/tests/clocktree/test_defects.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_defects.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_defects.cpp.o.d"
+  "/root/repo/tests/clocktree/test_dme.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_dme.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_dme.cpp.o.d"
+  "/root/repo/tests/clocktree/test_geometry.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_geometry.cpp.o.d"
+  "/root/repo/tests/clocktree/test_htree.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_htree.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_htree.cpp.o.d"
+  "/root/repo/tests/clocktree/test_rctree.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_rctree.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_rctree.cpp.o.d"
+  "/root/repo/tests/clocktree/test_skew_analysis.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_skew_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_skew_analysis.cpp.o.d"
+  "/root/repo/tests/clocktree/test_topology.cpp" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_clocktree.dir/clocktree/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/sks_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sks_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sks_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/sks_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

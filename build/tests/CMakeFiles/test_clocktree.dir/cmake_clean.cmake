@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocktree.dir/clocktree/test_buffering.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_buffering.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_crosstalk.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_crosstalk.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_defects.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_defects.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_dme.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_dme.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_geometry.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_geometry.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_htree.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_htree.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_rctree.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_rctree.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_skew_analysis.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_skew_analysis.cpp.o.d"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_topology.cpp.o"
+  "CMakeFiles/test_clocktree.dir/clocktree/test_topology.cpp.o.d"
+  "test_clocktree"
+  "test_clocktree.pdb"
+  "test_clocktree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/esim/test_adaptive.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_adaptive.cpp.o.d"
+  "/root/repo/tests/esim/test_engine.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_engine.cpp.o.d"
+  "/root/repo/tests/esim/test_matrix.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_matrix.cpp.o.d"
+  "/root/repo/tests/esim/test_mosfet.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_mosfet.cpp.o.d"
+  "/root/repo/tests/esim/test_netlist.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_netlist.cpp.o.d"
+  "/root/repo/tests/esim/test_spice_io.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_spice_io.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_spice_io.cpp.o.d"
+  "/root/repo/tests/esim/test_sweep.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_sweep.cpp.o.d"
+  "/root/repo/tests/esim/test_trace.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_trace.cpp.o.d"
+  "/root/repo/tests/esim/test_waveform.cpp" "tests/CMakeFiles/test_esim.dir/esim/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_esim.dir/esim/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/sks_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sks_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sks_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/sks_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

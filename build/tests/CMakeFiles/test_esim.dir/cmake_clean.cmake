@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esim.dir/esim/test_adaptive.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_adaptive.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_engine.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_engine.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_matrix.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_matrix.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_mosfet.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_mosfet.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_netlist.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_netlist.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_spice_io.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_spice_io.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_sweep.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_sweep.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_trace.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_trace.cpp.o.d"
+  "CMakeFiles/test_esim.dir/esim/test_waveform.cpp.o"
+  "CMakeFiles/test_esim.dir/esim/test_waveform.cpp.o.d"
+  "test_esim"
+  "test_esim.pdb"
+  "test_esim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

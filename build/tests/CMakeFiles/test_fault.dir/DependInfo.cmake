@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/test_campaign.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_campaign.cpp.o.d"
+  "/root/repo/tests/fault/test_detect.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_detect.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_detect.cpp.o.d"
+  "/root/repo/tests/fault/test_fault.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_fault.cpp.o.d"
+  "/root/repo/tests/fault/test_ifa.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_ifa.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_ifa.cpp.o.d"
+  "/root/repo/tests/fault/test_inject.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_inject.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_inject.cpp.o.d"
+  "/root/repo/tests/fault/test_plan_opt.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_plan_opt.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_plan_opt.cpp.o.d"
+  "/root/repo/tests/fault/test_universe.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_universe.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/sks_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sks_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sks_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/sks_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

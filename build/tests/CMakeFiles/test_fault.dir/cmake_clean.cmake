@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/fault/test_campaign.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_campaign.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_detect.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_detect.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_fault.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_fault.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_ifa.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_ifa.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_inject.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_inject.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_plan_opt.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_plan_opt.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_universe.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_universe.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

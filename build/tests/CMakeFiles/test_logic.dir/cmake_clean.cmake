@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/logic/test_masking.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_masking.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_netlist_logic.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_netlist_logic.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_scan.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_scan.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_simulator.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_simulator.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_stuck_at.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_stuck_at.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_timing.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_timing.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_value.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/test_value.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheme/test_behavioral_sensor.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_behavioral_sensor.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_behavioral_sensor.cpp.o.d"
+  "/root/repo/tests/scheme/test_coverage_placement.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_coverage_placement.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_coverage_placement.cpp.o.d"
+  "/root/repo/tests/scheme/test_indicator.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_indicator.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_indicator.cpp.o.d"
+  "/root/repo/tests/scheme/test_montecarlo.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/scheme/test_placement.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_placement.cpp.o.d"
+  "/root/repo/tests/scheme/test_scheme.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/sks_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sks_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sks_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/sks_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sks_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/esim/CMakeFiles/sks_esim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sks_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

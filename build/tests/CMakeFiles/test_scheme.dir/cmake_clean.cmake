@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme.dir/scheme/test_behavioral_sensor.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_behavioral_sensor.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_coverage_placement.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_coverage_placement.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_indicator.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_indicator.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_montecarlo.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_montecarlo.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_placement.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_placement.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_scheme.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_scheme.cpp.o.d"
+  "test_scheme"
+  "test_scheme.pdb"
+  "test_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
