@@ -2,8 +2,13 @@
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace sks::bench {
 
@@ -25,6 +30,36 @@ inline std::size_t scaled(std::size_t n) {
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n"
             << "reproduces: " << paper_ref << "\n\n";
+}
+
+// Run telemetry: `--profile` on the command line (or SKS_PROFILE=1 in the
+// environment) turns on the obs layer — scoped timers and the solver event
+// journal — for the whole run; `write_profile_report()` then dumps a
+// machine-readable BENCH_<name>.json next to the binary's cwd.  With
+// profiling off both calls are no-ops, keeping the figures' wall times
+// untouched.
+inline bool profile_init(int argc, char** argv) {
+  bool on = obs::enabled();  // SKS_PROFILE already honoured by the obs layer
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) on = true;
+  }
+  if (on) {
+    obs::set_enabled(true);
+    obs::journal().set_enabled(true);
+  }
+  return on;
+}
+
+inline void write_profile_report(const std::string& name) {
+  if (!obs::enabled()) return;
+  obs::Report report(name);
+  report.set_meta("bench", name);
+  report.set_meta("scale", std::to_string(scale()));
+  report.capture_registry();
+  report.capture_journal();
+  const std::string path = "BENCH_" + name + ".json";
+  report.write_json(path);
+  std::cout << "\n[profile] run report written to " << path << "\n";
 }
 
 }  // namespace sks::bench

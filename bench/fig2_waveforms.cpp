@@ -18,7 +18,8 @@
 using namespace sks;
 using namespace sks::units;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Fig. 2 - waveforms, no skew",
                 "ED&TC'97 Favalli & Metra, Figure 2");
 
@@ -68,5 +69,14 @@ int main() {
             << util::fmt_sci(std::abs(y1.value_at(5 * ns) - y2.value_at(5 * ns)),
                              2)
             << " V\n";
+
+  std::cout << "\nsolver: " << result.stats.newton_iterations
+            << " NR iterations, " << result.stats.lu_factorizations
+            << " LU factorizations, " << result.stats.steps_accepted
+            << " accepted steps, " << result.stats.be_fallbacks
+            << " BE fallbacks, min dt "
+            << util::fmt_sci(result.stats.min_dt_used, 2) << " s\n";
+
+  bench::write_profile_report("fig2_waveforms");
   return 0;
 }

@@ -18,7 +18,8 @@
 using namespace sks;
 using namespace sks::units;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Fig. 5 - Monte-Carlo V_min vs tau scatterplot",
                 "ED&TC'97 Favalli & Metra, Figure 5");
 
@@ -26,6 +27,7 @@ int main() {
   const double loads[] = {80 * fF, 160 * fF, 240 * fF};
   const char* marks[] = {"a", "b", "c"};
 
+  scheme::McRunStats mc_stats;
   std::vector<util::Series> series;
   util::TextTable summary({"C_L", "samples", "corr(tau,Vmin)",
                            "Vmin sigma @band [V]", "detect frac"});
@@ -34,7 +36,7 @@ int main() {
     mc.load = loads[li];
     mc.samples = bench::scaled(500);
     mc.seed = 100 + li;
-    const auto samples = scheme::run_vmin_montecarlo(tech, {}, mc);
+    const auto samples = scheme::run_vmin_montecarlo(tech, {}, mc, &mc_stats);
 
     util::Series s;
     s.name = marks[li];
@@ -68,5 +70,12 @@ int main() {
   std::cout << "\npaper: 'the proposed circuit is slightly sensitive to "
                "parameters variations' - the bands stay narrow and "
                "monotone.\n";
+
+  std::cout << "\nsolver: " << mc_stats.sample_seconds.count() << " samples, "
+            << mc_stats.solve.newton_iterations << " NR iterations, "
+            << mc_stats.solve.newton_failures << " NR failures, "
+            << mc_stats.solve.dt_halvings << " dt halvings\n";
+
+  bench::write_profile_report("fig5_montecarlo");
   return 0;
 }

@@ -112,7 +112,8 @@ void run_case(const TreeCase& tc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Fig. 6 - the testing scheme on clock distributions",
                 "ED&TC'97 Favalli & Metra, Figure 6 (quantified)");
 
@@ -144,5 +145,7 @@ int main() {
   std::cout << "\nNote: supply-droop defects are common-mode on symmetric "
                "trees and escape by design — pairwise sensors monitor "
                "differential skew, exactly as the paper's scheme intends.\n";
+
+  bench::write_profile_report("fig6_scheme_coverage");
   return 0;
 }

@@ -1,15 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the computational kernels:
 // transient simulation throughput, Elmore analysis, DME construction,
 // fault simulation and the behavioural scheme loop.
+//
+// Every run writes BENCH_perf_micro.json (obs::Report schema): the solver
+// counters accumulated across all benchmark iterations, so the repo's perf
+// trajectory can track both wall times (google-benchmark's own output) and
+// the work done per iteration (NR iterations, LU factorizations) — a
+// regression in either shows up in the diff of this file across PRs.
+// `--profile` additionally enables the scoped timers and the event journal.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "cell/measure.hpp"
 #include "clocktree/dme.hpp"
 #include "clocktree/htree.hpp"
 #include "fault/campaign.hpp"
 #include "fault/universe.hpp"
 #include "logic/masking.hpp"
+#include "obs/report.hpp"
 #include "scheme/scheme.hpp"
 #include "util/prng.hpp"
 
@@ -119,4 +131,30 @@ BENCHMARK(BM_MaskingExperiment);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --profile (ours) before google-benchmark sees the arguments.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--profile") continue;
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  bench::profile_init(argc, argv);
+
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Always emit the machine-readable counter report; timers/journal ride
+  // along only under --profile (they perturb the measured loops).
+  obs::Report report("perf_micro");
+  report.set_meta("bench", "perf_micro");
+  report.capture_registry();
+  if (obs::enabled()) report.capture_journal();
+  report.write_json("BENCH_perf_micro.json");
+  std::cout << "perf counters written to BENCH_perf_micro.json\n";
+  return 0;
+}

@@ -40,7 +40,8 @@ void print_escapes(const fault::CampaignReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Section 3 - sensing circuit testability",
                 "ED&TC'97 Favalli & Metra, Section 3");
 
@@ -65,6 +66,12 @@ int main() {
               << (cycles == 1 ? "paper protocol" : "extension") << ") ---\n"
               << report.summary_table();
     print_escapes(report);
+    std::cout << "campaign: " << util::fmt_fixed(report.stats.wall_seconds, 2)
+              << " s wall, "
+              << util::fmt_fixed(report.stats.fault_seconds.mean() * 1e3, 1)
+              << " ms/fault, " << report.stats.solve.newton_iterations
+              << " NR iterations, " << report.stats.unsimulated
+              << " unsimulated\n";
   }
 
   std::cout << "\npaper reference: stuck-at 100% | stuck-open 80% (escapes "
@@ -103,5 +110,7 @@ int main() {
                    util::fmt_unit(v.max_excess_iddq, units::uA, 1, "uA")});
   }
   std::cout << sweep;
+
+  bench::write_profile_report("sec3_testability");
   return 0;
 }

@@ -23,7 +23,8 @@
 using namespace sks;
 using namespace sks::units;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Table 1 - p_loose / p_false per load",
                 "ED&TC'97 Favalli & Metra, Table 1");
 
@@ -77,5 +78,7 @@ int main() {
          "feature (they corrupt sampling just like skew), but it must be "
          "budgeted when choosing the monitored couples.  See EXPERIMENTS.md"
          ".\n";
+
+  bench::write_profile_report("tab1_probabilities");
   return 0;
 }

@@ -32,11 +32,27 @@ int main() {
       bench, tech.interpretation_threshold(), 1);
   plan.dt = 10e-12;
 
-  const auto report = fault::run_campaign(bench.circuit, universe, plan);
+  // The campaign reports progress through a callback — handy when the
+  // universe is large and each fault costs a transient simulation.
+  const auto progress = [](std::size_t done, std::size_t total,
+                           const fault::FaultVerdict& last) {
+    if (done % 16 == 0 || done == total) {
+      std::cout << "  [" << done << "/" << total
+                << "] last: " << last.fault.label()
+                << (last.logic_detected ? " detected" : " undetected") << '\n';
+    }
+  };
+  const auto report =
+      fault::run_campaign(bench.circuit, universe, plan, {}, progress);
   std::cout << "=== coverage (single-cycle, V_th = "
             << tech.interpretation_threshold() << " V, IDDQ threshold "
             << plan.iddq_threshold / uA << " uA) ===\n"
             << report.summary_table() << '\n';
+  std::cout << "campaign telemetry: "
+            << report.stats.fault_seconds.count() << " faults in "
+            << report.stats.wall_seconds << " s ("
+            << report.stats.solve.newton_iterations << " NR iterations, "
+            << report.stats.unsimulated << " unsimulated)\n\n";
 
   // Drill into one interesting verdict: the stuck-open on the feedback
   // pull-up c escapes the static test...

@@ -6,9 +6,81 @@
 #include <cstdlib>
 
 #include "esim/matrix.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace sks::esim {
+
+void SolveStats::merge(const SolveStats& other) {
+  newton_calls += other.newton_calls;
+  newton_iterations += other.newton_iterations;
+  newton_failures += other.newton_failures;
+  lu_factorizations += other.lu_factorizations;
+  lu_singular += other.lu_singular;
+  dc_solves += other.dc_solves;
+  dc_gmin_ladders += other.dc_gmin_ladders;
+  dc_gmin_steps += other.dc_gmin_steps;
+  dc_source_ladders += other.dc_source_ladders;
+  dc_source_steps += other.dc_source_steps;
+  dc_damped_retries += other.dc_damped_retries;
+  steps_accepted += other.steps_accepted;
+  steps_rejected += other.steps_rejected;
+  dt_halvings += other.dt_halvings;
+  be_fallbacks += other.be_fallbacks;
+  breakpoints_hit += other.breakpoints_hit;
+  if (other.min_dt_used > 0.0 &&
+      (min_dt_used == 0.0 || other.min_dt_used < min_dt_used)) {
+    min_dt_used = other.min_dt_used;
+  }
+  wall_seconds += other.wall_seconds;
+}
+
+namespace {
+
+// Batched mirror into the process-wide registry, once per public solve.
+// The Counter references are resolved once: registry entries have stable
+// addresses for the process lifetime.
+void mirror_to_obs(const SolveStats& s) {
+  static obs::Counter& runs = obs::registry().counter("esim.runs");
+  static obs::Counter& nr_iters =
+      obs::registry().counter("esim.newton_iterations");
+  static obs::Counter& nr_calls = obs::registry().counter("esim.newton_calls");
+  static obs::Counter& nr_fail =
+      obs::registry().counter("esim.newton_failures");
+  static obs::Counter& lu = obs::registry().counter("esim.lu_factorizations");
+  static obs::Counter& lu_sing = obs::registry().counter("esim.lu_singular");
+  static obs::Counter& gmin_ladders =
+      obs::registry().counter("esim.dc_gmin_ladders");
+  static obs::Counter& source_ladders =
+      obs::registry().counter("esim.dc_source_ladders");
+  static obs::Counter& damped =
+      obs::registry().counter("esim.dc_damped_retries");
+  static obs::Counter& accepted =
+      obs::registry().counter("esim.steps_accepted");
+  static obs::Counter& rejected =
+      obs::registry().counter("esim.steps_rejected");
+  static obs::Counter& halvings = obs::registry().counter("esim.dt_halvings");
+  static obs::Counter& be = obs::registry().counter("esim.be_fallbacks");
+  static obs::Counter& bps = obs::registry().counter("esim.breakpoints_hit");
+  runs.inc();
+  nr_iters.inc(s.newton_iterations);
+  nr_calls.inc(s.newton_calls);
+  nr_fail.inc(s.newton_failures);
+  lu.inc(s.lu_factorizations);
+  lu_sing.inc(s.lu_singular);
+  gmin_ladders.inc(s.dc_gmin_ladders);
+  source_ladders.inc(s.dc_source_ladders);
+  damped.inc(s.dc_damped_retries);
+  accepted.inc(s.steps_accepted);
+  rejected.inc(s.steps_rejected);
+  halvings.inc(s.dt_halvings);
+  be.inc(s.be_fallbacks);
+  bps.inc(s.breakpoints_hit);
+}
+
+}  // namespace
 
 Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {}
 
@@ -146,14 +218,21 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
   std::vector<double> dx;
   DenseMatrix j(n);
 
+  ++stats_.newton_calls;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++stats_.newton_iterations;
     assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale, f,
              j);
 
     // Newton step: J dx = -F.
     std::vector<double> rhs(n);
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
-    if (!lu_solve(j, rhs, dx)) return false;
+    ++stats_.lu_factorizations;
+    if (!lu_solve(j, rhs, dx)) {
+      ++stats_.lu_singular;
+      ++stats_.newton_failures;
+      return false;
+    }
 
     // Clamp the voltage updates (classic SPICE damping); branch currents
     // are left unclamped.
@@ -165,7 +244,10 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     if (max_dv > options.max_step) damping = options.max_step / max_dv;
     for (std::size_t i = 0; i < n; ++i) x[i] += damping * dx[i];
 
-    if (!std::isfinite(max_dv)) return false;
+    if (!std::isfinite(max_dv)) {
+      ++stats_.newton_failures;
+      return false;
+    }
     if (std::getenv("SKS_DEBUG_NR") != nullptr) {
       std::fprintf(stderr, "  NR iter=%d t=%g h=%g max_dv=%g damp=%g\n", iter,
                    t, h, max_dv, damping);
@@ -179,9 +261,16 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
       for (std::size_t i = 0; i < n_voltage; ++i) {
         max_res = std::max(max_res, std::fabs(f[i]));
       }
-      if (max_res < options.itol) return true;
+      if (max_res < options.itol) {
+        if (obs::journal().enabled()) {
+          obs::journal().record({obs::EventType::kNewtonConverged, t, h,
+                                 iter + 1, h <= 0.0 ? "dc" : "transient"});
+        }
+        return true;
+      }
     }
   }
+  ++stats_.newton_failures;
   return false;
 }
 
@@ -192,7 +281,17 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
   // Newton damping: circuits with contention inside a positive-feedback
   // loop (stuck-on faults, bridges across the cross-coupled outputs) make
   // an undamped Newton cycle between attractors.
+  ++stats_.dc_solves;
+  bool first_rung = true;
   for (const double max_step : {options.max_step, 0.1, 0.02}) {
+    if (!first_rung) {
+      ++stats_.dc_damped_retries;
+      if (obs::journal().enabled()) {
+        obs::journal().record({obs::EventType::kNewtonFallback, t, max_step, 0,
+                               "dc damped retry"});
+      }
+    }
+    first_rung = false;
     NewtonOptions damped = options;
     damped.max_step = max_step;
     damped.max_iterations =
@@ -209,6 +308,11 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
     // Strategy 2: gmin stepping — heavy conductance to ground, relaxed
     // geometrically down to the floor, reusing each solution as the next
     // starting point.
+    ++stats_.dc_gmin_ladders;
+    if (obs::journal().enabled()) {
+      obs::journal().record(
+          {obs::EventType::kNewtonFallback, t, 0.0, 0, "gmin stepping"});
+    }
     trial.assign(x.size(), 0.0);
     bool ladder_ok = true;
     for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 0.1) {
@@ -217,6 +321,7 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
         ladder_ok = false;
         break;
       }
+      ++stats_.dc_gmin_steps;
     }
     if (ladder_ok) {
       x = trial;
@@ -224,12 +329,18 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
     }
 
     // Strategy 3: source stepping — ramp all sources from 0 to full value.
+    ++stats_.dc_source_ladders;
+    if (obs::journal().enabled()) {
+      obs::journal().record(
+          {obs::EventType::kNewtonFallback, t, 0.0, 0, "source stepping"});
+    }
     trial.assign(x.size(), 0.0);
     bool sources_ok = true;
     for (int step = 1; step <= 20 && sources_ok; ++step) {
       const double scale = static_cast<double>(step) / 20.0;
       sources_ok = newton_solve(trial, t, -1.0, false, no_caps, no_caps,
                                 1e-12, scale, damped);
+      if (sources_ok) ++stats_.dc_source_steps;
     }
     if (sources_ok) {
       x = trial;
@@ -239,23 +350,58 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
   return false;
 }
 
+std::string Simulator::worst_residual_node(
+    const std::vector<double>& x, double t, double h, bool use_trap,
+    const std::vector<double>& cap_prev_v, const std::vector<double>& cap_prev_i,
+    double gmin) const {
+  std::vector<double> f;
+  DenseMatrix j(unknown_count());
+  assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, 1.0, f, j);
+  const std::size_t n_voltage = circuit_.node_count() - 1;
+  std::size_t worst = 0;
+  double worst_res = -1.0;
+  for (std::size_t i = 0; i < n_voltage; ++i) {
+    const double res = std::isfinite(f[i]) ? std::fabs(f[i]) : 1e300;
+    if (res > worst_res) {
+      worst_res = res;
+      worst = i;
+    }
+  }
+  if (worst_res < 0.0) return "";
+  return circuit_.node_name(NodeId{worst + 1});
+}
+
 std::vector<double> Simulator::dc_operating_point(double t) {
   return dc_solution(t).node_v;
 }
 
 Simulator::DcSolution Simulator::dc_solution(
     double t, const std::vector<double>* node_guess) {
+  stats_ = SolveStats{};
+  const obs::Stopwatch wall;
+  obs::ScopedTimer timer("esim.dc_solution");
   std::vector<double> x(unknown_count(), 0.0);
   if (node_guess != nullptr) {
     sks::check(node_guess->size() == circuit_.node_count(),
-               "dc_solution: guess size mismatch");
+               "dc_solution: guess size mismatch, got ", node_guess->size(),
+               " nodes, circuit has ", circuit_.node_count());
     for (std::size_t i = 1; i < circuit_.node_count(); ++i) {
       x[i - 1] = (*node_guess)[i];
     }
   }
   NewtonOptions options;
   if (!dc_solve(x, t, options)) {
-    throw ConvergenceError("DC operating point did not converge");
+    stats_.wall_seconds = wall.seconds();
+    mirror_to_obs(stats_);
+    const std::string worst =
+        worst_residual_node(x, t, -1.0, false, {}, {}, 1e-12);
+    throw ConvergenceError(
+        sks::detail::concat_parts(
+            "DC operating point did not converge (t=", t * 1e12, " ps, ",
+            stats_.newton_iterations, " NR iterations across the ladder",
+            worst.empty() ? "" : ", worst residual at node '" + worst + "'",
+            ")"),
+        "dc", t, static_cast<long>(stats_.newton_iterations), worst);
   }
   DcSolution solution;
   solution.node_v.assign(circuit_.node_count(), 0.0);
@@ -267,12 +413,19 @@ Simulator::DcSolution Simulator::dc_solution(
   for (std::size_t s = 0; s < circuit_.vsources().size(); ++s) {
     solution.vsrc_i[s] = x[branch_base + s];
   }
+  stats_.wall_seconds = wall.seconds();
+  mirror_to_obs(stats_);
+  solution.stats = stats_;
   return solution;
 }
 
 TransientResult Simulator::run_transient(const TransientOptions& options) {
   sks::check(options.t_end > 0.0, "run_transient: t_end must be positive");
   sks::check(options.dt > 0.0, "run_transient: dt must be positive");
+
+  stats_ = SolveStats{};
+  const obs::Stopwatch wall;
+  obs::ScopedTimer timer("esim.run_transient");
 
   const std::size_t n_nodes = circuit_.node_count();
   const std::size_t n_vsrc = circuit_.vsources().size();
@@ -283,7 +436,18 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   NewtonOptions dc_options = options.newton;
   dc_options.max_iterations = std::max(dc_options.max_iterations, 120);
   if (!dc_solve(x, 0.0, dc_options)) {
-    throw ConvergenceError("transient: initial DC operating point failed");
+    stats_.wall_seconds = wall.seconds();
+    mirror_to_obs(stats_);
+    const std::string worst =
+        worst_residual_node(x, 0.0, -1.0, false, {}, {}, 1e-12);
+    throw ConvergenceError(
+        sks::detail::concat_parts(
+            "transient: initial DC operating point failed (",
+            stats_.newton_iterations, " NR iterations",
+            worst.empty() ? "" : ", worst residual at node '" + worst + "'",
+            ")"),
+        "transient_dc", 0.0, static_cast<long>(stats_.newton_iterations),
+        worst);
   }
 
   // Collect breakpoints from all source waveforms.
@@ -405,12 +569,28 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
         // curvature within it is unresolved), unless already at the floor.
         if (options.adaptive && max_dv > options.dv_max &&
             h_try > 4.0 * options.dt_min) {
+          ++stats_.steps_rejected;
+          if (obs::journal().enabled()) {
+            obs::journal().record(
+                {obs::EventType::kStepRejected, t, h_try, 0, "dv_max"});
+          }
           h_try *= 0.5;
           if (h_try < dt_current) dt_current = h_try;
           continue;
         }
+        if (solved_with_trap != want_trap && want_trap) {
+          ++stats_.be_fallbacks;
+          if (obs::journal().enabled()) {
+            obs::journal().record({obs::EventType::kNewtonFallback, t, h_try, 0,
+                                   "trapezoidal -> BE"});
+          }
+        }
         refresh_cap_state(h_try, solved_with_trap);
         t += h_try;
+        ++stats_.steps_accepted;
+        if (stats_.min_dt_used == 0.0 || h_try < stats_.min_dt_used) {
+          stats_.min_dt_used = h_try;
+        }
         record(t);
         ok = true;
         // Quiet step: let the timestep recover toward dt_max.
@@ -418,6 +598,11 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
           dt_current = std::min(dt_current * 1.5, options.dt_max);
         }
         break;
+      }
+      ++stats_.dt_halvings;
+      if (obs::journal().enabled()) {
+        obs::journal().record({obs::EventType::kDtHalved, t, h_try * 0.5, 0,
+                               "newton failure"});
       }
       h_try *= 0.5;
     }
@@ -432,19 +617,36 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
                        cap_i[ci]);
         }
       }
-      throw ConvergenceError("transient: Newton failed at t = " +
-                             std::to_string(t * 1e12) + " ps");
+      stats_.wall_seconds = wall.seconds();
+      mirror_to_obs(stats_);
+      const std::string worst = worst_residual_node(
+          x_saved, t, options.dt_min, false, cap_v, cap_i, options.gmin);
+      throw ConvergenceError(
+          sks::detail::concat_parts(
+              "transient: Newton failed at t = ", t * 1e12,
+              " ps (dt halved to ", options.dt_min, " s, ",
+              stats_.newton_iterations, " NR iterations so far",
+              worst.empty() ? "" : ", worst residual at node '" + worst + "'",
+              ")"),
+          "transient", t, static_cast<long>(stats_.newton_iterations), worst);
     }
 
     const bool completed_interval = h_try >= h - 1e-21;
     if (hit_bp && completed_interval) {
       ++next_bp;
+      ++stats_.breakpoints_hit;
+      if (obs::journal().enabled()) {
+        obs::journal().record({obs::EventType::kBreakpoint, t, 0.0, 0, ""});
+      }
       be_next = true;  // damp the new corner with one BE step
     } else {
       be_next = false;
     }
   }
 
+  stats_.wall_seconds = wall.seconds();
+  mirror_to_obs(stats_);
+  result.stats = stats_;
   return result;
 }
 

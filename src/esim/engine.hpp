@@ -15,11 +15,45 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "esim/netlist.hpp"
 
 namespace sks::esim {
+
+// Per-run solver telemetry, accumulated by every public solve entry point
+// (dc_operating_point / dc_solution / run_transient) and exposed on the
+// result objects.  Counting is always on — the increments are integer adds
+// that vanish next to a dense LU — and the totals are mirrored into the
+// global obs registry (`esim.*` counters) when each run finishes, so
+// campaign layers can aggregate across runs they did not start themselves.
+struct SolveStats {
+  // Newton-Raphson.
+  std::uint64_t newton_calls = 0;       // newton_solve() invocations
+  std::uint64_t newton_iterations = 0;  // NR iterations across all calls
+  std::uint64_t newton_failures = 0;    // calls that gave up
+  std::uint64_t lu_factorizations = 0;  // dense LU solves (one per NR iter)
+  std::uint64_t lu_singular = 0;        // LU bailouts on a singular matrix
+  // DC continuation ladder.
+  std::uint64_t dc_solves = 0;          // dc_solve() invocations
+  std::uint64_t dc_gmin_ladders = 0;    // gmin-stepping ladders entered
+  std::uint64_t dc_gmin_steps = 0;      // rungs solved across those ladders
+  std::uint64_t dc_source_ladders = 0;  // source-stepping ladders entered
+  std::uint64_t dc_source_steps = 0;    // rungs solved across those ladders
+  std::uint64_t dc_damped_retries = 0;  // heavier-damping ladder restarts
+  // Transient stepping.
+  std::uint64_t steps_accepted = 0;     // recorded time points (minus t=0)
+  std::uint64_t steps_rejected = 0;     // adaptive dv_max rejections
+  std::uint64_t dt_halvings = 0;        // halvings after a Newton failure
+  std::uint64_t be_fallbacks = 0;       // trapezoidal -> BE fallbacks
+  std::uint64_t breakpoints_hit = 0;    // source corners honoured
+  double min_dt_used = 0.0;             // smallest accepted step [s]; 0 = n/a
+  double wall_seconds = 0.0;            // wall time of the run
+
+  void merge(const SolveStats& other);
+};
 
 struct NewtonOptions {
   int max_iterations = 80;
@@ -54,6 +88,9 @@ struct TransientResult {
   // negative of this.
   std::vector<std::vector<double>> vsrc_i;
 
+  // Solver telemetry for this run (includes the initial DC solve).
+  SolveStats stats;
+
   std::size_t steps() const { return time.size(); }
 };
 
@@ -76,11 +113,17 @@ class Simulator {
   struct DcSolution {
     std::vector<double> node_v;
     std::vector<double> vsrc_i;
+    SolveStats stats;
   };
   DcSolution dc_solution(double t = 0.0,
                          const std::vector<double>* node_guess = nullptr);
 
   TransientResult run_transient(const TransientOptions& options);
+
+  // Telemetry of the most recent public solve (also available on the result
+  // objects; this accessor serves the paths that discard them, e.g. a
+  // ConvergenceError handler doing a post-mortem).
+  const SolveStats& last_stats() const { return stats_; }
 
  private:
   std::size_t unknown_count() const;
@@ -105,7 +148,18 @@ class Simulator {
   bool dc_solve(std::vector<double>& x, double t,
                 const NewtonOptions& options) const;
 
+  // Name of the node with the largest |KCL residual| at `x` — the context
+  // attached to ConvergenceError so failures name their worst net.
+  std::string worst_residual_node(const std::vector<double>& x, double t,
+                                  double h, bool use_trap,
+                                  const std::vector<double>& cap_prev_v,
+                                  const std::vector<double>& cap_prev_i,
+                                  double gmin) const;
+
   Circuit circuit_;
+  // Accumulated by const solver internals during a run; reset by each
+  // public entry point.
+  mutable SolveStats stats_;
 };
 
 // Convenience one-shot: DC operating point of a circuit.

@@ -34,6 +34,7 @@ DcSweepResult dc_sweep(const Circuit& circuit, const DcSweepOptions& options) {
     const auto solution =
         sim.dc_solution(0.0, guess.empty() ? nullptr : &guess);
     guess = solution.node_v;
+    result.stats.merge(solution.stats);
 
     result.sweep.push_back(value);
     for (std::size_t n = 0; n < solution.node_v.size(); ++n) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "esim/engine.hpp"
 #include "esim/netlist.hpp"
 
 namespace sks::esim {
@@ -22,6 +23,8 @@ struct DcSweepResult {
   std::vector<std::vector<double>> node_v;   // [node][point]
   std::vector<double> source_current;        // current delivered by the
                                              // swept source at each point
+  // Solver telemetry aggregated over every sweep point.
+  SolveStats stats;
 
   // Voltage of a named node across the sweep.
   std::vector<double> voltage(const Circuit& circuit,

@@ -1,5 +1,7 @@
 #include "fault/campaign.hpp"
 
+#include "obs/timer.hpp"
+
 namespace sks::fault {
 
 std::map<FaultKind, KindSummary> CampaignReport::by_kind() const {
@@ -55,17 +57,62 @@ util::TextTable CampaignReport::summary_table() const {
   return table;
 }
 
+obs::Report CampaignReport::run_report(const std::string& name) const {
+  obs::Report report(name);
+  const KindSummary all = overall();
+  report.set_value("faults.total", static_cast<double>(all.total));
+  report.set_value("faults.logic_detected",
+                   static_cast<double>(all.logic_detected));
+  report.set_value("faults.iddq_only", static_cast<double>(all.iddq_only));
+  report.set_value("faults.unsimulated", static_cast<double>(all.unsimulated));
+  report.set_value("coverage.logic", all.logic_coverage());
+  report.set_value("coverage.combined", all.combined_coverage());
+  report.set_value("wall_seconds", stats.wall_seconds);
+  report.set_value("good_sim_seconds", stats.good_sim_seconds);
+  if (stats.fault_seconds.count() > 0) {
+    report.set_value("fault_seconds.mean", stats.fault_seconds.mean());
+    report.set_value("fault_seconds.max", stats.fault_seconds.max());
+  }
+  report.set_value("solve.newton_iterations",
+                   static_cast<double>(stats.solve.newton_iterations));
+  report.set_value("solve.newton_failures",
+                   static_cast<double>(stats.solve.newton_failures));
+  report.set_value("solve.lu_factorizations",
+                   static_cast<double>(stats.solve.lu_factorizations));
+  report.set_value("solve.dc_gmin_ladders",
+                   static_cast<double>(stats.solve.dc_gmin_ladders));
+  report.set_value("solve.dc_source_ladders",
+                   static_cast<double>(stats.solve.dc_source_ladders));
+  report.set_value("solve.dt_halvings",
+                   static_cast<double>(stats.solve.dt_halvings));
+  report.set_value("solve.be_fallbacks",
+                   static_cast<double>(stats.solve.be_fallbacks));
+  report.set_value("solve.min_dt_used", stats.solve.min_dt_used);
+  return report;
+}
+
 CampaignReport run_campaign(const esim::Circuit& good_circuit,
                             const std::vector<Fault>& universe,
                             const TestPlan& plan,
-                            const InjectOptions& inject_options) {
+                            const InjectOptions& inject_options,
+                            const CampaignProgress& progress) {
+  const obs::Stopwatch wall;
+  obs::ScopedTimer timer("fault.run_campaign");
+  const obs::Stopwatch good_wall;
   const Observation good_observation = observe(good_circuit, plan);
   CampaignReport report;
+  report.stats.good_sim_seconds = good_wall.seconds();
   report.verdicts.reserve(universe.size());
   for (const Fault& f : universe) {
     report.verdicts.push_back(
         test_fault(good_circuit, good_observation, f, plan, inject_options));
+    const FaultVerdict& v = report.verdicts.back();
+    report.stats.fault_seconds.add(v.seconds);
+    report.stats.solve.merge(v.stats);
+    if (!v.simulated) ++report.stats.unsimulated;
+    if (progress) progress(report.verdicts.size(), universe.size(), v);
   }
+  report.stats.wall_seconds = wall.seconds();
   return report;
 }
 

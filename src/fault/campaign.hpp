@@ -1,14 +1,22 @@
 // Fault-simulation campaign: run a whole fault universe through the
 // electrical test and aggregate coverage, per fault kind, with and without
 // IDDQ — the numbers of the paper's Section 3.
+//
+// Beyond the verdicts, a campaign aggregates run telemetry (per-fault wall
+// times, solver convergence health) into `CampaignStats` and can export the
+// whole run as a machine-readable obs::Report.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "esim/netlist.hpp"
 #include "fault/detect.hpp"
+#include "obs/report.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace sks::fault {
@@ -31,8 +39,25 @@ struct KindSummary {
   }
 };
 
+// Aggregated telemetry of one campaign run.
+struct CampaignStats {
+  double wall_seconds = 0.0;       // whole campaign, including the good run
+  double good_sim_seconds = 0.0;   // fault-free reference simulation
+  util::RunningStats fault_seconds;  // per-fault wall time distribution
+  esim::SolveStats solve;          // engine stats summed over faulty runs
+  std::size_t unsimulated = 0;     // faults abandoned on ConvergenceError
+};
+
+// Called after every tested fault; `done` counts tested faults, `total` is
+// the universe size.  The verdict reference is valid only for the duration
+// of the call.
+using CampaignProgress =
+    std::function<void(std::size_t done, std::size_t total,
+                       const FaultVerdict& last)>;
+
 struct CampaignReport {
   std::vector<FaultVerdict> verdicts;
+  CampaignStats stats;
 
   std::map<FaultKind, KindSummary> by_kind() const;
   KindSummary overall() const;
@@ -40,12 +65,19 @@ struct CampaignReport {
   std::vector<std::string> escapes(bool with_iddq) const;
 
   util::TextTable summary_table() const;
+
+  // Machine-readable run report: coverage + timing + convergence health
+  // (schema documented in obs/report.hpp and EXPERIMENTS.md).
+  obs::Report run_report(const std::string& name = "fault_campaign") const;
 };
 
 // Simulate the fault-free circuit once, then every fault in the universe.
+// `progress` (optional) is invoked after each fault — campaign drivers use
+// it for live reporting without holding the whole verdict list.
 CampaignReport run_campaign(const esim::Circuit& good_circuit,
                             const std::vector<Fault>& universe,
                             const TestPlan& plan,
-                            const InjectOptions& inject_options = {});
+                            const InjectOptions& inject_options = {},
+                            const CampaignProgress& progress = nullptr);
 
 }  // namespace sks::fault

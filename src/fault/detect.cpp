@@ -6,6 +6,8 @@
 #include "cell/measure.hpp"
 #include "esim/engine.hpp"
 #include "esim/trace.hpp"
+#include "obs/journal.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace sks::fault {
@@ -49,6 +51,7 @@ Observation observe(const esim::Circuit& circuit, const TestPlan& plan) {
   const auto result = esim::simulate(circuit, options);
 
   Observation obs;
+  obs.stats = result.stats;
   obs.values.reserve(plan.logic_strobes.size());
   std::vector<esim::Trace> traces;
   traces.reserve(plan.observed_nodes.size());
@@ -75,17 +78,28 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
                         const InjectOptions& inject_options) {
   FaultVerdict verdict;
   verdict.fault = fault_to_test;
+  const obs::Stopwatch stopwatch;
 
   esim::Circuit faulty = inject(good_circuit, fault_to_test, inject_options);
   Observation faulty_observation;
   try {
     faulty_observation = observe(faulty, plan);
-  } catch (const ConvergenceError&) {
+  } catch (const ConvergenceError& e) {
     // A defect that defeats the solver is reported unsimulated (counted as
-    // undetected, the conservative choice).
+    // undetected, the conservative choice).  The error context (phase,
+    // time, worst-residual node) is preserved on the verdict so campaign
+    // reports can say *why* coverage was lost.
+    verdict.seconds = stopwatch.seconds();
+    verdict.failure = e.what();
+    if (obs::journal().enabled()) {
+      obs::journal().record({obs::EventType::kFaultVerdict, e.sim_time(), 0.0,
+                             static_cast<int>(e.iterations()),
+                             fault_to_test.label() + ": unsimulated"});
+    }
     return verdict;
   }
   verdict.simulated = true;
+  verdict.stats = faulty_observation.stats;
 
   for (std::size_t s = 0; s < plan.logic_strobes.size(); ++s) {
     for (std::size_t n = 0; n < plan.observed_nodes.size(); ++n) {
@@ -99,6 +113,14 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
     verdict.max_excess_iddq = std::max(verdict.max_excess_iddq, excess);
   }
   verdict.iddq_detected = verdict.max_excess_iddq > plan.iddq_threshold;
+  verdict.seconds = stopwatch.seconds();
+  if (obs::journal().enabled()) {
+    obs::journal().record(
+        {obs::EventType::kFaultVerdict, 0.0, verdict.max_excess_iddq, 0,
+         fault_to_test.label() + (verdict.logic_detected  ? ": logic"
+                                  : verdict.iddq_detected ? ": iddq"
+                                                          : ": escape")});
+  }
   return verdict;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cell/stimuli.hpp"
+#include "esim/engine.hpp"
 #include "esim/netlist.hpp"
 #include "fault/fault.hpp"
 #include "fault/inject.hpp"
@@ -51,6 +52,8 @@ struct Observation {
   std::vector<std::vector<double>> values;
   // Supply current magnitude at each IDDQ strobe.
   std::vector<double> iddq;
+  // Solver telemetry of the underlying transient run.
+  esim::SolveStats stats;
 };
 
 // Simulate the circuit under the plan's stimulus and sample it.
@@ -62,6 +65,12 @@ struct FaultVerdict {
   bool logic_detected = false;
   bool iddq_detected = false;
   double max_excess_iddq = 0.0;  // [A]
+  // Telemetry: wall time spent testing this fault and the solver stats of
+  // its (possibly failed) transient run.
+  double seconds = 0.0;
+  esim::SolveStats stats;
+  // Why the simulation was abandoned ("" when `simulated`).
+  std::string failure;
 
   bool detected(bool with_iddq) const {
     return logic_detected || (with_iddq && iddq_detected);

@@ -1,0 +1,61 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+
+namespace sks::obs {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kNewtonConverged: return "newton_converged";
+    case EventType::kNewtonFallback: return "newton_fallback";
+    case EventType::kStepRejected: return "step_rejected";
+    case EventType::kDtHalved: return "dt_halved";
+    case EventType::kBreakpoint: return "breakpoint";
+    case EventType::kFaultVerdict: return "fault_verdict";
+  }
+  return "unknown";
+}
+
+void Journal::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Journal::record(Event event) {
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t Journal::count(EventType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [type](const Event& e) { return e.type == type; }));
+}
+
+std::vector<Event> Journal::tail(std::size_t n) const {
+  const std::size_t from = events_.size() > n ? events_.size() - n : 0;
+  return std::vector<Event>(events_.begin() + static_cast<std::ptrdiff_t>(from),
+                            events_.end());
+}
+
+void Journal::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+Journal& journal() {
+  static Journal instance;
+  return instance;
+}
+
+}  // namespace sks::obs

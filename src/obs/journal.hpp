@@ -1,0 +1,74 @@
+// Bounded structured event journal: the "why" channel of the telemetry
+// layer.  Counters say *how often* the solver fell back; the journal says
+// *when* (simulation time), *how hard* (iteration count, step size) and on
+// *what* (node / fault label).
+//
+// The journal is a ring: at capacity the oldest event is dropped and the
+// drop counted, so a multi-hour campaign can leave it enabled and still
+// read the most recent solver history after a failure.  Recording is gated
+// on `enabled()` (off by default) — hot loops call `journal().enabled()`
+// (one load + branch) before building an Event.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sks::obs {
+
+enum class EventType {
+  kNewtonConverged,  // one Newton solve succeeded (iterations, t)
+  kNewtonFallback,   // continuation / damping / BE fallback engaged (detail)
+  kStepRejected,     // adaptive control rejected an accepted solve (value=dt)
+  kDtHalved,         // transient step halved after a Newton failure (value=dt)
+  kBreakpoint,       // source-corner breakpoint honoured at t
+  kFaultVerdict,     // one fault tested (detail = label + verdict)
+};
+
+const char* to_string(EventType type);
+
+struct Event {
+  EventType type = EventType::kNewtonConverged;
+  double t = 0.0;         // simulation time [s] (0 for non-sim events)
+  double value = 0.0;     // type-dependent payload (dt, excess IDDQ, ...)
+  int iterations = 0;     // NR iterations, when meaningful
+  std::string detail;     // free-form context (ladder rung, fault label)
+};
+
+class Journal {
+ public:
+  explicit Journal(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  std::size_t capacity() const { return capacity_; }
+  // Shrinking below the current size drops the oldest events (counted).
+  void set_capacity(std::size_t capacity);
+
+  // Appends unconditionally — callers gate on enabled() so that building
+  // the Event (string work) is also skipped when off.
+  void record(Event event);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t total_recorded() const { return size() + dropped(); }
+  std::size_t count(EventType type) const;
+  const std::deque<Event>& events() const { return events_; }
+  // Up to `n` most recent events, oldest first.
+  std::vector<Event> tail(std::size_t n) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::size_t dropped_ = 0;
+  std::deque<Event> events_;
+};
+
+// Process-wide journal the engine reports into (mirrors registry()).
+Journal& journal();
+
+}  // namespace sks::obs

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sks::obs {
+
+namespace {
+
+bool initial_enabled() {
+  const char* env = std::getenv("SKS_PROFILE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+bool g_enabled = initial_enabled();
+
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+void TimerStat::record_ns(std::uint64_t ns) {
+  if (count_ == 0) {
+    min_ns_ = ns;
+    max_ns_ = ns;
+  } else {
+    min_ns_ = std::min(min_ns_, ns);
+    max_ns_ = std::max(max_ns_, ns);
+  }
+  ++count_;
+  total_ns_ += ns;
+}
+
+void TimerStat::reset() {
+  count_ = 0;
+  total_ns_ = 0;
+  min_ns_ = 0;
+  max_ns_ = 0;
+}
+
+namespace {
+
+template <typename Map, typename... Args>
+auto& get_or_create(Map& map, const std::string& name, Args&&... args) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name,
+                     std::make_unique<typename Map::mapped_type::element_type>(
+                         std::forward<Args>(args)...))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return get_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return get_or_create(gauges_, name);
+}
+
+TimerStat& Registry::timer(const std::string& name) {
+  return get_or_create(timers_, name);
+}
+
+util::Histogram& Registry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t bins) {
+  return get_or_create(histograms_, name, lo, hi, bins);
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const TimerStat* Registry::find_timer(const std::string& name) const {
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const TimerStat*>> Registry::timers() const {
+  std::vector<std::pair<std::string, const TimerStat*>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) out.emplace_back(name, t.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const util::Histogram*>>
+Registry::histograms() const {
+  std::vector<std::pair<std::string, const util::Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace sks::obs

@@ -1,0 +1,113 @@
+// Telemetry metrics: counters, gauges, timer statistics and histograms,
+// held in a named registry.
+//
+// Design constraints (this layer sits under the SPICE-class hot loops):
+//
+//  * `Counter::inc()` is a single integer add — counters are *always* live,
+//    so the engine can account NR iterations and LU factorizations without
+//    any mode check and the cost stays unmeasurable next to a dense solve;
+//  * anything that reads a clock (ScopedTimer, see timer.hpp) or allocates
+//    (Journal, see journal.hpp) is gated on the global `enabled()` flag and
+//    compiles down to one predictable branch when profiling is off;
+//  * registry entries are created on first use and live for the process
+//    lifetime at stable addresses, so callers may cache `Counter&`
+//    references across runs; `reset()` zeroes values but never invalidates
+//    references.
+//
+// The library is single-threaded by design (one Simulator per campaign
+// worker); the registry therefore uses no atomics.  Revisit when a
+// multi-threaded campaign driver lands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sks::obs {
+
+// Master switch for the *expensive* instrumentation (timers, journal
+// mirroring in hot paths).  Counters stay live regardless.
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Accumulated wall-time statistics of one named code region.
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total_ns() const { return total_ns_; }
+  std::uint64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : total_seconds() / static_cast<double>(count_);
+  }
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  TimerStat& timer(const std::string& name);
+  // First call fixes the binning; later calls with the same name return the
+  // existing histogram regardless of the requested range.
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  // nullptr when the entry does not exist (no entry is created).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const TimerStat* find_timer(const std::string& name) const;
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const TimerStat*>> timers() const;
+  std::vector<std::pair<std::string, const util::Histogram*>> histograms()
+      const;
+
+  // Zero every value.  Entries (and references to them) survive.
+  void reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+  std::map<std::string, std::unique_ptr<util::Histogram>> histograms_;
+};
+
+// Process-wide registry the engine and campaign layers report into.
+Registry& registry();
+
+}  // namespace sks::obs

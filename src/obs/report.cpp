@@ -1,0 +1,230 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sks::obs {
+
+void Report::set_meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
+void Report::set_value(const std::string& key, double value) {
+  for (auto& [k, v] : values_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  values_.emplace_back(key, value);
+}
+
+void Report::capture_registry(const Registry& reg) {
+  counters_ = reg.counters();
+  gauges_ = reg.gauges();
+  timers_.clear();
+  for (const auto& [name, t] : reg.timers()) {
+    if (t->count() == 0) continue;  // never fired (e.g. profiling disabled)
+    TimerRow row;
+    row.name = name;
+    row.count = t->count();
+    row.total_s = t->total_seconds();
+    row.mean_s = t->mean_seconds();
+    row.min_s = static_cast<double>(t->min_ns()) * 1e-9;
+    row.max_s = static_cast<double>(t->max_ns()) * 1e-9;
+    timers_.push_back(std::move(row));
+  }
+  histograms_.clear();
+  for (const auto& [name, h] : reg.histograms()) {
+    HistogramRow row;
+    row.name = name;
+    row.lo = h->lo();
+    row.hi = h->hi();
+    row.counts.reserve(h->bins());
+    for (std::size_t i = 0; i < h->bins(); ++i) {
+      row.counts.push_back(h->bin_count(i));
+    }
+    histograms_.push_back(std::move(row));
+  }
+}
+
+void Report::capture_journal(const Journal& j, std::size_t max_events) {
+  have_journal_ = true;
+  journal_recorded_ = j.total_recorded();
+  journal_dropped_ = j.dropped();
+  journal_counts_.clear();
+  for (const EventType type :
+       {EventType::kNewtonConverged, EventType::kNewtonFallback,
+        EventType::kStepRejected, EventType::kDtHalved, EventType::kBreakpoint,
+        EventType::kFaultVerdict}) {
+    const std::size_t n = j.count(type);
+    if (n > 0) journal_counts_.emplace_back(to_string(type), n);
+  }
+  journal_tail_ = j.tail(max_events);
+}
+
+namespace {
+
+void append_kv_block(
+    std::ostringstream& out, const char* section,
+    const std::vector<std::pair<std::string, std::string>>& rows, bool& first) {
+  if (rows.empty()) return;
+  if (!first) out << ",\n";
+  first = false;
+  out << "  \"" << section << "\": {";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << json_escape(rows[i].first)
+        << "\": " << rows[i].second;
+  }
+  out << "}";
+}
+
+template <typename T>
+std::vector<std::pair<std::string, std::string>> numeric_rows(
+    const std::vector<std::pair<std::string, T>>& rows) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(rows.size());
+  for (const auto& [k, v] : rows) {
+    out.emplace_back(k, json_number(static_cast<double>(v)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"report\": \"" << json_escape(name_)
+      << "\",\n  \"schema_version\": 1";
+  bool first = false;  // the header fields above are always present
+
+  {
+    std::vector<std::pair<std::string, std::string>> rows;
+    rows.reserve(meta_.size());
+    for (const auto& [k, v] : meta_) {
+      rows.emplace_back(k, '"' + json_escape(v) + '"');
+    }
+    append_kv_block(out, "meta", rows, first);
+  }
+  append_kv_block(out, "values", numeric_rows(values_), first);
+  append_kv_block(out, "counters", numeric_rows(counters_), first);
+  append_kv_block(out, "gauges", numeric_rows(gauges_), first);
+
+  if (!timers_.empty()) {
+    out << ",\n  \"timers\": {";
+    for (std::size_t i = 0; i < timers_.size(); ++i) {
+      const TimerRow& t = timers_[i];
+      out << (i == 0 ? "" : ", ") << '"' << json_escape(t.name) << "\": {"
+          << "\"count\": " << t.count
+          << ", \"total_s\": " << json_number(t.total_s)
+          << ", \"mean_s\": " << json_number(t.mean_s)
+          << ", \"min_s\": " << json_number(t.min_s)
+          << ", \"max_s\": " << json_number(t.max_s) << "}";
+    }
+    out << "}";
+  }
+
+  if (!histograms_.empty()) {
+    out << ",\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+      const HistogramRow& h = histograms_[i];
+      out << (i == 0 ? "" : ", ") << '"' << json_escape(h.name) << "\": {"
+          << "\"lo\": " << json_number(h.lo) << ", \"hi\": " << json_number(h.hi)
+          << ", \"counts\": [";
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        out << (b == 0 ? "" : ", ") << h.counts[b];
+      }
+      out << "]}";
+    }
+    out << "}";
+  }
+
+  if (have_journal_) {
+    out << ",\n  \"journal\": {\"recorded\": " << journal_recorded_
+        << ", \"dropped\": " << journal_dropped_ << ", \"counts\": {";
+    for (std::size_t i = 0; i < journal_counts_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << journal_counts_[i].first
+          << "\": " << journal_counts_[i].second;
+    }
+    out << "}, \"events\": [";
+    for (std::size_t i = 0; i < journal_tail_.size(); ++i) {
+      const Event& e = journal_tail_[i];
+      out << (i == 0 ? "" : ", ") << "{\"type\": \"" << to_string(e.type)
+          << "\", \"t\": " << json_number(e.t)
+          << ", \"value\": " << json_number(e.value)
+          << ", \"iterations\": " << e.iterations << ", \"detail\": \""
+          << json_escape(e.detail) << "\"}";
+    }
+    out << "]}";
+  }
+
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string Report::to_csv() const {
+  // Flat rows: section,name,field,value — trivially greppable / joinable.
+  std::ostringstream out;
+  out << "section,name,field,value\n";
+  auto esc = [](const std::string& s) {
+    std::string q = s;
+    for (auto& c : q) {
+      if (c == ',') c = ';';
+    }
+    return q;
+  };
+  for (const auto& [k, v] : meta_) {
+    out << "meta," << esc(k) << ",value," << esc(v) << "\n";
+  }
+  for (const auto& [k, v] : values_) {
+    out << "value," << esc(k) << ",value," << json_number(v) << "\n";
+  }
+  for (const auto& [k, v] : counters_) {
+    out << "counter," << esc(k) << ",value," << v << "\n";
+  }
+  for (const auto& [k, v] : gauges_) {
+    out << "gauge," << esc(k) << ",value," << json_number(v) << "\n";
+  }
+  for (const TimerRow& t : timers_) {
+    out << "timer," << esc(t.name) << ",count," << t.count << "\n";
+    out << "timer," << esc(t.name) << ",total_s," << json_number(t.total_s)
+        << "\n";
+    out << "timer," << esc(t.name) << ",mean_s," << json_number(t.mean_s)
+        << "\n";
+  }
+  for (const auto& [k, v] : journal_counts_) {
+    out << "journal," << esc(k) << ",count," << v << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  sks::check(out.good(), "Report: cannot open '", path, "' for writing");
+  out << content;
+  out.flush();
+  sks::check(out.good(), "Report: write to '", path, "' failed");
+}
+
+}  // namespace
+
+void Report::write_json(const std::string& path) const {
+  write_file(path, to_json());
+}
+
+void Report::write_csv(const std::string& path) const {
+  write_file(path, to_csv());
+}
+
+}  // namespace sks::obs

@@ -1,0 +1,86 @@
+// Machine-readable run reports: one Report per run (a bench binary, a
+// fault campaign, a Monte-Carlo population) serialized as JSON (full
+// fidelity) or CSV (flat metric rows for spreadsheet diffing).
+//
+// JSON schema (schema_version 1, documented in EXPERIMENTS.md "Run
+// telemetry"):
+//
+//   {
+//     "report": "<name>", "schema_version": 1,
+//     "meta":     { "<key>": "<string>", ... },
+//     "values":   { "<key>": <number>, ... },
+//     "counters": { "<name>": <integer>, ... },
+//     "gauges":   { "<name>": <number>, ... },
+//     "timers":   { "<name>": { "count": n, "total_s": s, "mean_s": s,
+//                               "min_s": s, "max_s": s }, ... },
+//     "histograms": { "<name>": { "lo": x, "hi": x, "counts": [..] }, ... },
+//     "journal":  { "recorded": n, "dropped": n,
+//                   "counts": { "<event_type>": n, ... },
+//                   "events": [ { "type": "...", "t": x, "value": x,
+//                                 "iterations": n, "detail": "..." }, .. ] }
+//   }
+//
+// Sections are omitted when empty, so a counters-only report stays small.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace sks::obs {
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Free-form annotations (git rev, bench scale, sample counts, ...).
+  void set_meta(const std::string& key, const std::string& value);
+  void set_value(const std::string& key, double value);
+
+  // Snapshot every metric currently in the registry / journal.  `max_events`
+  // bounds the embedded journal tail; counts cover the whole (bounded)
+  // journal.
+  void capture_registry(const Registry& reg = registry());
+  void capture_journal(const Journal& j = journal(),
+                       std::size_t max_events = 64);
+
+  std::string to_json() const;
+  std::string to_csv() const;
+
+  // Write to `path`; throws sks::Error when the file cannot be written.
+  void write_json(const std::string& path) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct TimerRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_s = 0.0, mean_s = 0.0, min_s = 0.0, max_s = 0.0;
+  };
+  struct HistogramRow {
+    std::string name;
+    double lo = 0.0, hi = 0.0;
+    std::vector<std::uint64_t> counts;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<TimerRow> timers_;
+  std::vector<HistogramRow> histograms_;
+  bool have_journal_ = false;
+  std::size_t journal_recorded_ = 0;
+  std::size_t journal_dropped_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> journal_counts_;
+  std::vector<Event> journal_tail_;
+};
+
+}  // namespace sks::obs

@@ -2,18 +2,100 @@
 
 #include "esim/engine.hpp"
 #include "esim/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/prng.hpp"
 
 namespace sks::scheme {
 
+namespace {
+
+// The electrical measurement happens inside cell::measure_bench, which
+// discards the TransientResult (and its SolveStats).  The engine mirrors
+// every run into the global `esim.*` counters, so per-sample deltas of
+// those counters recover the aggregate convergence stats without widening
+// the cell-layer API.
+struct EsimCounters {
+  obs::Counter& iterations = obs::registry().counter("esim.newton_iterations");
+  obs::Counter& failures = obs::registry().counter("esim.newton_failures");
+  obs::Counter& lu = obs::registry().counter("esim.lu_factorizations");
+  obs::Counter& halvings = obs::registry().counter("esim.dt_halvings");
+  obs::Counter& be = obs::registry().counter("esim.be_fallbacks");
+  obs::Counter& gmin = obs::registry().counter("esim.dc_gmin_ladders");
+  obs::Counter& source = obs::registry().counter("esim.dc_source_ladders");
+  obs::Counter& accepted = obs::registry().counter("esim.steps_accepted");
+};
+
+struct CounterMark {
+  std::uint64_t iterations, failures, lu, halvings, be, gmin, source, accepted;
+
+  explicit CounterMark(const EsimCounters& c)
+      : iterations(c.iterations.value()),
+        failures(c.failures.value()),
+        lu(c.lu.value()),
+        halvings(c.halvings.value()),
+        be(c.be.value()),
+        gmin(c.gmin.value()),
+        source(c.source.value()),
+        accepted(c.accepted.value()) {}
+
+  void accumulate_delta(const EsimCounters& c, esim::SolveStats& out) const {
+    out.newton_iterations += c.iterations.value() - iterations;
+    out.newton_failures += c.failures.value() - failures;
+    out.lu_factorizations += c.lu.value() - lu;
+    out.dt_halvings += c.halvings.value() - halvings;
+    out.be_fallbacks += c.be.value() - be;
+    out.dc_gmin_ladders += c.gmin.value() - gmin;
+    out.dc_source_ladders += c.source.value() - source;
+    out.steps_accepted += c.accepted.value() - accepted;
+  }
+};
+
+}  // namespace
+
+obs::Report McRunStats::run_report(const std::string& name) const {
+  obs::Report report(name);
+  report.set_value("samples", static_cast<double>(sample_seconds.count()));
+  report.set_value("detected", static_cast<double>(detected));
+  report.set_value("wall_seconds", wall_seconds);
+  if (sample_seconds.count() > 0) {
+    report.set_value("sample_seconds.mean", sample_seconds.mean());
+    report.set_value("sample_seconds.max", sample_seconds.max());
+  }
+  report.set_value("solve.newton_iterations",
+                   static_cast<double>(solve.newton_iterations));
+  report.set_value("solve.newton_failures",
+                   static_cast<double>(solve.newton_failures));
+  report.set_value("solve.lu_factorizations",
+                   static_cast<double>(solve.lu_factorizations));
+  report.set_value("solve.steps_accepted",
+                   static_cast<double>(solve.steps_accepted));
+  report.set_value("solve.dt_halvings",
+                   static_cast<double>(solve.dt_halvings));
+  report.set_value("solve.be_fallbacks",
+                   static_cast<double>(solve.be_fallbacks));
+  report.set_value("solve.dc_gmin_ladders",
+                   static_cast<double>(solve.dc_gmin_ladders));
+  report.set_value("solve.dc_source_ladders",
+                   static_cast<double>(solve.dc_source_ladders));
+  return report;
+}
+
 std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
                                           const cell::SensorOptions& base,
-                                          const McOptions& options) {
+                                          const McOptions& options,
+                                          McRunStats* stats,
+                                          const McProgress& progress) {
+  const obs::Stopwatch wall;
+  obs::ScopedTimer timer("scheme.vmin_montecarlo");
+  EsimCounters counters;
   util::Prng prng(options.seed);
   std::vector<McSample> samples;
   samples.reserve(options.samples);
 
   for (std::size_t i = 0; i < options.samples; ++i) {
+    const obs::Stopwatch sample_wall;
+    const CounterMark mark(counters);
     McSample s;
     s.tau = prng.uniform(options.tau_lo, options.tau_hi);
     s.slew1 = prng.uniform(options.slew_lo, options.slew_hi);
@@ -41,7 +123,15 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
     s.indication = m.indication;
     s.detected = m.error();
     samples.push_back(s);
+
+    if (stats != nullptr) {
+      stats->sample_seconds.add(sample_wall.seconds());
+      mark.accumulate_delta(counters, stats->solve);
+      if (s.detected) ++stats->detected;
+    }
+    if (progress) progress(i + 1, options.samples);
   }
+  if (stats != nullptr) stats->wall_seconds = wall.seconds();
   return samples;
 }
 

@@ -9,10 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "cell/measure.hpp"
 #include "cell/technology.hpp"
+#include "esim/engine.hpp"
+#include "obs/report.hpp"
 #include "util/stats.hpp"
 
 namespace sks::scheme {
@@ -44,10 +48,28 @@ struct McSample {
   bool detected = false;   // any error indication produced
 };
 
+// Aggregated telemetry of one Monte-Carlo population run.
+struct McRunStats {
+  double wall_seconds = 0.0;
+  util::RunningStats sample_seconds;  // per-sample wall time distribution
+  esim::SolveStats solve;             // engine stats summed over all samples
+  std::size_t detected = 0;           // samples with an error indication
+
+  // Machine-readable run report (schema: obs/report.hpp, EXPERIMENTS.md).
+  obs::Report run_report(const std::string& name = "vmin_montecarlo") const;
+};
+
+// Called after every measured sample.
+using McProgress = std::function<void(std::size_t done, std::size_t total)>;
+
 // Draw `samples` random circuits/stimuli and measure each electrically.
+// `stats` (optional) receives per-run telemetry; `progress` (optional) is
+// invoked after each sample.
 std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
                                           const cell::SensorOptions& base,
-                                          const McOptions& options);
+                                          const McOptions& options,
+                                          McRunStats* stats = nullptr,
+                                          const McProgress& progress = nullptr);
 
 struct ProbabilityEstimates {
   double tau_min_nominal = 0.0;  // sensitivity of the nominal circuit [s]

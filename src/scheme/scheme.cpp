@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace sks::scheme {
 
 TestingScheme::TestingScheme(clocktree::ClockTree tree,
@@ -30,6 +33,11 @@ TestingScheme::TestingScheme(clocktree::ClockTree tree,
 
 CampaignResult TestingScheme::run(
     const std::vector<clocktree::TreeDefect>& defects, std::size_t cycles) {
+  obs::ScopedTimer timer("scheme.run");
+  static obs::Counter& cycle_counter = obs::registry().counter("scheme.cycles");
+  static obs::Counter& indication_counter =
+      obs::registry().counter("scheme.indication_cycles");
+  cycle_counter.inc(cycles);
   CampaignResult result;
   result.cycles = cycles;
   const std::size_t n_sensors = placement_.sensors.size();
@@ -88,6 +96,7 @@ CampaignResult TestingScheme::run(
     if (any_indication) ++result.indication_cycles;
   }
 
+  indication_counter.inc(result.indication_cycles);
   result.detected = scan.any_latched();
   result.first_detection_cycle = checker.alarm_cycle();
   result.detecting_sensor = checker.alarm_sensor();

@@ -3,13 +3,31 @@
 // Library errors are reported with exceptions derived from `sks::Error`
 // (itself a `std::runtime_error`).  `check()` is the standard precondition /
 // invariant guard; it is kept enabled in release builds because every use in
-// this library sits far from any hot inner loop.
+// this library sits far from any hot inner loop.  `check()` accepts either a
+// prebuilt message or a sequence of streamable parts — the parts are only
+// assembled on failure, so context-rich guards cost nothing on the happy
+// path:
+//
+//   sks::check(h > 0, "transient: bad step h=", h, " at t=", t);
 #pragma once
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace sks {
+
+namespace detail {
+
+template <typename... Parts>
+std::string concat_parts(Parts&&... parts) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Parts>(parts));
+  return oss.str();
+}
+
+}  // namespace detail
 
 class Error : public std::runtime_error {
  public:
@@ -17,10 +35,38 @@ class Error : public std::runtime_error {
 };
 
 // Thrown when a numerical routine fails to converge (DC operating point,
-// Newton-Raphson step, singular MNA matrix, ...).
+// Newton-Raphson step, singular MNA matrix, ...).  Beyond the message it
+// carries the solver context needed for a useful post-mortem: which solve
+// phase failed, the simulation time, how many Newton iterations were spent
+// in the failing run, and the node carrying the worst KCL residual when the
+// solver gave up (the usual culprit for a floating or contended net).
 class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
+
+  ConvergenceError(const std::string& what, std::string phase, double sim_time,
+                   long iterations, std::string worst_node)
+      : Error(what),
+        phase_(std::move(phase)),
+        sim_time_(sim_time),
+        iterations_(iterations),
+        worst_node_(std::move(worst_node)) {}
+
+  // Solve phase: "dc", "transient", "dc_sweep", ... ("" when unknown).
+  const std::string& phase() const { return phase_; }
+  // Simulation time of the failing solve [s]; negative when not applicable.
+  double sim_time() const { return sim_time_; }
+  // Newton iterations spent in the failing run (0 when unknown).
+  long iterations() const { return iterations_; }
+  // Name of the node with the largest |KCL residual| at give-up ("" when
+  // unknown).
+  const std::string& worst_node() const { return worst_node_; }
+
+ private:
+  std::string phase_;
+  double sim_time_ = -1.0;
+  long iterations_ = 0;
+  std::string worst_node_;
 };
 
 // Thrown on malformed netlists / trees (dangling node, duplicate name, ...).
@@ -31,6 +77,16 @@ class NetlistError : public Error {
 
 inline void check(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
+}
+
+// Formatted variant: the message parts are streamed together only when the
+// check fails.
+template <typename First, typename... Rest>
+inline void check(bool condition, First&& first, Rest&&... rest) {
+  if (!condition) {
+    throw Error(detail::concat_parts(std::forward<First>(first),
+                                     std::forward<Rest>(rest)...));
+  }
 }
 
 }  // namespace sks

@@ -79,6 +79,11 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
 
 double Histogram::bin_center(std::size_t i) const {

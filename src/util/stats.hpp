@@ -47,7 +47,10 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  void reset();  // zero every bin, keep the binning
   std::size_t bin_count(std::size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::size_t bins() const { return counts_.size(); }
   double bin_center(std::size_t i) const;
   std::size_t total() const { return total_; }

@@ -249,6 +249,71 @@ TEST(EngineTransient, BackwardEulerOptionWorks) {
   EXPECT_NEAR(trace.value_at(3e-9), 1.0 - std::exp(-3.0), 0.02);
 }
 
+TEST(EngineTransient, SolveStatsArePopulated) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, c.ground(), 1e-12);
+  TransientOptions options;
+  options.t_end = 5e-9;
+  options.dt = 10e-12;
+  const auto result = simulate(c, options);
+
+  const SolveStats& s = result.stats;
+  EXPECT_GT(s.newton_calls, 0u);
+  EXPECT_GT(s.newton_iterations, 0u);
+  EXPECT_GE(s.newton_iterations, s.newton_calls);  // >= 1 iteration per call
+  EXPECT_GT(s.lu_factorizations, 0u);
+  EXPECT_GT(s.steps_accepted, 0u);
+  // The accepted-step count matches the produced time base (minus t=0).
+  EXPECT_EQ(s.steps_accepted, result.time.size() - 1);
+  EXPECT_GT(s.min_dt_used, 0.0);
+  EXPECT_LE(s.min_dt_used, options.dt * (1.0 + 1e-12));
+  EXPECT_GE(s.wall_seconds, 0.0);
+  EXPECT_EQ(s.newton_failures, 0u);
+}
+
+TEST(EngineDc, SolveStatsOnDcSolution) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", vin, c.ground(), Waveform::dc(10.0));
+  c.add_resistor("R1", vin, mid, 1000.0);
+  c.add_resistor("R2", mid, c.ground(), 3000.0);
+  Simulator sim(c);
+  const auto solution = sim.dc_solution();
+  EXPECT_EQ(solution.stats.dc_solves, 1u);
+  EXPECT_GT(solution.stats.newton_iterations, 0u);
+  EXPECT_GT(solution.stats.lu_factorizations, 0u);
+  // A linear divider needs no continuation ladder.
+  EXPECT_EQ(solution.stats.dc_gmin_ladders, 0u);
+  EXPECT_EQ(solution.stats.dc_source_ladders, 0u);
+  // last_stats() mirrors the result's copy.
+  EXPECT_EQ(sim.last_stats().newton_iterations,
+            solution.stats.newton_iterations);
+}
+
+TEST(EngineStats, MergeAccumulatesAndTracksMinDt) {
+  SolveStats a;
+  a.newton_iterations = 10;
+  a.steps_accepted = 4;
+  a.min_dt_used = 2e-12;
+  SolveStats b;
+  b.newton_iterations = 5;
+  b.steps_rejected = 1;
+  b.min_dt_used = 1e-12;
+  a.merge(b);
+  EXPECT_EQ(a.newton_iterations, 15u);
+  EXPECT_EQ(a.steps_accepted, 4u);
+  EXPECT_EQ(a.steps_rejected, 1u);
+  EXPECT_DOUBLE_EQ(a.min_dt_used, 1e-12);
+  // Merging a run that never took a step keeps the current minimum.
+  a.merge(SolveStats{});
+  EXPECT_DOUBLE_EQ(a.min_dt_used, 1e-12);
+}
+
 TEST(EngineDc, NodeVoltagesVectorCoversAllNodes) {
   Circuit c;
   c.add_resistor("R", c.node("x"), c.ground(), 5.0);

@@ -50,6 +50,39 @@ TEST(Trace, NoCrossingGivesNullopt) {
   EXPECT_FALSE(t.first_crossing(10.0).has_value());
 }
 
+TEST(Trace, CrossingExactlyAtSamplePoint) {
+  const Trace t = make_triangle();
+  // The peak value 4.0 is touched exactly at the sample t=1; both the
+  // rising and the falling search report that instant, not nullopt.
+  const auto rising = t.first_rising_crossing(4.0);
+  ASSERT_TRUE(rising.has_value());
+  EXPECT_DOUBLE_EQ(*rising, 1.0);
+  const auto falling = t.first_falling_crossing(4.0);
+  ASSERT_TRUE(falling.has_value());
+  EXPECT_DOUBLE_EQ(*falling, 1.0);
+}
+
+TEST(Trace, CrossingAtFirstSample) {
+  // The trace starts exactly on the level and immediately leaves it.
+  const Trace t = make_triangle();
+  const auto c = t.first_rising_crossing(0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 0.0);
+}
+
+TEST(Trace, TFromPastLastSampleGivesNullopt) {
+  const Trace t = make_triangle();
+  EXPECT_FALSE(t.first_crossing(2.0, 99.0).has_value());
+  // t_from on the very last sample leaves no segment to search.
+  EXPECT_FALSE(t.first_crossing(2.0, 2.0).has_value());
+}
+
+TEST(Trace, EmptyTraceCrossingGivesNullopt) {
+  const Trace t;
+  EXPECT_FALSE(t.first_crossing(1.0).has_value());
+  EXPECT_FALSE(t.first_rising_crossing(1.0).has_value());
+}
+
 TEST(Trace, FinalValue) {
   EXPECT_DOUBLE_EQ(make_triangle().final_value(), 0.0);
 }

@@ -1,0 +1,105 @@
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::obs {
+namespace {
+
+Event make_event(EventType type, double t) {
+  Event e;
+  e.type = type;
+  e.t = t;
+  return e;
+}
+
+TEST(JournalTest, EventTypeNamesAreStable) {
+  // These strings are part of the report schema (EXPERIMENTS.md).
+  EXPECT_STREQ(to_string(EventType::kNewtonConverged), "newton_converged");
+  EXPECT_STREQ(to_string(EventType::kNewtonFallback), "newton_fallback");
+  EXPECT_STREQ(to_string(EventType::kStepRejected), "step_rejected");
+  EXPECT_STREQ(to_string(EventType::kDtHalved), "dt_halved");
+  EXPECT_STREQ(to_string(EventType::kBreakpoint), "breakpoint");
+  EXPECT_STREQ(to_string(EventType::kFaultVerdict), "fault_verdict");
+}
+
+TEST(JournalTest, RingDropsOldestAtCapacity) {
+  Journal j(4);
+  for (int i = 0; i < 10; ++i) {
+    j.record(make_event(EventType::kBreakpoint, static_cast<double>(i)));
+  }
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.dropped(), 6u);
+  EXPECT_EQ(j.total_recorded(), 10u);
+  // The survivors are the most recent four, in order.
+  ASSERT_EQ(j.events().size(), 4u);
+  EXPECT_DOUBLE_EQ(j.events().front().t, 6.0);
+  EXPECT_DOUBLE_EQ(j.events().back().t, 9.0);
+}
+
+TEST(JournalTest, CountByType) {
+  Journal j(16);
+  j.record(make_event(EventType::kDtHalved, 0.0));
+  j.record(make_event(EventType::kDtHalved, 1.0));
+  j.record(make_event(EventType::kBreakpoint, 2.0));
+  EXPECT_EQ(j.count(EventType::kDtHalved), 2u);
+  EXPECT_EQ(j.count(EventType::kBreakpoint), 1u);
+  EXPECT_EQ(j.count(EventType::kFaultVerdict), 0u);
+}
+
+TEST(JournalTest, TailReturnsMostRecentOldestFirst) {
+  Journal j(16);
+  for (int i = 0; i < 5; ++i) {
+    j.record(make_event(EventType::kBreakpoint, static_cast<double>(i)));
+  }
+  const auto last2 = j.tail(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_DOUBLE_EQ(last2[0].t, 3.0);
+  EXPECT_DOUBLE_EQ(last2[1].t, 4.0);
+  // Asking for more than recorded returns everything.
+  EXPECT_EQ(j.tail(100).size(), 5u);
+}
+
+TEST(JournalTest, ShrinkingCapacityDropsOldest) {
+  Journal j(8);
+  for (int i = 0; i < 6; ++i) {
+    j.record(make_event(EventType::kBreakpoint, static_cast<double>(i)));
+  }
+  j.set_capacity(2);
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.dropped(), 4u);
+  EXPECT_DOUBLE_EQ(j.events().front().t, 4.0);
+}
+
+TEST(JournalTest, ZeroCapacityDropsEverything) {
+  Journal j(0);
+  j.record(make_event(EventType::kBreakpoint, 0.0));
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.dropped(), 1u);
+  EXPECT_EQ(j.total_recorded(), 1u);
+}
+
+TEST(JournalTest, ClearResetsEventsAndDropCount) {
+  Journal j(2);
+  for (int i = 0; i < 5; ++i) {
+    j.record(make_event(EventType::kBreakpoint, static_cast<double>(i)));
+  }
+  j.clear();
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.dropped(), 0u);
+  EXPECT_EQ(j.total_recorded(), 0u);
+}
+
+TEST(JournalTest, DisabledByDefaultCallersGateOnEnabled) {
+  Journal j;
+  EXPECT_FALSE(j.enabled());
+  j.set_enabled(true);
+  EXPECT_TRUE(j.enabled());
+  // record() itself is unconditional — the gate lives at the call sites so
+  // the Event construction cost is skipped too.
+  j.set_enabled(false);
+  j.record(make_event(EventType::kBreakpoint, 0.0));
+  EXPECT_EQ(j.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sks::obs

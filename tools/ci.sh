@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: warnings-as-errors build, full test suite,
+# and a telemetry smoke check that the bench --profile reports are valid
+# JSON.  Run from the repository root:
+#
+#   tools/ci.sh           # RelWithDebInfo -Werror build + ctest + bench smoke
+#   tools/ci.sh --asan    # additionally build and test under ASan+UBSan
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+RUN_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== configure + build (ci preset: RelWithDebInfo, -Werror) ==="
+cmake --preset ci
+cmake --build build-ci -j "$JOBS"
+
+echo "=== tier-1 tests ==="
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== bench --profile smoke check ==="
+# A short figure run and a filtered perf_micro pass must both produce
+# parseable run reports (schema_version 1, see EXPERIMENTS.md).
+SMOKE_DIR=build-ci/smoke
+mkdir -p "$SMOKE_DIR"
+(cd "$SMOKE_DIR" && ../bench/fig2_waveforms --profile > fig2.log)
+(cd "$SMOKE_DIR" && ../bench/perf_micro --profile \
+    --benchmark_filter=BM_DcOperatingPoint \
+    --benchmark_min_time=0.01 > perf.log)
+for report in "$SMOKE_DIR"/BENCH_fig2_waveforms.json \
+              "$SMOKE_DIR"/BENCH_perf_micro.json; do
+  [ -s "$report" ] || { echo "missing report: $report" >&2; exit 1; }
+  python3 -m json.tool "$report" > /dev/null \
+    || { echo "invalid JSON: $report" >&2; exit 1; }
+  echo "ok: $report"
+done
+python3 - "$SMOKE_DIR/BENCH_fig2_waveforms.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert int(doc["counters"]["esim.newton_iterations"]) > 0
+assert "esim.run_transient" in doc["timers"]
+print("ok: fig2 report carries solver counters and timers")
+EOF
+
+if [ "$RUN_ASAN" = 1 ]; then
+  echo "=== ASan+UBSan build + tests ==="
+  cmake --preset asan
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "=== CI OK ==="
