@@ -9,6 +9,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "par/pool.hpp"
 
 namespace sks::bench {
 
@@ -38,10 +39,19 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 // machine-readable BENCH_<name>.json next to the binary's cwd.  With
 // profiling off both calls are no-ops, keeping the figures' wall times
 // untouched.
+//
+// Parallelism: every driver also understands `--threads N` (equivalent to
+// SKS_THREADS=N), which sets the process-wide default worker count the
+// campaign/Monte-Carlo layers resolve their `threads = 0` knob against.
+// Results are bit-identical for any N; only the wall time changes.
 inline bool profile_init(int argc, char** argv) {
   bool on = obs::enabled();  // SKS_PROFILE already honoured by the obs layer
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) on = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[i + 1]);
+      if (n > 0) par::set_default_threads(static_cast<std::size_t>(n));
+    }
   }
   if (on) {
     obs::set_enabled(true);

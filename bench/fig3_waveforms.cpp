@@ -18,7 +18,8 @@
 using namespace sks;
 using namespace sks::units;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Fig. 3 - waveforms with 1 ns skew",
                 "ED&TC'97 Favalli & Metra, Figure 3");
 
@@ -76,5 +77,6 @@ int main() {
             << "indication held while both clocks stay high: min V(y2) in "
                "[2.5ns, 5.9ns] = "
             << util::fmt_fixed(y2.min_in(2.5 * ns, 5.9 * ns), 3) << " V\n";
+  bench::write_profile_report("fig3_waveforms");
   return 0;
 }

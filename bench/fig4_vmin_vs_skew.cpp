@@ -20,7 +20,8 @@
 using namespace sks;
 using namespace sks::units;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::profile_init(argc, argv);
   bench::banner("Fig. 4 - V_min(y2) vs skew, per load and slew",
                 "ED&TC'97 Favalli & Metra, Figure 4 + Sec. 2 sensitivities");
 
@@ -102,5 +103,6 @@ int main() {
             << "\npaper: sensitivities 'vary from 0.09ns to 0.16ns' (OCR: '9ns"
                " to 0.16ns'); curves for different slews 'almost "
                "indistinguishable'.\n";
+  bench::write_profile_report("fig4_vmin_vs_skew");
   return 0;
 }

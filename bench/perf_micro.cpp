@@ -129,13 +129,63 @@ void BM_MaskingExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_MaskingExperiment);
 
+// Deterministic calibration pass for the CI bench-regression gate: run
+// each hot kernel a FIXED number of times with the registry zeroed, and
+// snapshot the solver counters into `values.fixed.*` of the report.  These
+// numbers are pure work counts (no clocks, no adaptive iteration counts),
+// so tools/bench_gate.py can fail on ANY increase — unlike the registry
+// totals below, which scale with google-benchmark's dynamic iteration
+// counts and are only good for order-of-magnitude eyeballing.
+std::vector<std::pair<std::string, std::uint64_t>> fixed_workload_counters() {
+  obs::registry().reset();
+
+  const cell::Technology tech;
+  {  // one transient sensor edge (the BM_TransientSensorEdge kernel)
+    cell::SensorOptions options;
+    options.load_y1 = options.load_y2 = 160e-15;
+    cell::ClockPairStimulus stim;
+    stim.skew = 0.2e-9;
+    const auto setup = cell::make_sensor_bench(tech, options, stim);
+    esim::simulate(setup.circuit, cell::sensor_sim_options(stim, 5e-12));
+  }
+  {  // one DC operating point
+    const auto setup =
+        cell::make_sensor_bench(tech, {}, cell::ClockPairStimulus{});
+    esim::Simulator sim(setup.circuit);
+    sim.dc_operating_point();
+  }
+  {  // one single-fault test
+    cell::SensorOptions options;
+    options.load_y1 = options.load_y2 = 160e-15;
+    cell::ClockPairStimulus stim;
+    stim.full_clock = true;
+    const auto setup = cell::make_sensor_bench(tech, options, stim);
+    fault::TestPlan plan = fault::default_sensor_test_plan(
+        setup, tech.interpretation_threshold(), 1);
+    plan.dt = 10e-12;
+    const auto good = fault::observe(setup.circuit, plan);
+    fault::test_fault(setup.circuit, good, fault::Fault::stuck_open("d"),
+                      plan);
+  }
+
+  auto counters = obs::registry().counters();
+  obs::registry().reset();
+  return counters;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --profile (ours) before google-benchmark sees the arguments.
+  // Strip our flags (--profile, --threads N) before google-benchmark sees
+  // the arguments.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--profile") continue;
+    const std::string arg(argv[i]);
+    if (arg == "--profile") continue;
+    if (arg == "--threads") {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(args.size());
@@ -145,6 +195,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
     return 1;
   }
+
+  const auto fixed = fixed_workload_counters();
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -154,6 +207,9 @@ int main(int argc, char** argv) {
   report.set_meta("bench", "perf_micro");
   report.capture_registry();
   if (obs::enabled()) report.capture_journal();
+  for (const auto& [name, value] : fixed) {
+    report.set_value("fixed." + name, static_cast<double>(value));
+  }
   report.write_json("BENCH_perf_micro.json");
   std::cout << "perf counters written to BENCH_perf_micro.json\n";
   return 0;

@@ -42,8 +42,8 @@ int main() {
                 << (last.logic_detected ? " detected" : " undetected") << '\n';
     }
   };
-  const auto report =
-      fault::run_campaign(bench.circuit, universe, plan, {}, progress);
+  const auto report = fault::run_campaign(bench.circuit, universe, plan,
+                                          fault::CampaignOptions{}, progress);
   std::cout << "=== coverage (single-cycle, V_th = "
             << tech.interpretation_threshold() << " V, IDDQ threshold "
             << plan.iddq_threshold / uA << " uA) ===\n"

@@ -62,9 +62,10 @@ SensorMeasurement measure_sensor(const Technology& tech,
 }
 
 SensorMeasurement measure_bench(const SensorBench& bench, double vth,
-                                double dt) {
+                                double dt, esim::SolveStats* stats) {
   const auto result =
       esim::simulate(bench.circuit, sensor_sim_options(bench.stimulus, dt));
+  if (stats != nullptr) *stats = result.stats;
   const auto y1 = esim::Trace::node_voltage(
       result, bench.circuit, bench.cell.qualified("y1"));
   const auto y2 = esim::Trace::node_voltage(

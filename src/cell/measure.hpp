@@ -49,9 +49,13 @@ SensorMeasurement measure_sensor(const Technology& tech,
                                  double dt = 2e-12);
 
 // Same, but on an externally prepared bench (after fault injection or
-// Monte-Carlo variation of bench.circuit).
+// Monte-Carlo variation of bench.circuit).  `stats` (optional) receives the
+// solver telemetry of the underlying transient run — parallel Monte-Carlo
+// workers aggregate per-sample stats this way instead of diffing the global
+// esim.* counters, which interleave across threads.
 SensorMeasurement measure_bench(const SensorBench& bench, double vth,
-                                double dt = 2e-12);
+                                double dt = 2e-12,
+                                esim::SolveStats* stats = nullptr);
 
 // The sensitivity tau_min: smallest skew (within [lo, hi]) detected by the
 // sensor, found by bisection to `tolerance`.  Returns `hi` when even the

@@ -12,6 +12,13 @@
 // corner; trapezoidal integration with a backward-Euler step right after
 // each breakpoint (damps the trapezoidal ringing a hard corner would
 // excite).  On local Newton failure the step is retried with a halved dt.
+//
+// Concurrency: a Simulator is share-nothing — it owns its circuit snapshot
+// and every piece of solver state, and touches nothing global except the
+// obs registry/journal (both concurrency-safe).  The parallel campaign
+// drivers (sks::par) therefore run one Simulator per work item on worker
+// threads with no locking.  A single Simulator instance is NOT safe to
+// share across threads.
 #pragma once
 
 #include <cstddef>

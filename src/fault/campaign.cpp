@@ -1,6 +1,11 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "par/parallel.hpp"
+#include "par/pool.hpp"
 
 namespace sks::fault {
 
@@ -94,26 +99,55 @@ obs::Report CampaignReport::run_report(const std::string& name) const {
 CampaignReport run_campaign(const esim::Circuit& good_circuit,
                             const std::vector<Fault>& universe,
                             const TestPlan& plan,
-                            const InjectOptions& inject_options,
+                            const CampaignOptions& options,
                             const CampaignProgress& progress) {
   const obs::Stopwatch wall;
-  obs::ScopedTimer timer("fault.run_campaign");
+  static obs::TimerStat& campaign_timer =
+      obs::registry().timer("fault.run_campaign");
+  obs::ScopedTimer timer(campaign_timer);
   const obs::Stopwatch good_wall;
   const Observation good_observation = observe(good_circuit, plan);
   CampaignReport report;
   report.stats.good_sim_seconds = good_wall.seconds();
-  report.verdicts.reserve(universe.size());
-  for (const Fault& f : universe) {
-    report.verdicts.push_back(
-        test_fault(good_circuit, good_observation, f, plan, inject_options));
-    const FaultVerdict& v = report.verdicts.back();
+  report.verdicts.resize(universe.size());
+
+  // Aggregation and the progress callback run strictly in universe order
+  // (via OrderedSink), so every CampaignStats field — including the
+  // floating-point RunningStats sums — is bit-identical for any thread
+  // count.
+  par::OrderedSink sink(universe.size(), [&](std::size_t i) {
+    const FaultVerdict& v = report.verdicts[i];
     report.stats.fault_seconds.add(v.seconds);
     report.stats.solve.merge(v.stats);
     if (!v.simulated) ++report.stats.unsimulated;
-    if (progress) progress(report.verdicts.size(), universe.size(), v);
+    if (progress) progress(i + 1, universe.size(), v);
+  });
+  auto test_one = [&](std::size_t i) {
+    report.verdicts[i] = test_fault(good_circuit, good_observation,
+                                    universe[i], plan, options.inject);
+    sink.complete(i);
+  };
+
+  const std::size_t threads =
+      options.threads == 0 ? par::default_threads() : options.threads;
+  if (threads <= 1 || universe.size() <= 1) {
+    for (std::size_t i = 0; i < universe.size(); ++i) test_one(i);
+  } else {
+    par::ThreadPool pool(std::min(threads, universe.size()));
+    par::parallel_for(pool, 0, universe.size(), test_one);
   }
   report.stats.wall_seconds = wall.seconds();
   return report;
+}
+
+CampaignReport run_campaign(const esim::Circuit& good_circuit,
+                            const std::vector<Fault>& universe,
+                            const TestPlan& plan,
+                            const InjectOptions& inject_options,
+                            const CampaignProgress& progress) {
+  CampaignOptions options;
+  options.inject = inject_options;
+  return run_campaign(good_circuit, universe, plan, options, progress);
 }
 
 }  // namespace sks::fault

@@ -50,10 +50,24 @@ struct CampaignStats {
 
 // Called after every tested fault; `done` counts tested faults, `total` is
 // the universe size.  The verdict reference is valid only for the duration
-// of the call.
+// of the call.  Parallel campaigns fire the callback in universe order
+// (done = 1, 2, ..., total) from whichever worker completed the gap, under
+// an internal lock — callbacks need no synchronization of their own but
+// must not re-enter the campaign.
 using CampaignProgress =
     std::function<void(std::size_t done, std::size_t total,
                        const FaultVerdict& last)>;
+
+struct CampaignOptions {
+  InjectOptions inject;
+  // Worker threads testing faults concurrently.  0 = par::default_threads()
+  // (bench --threads flag, then SKS_THREADS, then hardware_concurrency);
+  // 1 = fully serial in the calling thread.  Any value produces
+  // bit-identical verdicts, stats aggregates and progress order: each fault
+  // test is share-nothing (its Simulator owns a circuit snapshot) and
+  // results are committed in universe order.
+  std::size_t threads = 0;
+};
 
 struct CampaignReport {
   std::vector<FaultVerdict> verdicts;
@@ -71,9 +85,20 @@ struct CampaignReport {
   obs::Report run_report(const std::string& name = "fault_campaign") const;
 };
 
-// Simulate the fault-free circuit once, then every fault in the universe.
-// `progress` (optional) is invoked after each fault — campaign drivers use
-// it for live reporting without holding the whole verdict list.
+// Simulate the fault-free circuit once, then every fault in the universe
+// (in parallel across options.threads workers).  `progress` (optional) is
+// invoked after each fault — campaign drivers use it for live reporting
+// without holding the whole verdict list.  An exception thrown by the
+// progress callback cancels the remaining faults and propagates.
+CampaignReport run_campaign(const esim::Circuit& good_circuit,
+                            const std::vector<Fault>& universe,
+                            const TestPlan& plan,
+                            const CampaignOptions& options,
+                            const CampaignProgress& progress = nullptr);
+// (The options parameter has no default so 3-argument calls keep resolving
+// to the InjectOptions overload below.)
+
+// Back-compat entry point: inject options only, default parallelism.
 CampaignReport run_campaign(const esim::Circuit& good_circuit,
                             const std::vector<Fault>& universe,
                             const TestPlan& plan,

@@ -16,7 +16,13 @@ const char* to_string(EventType type) {
   return "unknown";
 }
 
+std::size_t Journal::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
 void Journal::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
   while (events_.size() > capacity_) {
     events_.pop_front();
@@ -25,6 +31,7 @@ void Journal::set_capacity(std::size_t capacity) {
 }
 
 void Journal::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (capacity_ == 0) {
     ++dropped_;
     return;
@@ -36,19 +43,32 @@ void Journal::record(Event event) {
   events_.push_back(std::move(event));
 }
 
+std::size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t Journal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 std::size_t Journal::count(EventType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<std::size_t>(
       std::count_if(events_.begin(), events_.end(),
                     [type](const Event& e) { return e.type == type; }));
 }
 
 std::vector<Event> Journal::tail(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t from = events_.size() > n ? events_.size() - n : 0;
   return std::vector<Event>(events_.begin() + static_cast<std::ptrdiff_t>(from),
                             events_.end());
 }
 
 void Journal::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   dropped_ = 0;
 }

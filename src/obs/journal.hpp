@@ -7,11 +7,21 @@
 // drop counted, so a multi-hour campaign can leave it enabled and still
 // read the most recent solver history after a failure.  Recording is gated
 // on `enabled()` (off by default) — hot loops call `journal().enabled()`
-// (one load + branch) before building an Event.
+// (one atomic load + branch) before building an Event.
+//
+// Concurrency: every mutating or snapshotting member is serialized on an
+// internal mutex so parallel campaign workers can record freely; the event
+// *interleaving* across workers is whatever the scheduler produced (only
+// per-worker order is meaningful).  Exception: `events()` returns a bare
+// reference into the ring and may only be called once the writers have
+// quiesced (after a campaign returned) — snapshots under concurrency go
+// through `tail()`.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,10 +50,12 @@ class Journal {
  public:
   explicit Journal(std::size_t capacity = 4096) : capacity_(capacity) {}
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const;
   // Shrinking below the current size drops the oldest events (counted).
   void set_capacity(std::size_t capacity);
 
@@ -51,19 +63,22 @@ class Journal {
   // the Event (string work) is also skipped when off.
   void record(Event event);
 
-  std::size_t size() const { return events_.size(); }
-  std::size_t dropped() const { return dropped_; }
+  std::size_t size() const;
+  std::size_t dropped() const;
   std::size_t total_recorded() const { return size() + dropped(); }
   std::size_t count(EventType type) const;
+  // Direct view into the ring; only valid while no other thread records
+  // (post-campaign inspection, tests).
   const std::deque<Event>& events() const { return events_; }
-  // Up to `n` most recent events, oldest first.
+  // Up to `n` most recent events, oldest first (safe under concurrency).
   std::vector<Event> tail(std::size_t n) const;
 
   void clear();
 
  private:
+  mutable std::mutex mutex_;
   std::size_t capacity_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   std::size_t dropped_ = 0;
   std::deque<Event> events_;
 };

@@ -1,6 +1,5 @@
 #include "obs/metrics.hpp"
 
-#include <algorithm>
 #include <cstdlib>
 
 namespace sks::obs {
@@ -12,30 +11,32 @@ bool initial_enabled() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-bool g_enabled = initial_enabled();
+// Atomic: workers consult the flag while a driver thread may flip it.
+std::atomic<bool> g_enabled{initial_enabled()};
 
 }  // namespace
 
-bool enabled() { return g_enabled; }
-void set_enabled(bool on) { g_enabled = on; }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 void TimerStat::record_ns(std::uint64_t ns) {
-  if (count_ == 0) {
-    min_ns_ = ns;
-    max_ns_ = ns;
-  } else {
-    min_ns_ = std::min(min_ns_, ns);
-    max_ns_ = std::max(max_ns_, ns);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
   }
-  ++count_;
-  total_ns_ += ns;
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
 }
 
 void TimerStat::reset() {
-  count_ = 0;
-  total_ns_ = 0;
-  min_ns_ = 0;
-  max_ns_ = 0;
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(kNoMin, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -55,38 +56,46 @@ auto& get_or_create(Map& map, const std::string& name, Args&&... args) {
 }  // namespace
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get_or_create(counters_, name);
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get_or_create(gauges_, name);
 }
 
 TimerStat& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get_or_create(timers_, name);
 }
 
 util::Histogram& Registry::histogram(const std::string& name, double lo,
                                      double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return get_or_create(histograms_, name, lo, hi, bins);
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const TimerStat* Registry::find_timer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
@@ -94,6 +103,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
@@ -101,6 +111,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 }
 
 std::vector<std::pair<std::string, const TimerStat*>> Registry::timers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, const TimerStat*>> out;
   out.reserve(timers_.size());
   for (const auto& [name, t] : timers_) out.emplace_back(name, t.get());
@@ -109,6 +120,7 @@ std::vector<std::pair<std::string, const TimerStat*>> Registry::timers() const {
 
 std::vector<std::pair<std::string, const util::Histogram*>>
 Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, const util::Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
@@ -116,6 +128,7 @@ Registry::histograms() const {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();

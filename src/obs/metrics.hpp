@@ -3,9 +3,10 @@
 //
 // Design constraints (this layer sits under the SPICE-class hot loops):
 //
-//  * `Counter::inc()` is a single integer add — counters are *always* live,
-//    so the engine can account NR iterations and LU factorizations without
-//    any mode check and the cost stays unmeasurable next to a dense solve;
+//  * `Counter::inc()` is a single relaxed atomic add — counters are
+//    *always* live, so the engine can account NR iterations and LU
+//    factorizations without any mode check and the cost stays unmeasurable
+//    next to a dense solve;
 //  * anything that reads a clock (ScopedTimer, see timer.hpp) or allocates
 //    (Journal, see journal.hpp) is gated on the global `enabled()` flag and
 //    compiles down to one predictable branch when profiling is off;
@@ -14,14 +15,26 @@
 //    references across runs; `reset()` zeroes values but never invalidates
 //    references.
 //
-// The library is single-threaded by design (one Simulator per campaign
-// worker); the registry therefore uses no atomics.  Revisit when a
-// multi-threaded campaign driver lands.
+// Concurrency: the parallel campaign drivers (sks::par) increment metrics
+// from every worker thread, so the layer is thread-safe throughout.
+// Counters shard their value across cache-line-aligned per-thread cells
+// (writes never contend, `value()` merges on read); timer stats are plain
+// atomics; the registry maps are mutex-guarded on (cold) entry creation
+// and snapshotting.  Exception: `util::Histogram` entries are NOT
+// internally synchronized — they are only ever filled from analysis code
+// that runs outside the worker pool.
+//
+// Value semantics under concurrency: reads are monotonic but unordered
+// with respect to concurrent writers; exact totals are guaranteed once the
+// writers have quiesced (i.e. after a campaign's parallel_for returned).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,46 +47,91 @@ namespace sks::obs {
 bool enabled();
 void set_enabled(bool on);
 
+namespace detail {
+
+inline constexpr std::size_t kCounterShards = 16;
+
+// Stable small integer id per thread; two pool workers practically never
+// share `id % kCounterShards`, so counter increments stay contention-free.
+inline std::size_t counter_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id % kCounterShards;
+}
+
+}  // namespace detail
+
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t delta = 1) {
+    cells_[detail::counter_shard()].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[detail::kCounterShards];
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-// Accumulated wall-time statistics of one named code region.
+// Accumulated wall-time statistics of one named code region.  Lock-free:
+// count/total are relaxed adds, min/max are CAS loops, so a ScopedTimer
+// stop costs a handful of uncontended atomic operations.
 class TimerStat {
  public:
   void record_ns(std::uint64_t ns);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t total_ns() const { return total_ns_; }
-  std::uint64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
-  std::uint64_t max_ns() const { return max_ns_; }
-  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min_ns() const {
+    const std::uint64_t m = min_ns_.load(std::memory_order_relaxed);
+    return m == kNoMin ? 0 : m;
+  }
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return static_cast<double>(total_ns()) * 1e-9;
+  }
   double mean_seconds() const {
-    return count_ == 0 ? 0.0 : total_seconds() / static_cast<double>(count_);
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
   }
   void reset();
 
  private:
-  std::uint64_t count_ = 0;
-  std::uint64_t total_ns_ = 0;
-  std::uint64_t min_ns_ = 0;
-  std::uint64_t max_ns_ = 0;
+  static constexpr std::uint64_t kNoMin =
+      std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{kNoMin};
+  std::atomic<std::uint64_t> max_ns_{0};
 };
 
 class Registry {
@@ -101,6 +159,7 @@ class Registry {
   void reset();
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<TimerStat>> timers_;

@@ -3,7 +3,10 @@
 // Cost model: when obs::enabled() is false the constructor is a single
 // branch — no clock read, no registry lookup, no allocation — so timers can
 // stay in place around solver entry points permanently.  When enabled, each
-// scope costs two steady_clock reads.
+// scope costs two steady_clock reads plus a few relaxed atomic adds into
+// the (thread-safe) TimerStat; campaign workers time regions concurrently
+// without locks.  Hot paths should cache the TimerStat& once (engine entry
+// points do) so the name is never re-hashed per run.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,111 @@
+#include "par/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+
+namespace sks::par {
+
+namespace {
+
+// Shared state of one parallel_for invocation.  Runner tasks pull chunk
+// start indices from `next` until the range is exhausted, an item throws,
+// or the external token cancels.
+struct LoopState {
+  std::atomic<std::size_t> next;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  CancelToken* external_cancel = nullptr;
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t active_runners = 0;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  bool cancelled() const {
+    return failed.load(std::memory_order_relaxed) ||
+           (external_cancel != nullptr && external_cancel->cancelled());
+  }
+
+  void run_chunks() {
+    while (!cancelled()) {
+      const std::size_t start =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= end) break;
+      const std::size_t stop = std::min(end, start + chunk);
+      for (std::size_t i = start; i < stop; ++i) {
+        if (cancelled()) break;
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+  }
+
+  void runner_done() {
+    std::lock_guard<std::mutex> lock(mutex);
+    --active_runners;
+    if (active_runners == 0) done.notify_all();
+  }
+};
+
+}  // namespace
+
+bool parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ForOptions& options) {
+  if (begin >= end) return true;
+
+  LoopState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.chunk = options.chunk == 0 ? 1 : options.chunk;
+  state.body = &body;
+  state.external_cancel = options.cancel;
+
+  const std::size_t items = end - begin;
+  const std::size_t chunks = (items + state.chunk - 1) / state.chunk;
+  // One runner per worker is enough: runners self-balance by pulling
+  // chunks; extra tasks would only queue behind each other.
+  const std::size_t runners = std::min(pool.size(), chunks);
+  state.active_runners = runners;
+  for (std::size_t r = 0; r < runners; ++r) {
+    pool.submit([&state] {
+      state.run_chunks();
+      state.runner_done();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.active_runners == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+  return !(options.cancel != nullptr && options.cancel->cancelled());
+}
+
+OrderedSink::OrderedSink(std::size_t n, std::function<void(std::size_t)> fn)
+    : ready_(n, 0), fn_(std::move(fn)) {}
+
+void OrderedSink::complete(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_[index] = 1;
+  while (next_ < ready_.size() && ready_[next_]) {
+    // Advance before invoking: if fn throws, the index still counts as
+    // drained, so no later complete() can fire it a second time.
+    const std::size_t i = next_++;
+    fn_(i);
+  }
+}
+
+}  // namespace sks::par

@@ -1,0 +1,86 @@
+// Structured parallel loops on top of par::ThreadPool: chunked
+// parallel_for, index-ordered parallel_map, cooperative cancellation, and
+// the OrderedSink used by campaign drivers to keep progress callbacks and
+// statistics aggregation in deterministic index order.
+//
+// Exception contract: the first failing item cancels the remaining work,
+// every in-flight item finishes, and the exception with the LOWEST item
+// index among those actually thrown is rethrown on the calling thread.
+// The pool stays healthy afterwards — a campaign whose one fault blows up
+// with ConvergenceError neither deadlocks nor leaks worker threads.
+//
+// Nesting: the calling thread blocks until the loop finishes, so a
+// parallel_for body must not start another loop on the SAME pool (the
+// worker it would block on may be the one expected to run the inner loop).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "par/pool.hpp"
+
+namespace sks::par {
+
+// Cooperative cancellation flag, shared between a loop and its caller.
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+struct ForOptions {
+  // Items handed to a worker per grab.  0 = auto: one item per grab, the
+  // right choice when each item is an electrical simulation (milliseconds)
+  // and scheduling costs microseconds; set larger chunks for cheap items.
+  std::size_t chunk = 0;
+  // Optional external cancellation: checked between items, the loop stops
+  // issuing new work once cancelled.
+  CancelToken* cancel = nullptr;
+};
+
+// Run body(i) for every i in [begin, end) across the pool; the calling
+// thread blocks until every issued item has finished.  Returns false when
+// an external CancelToken stopped the loop early, true otherwise.  Throws
+// the lowest-index exception if any body threw (see header comment).
+bool parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ForOptions& options = {});
+
+// Map [0, n) through fn into an index-ordered vector.  T must be default-
+// constructible (results are written into a pre-sized vector, so no
+// synchronization beyond the loop itself is needed).
+template <typename T>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n,
+                            const std::function<T(std::size_t)>& fn,
+                            const ForOptions& options = {}) {
+  std::vector<T> out(n);
+  parallel_for(
+      pool, 0, n, [&](std::size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+// Deterministic in-order completion drain: workers call complete(i) in any
+// order; `fn(i)` fires for i = 0, 1, 2, ... exactly once, under an internal
+// mutex, as soon as every item <= i has completed.  This is how the
+// campaign drivers keep progress callbacks and RunningStats aggregation
+// bit-identical across thread counts.
+class OrderedSink {
+ public:
+  OrderedSink(std::size_t n, std::function<void(std::size_t)> fn);
+
+  void complete(std::size_t index);
+
+ private:
+  std::mutex mutex_;
+  std::vector<char> ready_;
+  std::size_t next_ = 0;
+  std::function<void(std::size_t)> fn_;
+};
+
+}  // namespace sks::par

@@ -1,0 +1,117 @@
+#include "par/pool.hpp"
+
+#include <cstdlib>
+
+namespace sks::par {
+
+namespace {
+
+std::atomic<std::size_t> g_default_override{0};
+
+std::size_t env_threads() {
+  const char* env = std::getenv("SKS_THREADS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long n = std::atol(env);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+}  // namespace
+
+std::size_t default_threads() {
+  if (const std::size_t n = g_default_override.load(std::memory_order_relaxed);
+      n > 0) {
+    return n;
+  }
+  if (const std::size_t n = env_threads(); n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void set_default_threads(std::size_t n) {
+  g_default_override.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? default_threads() : threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  // The pending count is bumped under the sleep mutex so a worker checking
+  // its wait predicate cannot miss the notification.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first, newest task (LIFO keeps the working set warm) ...
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from a sibling (FIFO spreads the large,
+  // long-queued chunks of an uneven burst).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stopping_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      return;  // drained: no task can arrive after stopping_ is set
+    }
+  }
+}
+
+}  // namespace sks::par

@@ -1,55 +1,67 @@
 #include "scheme/montecarlo.hpp"
 
+#include <algorithm>
+
 #include "esim/engine.hpp"
-#include "esim/trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "par/parallel.hpp"
+#include "par/pool.hpp"
 #include "util/prng.hpp"
 
 namespace sks::scheme {
 
 namespace {
 
-// The electrical measurement happens inside cell::measure_bench, which
-// discards the TransientResult (and its SolveStats).  The engine mirrors
-// every run into the global `esim.*` counters, so per-sample deltas of
-// those counters recover the aggregate convergence stats without widening
-// the cell-layer API.
-struct EsimCounters {
-  obs::Counter& iterations = obs::registry().counter("esim.newton_iterations");
-  obs::Counter& failures = obs::registry().counter("esim.newton_failures");
-  obs::Counter& lu = obs::registry().counter("esim.lu_factorizations");
-  obs::Counter& halvings = obs::registry().counter("esim.dt_halvings");
-  obs::Counter& be = obs::registry().counter("esim.be_fallbacks");
-  obs::Counter& gmin = obs::registry().counter("esim.dc_gmin_ladders");
-  obs::Counter& source = obs::registry().counter("esim.dc_source_ladders");
-  obs::Counter& accepted = obs::registry().counter("esim.steps_accepted");
+// One measured sample plus its telemetry, produced entirely on one worker.
+// Per-sample solver stats come straight from the transient result (via the
+// measure_bench out-param), never from global counter deltas — those
+// interleave across threads.
+struct SampleResult {
+  McSample sample;
+  double seconds = 0.0;
+  esim::SolveStats solve;
 };
 
-struct CounterMark {
-  std::uint64_t iterations, failures, lu, halvings, be, gmin, source, accepted;
+SampleResult measure_one(const cell::Technology& tech,
+                         const cell::SensorOptions& base,
+                         const McOptions& options, std::size_t index) {
+  const obs::Stopwatch sample_wall;
+  // Index-addressed stream: sample i's randomness depends only on
+  // (options.seed, i), so any schedule across any thread count draws the
+  // exact same circuits and stimuli.
+  util::Prng prng(util::derive_seed(options.seed, index));
 
-  explicit CounterMark(const EsimCounters& c)
-      : iterations(c.iterations.value()),
-        failures(c.failures.value()),
-        lu(c.lu.value()),
-        halvings(c.halvings.value()),
-        be(c.be.value()),
-        gmin(c.gmin.value()),
-        source(c.source.value()),
-        accepted(c.accepted.value()) {}
+  SampleResult out;
+  McSample& s = out.sample;
+  s.tau = prng.uniform(options.tau_lo, options.tau_hi);
+  s.slew1 = prng.uniform(options.slew_lo, options.slew_hi);
+  s.slew2 = options.common_slew
+                ? s.slew1
+                : prng.uniform(options.slew_lo, options.slew_hi);
 
-  void accumulate_delta(const EsimCounters& c, esim::SolveStats& out) const {
-    out.newton_iterations += c.iterations.value() - iterations;
-    out.newton_failures += c.failures.value() - failures;
-    out.lu_factorizations += c.lu.value() - lu;
-    out.dt_halvings += c.halvings.value() - halvings;
-    out.be_fallbacks += c.be.value() - be;
-    out.dc_gmin_ladders += c.gmin.value() - gmin;
-    out.dc_source_ladders += c.source.value() - source;
-    out.steps_accepted += c.accepted.value() - accepted;
-  }
-};
+  cell::SensorOptions opt = base;
+  opt.load_y1 = opt.load_y2 = options.load;
+  cell::ClockPairStimulus stimulus;
+  stimulus.vdd = tech.vdd;
+  stimulus.skew = s.tau;
+  stimulus.slew1 = s.slew1;
+  stimulus.slew2 = s.slew2;
+
+  cell::SensorBench bench = cell::make_sensor_bench(tech, opt, stimulus);
+  cell::VariationSpec spec;
+  spec.rel = options.rel;
+  cell::apply_random_variation(bench.circuit, spec, prng);
+
+  const cell::SensorMeasurement m = cell::measure_bench(
+      bench, tech.interpretation_threshold(), options.dt, &out.solve);
+  // Positive tau delays phi2, so the late output is y2.
+  s.vmin_late = m.vmin_y2;
+  s.indication = m.indication;
+  s.detected = m.error();
+  out.seconds = sample_wall.seconds();
+  return out;
+}
 
 }  // namespace
 
@@ -87,50 +99,39 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
                                           McRunStats* stats,
                                           const McProgress& progress) {
   const obs::Stopwatch wall;
-  obs::ScopedTimer timer("scheme.vmin_montecarlo");
-  EsimCounters counters;
-  util::Prng prng(options.seed);
-  std::vector<McSample> samples;
-  samples.reserve(options.samples);
+  static obs::TimerStat& mc_timer =
+      obs::registry().timer("scheme.vmin_montecarlo");
+  obs::ScopedTimer timer(mc_timer);
 
-  for (std::size_t i = 0; i < options.samples; ++i) {
-    const obs::Stopwatch sample_wall;
-    const CounterMark mark(counters);
-    McSample s;
-    s.tau = prng.uniform(options.tau_lo, options.tau_hi);
-    s.slew1 = prng.uniform(options.slew_lo, options.slew_hi);
-    s.slew2 = options.common_slew
-                  ? s.slew1
-                  : prng.uniform(options.slew_lo, options.slew_hi);
-
-    cell::SensorOptions opt = base;
-    opt.load_y1 = opt.load_y2 = options.load;
-    cell::ClockPairStimulus stimulus;
-    stimulus.vdd = tech.vdd;
-    stimulus.skew = s.tau;
-    stimulus.slew1 = s.slew1;
-    stimulus.slew2 = s.slew2;
-
-    cell::SensorBench bench = cell::make_sensor_bench(tech, opt, stimulus);
-    cell::VariationSpec spec;
-    spec.rel = options.rel;
-    cell::apply_random_variation(bench.circuit, spec, prng);
-
-    const cell::SensorMeasurement m = cell::measure_bench(
-        bench, tech.interpretation_threshold(), options.dt);
-    // Positive tau delays phi2, so the late output is y2.
-    s.vmin_late = m.vmin_y2;
-    s.indication = m.indication;
-    s.detected = m.error();
-    samples.push_back(s);
-
+  std::vector<SampleResult> results(options.samples);
+  // Telemetry aggregation and progress fire strictly in sample order so the
+  // RunningStats sums (and the callback sequence) match the serial run
+  // bit-for-bit.
+  par::OrderedSink sink(options.samples, [&](std::size_t i) {
     if (stats != nullptr) {
-      stats->sample_seconds.add(sample_wall.seconds());
-      mark.accumulate_delta(counters, stats->solve);
-      if (s.detected) ++stats->detected;
+      stats->sample_seconds.add(results[i].seconds);
+      stats->solve.merge(results[i].solve);
+      if (results[i].sample.detected) ++stats->detected;
     }
     if (progress) progress(i + 1, options.samples);
+  });
+  auto run_one = [&](std::size_t i) {
+    results[i] = measure_one(tech, base, options, i);
+    sink.complete(i);
+  };
+
+  const std::size_t threads =
+      options.threads == 0 ? par::default_threads() : options.threads;
+  if (threads <= 1 || options.samples <= 1) {
+    for (std::size_t i = 0; i < options.samples; ++i) run_one(i);
+  } else {
+    par::ThreadPool pool(std::min(threads, options.samples));
+    par::parallel_for(pool, 0, options.samples, run_one);
   }
+
+  std::vector<McSample> samples;
+  samples.reserve(options.samples);
+  for (const SampleResult& r : results) samples.push_back(r.sample);
   if (stats != nullptr) stats->wall_seconds = wall.seconds();
   return samples;
 }

@@ -38,6 +38,12 @@ struct McOptions {
   double tau_hi = 0.3e-9;
   double dt = 5e-12;           // transient base step [s]
   std::uint64_t seed = 7;
+  // Worker threads measuring samples concurrently.  0 = use
+  // par::default_threads() (bench --threads flag, then SKS_THREADS, then
+  // hardware_concurrency); 1 = serial.  Sample i draws from its own
+  // Prng(util::derive_seed(seed, i)) stream, so the McSample vector and
+  // every aggregate are bit-identical for any thread count.
+  std::size_t threads = 0;
 };
 
 struct McSample {
@@ -59,7 +65,8 @@ struct McRunStats {
   obs::Report run_report(const std::string& name = "vmin_montecarlo") const;
 };
 
-// Called after every measured sample.
+// Called after every measured sample.  Parallel runs fire it in sample
+// order (done = 1, 2, ..., total) under an internal lock.
 using McProgress = std::function<void(std::size_t done, std::size_t total)>;
 
 // Draw `samples` random circuits/stimuli and measure each electrically.

@@ -88,4 +88,13 @@ std::uint64_t Prng::below(std::uint64_t n) {
 
 Prng Prng::split() { return Prng(next_u64() ^ 0xa5a5a5a5deadbeefULL); }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // Two rounds of splitmix64 over a golden-ratio-spaced lattice: adjacent
+  // indices land in unrelated Prng states (the Prng constructor adds a
+  // third mixing pass over the result).
+  std::uint64_t state = base_seed ^ (index * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t a = splitmix64(state);
+  return splitmix64(state) ^ rotl(a, 32);
+}
+
 }  // namespace sks::util

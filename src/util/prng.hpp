@@ -56,4 +56,11 @@ class Prng {
   bool has_spare_ = false;
 };
 
+// Stateless seed derivation for index-addressed sample streams: the seed of
+// sample `index` depends only on (base_seed, index), never on how many
+// samples other workers drew before it.  Campaign layers build one
+// `Prng(derive_seed(seed, i))` per sample so that an N-thread run and a
+// 1-thread run consume bit-identical random streams.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
 }  // namespace sks::util

@@ -1,0 +1,147 @@
+#include "par/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sks::par {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffsetAndChunking) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  ForOptions options;
+  options.chunk = 7;  // does not divide the range
+  parallel_for(
+      pool, 10, 100,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      options);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (std::size_t i = 10; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  EXPECT_TRUE(parallel_for(pool, 5, 5, [&](std::size_t) { called = true; }));
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  ThreadPool pool(4);
+  const auto squares = parallel_map<int>(
+      pool, 256, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(squares.size(), 256u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestThrownIndex) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> thrown;
+  auto body = [&](std::size_t i) {
+    if (i >= 50) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        thrown.insert(i);
+      }
+      throw Error("boom at " + std::to_string(i));
+    }
+  };
+  std::size_t caught_index = 0;
+  try {
+    parallel_for(pool, 0, 200, body);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    caught_index = std::stoul(what.substr(what.rfind(' ') + 1));
+  }
+  // The contract: the rethrown exception carries the lowest index among
+  // those that actually threw (which ones ran is schedule-dependent).
+  ASSERT_FALSE(thrown.empty());
+  EXPECT_EQ(caught_index, *thrown.begin());
+}
+
+TEST(ParallelFor, ExceptionTypeSurvivesAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 0, 20,
+                            [](std::size_t i) {
+                              if (i == 7) {
+                                throw ConvergenceError("NR diverged");
+                              }
+                            }),
+               ConvergenceError);
+  // Same pool, next loop: no deadlock, no leaked failure state.
+  std::atomic<int> count{0};
+  EXPECT_TRUE(parallel_for(pool, 0, 100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  }));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, ExternalCancelStopsIssuingWork) {
+  ThreadPool pool(4);
+  CancelToken cancel;
+  std::atomic<int> executed{0};
+  const bool completed = parallel_for(
+      pool, 0, 100000,
+      [&](std::size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        cancel.cancel();  // first item to run stops the loop
+      },
+      ForOptions{0, &cancel});
+  EXPECT_FALSE(completed);
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(OrderedSink, DrainsInIndexOrderRegardlessOfCompletionOrder) {
+  std::vector<std::size_t> fired;
+  OrderedSink sink(10, [&](std::size_t i) { fired.push_back(i); });
+  for (std::size_t i = 10; i-- > 0;) sink.complete(i);  // reverse order
+  ASSERT_EQ(fired.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(OrderedSink, InOrderUnderParallelFor) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> fired;
+  OrderedSink sink(500, [&](std::size_t i) { fired.push_back(i); });
+  parallel_for(pool, 0, 500, [&](std::size_t i) { sink.complete(i); });
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 0; i < 500; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(OrderedSink, ThrowingFnNeverDoubleFires) {
+  std::vector<std::size_t> fired;
+  OrderedSink sink(5, [&](std::size_t i) {
+    fired.push_back(i);
+    if (i == 3) throw Error("progress blew up");
+  });
+  sink.complete(3);  // nothing drains yet
+  sink.complete(0);  // fires 0
+  sink.complete(1);  // fires 1
+  EXPECT_THROW(sink.complete(2), Error);  // fires 2, then 3 which throws
+  sink.complete(4);                       // resumes after the throw: fires 4
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(fired, expected);
+}
+
+}  // namespace
+}  // namespace sks::par

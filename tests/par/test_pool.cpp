@@ -1,0 +1,86 @@
+#include "par/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sks::par {
+namespace {
+
+// Restores automatic thread-count resolution when a test returns.
+struct DefaultThreadsGuard {
+  ~DefaultThreadsGuard() { set_default_threads(0); }
+};
+
+TEST(DefaultThreads, OverrideWinsAndZeroRestores) {
+  DefaultThreadsGuard guard;
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  set_default_threads(0);
+  EXPECT_GE(default_threads(), 1u);  // SKS_THREADS or hardware_concurrency
+}
+
+TEST(ThreadPool, HasRequestedSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroResolvesViaDefaultThreads) {
+  DefaultThreadsGuard guard;
+  set_default_threads(2);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorDrainsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool drains, then joins
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, TasksSubmittedByTasksStillDrain) {
+  std::atomic<int> count{0};
+  {
+    // `link` is declared BEFORE the pool so it outlives the destructor's
+    // drain (members destruct in reverse declaration order).
+    std::function<void(int)> link;
+    ThreadPool pool(2);
+    // A chain of tasks, each submitting its successor — exercises the
+    // drain-while-stopping path of the destructor.
+    link = [&](int depth) {
+      count.fetch_add(1, std::memory_order_relaxed);
+      if (depth > 1) pool.submit([&link, depth] { link(depth - 1); });
+    };
+    pool.submit([&link] { link(64); });
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAllLand) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&pool, &count] {
+        for (int i = 0; i < 100; ++i) {
+          pool.submit(
+              [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+  }
+  EXPECT_EQ(count.load(), 400);
+}
+
+}  // namespace
+}  // namespace sks::par

@@ -122,6 +122,26 @@ TEST(Prng, ShuffleActuallyPermutes) {
   EXPECT_NE(v, original);
 }
 
+TEST(DeriveSeed, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(derive_seed(9, 0), derive_seed(9, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(9, i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across consecutive indices
+  EXPECT_NE(derive_seed(9, 5), derive_seed(10, 5));
+}
+
+TEST(DeriveSeed, StreamsAreIndependentish) {
+  // Streams for adjacent indices must not correlate: the Monte-Carlo layer
+  // hands derive_seed(seed, i) to one Prng per sample.
+  Prng a(derive_seed(123, 41));
+  Prng b(derive_seed(123, 42));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(Prng, SplitStreamsAreIndependentish) {
   Prng parent(37);
   Prng child = parent.split();

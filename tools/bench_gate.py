@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh perf_micro run against the
+checked-in baseline under bench/baseline/.
+
+Two kinds of signal, gated differently:
+
+* deterministic work counters (`values.fixed.*` of BENCH_perf_micro.json):
+  perf_micro runs every hot kernel a fixed number of times with the obs
+  registry zeroed, so these are exact solver work counts (NR iterations,
+  LU factorizations, accepted steps) independent of machine and of
+  google-benchmark's adaptive iteration counts.  ANY increase fails the
+  gate (a >0%% solver-work regression); decreases pass with a note to
+  re-baseline so the improvement is locked in.
+
+* wall times (google-benchmark JSON via --benchmark_out): compared per
+  benchmark against the baseline's real_time with a relative tolerance,
+  default 20%% (SKS_BENCH_TIME_TOL=0.3 widens it to 30%%).  Wall times are
+  machine-dependent, so this check only runs when the baseline records the
+  same machine profile (SKS_BENCH_MACHINE, default "ci") and can be
+  disabled outright with SKS_BENCH_SKIP_TIME=1 for ad-hoc local runs.
+
+Usage:
+  tools/bench_gate.py check --report BENCH_perf_micro.json \
+      [--timings gbench.json] [--baseline-dir bench/baseline]
+  tools/bench_gate.py rebaseline --report BENCH_perf_micro.json \
+      [--timings gbench.json] [--baseline-dir bench/baseline]
+
+Re-baselining (after an intentional perf-relevant change): run the check,
+review the printed deltas, then re-run with `rebaseline` and commit the
+updated bench/baseline/ files in the same PR as the change that moved
+them.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+COUNTER_BASELINE = "BENCH_perf_micro.json"
+TIMING_BASELINE = "gbench_perf_micro.json"
+
+
+def load_fixed_counters(path):
+    with open(path) as f:
+        doc = json.load(f)
+    values = doc.get("values", {})
+    return {
+        k[len("fixed."):]: v
+        for k, v in values.items()
+        if k.startswith("fixed.")
+    }
+
+
+def load_timings(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        out[row["name"]] = float(row["real_time"])
+    return out
+
+
+def check_counters(baseline_path, report_path):
+    base = load_fixed_counters(baseline_path)
+    new = load_fixed_counters(report_path)
+    failures = []
+    improvements = []
+    for name, base_v in sorted(base.items()):
+        if name not in new:
+            failures.append(f"fixed counter disappeared: {name}")
+            continue
+        new_v = new[name]
+        if new_v > base_v:
+            failures.append(
+                f"solver work regressed: fixed.{name} {base_v:.0f} -> "
+                f"{new_v:.0f} (+{100.0 * (new_v - base_v) / max(base_v, 1):.1f}%)")
+        elif new_v < base_v:
+            improvements.append(
+                f"fixed.{name} {base_v:.0f} -> {new_v:.0f}")
+    for name in sorted(set(new) - set(base)):
+        print(f"note: new fixed counter not in baseline: {name} = "
+              f"{new[name]:.0f} (rebaseline to start tracking it)")
+    for line in improvements:
+        print(f"improved: {line} (rebaseline to lock in)")
+    return failures
+
+
+def check_timings(baseline_path, timings_path, tolerance):
+    base = load_timings(baseline_path)
+    new = load_timings(timings_path)
+    failures = []
+    for name, base_t in sorted(base.items()):
+        if name not in new:
+            print(f"note: benchmark missing from this run: {name}")
+            continue
+        new_t = new[name]
+        rel = (new_t - base_t) / base_t
+        marker = "regressed" if rel > tolerance else "ok"
+        print(f"time {marker}: {name} {base_t:.0f} -> {new_t:.0f} ns "
+              f"({100.0 * rel:+.1f}%, tol {100.0 * tolerance:.0f}%)")
+        if rel > tolerance:
+            failures.append(
+                f"wall time regressed: {name} {base_t:.0f} -> {new_t:.0f} ns "
+                f"({100.0 * rel:+.1f}% > {100.0 * tolerance:.0f}%)")
+    return failures
+
+
+def cmd_check(args):
+    counter_baseline = os.path.join(args.baseline_dir, COUNTER_BASELINE)
+    if not os.path.exists(counter_baseline):
+        print(f"no counter baseline at {counter_baseline}; "
+              "run `tools/bench_gate.py rebaseline` to create one",
+              file=sys.stderr)
+        return 1
+    failures = check_counters(counter_baseline, args.report)
+
+    timing_baseline = os.path.join(args.baseline_dir, TIMING_BASELINE)
+    skip_time = os.environ.get("SKS_BENCH_SKIP_TIME") == "1"
+    if args.timings and not skip_time and os.path.exists(timing_baseline):
+        tolerance = float(os.environ.get("SKS_BENCH_TIME_TOL", "0.20"))
+        failures += check_timings(timing_baseline, args.timings, tolerance)
+    elif skip_time:
+        print("wall-time gate skipped (SKS_BENCH_SKIP_TIME=1)")
+    elif not args.timings:
+        print("wall-time gate skipped (no --timings file)")
+    else:
+        print(f"wall-time gate skipped (no baseline at {timing_baseline})")
+
+    if failures:
+        print("\nBENCH GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("(intentional change? re-baseline with "
+              "`tools/bench_gate.py rebaseline` and commit bench/baseline/)",
+              file=sys.stderr)
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+def cmd_rebaseline(args):
+    os.makedirs(args.baseline_dir, exist_ok=True)
+    shutil.copy(args.report, os.path.join(args.baseline_dir, COUNTER_BASELINE))
+    print(f"baselined counters: {args.report}")
+    if args.timings:
+        shutil.copy(args.timings,
+                    os.path.join(args.baseline_dir, TIMING_BASELINE))
+        print(f"baselined timings: {args.timings}")
+    print(f"commit the updated files under {args.baseline_dir}/")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["check", "rebaseline"])
+    parser.add_argument("--report", required=True,
+                        help="fresh BENCH_perf_micro.json")
+    parser.add_argument("--timings",
+                        help="fresh google-benchmark JSON (--benchmark_out)")
+    parser.add_argument("--baseline-dir", default="bench/baseline")
+    args = parser.parse_args()
+    if args.command == "check":
+        sys.exit(cmd_check(args))
+    sys.exit(cmd_rebaseline(args))
+
+
+if __name__ == "__main__":
+    main()

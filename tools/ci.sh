@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Continuous-integration driver: warnings-as-errors build, full test suite,
-# and a telemetry smoke check that the bench --profile reports are valid
-# JSON.  Run from the repository root:
+# a telemetry smoke check that the bench --profile reports are valid JSON,
+# and the bench regression gate (tools/bench_gate.py).  Run from the
+# repository root:
 #
-#   tools/ci.sh           # RelWithDebInfo -Werror build + ctest + bench smoke
-#   tools/ci.sh --asan    # additionally build and test under ASan+UBSan
+#   tools/ci.sh                    # build + ctest + bench smoke + bench gate
+#   tools/ci.sh --asan             # additionally build and test under ASan+UBSan
+#   tools/ci.sh --tsan             # additionally run the concurrency tests under TSan
+#   tools/ci.sh --rebaseline-bench # refresh bench/baseline/ instead of gating
+#
+# Wall-time gate knobs (see tools/bench_gate.py): SKS_BENCH_TIME_TOL
+# (relative tolerance, default 0.20) and SKS_BENCH_SKIP_TIME=1.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -12,9 +18,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 RUN_ASAN=0
+RUN_TSAN=0
+REBASELINE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    --rebaseline-bench) REBASELINE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -51,11 +61,39 @@ assert "esim.run_transient" in doc["timers"]
 print("ok: fig2 report carries solver counters and timers")
 EOF
 
+echo "=== bench regression gate ==="
+# perf_micro's deterministic fixed-workload pass yields exact solver work
+# counts (values.fixed.*, machine-independent, gated at >0%); the
+# google-benchmark JSON carries wall times (machine-dependent, gated at
+# SKS_BENCH_TIME_TOL when a baseline exists).
+BENCH_DIR=build-ci/bench-gate
+mkdir -p "$BENCH_DIR"
+(cd "$BENCH_DIR" && ../bench/perf_micro \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=gbench_perf_micro.json \
+    --benchmark_out_format=json > bench.log)
+if [ "$REBASELINE" = 1 ]; then
+  python3 tools/bench_gate.py rebaseline \
+      --report "$BENCH_DIR/BENCH_perf_micro.json" \
+      --timings "$BENCH_DIR/gbench_perf_micro.json"
+else
+  python3 tools/bench_gate.py check \
+      --report "$BENCH_DIR/BENCH_perf_micro.json" \
+      --timings "$BENCH_DIR/gbench_perf_micro.json"
+fi
+
 if [ "$RUN_ASAN" = 1 ]; then
   echo "=== ASan+UBSan build + tests ==="
   cmake --preset asan
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [ "$RUN_TSAN" = 1 ]; then
+  echo "=== TSan build + concurrency tests ==="
+  cmake --preset tsan
+  cmake --build build-tsan -j "$JOBS"
+  ctest --preset tsan -j "$JOBS"
 fi
 
 echo "=== CI OK ==="
