@@ -5,10 +5,14 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "esim/trace.hpp"
+#include "esim/vcd.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 
 namespace sks::bench {
@@ -33,12 +37,31 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
             << "reproduces: " << paper_ref << "\n\n";
 }
 
+// Output paths requested on the command line (empty = not requested).
+struct RunOutputs {
+  std::string trace_out;  // Chrome trace-event JSON (--trace-out)
+  std::string vcd_out;    // waveform VCD (--vcd-out, fig benches)
+  std::string csv_out;    // waveform CSV (--csv-out, fig benches)
+};
+
+inline RunOutputs& run_outputs() {
+  static RunOutputs outputs;
+  return outputs;
+}
+
 // Run telemetry: `--profile` on the command line (or SKS_PROFILE=1 in the
 // environment) turns on the obs layer — scoped timers and the solver event
 // journal — for the whole run; `write_profile_report()` then dumps a
 // machine-readable BENCH_<name>.json next to the binary's cwd.  With
 // profiling off both calls are no-ops, keeping the figures' wall times
 // untouched.
+//
+// Tracing: `--trace-out FILE` (or SKS_TRACE=1, default path
+// TRACE_<name>.json) additionally records obs spans — per-solve, per-fault,
+// per-MC-sample — and exports them as Chrome trace-event JSON for
+// Perfetto / chrome://tracing.  Waveform benches also honour
+// `--vcd-out FILE` / `--csv-out FILE` for GTKWave-compatible VCD and flat
+// CSV dumps of their node-voltage traces.
 //
 // Parallelism: every driver also understands `--threads N` (equivalent to
 // SKS_THREADS=N), which sets the process-wide default worker count the
@@ -52,6 +75,16 @@ inline bool profile_init(int argc, char** argv) {
       const long n = std::atol(argv[i + 1]);
       if (n > 0) par::set_default_threads(static_cast<std::size_t>(n));
     }
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      run_outputs().trace_out = argv[i + 1];
+      obs::tracer().set_enabled(true);
+    }
+    if (std::strcmp(argv[i], "--vcd-out") == 0 && i + 1 < argc) {
+      run_outputs().vcd_out = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--csv-out") == 0 && i + 1 < argc) {
+      run_outputs().csv_out = argv[i + 1];
+    }
   }
   if (on) {
     obs::set_enabled(true);
@@ -60,16 +93,45 @@ inline bool profile_init(int argc, char** argv) {
   return on;
 }
 
+// Chrome trace export; no-op unless tracing was enabled (--trace-out or
+// SKS_TRACE=1).
+inline void write_trace_report(const std::string& name) {
+  if (!obs::tracer().enabled()) return;
+  const std::string path = run_outputs().trace_out.empty()
+                               ? "TRACE_" + name + ".json"
+                               : run_outputs().trace_out;
+  obs::tracer().write_chrome_trace(path);
+  std::cout << "[trace] Chrome trace written to " << path
+            << " (open in Perfetto or chrome://tracing)\n";
+}
+
 inline void write_profile_report(const std::string& name) {
-  if (!obs::enabled()) return;
-  obs::Report report(name);
-  report.set_meta("bench", name);
-  report.set_meta("scale", std::to_string(scale()));
-  report.capture_registry();
-  report.capture_journal();
-  const std::string path = "BENCH_" + name + ".json";
-  report.write_json(path);
-  std::cout << "\n[profile] run report written to " << path << "\n";
+  if (obs::enabled()) {
+    obs::Report report(name);
+    report.set_meta("bench", name);
+    report.set_meta("scale", std::to_string(scale()));
+    report.capture_registry();
+    report.capture_journal();
+    const std::string path = "BENCH_" + name + ".json";
+    report.write_json(path);
+    std::cout << "\n[profile] run report written to " << path << "\n";
+  }
+  write_trace_report(name);
+}
+
+// Waveform export for the figure benches; no-op unless --vcd-out /
+// --csv-out was given.
+inline void write_waveforms(const std::vector<esim::Trace>& traces) {
+  if (!run_outputs().vcd_out.empty()) {
+    esim::write_vcd(run_outputs().vcd_out, traces);
+    std::cout << "[trace] VCD waveforms written to " << run_outputs().vcd_out
+              << " (open in GTKWave)\n";
+  }
+  if (!run_outputs().csv_out.empty()) {
+    esim::write_trace_csv(run_outputs().csv_out, traces);
+    std::cout << "[trace] CSV waveforms written to " << run_outputs().csv_out
+              << "\n";
+  }
 }
 
 }  // namespace sks::bench

@@ -77,6 +77,8 @@ int main(int argc, char** argv) {
             << " BE fallbacks, min dt "
             << util::fmt_sci(result.stats.min_dt_used, 2) << " s\n";
 
+  bench::write_waveforms(
+      esim::node_traces(result, bench_setup.circuit));
   bench::write_profile_report("fig2_waveforms");
   return 0;
 }

@@ -77,6 +77,8 @@ int main(int argc, char** argv) {
             << "indication held while both clocks stay high: min V(y2) in "
                "[2.5ns, 5.9ns] = "
             << util::fmt_fixed(y2.min_in(2.5 * ns, 5.9 * ns), 3) << " V\n";
+  bench::write_waveforms(
+      esim::node_traces(result, bench_setup.circuit));
   bench::write_profile_report("fig3_waveforms");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace sks::esim {
@@ -383,6 +384,7 @@ Simulator::DcSolution Simulator::dc_solution(
   // every sample, and re-hashing the timer name per solve is measurable.
   static obs::TimerStat& dc_timer = obs::registry().timer("esim.dc_solution");
   obs::ScopedTimer timer(dc_timer);
+  obs::Span span("esim.dc_solution");
   std::vector<double> x(unknown_count(), 0.0);
   if (node_guess != nullptr) {
     sks::check(node_guess->size() == circuit_.node_count(),
@@ -418,6 +420,8 @@ Simulator::DcSolution Simulator::dc_solution(
   }
   stats_.wall_seconds = wall.seconds();
   mirror_to_obs(stats_);
+  span.arg("nr_iters", static_cast<double>(stats_.newton_iterations))
+      .arg("lu", static_cast<double>(stats_.lu_factorizations));
   solution.stats = stats_;
   return solution;
 }
@@ -431,6 +435,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   static obs::TimerStat& transient_timer =
       obs::registry().timer("esim.run_transient");
   obs::ScopedTimer timer(transient_timer);
+  obs::Span span("esim.run_transient");
+  span.arg("t_end", options.t_end).arg("dt", options.dt);
 
   const std::size_t n_nodes = circuit_.node_count();
   const std::size_t n_vsrc = circuit_.vsources().size();
@@ -651,6 +657,9 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
 
   stats_.wall_seconds = wall.seconds();
   mirror_to_obs(stats_);
+  span.arg("steps", static_cast<double>(stats_.steps_accepted))
+      .arg("nr_iters", static_cast<double>(stats_.newton_iterations))
+      .arg("min_dt", stats_.min_dt_used);
   result.stats = stats_;
   return result;
 }

@@ -1,0 +1,281 @@
+#include "esim/vcd.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sks::esim {
+
+namespace {
+
+// VCD identifier alphabet: the 94 printable ASCII characters.
+constexpr char kIdFirst = '!';
+constexpr int kIdRange = 94;
+
+// "1 fs" .. "100 s": the timescales the $timescale grammar allows.
+struct TimescaleUnit {
+  const char* name;
+  double seconds;
+};
+constexpr TimescaleUnit kUnits[] = {{"fs", 1e-15}, {"ps", 1e-12},
+                                    {"ns", 1e-9},  {"us", 1e-6},
+                                    {"ms", 1e-3},  {"s", 1.0}};
+
+std::string format_timescale(double timescale) {
+  for (const TimescaleUnit& u : kUnits) {
+    for (const int mant : {1, 10, 100}) {
+      if (std::fabs(timescale - mant * u.seconds) <
+          1e-6 * mant * u.seconds) {
+        return std::to_string(mant) + " " + u.name;
+      }
+    }
+  }
+  throw sks::Error(sks::detail::concat_parts(
+      "vcd: unsupported timescale ", timescale,
+      " s (use 1/10/100 x fs/ps/ns/us/ms/s)"));
+}
+
+double parse_timescale(const std::string& mantissa, const std::string& unit) {
+  const long m = std::atol(mantissa.c_str());
+  sks::check(m == 1 || m == 10 || m == 100,
+             "vcd: bad $timescale mantissa '", mantissa, "'");
+  for (const TimescaleUnit& u : kUnits) {
+    if (unit == u.name) return static_cast<double>(m) * u.seconds;
+  }
+  throw sks::Error(
+      sks::detail::concat_parts("vcd: unknown $timescale unit '", unit, "'"));
+}
+
+// %.17g: round-trips any double exactly through text.
+std::string format_real(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out.empty() ? "unnamed" : out;
+}
+
+}  // namespace
+
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(kIdFirst + index % kIdRange));
+    index /= kIdRange;
+  } while (index > 0);
+  return id;
+}
+
+std::string vcd_string(const std::vector<Trace>& traces,
+                       const VcdOptions& options) {
+  sks::check(!traces.empty(), "vcd: no traces to export");
+  const std::string timescale = format_timescale(options.timescale);
+
+  // Quantize every sample time to integer ticks and merge the time axes.
+  std::vector<std::vector<long long>> ticks(traces.size());
+  std::vector<long long> merged;
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    sks::check(!traces[s].empty(), "vcd: trace '", traces[s].name(),
+               "' is empty");
+    ticks[s].reserve(traces[s].time().size());
+    for (const double t : traces[s].time()) {
+      ticks[s].push_back(std::llround(t / options.timescale));
+    }
+    merged.insert(merged.end(), ticks[s].begin(), ticks[s].end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  std::ostringstream out;
+  out << "$comment skewsense waveform export $end\n"
+      << "$timescale " << timescale << " $end\n"
+      << "$scope module " << sanitize_name(options.module) << " $end\n";
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    out << "$var real 64 " << vcd_id(s) << " "
+        << sanitize_name(traces[s].name()) << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  // One cursor per trace; at each merged tick dump every trace that has a
+  // sample there (all of them, when the traces share a time axis).
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  for (const long long tick : merged) {
+    out << '#' << tick << '\n';
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+      std::size_t& c = cursor[s];
+      while (c < ticks[s].size() && ticks[s][c] == tick) {
+        out << 'r' << format_real(traces[s].values()[c]) << ' ' << vcd_id(s)
+            << '\n';
+        ++c;  // duplicate quantized ticks: last value wins, as in VCD
+      }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  sks::check(out.good(), "vcd: cannot open '", path, "' for writing");
+  out << content;
+  out.flush();
+  sks::check(out.good(), "vcd: write to '", path, "' failed");
+}
+
+}  // namespace
+
+void write_vcd(const std::string& path, const std::vector<Trace>& traces,
+               const VcdOptions& options) {
+  write_file(path, vcd_string(traces, options));
+}
+
+std::vector<Trace> parse_vcd(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  double timescale = 0.0;
+  std::vector<std::string> names;
+  std::vector<std::string> ids;
+
+  auto expect_end = [&](const char* directive) {
+    while (in >> token) {
+      if (token == "$end") return;
+    }
+    throw sks::Error(
+        sks::detail::concat_parts("vcd: unterminated ", directive));
+  };
+
+  // Header: collect $timescale and the real vars until $enddefinitions.
+  while (in >> token) {
+    if (token == "$timescale") {
+      std::string mantissa, unit;
+      in >> mantissa;
+      // Accept both "1 fs" and "1fs".
+      const std::size_t split = mantissa.find_first_not_of("0123456789");
+      if (split == std::string::npos) {
+        in >> unit;
+      } else {
+        unit = mantissa.substr(split);
+        mantissa = mantissa.substr(0, split);
+      }
+      timescale = parse_timescale(mantissa, unit);
+      expect_end("$timescale");
+    } else if (token == "$var") {
+      std::string type, width, id, name;
+      in >> type >> width >> id >> name;
+      sks::check(type == "real", "vcd: only real vars supported, got '", type,
+                 "'");
+      ids.push_back(id);
+      names.push_back(name);
+      expect_end("$var");
+    } else if (token == "$enddefinitions") {
+      expect_end("$enddefinitions");
+      break;
+    } else if (!token.empty() && token[0] == '$') {
+      expect_end(token.c_str());
+    } else {
+      throw sks::Error(sks::detail::concat_parts(
+          "vcd: unexpected token '", token, "' in header"));
+    }
+  }
+  sks::check(timescale > 0.0, "vcd: missing $timescale");
+  sks::check(!ids.empty(), "vcd: no signals declared");
+
+  std::vector<std::vector<double>> times(ids.size());
+  std::vector<std::vector<double>> values(ids.size());
+  double t = 0.0;
+  bool have_time = false;
+  while (in >> token) {
+    if (token[0] == '#') {
+      t = static_cast<double>(std::atoll(token.c_str() + 1)) * timescale;
+      have_time = true;
+    } else if (token[0] == 'r' || token[0] == 'R') {
+      sks::check(have_time, "vcd: value change before the first timestamp");
+      const double v = std::atof(token.c_str() + 1);
+      std::string id;
+      in >> id;
+      const auto it = std::find(ids.begin(), ids.end(), id);
+      sks::check(it != ids.end(), "vcd: value change for unknown id '", id,
+                 "'");
+      const auto s = static_cast<std::size_t>(it - ids.begin());
+      times[s].push_back(t);
+      values[s].push_back(v);
+    } else if (token[0] == '$') {
+      // $dumpvars / $dumpall blocks wrap plain value changes; skip the
+      // markers themselves.
+      if (token != "$end" && token != "$dumpvars" && token != "$dumpall") {
+        throw sks::Error(sks::detail::concat_parts(
+            "vcd: unsupported directive '", token, "' in value section"));
+      }
+    } else {
+      throw sks::Error(sks::detail::concat_parts(
+          "vcd: unsupported value change '", token,
+          "' (only real signals are handled)"));
+    }
+  }
+
+  std::vector<Trace> out;
+  out.reserve(ids.size());
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    out.emplace_back(names[s], std::move(times[s]), std::move(values[s]));
+  }
+  return out;
+}
+
+std::vector<Trace> node_traces(const TransientResult& result,
+                               const Circuit& circuit) {
+  std::vector<Trace> out;
+  out.reserve(circuit.node_count() > 0 ? circuit.node_count() - 1 : 0);
+  for (std::size_t i = 1; i < circuit.node_count(); ++i) {
+    const NodeId id{i};
+    out.emplace_back(circuit.node_name(id), result.time, result.node_v.at(i));
+  }
+  return out;
+}
+
+std::string trace_csv(const std::vector<Trace>& traces) {
+  sks::check(!traces.empty(), "trace_csv: no traces to export");
+  std::vector<double> merged;
+  for (const Trace& trace : traces) {
+    sks::check(!trace.empty(), "trace_csv: trace '", trace.name(),
+               "' is empty");
+    merged.insert(merged.end(), trace.time().begin(), trace.time().end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  std::ostringstream out;
+  out << "t";
+  for (const Trace& trace : traces) {
+    std::string name = trace.name();
+    for (char& c : name) {
+      if (c == ',') c = ';';
+    }
+    out << ',' << name;
+  }
+  out << '\n';
+  for (const double t : merged) {
+    out << format_real(t);
+    for (const Trace& trace : traces) out << ',' << format_real(trace.value_at(t));
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<Trace>& traces) {
+  write_file(path, trace_csv(traces));
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,53 @@
+// Waveform export of transient results: VCD (Value Change Dump, IEEE 1364)
+// with analog `$var real` signals — loadable in GTKWave — plus a flat CSV
+// dump, and a VCD reader so exported waveforms round-trip in tests.
+//
+// The exporter writes every sample of every trace (not just value
+// changes), so a parsed-back VCD recovers the exact sample points of the
+// source `Trace` — piecewise-linear measurements (value_at, crossings)
+// survive the round trip.  Sample times are quantized to the timescale
+// (default 1 fs, fine enough that a 2 ps solver step loses nothing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "esim/trace.hpp"
+
+namespace sks::esim {
+
+struct VcdOptions {
+  double timescale = 1e-15;    // seconds per VCD tick (1 fs default)
+  std::string module = "sks";  // $scope module name
+};
+
+// Short identifier code for signal `index` (printable ASCII 33..126,
+// little-endian base-94 for the 95th signal onward).  Exposed for tests.
+std::string vcd_id(std::size_t index);
+
+// Render / write traces as VCD.  Throws sks::Error on an unsupported
+// timescale (must be 1, 10 or 100 fs/ps/ns/us/ms/s) or on empty input.
+std::string vcd_string(const std::vector<Trace>& traces,
+                       const VcdOptions& options = {});
+void write_vcd(const std::string& path, const std::vector<Trace>& traces,
+               const VcdOptions& options = {});
+
+// Parse the subset of VCD this module emits (real vars, # timestamps,
+// r-value changes; $dumpvars blocks tolerated).  Throws sks::Error on
+// malformed input.  Returns one Trace per declared signal, in declaration
+// order.
+std::vector<Trace> parse_vcd(const std::string& text);
+
+// Every node-voltage trace of a transient result (ground skipped), ready
+// for write_vcd / write_trace_csv.
+std::vector<Trace> node_traces(const TransientResult& result,
+                               const Circuit& circuit);
+
+// CSV dump: header "t,<name>,..." then one row per time point of the
+// merged time axis; traces off their sample points are interpolated
+// (clamped outside their interval, like Trace::value_at).
+std::string trace_csv(const std::vector<Trace>& traces);
+void write_trace_csv(const std::string& path,
+                     const std::vector<Trace>& traces);
+
+}  // namespace sks::esim

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "par/pool.hpp"
 
@@ -105,6 +106,11 @@ CampaignReport run_campaign(const esim::Circuit& good_circuit,
   static obs::TimerStat& campaign_timer =
       obs::registry().timer("fault.run_campaign");
   obs::ScopedTimer timer(campaign_timer);
+  const std::size_t threads =
+      options.threads == 0 ? par::default_threads() : options.threads;
+  obs::Span campaign_span("fault.run_campaign");
+  campaign_span.arg("faults", static_cast<double>(universe.size()))
+      .arg("threads", static_cast<double>(threads));
   const obs::Stopwatch good_wall;
   const Observation good_observation = observe(good_circuit, plan);
   CampaignReport report;
@@ -123,13 +129,18 @@ CampaignReport run_campaign(const esim::Circuit& good_circuit,
     if (progress) progress(i + 1, universe.size(), v);
   });
   auto test_one = [&](std::size_t i) {
+    obs::Span span("fault.test");
+    span.arg("fault", universe[i].label())
+        .arg("index", static_cast<double>(i));
     report.verdicts[i] = test_fault(good_circuit, good_observation,
                                     universe[i], plan, options.inject);
+    span.arg("nr_iters",
+             static_cast<double>(report.verdicts[i].stats.newton_iterations))
+        .arg("detected",
+             static_cast<double>(report.verdicts[i].detected(true)));
     sink.complete(i);
   };
 
-  const std::size_t threads =
-      options.threads == 0 ? par::default_threads() : options.threads;
   if (threads <= 1 || universe.size() <= 1) {
     for (std::size_t i = 0; i < universe.size(); ++i) test_one(i);
   } else {

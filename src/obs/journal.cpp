@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
 namespace sks::obs {
 
 const char* to_string(EventType type) {
@@ -31,6 +34,22 @@ void Journal::set_capacity(std::size_t capacity) {
 }
 
 void Journal::record(Event event) {
+  // Mirror into the tracer as an instant marker on the recording thread's
+  // track, so a trace timeline shows *when* (wall time) the solver fell
+  // back, next to the span that was running.  Gated separately: journal
+  // recording works without tracing and vice versa.
+  if (tracer().enabled()) {
+    std::vector<TraceArg> args;
+    args.push_back({"t", json_number(event.t)});
+    args.push_back({"value", json_number(event.value)});
+    if (event.iterations != 0) {
+      args.push_back({"iterations", json_number(event.iterations)});
+    }
+    if (!event.detail.empty()) {
+      args.push_back({"detail", '"' + json_escape(event.detail) + '"'});
+    }
+    trace_instant(to_string(event.type), std::move(args));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (capacity_ == 0) {
     ++dropped_;

@@ -5,6 +5,7 @@
 #include "esim/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "par/pool.hpp"
 #include "util/prng.hpp"
@@ -27,6 +28,8 @@ SampleResult measure_one(const cell::Technology& tech,
                          const cell::SensorOptions& base,
                          const McOptions& options, std::size_t index) {
   const obs::Stopwatch sample_wall;
+  obs::Span span("scheme.mc_sample");
+  span.arg("index", static_cast<double>(index));
   // Index-addressed stream: sample i's randomness depends only on
   // (options.seed, i), so any schedule across any thread count draws the
   // exact same circuits and stimuli.
@@ -60,6 +63,10 @@ SampleResult measure_one(const cell::Technology& tech,
   s.indication = m.indication;
   s.detected = m.error();
   out.seconds = sample_wall.seconds();
+  span.arg("tau", s.tau)
+      .arg("vmin_late", s.vmin_late)
+      .arg("detected", static_cast<double>(s.detected))
+      .arg("nr_iters", static_cast<double>(out.solve.newton_iterations));
   return out;
 }
 
@@ -102,6 +109,8 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
   static obs::TimerStat& mc_timer =
       obs::registry().timer("scheme.vmin_montecarlo");
   obs::ScopedTimer timer(mc_timer);
+  obs::Span mc_span("scheme.run_vmin_montecarlo");
+  mc_span.arg("samples", static_cast<double>(options.samples));
 
   std::vector<SampleResult> results(options.samples);
   // Telemetry aggregation and progress fire strictly in sample order so the
@@ -122,6 +131,7 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
 
   const std::size_t threads =
       options.threads == 0 ? par::default_threads() : options.threads;
+  mc_span.arg("threads", static_cast<double>(threads));
   if (threads <= 1 || options.samples <= 1) {
     for (std::size_t i = 0; i < options.samples; ++i) run_one(i);
   } else {

@@ -83,6 +83,55 @@ TEST(Trace, EmptyTraceCrossingGivesNullopt) {
   EXPECT_FALSE(t.first_rising_crossing(1.0).has_value());
 }
 
+TEST(Trace, ValueAtExactlyOnSamplePoints) {
+  const Trace t = make_triangle();
+  // The boundary samples take the clamp path, the interior sample the
+  // interpolation path; all three must hit the stored values exactly.
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 0.0);
+}
+
+TEST(Trace, SingleSampleTraceClampsEverywhere) {
+  const Trace t("point", {1.0}, {2.5});
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.value_at(9.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.final_value(), 2.5);
+  // One sample leaves no segment: no crossing can be reported.
+  EXPECT_FALSE(t.first_crossing(2.5).has_value());
+  EXPECT_FALSE(t.first_rising_crossing(2.5).has_value());
+}
+
+TEST(Trace, CrossingSearchStartedMidSegment) {
+  const Trace t = make_triangle();
+  // Starting after the rising crossing at 0.5 skips it; the next crossing
+  // of level 2 is the falling one at 1.5.
+  const auto next = t.first_crossing(2.0, 0.75);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(*next, 1.5);
+  // A directional search in the same window ignores the wrong direction.
+  EXPECT_FALSE(t.first_rising_crossing(2.0, 0.75).has_value());
+}
+
+TEST(Trace, EmptyWindowExtremaInterpolateEndpoints) {
+  const Trace t = make_triangle();
+  // A window between samples contains no sample point; both extrema come
+  // from the interpolated endpoints.
+  EXPECT_DOUBLE_EQ(t.min_in(0.25, 0.75), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_in(0.25, 0.75), 3.0);
+  // A degenerate (zero-width) window reduces to value_at.
+  EXPECT_DOUBLE_EQ(t.min_in(0.5, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.max_in(0.5, 0.5), 2.0);
+}
+
+TEST(Trace, ValueAtBeforeAndAfterWindowClampsForExtrema) {
+  const Trace t = make_triangle();
+  // Windows reaching outside the samples clamp like value_at.
+  EXPECT_DOUBLE_EQ(t.min_in(-5.0, 99.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_in(-5.0, 99.0), 4.0);
+}
+
 TEST(Trace, FinalValue) {
   EXPECT_DOUBLE_EQ(make_triangle().final_value(), 0.0);
 }

@@ -1,0 +1,186 @@
+// VCD / CSV waveform export: identifier codes, synthetic and real
+// (fig3-style transient) round trips through the emitter and parser, and
+// the documented error cases.
+#include "esim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cell/stimuli.hpp"
+#include "esim/engine.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sks::esim {
+namespace {
+
+using namespace sks::units;
+
+std::vector<Trace> make_pair() {
+  return {Trace("tri", {0.0, 1e-9, 2e-9}, {0.0, 4.0, 0.0}),
+          Trace("ramp", {0.0, 0.5e-9, 1e-9, 2e-9}, {1.0, 1.5, 2.0, 3.0})};
+}
+
+TEST(Vcd, IdentifierCodes) {
+  EXPECT_EQ(vcd_id(0), "!");
+  EXPECT_EQ(vcd_id(1), "\"");
+  EXPECT_EQ(vcd_id(93), "~");
+  // Little-endian base-94 from the 95th signal on.
+  EXPECT_EQ(vcd_id(94), "!\"");
+  EXPECT_EQ(vcd_id(95), "\"\"");
+  EXPECT_EQ(vcd_id(94 * 94), "!!\"");
+}
+
+TEST(Vcd, HeaderDeclaresEverySignal) {
+  const std::string text = vcd_string(make_pair());
+  EXPECT_NE(text.find("$timescale 1 fs $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module sks $end"), std::string::npos);
+  EXPECT_NE(text.find("$var real 64 ! tri $end"), std::string::npos);
+  EXPECT_NE(text.find("$var real 64 \" ramp $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, SyntheticRoundTripRecoversExactSamples) {
+  const auto traces = make_pair();
+  const auto parsed = parse_vcd(vcd_string(traces));
+  ASSERT_EQ(parsed.size(), traces.size());
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    EXPECT_EQ(parsed[s].name(), traces[s].name());
+    ASSERT_EQ(parsed[s].time().size(), traces[s].time().size());
+    for (std::size_t i = 0; i < traces[s].time().size(); ++i) {
+      // Times are quantized to the 1 fs timescale; values are %.17g exact.
+      EXPECT_NEAR(parsed[s].time()[i], traces[s].time()[i], 1e-15) << s;
+      EXPECT_DOUBLE_EQ(parsed[s].values()[i], traces[s].values()[i]) << s;
+    }
+  }
+}
+
+TEST(Vcd, RoundTripPreservesMeasurements) {
+  const auto parsed = parse_vcd(vcd_string(make_pair()));
+  const Trace& tri = parsed[0];
+  EXPECT_NEAR(tri.value_at(0.5e-9), 2.0, 1e-5);
+  const auto crossing = tri.first_rising_crossing(2.0);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(*crossing, 0.5e-9, 1e-14);
+}
+
+TEST(Vcd, CoarserTimescaleQuantizes) {
+  VcdOptions options;
+  options.timescale = 1e-12;  // 1 ps
+  const std::string text = vcd_string(make_pair(), options);
+  EXPECT_NE(text.find("$timescale 1 ps $end"), std::string::npos);
+  const auto parsed = parse_vcd(text);
+  EXPECT_NEAR(parsed[0].time()[1], 1e-9, 1e-12);
+}
+
+// The acceptance round trip: a real skew-sensor transient (the Fig. 3
+// situation, shortened) exported to VCD and parsed back reproduces every
+// node voltage within float tolerance.
+TEST(Vcd, SensorTransientRoundTrip) {
+  const cell::Technology tech;
+  cell::SensorOptions options;
+  options.load_y1 = options.load_y2 = 160 * fF;
+  cell::ClockPairStimulus stim;
+  stim.skew = 1.0 * ns;
+  stim.full_clock = true;
+  const auto bench = cell::make_sensor_bench(tech, options, stim);
+  TransientOptions sim;
+  sim.t_end = 2 * ns;
+  sim.dt = 10e-12;
+  const auto result = simulate(bench.circuit, sim);
+
+  const auto traces = node_traces(result, bench.circuit);
+  ASSERT_FALSE(traces.empty());
+  const auto parsed = parse_vcd(vcd_string(traces));
+  ASSERT_EQ(parsed.size(), traces.size());
+  for (std::size_t s = 0; s < traces.size(); ++s) {
+    EXPECT_EQ(parsed[s].name(), traces[s].name());
+    ASSERT_EQ(parsed[s].time().size(), traces[s].time().size()) << s;
+    for (std::size_t i = 0; i < traces[s].time().size(); ++i) {
+      EXPECT_NEAR(parsed[s].time()[i], traces[s].time()[i], 1e-15);
+      EXPECT_DOUBLE_EQ(parsed[s].values()[i], traces[s].values()[i]);
+    }
+    // A measurement made on the parsed waveform agrees with the original.
+    EXPECT_NEAR(parsed[s].value_at(1.5 * ns), traces[s].value_at(1.5 * ns),
+                1e-9);
+  }
+}
+
+TEST(Vcd, NodeTracesSkipGround) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V", a, c.ground(), Waveform::dc(1.0));
+  c.add_resistor("R", a, c.ground(), 1.0);
+  TransientOptions options;
+  options.t_end = 1e-10;
+  const auto result = simulate(c, options);
+  const auto traces = node_traces(result, c);
+  ASSERT_EQ(traces.size(), c.node_count() - 1);
+  for (const Trace& t : traces) EXPECT_NE(t.name(), "0");
+}
+
+TEST(Vcd, SpacesInNamesAreSanitized) {
+  const std::vector<Trace> traces = {Trace("a b", {0.0}, {1.0})};
+  const std::string text = vcd_string(traces);
+  EXPECT_NE(text.find("$var real 64 ! a_b $end"), std::string::npos);
+}
+
+TEST(Vcd, ErrorCases) {
+  EXPECT_THROW(vcd_string({}), Error);
+  EXPECT_THROW(vcd_string({Trace()}), Error);
+  VcdOptions bad;
+  bad.timescale = 2e-15;  // only 1/10/100 mantissas are legal VCD
+  EXPECT_THROW(vcd_string(make_pair(), bad), Error);
+  EXPECT_THROW(parse_vcd(""), Error);
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\n"), Error);
+  // Value change before any timestamp.
+  EXPECT_THROW(parse_vcd("$timescale 1 fs $end\n"
+                         "$var real 64 ! x $end\n"
+                         "$enddefinitions $end\n"
+                         "r1.5 !\n"),
+               Error);
+  // Unknown identifier code.
+  EXPECT_THROW(parse_vcd("$timescale 1 fs $end\n"
+                         "$var real 64 ! x $end\n"
+                         "$enddefinitions $end\n"
+                         "#0\nr1.5 ?\n"),
+               Error);
+}
+
+TEST(Vcd, ParserToleratesDumpvarsBlocks) {
+  const auto parsed = parse_vcd(
+      "$timescale 1 fs $end\n"
+      "$var real 64 ! x $end\n"
+      "$enddefinitions $end\n"
+      "#0\n$dumpvars\nr0.5 !\n$end\n#1000\nr0.75 !\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].time().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].values()[1], 0.75);
+  EXPECT_NEAR(parsed[0].time()[1], 1e-12, 1e-18);
+}
+
+TEST(TraceCsv, HeaderAndInterpolatedRows) {
+  const std::string csv = trace_csv(make_pair());
+  // Header, then one row per merged time point (4 distinct times).
+  EXPECT_EQ(csv.rfind("t,tri,ramp\n", 0), 0u);
+  std::size_t rows = 0;
+  for (const char ch : csv) {
+    if (ch == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 1u + 4u);
+  // The tri column is interpolated at ramp's 0.5 ns sample.
+  EXPECT_NE(csv.find(",2,1.5"), std::string::npos);
+}
+
+TEST(TraceCsv, CommasInNamesBecomeSemicolons) {
+  const std::vector<Trace> traces = {Trace("a,b", {0.0}, {1.0})};
+  const std::string csv = trace_csv(traces);
+  EXPECT_EQ(csv.rfind("t,a;b\n", 0), 0u);
+  EXPECT_THROW(trace_csv({}), Error);
+}
+
+}  // namespace
+}  // namespace sks::esim

@@ -86,6 +86,59 @@ TEST(ReportTest, JsonRoundTripOfAllSections) {
   EXPECT_EQ(events[1].at("detail").str(), "SON(b): escape \"q\"");
 }
 
+TEST(ReportTest, JournalOverflowCountsDroppedInJson) {
+  // Push the ring well past capacity: the oldest 12 of 20 events fall out,
+  // the drop is counted, and the JSON report reflects both the count and
+  // the surviving tail.
+  Journal j(8);
+  for (int i = 0; i < 20; ++i) {
+    j.record({EventType::kNewtonConverged, i * 1e-9, 0.0, i, ""});
+  }
+  EXPECT_EQ(j.size(), 8u);
+  EXPECT_EQ(j.dropped(), 12u);
+  EXPECT_EQ(j.total_recorded(), 20u);
+  const auto tail = j.tail(8);
+  ASSERT_EQ(tail.size(), 8u);
+  EXPECT_EQ(tail.front().iterations, 12);  // oldest survivor is event #12
+  EXPECT_EQ(tail.back().iterations, 19);
+  // tail(n) with n > size returns everything, oldest first.
+  EXPECT_EQ(j.tail(100).size(), 8u);
+
+  Report report("overflow");
+  report.capture_journal(j);
+  const Json doc = Json::parse(report.to_json());
+  const Json& journal_section = doc.at("journal");
+  EXPECT_DOUBLE_EQ(journal_section.at("recorded").number(), 20.0);
+  EXPECT_DOUBLE_EQ(journal_section.at("dropped").number(), 12.0);
+  EXPECT_DOUBLE_EQ(
+      journal_section.at("counts").at("newton_converged").number(), 8.0);
+  const auto& events = journal_section.at("events").array();
+  ASSERT_EQ(events.size(), tail.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].at("t").number(), tail[i].t) << i;
+    EXPECT_DOUBLE_EQ(events[i].at("iterations").number(),
+                     static_cast<double>(tail[i].iterations))
+        << i;
+  }
+}
+
+TEST(ReportTest, JournalCaptureRespectsMaxEvents) {
+  Journal j(64);
+  for (int i = 0; i < 10; ++i) {
+    j.record({EventType::kBreakpoint, i * 1e-9, 0.0, 0, ""});
+  }
+  Report report("tail-limit");
+  report.capture_journal(j, 4);
+  const Json doc = Json::parse(report.to_json());
+  const Json& journal_section = doc.at("journal");
+  // All 10 are counted, only the 4 most recent are embedded.
+  EXPECT_DOUBLE_EQ(journal_section.at("recorded").number(), 10.0);
+  EXPECT_DOUBLE_EQ(journal_section.at("dropped").number(), 0.0);
+  const auto& events = journal_section.at("events").array();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events.front().at("t").number(), 6e-9);
+}
+
 TEST(ReportTest, EmptySectionsAreOmitted) {
   Report report("empty");
   const Json doc = Json::parse(report.to_json());

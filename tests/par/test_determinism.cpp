@@ -8,8 +8,12 @@
 #include <cstddef>
 #include <vector>
 
+#include <set>
+#include <string>
+
 #include "fault/campaign.hpp"
 #include "fault/universe.hpp"
+#include "obs/trace.hpp"
 #include "scheme/montecarlo.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -106,6 +110,46 @@ TEST_F(ParCampaignFixture, ThrowingProgressPropagatesWithoutDeadlock) {
   // The engine is healthy afterwards: a fresh run completes normally.
   const auto report = run(4);
   EXPECT_EQ(report.verdicts.size(), universe.size());
+}
+
+TEST_F(ParCampaignFixture, TracedCampaignSpansLandOnEveryWorkerTrack) {
+  obs::tracer().set_enabled(true);
+  // With 12 ~millisecond faults on a 4-worker pool every worker should
+  // test at least one, but work stealing makes no hard promise — retry a
+  // couple of times before calling a missing track a failure.
+  std::set<std::uint32_t> tids;
+  for (int attempt = 0; attempt < 3 && tids.size() < 4; ++attempt) {
+    tids.clear();
+    obs::tracer().clear();
+    run(4);
+    std::size_t fault_spans = 0;
+    for (const auto& buffer : obs::tracer().buffers()) {
+      std::uint64_t prev_ts = 0;
+      bool has_fault_span = false;
+      for (std::size_t i = 0; i < buffer->size(); ++i) {
+        const auto& e = buffer->event(i);
+        if (e.name != "fault.test") continue;
+        has_fault_span = true;
+        ++fault_spans;
+        // A worker tests its faults sequentially: same-name spans on one
+        // track start in non-decreasing time order.
+        EXPECT_GE(e.ts_ns, prev_ts);
+        prev_ts = e.ts_ns;
+        // Every fault span carries the fault label and verdict args.
+        ASSERT_FALSE(e.args.empty());
+        EXPECT_EQ(e.args[0].key, "fault");
+      }
+      if (has_fault_span) {
+        tids.insert(buffer->tid());
+        EXPECT_EQ(buffer->thread_name().rfind("par.worker-", 0), 0u);
+      }
+    }
+    // Exactly one span per fault, regardless of which worker ran it.
+    EXPECT_EQ(fault_spans, universe.size());
+  }
+  EXPECT_EQ(tids.size(), 4u);
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
 }
 
 scheme::McOptions mc_options(std::size_t threads) {

@@ -40,32 +40,63 @@ import sys
 COUNTER_BASELINE = "BENCH_perf_micro.json"
 TIMING_BASELINE = "gbench_perf_micro.json"
 
+REBASELINE_HINT = ("re-create it with `tools/bench_gate.py rebaseline "
+                   "--report BENCH_perf_micro.json "
+                   "[--timings gbench_perf_micro.json]` "
+                   "and commit bench/baseline/")
 
-def load_fixed_counters(path):
-    with open(path) as f:
-        doc = json.load(f)
-    values = doc.get("values", {})
+
+class GateError(Exception):
+    """A file problem the gate reports as one line, not a traceback."""
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise GateError(f"{what} not found: {path}")
+    except json.JSONDecodeError as e:
+        raise GateError(f"{what} is not valid JSON: {path} (line {e.lineno}: "
+                        f"{e.msg})")
+    except OSError as e:
+        raise GateError(f"cannot read {what} {path}: {e.strerror}")
+
+
+def load_fixed_counters(path, what):
+    doc = load_json(path, what)
+    values = doc.get("values") if isinstance(doc, dict) else None
+    if not isinstance(values, dict):
+        raise GateError(f"{what} {path} has no \"values\" object "
+                        "(not a perf_micro run report)")
     return {
         k[len("fixed."):]: v
         for k, v in values.items()
-        if k.startswith("fixed.")
+        if k.startswith("fixed.") and isinstance(v, (int, float))
     }
 
 
-def load_timings(path):
-    with open(path) as f:
-        doc = json.load(f)
+def load_timings(path, what):
+    doc = load_json(path, what)
+    rows = doc.get("benchmarks") if isinstance(doc, dict) else None
+    if not isinstance(rows, list):
+        raise GateError(f"{what} {path} has no \"benchmarks\" list "
+                        "(not a google-benchmark --benchmark_out file)")
     out = {}
-    for row in doc.get("benchmarks", []):
+    for row in rows:
         if row.get("run_type", "iteration") != "iteration":
             continue
-        out[row["name"]] = float(row["real_time"])
+        try:
+            out[row["name"]] = float(row["real_time"])
+        except (KeyError, TypeError, ValueError):
+            raise GateError(f"{what} {path} has a benchmark row without "
+                            "name/real_time")
     return out
 
 
 def check_counters(baseline_path, report_path):
-    base = load_fixed_counters(baseline_path)
-    new = load_fixed_counters(report_path)
+    base = load_fixed_counters(baseline_path, "counter baseline")
+    new = load_fixed_counters(report_path, "report")
     failures = []
     improvements = []
     for name, base_v in sorted(base.items()):
@@ -89,8 +120,8 @@ def check_counters(baseline_path, report_path):
 
 
 def check_timings(baseline_path, timings_path, tolerance):
-    base = load_timings(baseline_path)
-    new = load_timings(timings_path)
+    base = load_timings(baseline_path, "timing baseline")
+    new = load_timings(timings_path, "timings")
     failures = []
     for name, base_t in sorted(base.items()):
         if name not in new:
@@ -110,11 +141,6 @@ def check_timings(baseline_path, timings_path, tolerance):
 
 def cmd_check(args):
     counter_baseline = os.path.join(args.baseline_dir, COUNTER_BASELINE)
-    if not os.path.exists(counter_baseline):
-        print(f"no counter baseline at {counter_baseline}; "
-              "run `tools/bench_gate.py rebaseline` to create one",
-              file=sys.stderr)
-        return 1
     failures = check_counters(counter_baseline, args.report)
 
     timing_baseline = os.path.join(args.baseline_dir, TIMING_BASELINE)
@@ -142,6 +168,10 @@ def cmd_check(args):
 
 
 def cmd_rebaseline(args):
+    # Validate before copying so a bad file can't become the baseline.
+    load_fixed_counters(args.report, "report")
+    if args.timings:
+        load_timings(args.timings, "timings")
     os.makedirs(args.baseline_dir, exist_ok=True)
     shutil.copy(args.report, os.path.join(args.baseline_dir, COUNTER_BASELINE))
     print(f"baselined counters: {args.report}")
@@ -162,9 +192,13 @@ def main():
                         help="fresh google-benchmark JSON (--benchmark_out)")
     parser.add_argument("--baseline-dir", default="bench/baseline")
     args = parser.parse_args()
-    if args.command == "check":
-        sys.exit(cmd_check(args))
-    sys.exit(cmd_rebaseline(args))
+    try:
+        if args.command == "check":
+            sys.exit(cmd_check(args))
+        sys.exit(cmd_rebaseline(args))
+    except GateError as e:
+        print(f"bench gate error: {e}; {REBASELINE_HINT}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -38,10 +38,14 @@ ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "=== bench --profile smoke check ==="
 # A short figure run and a filtered perf_micro pass must both produce
-# parseable run reports (schema_version 1, see EXPERIMENTS.md).
+# parseable run reports (schema_version 1, see EXPERIMENTS.md).  The fig2
+# run also exercises the tracing/waveform exporters: Chrome trace JSON,
+# VCD, and CSV.
 SMOKE_DIR=build-ci/smoke
 mkdir -p "$SMOKE_DIR"
-(cd "$SMOKE_DIR" && ../bench/fig2_waveforms --profile > fig2.log)
+(cd "$SMOKE_DIR" && ../bench/fig2_waveforms --profile \
+    --trace-out fig2_trace.json --vcd-out fig2.vcd \
+    --csv-out fig2_traces.csv > fig2.log)
 (cd "$SMOKE_DIR" && ../bench/perf_micro --profile \
     --benchmark_filter=BM_DcOperatingPoint \
     --benchmark_min_time=0.01 > perf.log)
@@ -60,6 +64,42 @@ assert int(doc["counters"]["esim.newton_iterations"]) > 0
 assert "esim.run_transient" in doc["timers"]
 print("ok: fig2 report carries solver counters and timers")
 EOF
+
+echo "=== tracing + waveform export smoke check ==="
+# The Chrome trace must be valid trace-event JSON with span and instant
+# events; the VCD and CSV dumps must be non-empty and well-formed.
+python3 - "$SMOKE_DIR/fig2_trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+phases = {e["ph"] for e in events}
+assert "M" in phases and "X" in phases, phases
+spans = [e for e in events if e["ph"] == "X"]
+assert all("ts" in e and "dur" in e and "tid" in e for e in spans)
+assert any(e["name"] == "esim.run_transient" for e in spans)
+print(f"ok: {len(events)} trace events ({len(spans)} spans)")
+EOF
+grep -q '$enddefinitions' "$SMOKE_DIR/fig2.vcd" \
+  || { echo "invalid VCD: $SMOKE_DIR/fig2.vcd" >&2; exit 1; }
+[ "$(head -1 "$SMOKE_DIR/fig2_traces.csv" | cut -c1-2)" = "t," ] \
+  || { echo "invalid CSV: $SMOKE_DIR/fig2_traces.csv" >&2; exit 1; }
+echo "ok: $SMOKE_DIR/fig2.vcd, $SMOKE_DIR/fig2_traces.csv"
+
+echo "=== sks-report CLI smoke check ==="
+SKS_REPORT=build-ci/tools/sks-report
+"$SKS_REPORT" print "$SMOKE_DIR/BENCH_fig2_waveforms.json" > /dev/null
+"$SKS_REPORT" diff "$SMOKE_DIR/BENCH_fig2_waveforms.json" \
+    "$SMOKE_DIR/BENCH_perf_micro.json" > /dev/null
+"$SKS_REPORT" merge "$SMOKE_DIR/merged.json" \
+    "$SMOKE_DIR/BENCH_fig2_waveforms.json" \
+    "$SMOKE_DIR/BENCH_perf_micro.json"
+python3 -m json.tool "$SMOKE_DIR/merged.json" > /dev/null \
+  || { echo "invalid JSON: $SMOKE_DIR/merged.json" >&2; exit 1; }
+"$SKS_REPORT" trace "$SMOKE_DIR/journal_trace.json" \
+    "$SMOKE_DIR/BENCH_fig2_waveforms.json"
+python3 -m json.tool "$SMOKE_DIR/journal_trace.json" > /dev/null \
+  || { echo "invalid JSON: $SMOKE_DIR/journal_trace.json" >&2; exit 1; }
+echo "ok: sks-report print/diff/merge/trace"
 
 echo "=== bench regression gate ==="
 # perf_micro's deterministic fixed-workload pass yields exact solver work

@@ -1,0 +1,329 @@
+// sks-report: inspect the BENCH_*.json run reports written by the obs
+// telemetry layer (schema documented in obs/report.hpp and EXPERIMENTS.md).
+//
+//   sks-report print  REPORT...        pretty-print reports
+//   sks-report diff   A B              values/counters/timers deltas
+//   sks-report merge  OUT A B...       sum shards into one schema-1 report
+//   sks-report trace  OUT REPORT...    journal events -> Chrome trace JSON
+//
+// `trace` renders each report's journal section as instant events on its
+// own track, with simulation time mapped 1 ns -> 1 us so ns-scale
+// transients are visible at Perfetto's microsecond zoom levels.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using sks::obs::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  sks::check(in.good(), "cannot open '", path, "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Json load_report(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  sks::check(doc.is_object(), path, ": not a JSON object");
+  sks::check(doc.has("report"), path, ": missing \"report\" field");
+  return doc;
+}
+
+std::string fmt(double v) { return sks::obs::json_number(v); }
+
+// Flat name -> number view of one report section ("values", "counters").
+std::map<std::string, double> number_section(const Json& doc,
+                                             const std::string& section) {
+  std::map<std::string, double> out;
+  if (const Json* s = doc.find(section); s != nullptr && s->is_object()) {
+    for (const auto& [key, value] : s->object()) {
+      if (value.is_number()) out[key] = value.number();
+    }
+  }
+  return out;
+}
+
+// name -> (count, total_s) of the timers section.
+std::map<std::string, std::pair<double, double>> timer_section(
+    const Json& doc) {
+  std::map<std::string, std::pair<double, double>> out;
+  if (const Json* s = doc.find("timers"); s != nullptr && s->is_object()) {
+    for (const auto& [key, value] : s->object()) {
+      if (!value.is_object()) continue;
+      const Json* count = value.find("count");
+      const Json* total = value.find("total_s");
+      out[key] = {count != nullptr ? count->number() : 0.0,
+                  total != nullptr ? total->number() : 0.0};
+    }
+  }
+  return out;
+}
+
+void print_report(const std::string& path) {
+  const Json doc = load_report(path);
+  std::cout << path << ": report \"" << doc.at("report").str() << "\"";
+  if (const Json* v = doc.find("schema_version")) {
+    std::cout << " (schema " << fmt(v->number()) << ")";
+  }
+  std::cout << "\n";
+  if (const Json* meta = doc.find("meta"); meta != nullptr) {
+    for (const auto& [key, value] : meta->object()) {
+      std::cout << "  meta  " << key << " = "
+                << (value.is_string() ? value.str() : fmt(value.number()))
+                << "\n";
+    }
+  }
+  for (const char* section : {"values", "counters", "gauges"}) {
+    const auto rows = number_section(doc, section);
+    if (rows.empty()) continue;
+    std::cout << "  " << section << ":\n";
+    for (const auto& [key, value] : rows) {
+      std::cout << "    " << key << " = " << fmt(value) << "\n";
+    }
+  }
+  const auto timers = timer_section(doc);
+  if (!timers.empty()) {
+    // Largest total first: the profile question is "where did time go".
+    std::vector<std::pair<std::string, std::pair<double, double>>> rows(
+        timers.begin(), timers.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.second > b.second.second;
+    });
+    std::cout << "  timers (by total):\n";
+    for (const auto& [key, ct] : rows) {
+      std::printf("    %-32s count=%-8.0f total=%.6fs\n", key.c_str(),
+                  ct.first, ct.second);
+    }
+  }
+  if (const Json* journal = doc.find("journal"); journal != nullptr) {
+    std::cout << "  journal: recorded="
+              << fmt(journal->at("recorded").number())
+              << " dropped=" << fmt(journal->at("dropped").number()) << "\n";
+    if (const Json* counts = journal->find("counts")) {
+      for (const auto& [key, value] : counts->object()) {
+        std::cout << "    " << key << " = " << fmt(value.number()) << "\n";
+      }
+    }
+  }
+}
+
+void diff_section(const std::string& title,
+                  const std::map<std::string, double>& a,
+                  const std::map<std::string, double>& b) {
+  bool header = false;
+  auto ensure_header = [&] {
+    if (!header) std::cout << title << ":\n";
+    header = true;
+  };
+  for (const auto& [key, va] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      ensure_header();
+      std::cout << "  " << key << " = " << fmt(va) << " -> (absent)\n";
+      continue;
+    }
+    if (it->second == va) continue;
+    ensure_header();
+    std::cout << "  " << key << " = " << fmt(va) << " -> " << fmt(it->second);
+    if (va != 0.0) {
+      std::printf("  (%+.1f%%)", 100.0 * (it->second - va) / va);
+    }
+    std::cout << "\n";
+  }
+  for (const auto& [key, vb] : b) {
+    if (a.count(key) != 0) continue;
+    ensure_header();
+    std::cout << "  " << key << " = (absent) -> " << fmt(vb) << "\n";
+  }
+}
+
+int diff_reports(const std::string& path_a, const std::string& path_b) {
+  const Json a = load_report(path_a);
+  const Json b = load_report(path_b);
+  std::cout << "diff " << path_a << " -> " << path_b << "\n";
+  diff_section("values", number_section(a, "values"),
+               number_section(b, "values"));
+  diff_section("counters", number_section(a, "counters"),
+               number_section(b, "counters"));
+  std::map<std::string, double> ta, tb;
+  for (const auto& [key, ct] : timer_section(a)) ta[key + ".total_s"] = ct.second;
+  for (const auto& [key, ct] : timer_section(b)) tb[key + ".total_s"] = ct.second;
+  diff_section("timers", ta, tb);
+  return 0;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  sks::check(out.good(), "cannot open '", path, "' for writing");
+  out << content;
+  out.flush();
+  sks::check(out.good(), "write to '", path, "' failed");
+}
+
+// Merge semantics for sharded runs of the same workload: values, counters
+// and journal tallies are summed; timers sum count/total (min/mean/max are
+// recomputed or dropped — total is what sharded profiling compares).
+int merge_reports(const std::string& out_path,
+                  const std::vector<std::string>& inputs) {
+  std::map<std::string, double> values, counters;
+  std::map<std::string, std::pair<double, double>> timers;
+  double recorded = 0.0, dropped = 0.0;
+  std::map<std::string, double> journal_counts;
+  std::string name;
+  for (const std::string& path : inputs) {
+    const Json doc = load_report(path);
+    if (name.empty()) name = doc.at("report").str();
+    for (const auto& [key, v] : number_section(doc, "values")) values[key] += v;
+    for (const auto& [key, v] : number_section(doc, "counters")) {
+      counters[key] += v;
+    }
+    for (const auto& [key, ct] : timer_section(doc)) {
+      timers[key].first += ct.first;
+      timers[key].second += ct.second;
+    }
+    if (const Json* journal = doc.find("journal")) {
+      recorded += journal->at("recorded").number();
+      dropped += journal->at("dropped").number();
+      if (const Json* counts = journal->find("counts")) {
+        for (const auto& [key, v] : counts->object()) {
+          journal_counts[key] += v.number();
+        }
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\n  \"report\": \"" << sks::obs::json_escape(name)
+      << "\",\n  \"schema_version\": 1,\n  \"meta\": {\"merged_from\": \""
+      << inputs.size() << " reports\"}";
+  auto emit_map = [&out](const char* section,
+                         const std::map<std::string, double>& rows) {
+    if (rows.empty()) return;
+    out << ",\n  \"" << section << "\": {";
+    bool first = true;
+    for (const auto& [key, v] : rows) {
+      out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
+          << "\": " << fmt(v);
+      first = false;
+    }
+    out << "}";
+  };
+  emit_map("values", values);
+  emit_map("counters", counters);
+  if (!timers.empty()) {
+    out << ",\n  \"timers\": {";
+    bool first = true;
+    for (const auto& [key, ct] : timers) {
+      const double mean = ct.first > 0.0 ? ct.second / ct.first : 0.0;
+      out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
+          << "\": {\"count\": " << fmt(ct.first)
+          << ", \"total_s\": " << fmt(ct.second)
+          << ", \"mean_s\": " << fmt(mean) << ", \"min_s\": 0, \"max_s\": "
+          << fmt(ct.second) << "}";
+      first = false;
+    }
+    out << "}";
+  }
+  if (recorded > 0.0 || !journal_counts.empty()) {
+    out << ",\n  \"journal\": {\"recorded\": " << fmt(recorded)
+        << ", \"dropped\": " << fmt(dropped) << ", \"counts\": {";
+    bool first = true;
+    for (const auto& [key, v] : journal_counts) {
+      out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
+          << "\": " << fmt(v);
+      first = false;
+    }
+    out << "}, \"events\": []}";
+  }
+  out << "\n}\n";
+  write_file(out_path, out.str());
+  std::cout << "merged " << inputs.size() << " reports into " << out_path
+            << "\n";
+  return 0;
+}
+
+// Journal section -> Chrome trace instant events, one track per report.
+int journal_to_trace(const std::string& out_path,
+                     const std::vector<std::string>& inputs) {
+  std::ostringstream out;
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"sks-report\"}}";
+  std::size_t emitted = 0;
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    const Json doc = load_report(inputs[r]);
+    const int tid = static_cast<int>(r) + 1;
+    out << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        << "\"tid\": " << tid << ", \"args\": {\"name\": \""
+        << sks::obs::json_escape(doc.at("report").str()) << "\"}}";
+    const Json* journal = doc.find("journal");
+    if (journal == nullptr) continue;
+    const Json* events = journal->find("events");
+    if (events == nullptr || !events->is_array()) continue;
+    for (const Json& e : events->array()) {
+      // Simulation seconds -> trace microseconds at 1000x (1 sim ns shows
+      // as 1 us), so Perfetto's zoom range fits a transient.
+      const double ts_us = e.at("t").number() * 1e9;
+      out << ",\n{\"name\": \"" << sks::obs::json_escape(e.at("type").str())
+          << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " << tid
+          << ", \"ts\": " << fmt(ts_us) << ", \"args\": {\"value\": "
+          << fmt(e.at("value").number())
+          << ", \"iterations\": " << fmt(e.at("iterations").number())
+          << ", \"detail\": \"" << sks::obs::json_escape(e.at("detail").str())
+          << "\"}}";
+      ++emitted;
+    }
+  }
+  out << "\n]\n}\n";
+  write_file(out_path, out.str());
+  std::cout << "wrote " << emitted << " journal instant events to " << out_path
+            << " (open in Perfetto or chrome://tracing)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  sks-report print  REPORT.json...\n"
+               "  sks-report diff   A.json B.json\n"
+               "  sks-report merge  OUT.json A.json B.json...\n"
+               "  sks-report trace  OUT.json REPORT.json...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> paths(argv + 2, argv + argc);
+  try {
+    if (command == "print") {
+      for (const std::string& path : paths) print_report(path);
+      return 0;
+    }
+    if (command == "diff" && paths.size() == 2) {
+      return diff_reports(paths[0], paths[1]);
+    }
+    if (command == "merge" && paths.size() >= 2) {
+      return merge_reports(paths[0], {paths.begin() + 1, paths.end()});
+    }
+    if (command == "trace" && paths.size() >= 2) {
+      return journal_to_trace(paths[0], {paths.begin() + 1, paths.end()});
+    }
+    return usage();
+  } catch (const sks::Error& e) {
+    std::cerr << "sks-report: " << e.what() << "\n";
+    return 1;
+  }
+}
