@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "cell/measure.hpp"
+#include "esim/benchnets.hpp"
 #include "clocktree/dme.hpp"
 #include "clocktree/htree.hpp"
 #include "fault/campaign.hpp"
@@ -44,6 +45,39 @@ void BM_TransientSensorEdge(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TransientSensorEdge)->Arg(2)->Arg(5)->Arg(10);
+
+// The largest bundled netlist: a buffered binary clock tree with ~100 MNA
+// unknowns, simulated over one clock edge.  Run on both solver paths so
+// the gbench output carries the dense/sparse wall-time ratio directly.
+esim::TransientOptions clock_tree_sim_options() {
+  esim::TransientOptions o;
+  o.t_end = 1e-9;
+  o.dt = 2e-12;
+  return o;
+}
+
+void BM_TransientClockTree(benchmark::State& state, esim::SolverMode mode) {
+  const auto net = esim::make_clock_tree({});
+  const auto options = clock_tree_sim_options();
+  for (auto _ : state) {
+    // Construct inside the loop: campaign layers build one Simulator per
+    // work item, so the symbolic prepass is part of the measured cost.
+    esim::Simulator sim(net.circuit);
+    sim.set_solver_mode(mode);
+    benchmark::DoNotOptimize(sim.run_transient(options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_TransientClockTreeDense(benchmark::State& state) {
+  BM_TransientClockTree(state, esim::SolverMode::kDense);
+}
+BENCHMARK(BM_TransientClockTreeDense);
+
+void BM_TransientClockTreeSparse(benchmark::State& state) {
+  BM_TransientClockTree(state, esim::SolverMode::kSparse);
+}
+BENCHMARK(BM_TransientClockTreeSparse);
 
 void BM_DcOperatingPoint(benchmark::State& state) {
   const cell::Technology tech;
@@ -136,7 +170,15 @@ BENCHMARK(BM_MaskingExperiment);
 // so tools/bench_gate.py can fail on ANY increase — unlike the registry
 // totals below, which scale with google-benchmark's dynamic iteration
 // counts and are only good for order-of-magnitude eyeballing.
-std::vector<std::pair<std::string, std::uint64_t>> fixed_workload_counters() {
+struct FixedWorkload {
+  // Gated: pure work counts, any increase fails the bench gate.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  // Informational wall times (machine-dependent, not gated).
+  std::vector<std::pair<std::string, double>> wall;
+};
+
+FixedWorkload fixed_workload_counters() {
+  FixedWorkload out;
   obs::registry().reset();
 
   const cell::Technology tech;
@@ -168,9 +210,39 @@ std::vector<std::pair<std::string, std::uint64_t>> fixed_workload_counters() {
                       plan);
   }
 
-  auto counters = obs::registry().counters();
+  out.counters = obs::registry().counters();
+
+  // Solver fast path on the largest bundled netlist: the same fixed
+  // clock-tree transient once per solver mode, in its own counter window
+  // (esim.* counters only) so the gate can check the sparse path does
+  // strictly less LU work than it did at the last rebaseline.
+  const auto net = esim::make_clock_tree({});
+  const auto tree_options = clock_tree_sim_options();
+  double dense_wall = 0.0, sparse_wall = 0.0;
+  for (const auto mode : {esim::SolverMode::kDense, esim::SolverMode::kSparse}) {
+    obs::registry().reset();
+    esim::Simulator sim(net.circuit);
+    sim.set_solver_mode(mode);
+    const auto result = sim.run_transient(tree_options);
+    const bool dense = mode == esim::SolverMode::kDense;
+    (dense ? dense_wall : sparse_wall) = result.stats.wall_seconds;
+    const std::string prefix =
+        dense ? "clocktree_dense." : "clocktree_sparse.";
+    for (const auto& [name, value] : obs::registry().counters()) {
+      if (name.rfind("esim.", 0) == 0) {
+        out.counters.emplace_back(prefix + name, value);
+      }
+    }
+  }
+  out.wall.emplace_back("solver.clocktree_dense_wall_s", dense_wall);
+  out.wall.emplace_back("solver.clocktree_sparse_wall_s", sparse_wall);
+  if (sparse_wall > 0.0) {
+    out.wall.emplace_back("solver.clocktree_speedup",
+                          dense_wall / sparse_wall);
+  }
+
   obs::registry().reset();
-  return counters;
+  return out;
 }
 
 }  // namespace
@@ -207,8 +279,11 @@ int main(int argc, char** argv) {
   report.set_meta("bench", "perf_micro");
   report.capture_registry();
   if (obs::enabled()) report.capture_journal();
-  for (const auto& [name, value] : fixed) {
+  for (const auto& [name, value] : fixed.counters) {
     report.set_value("fixed." + name, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : fixed.wall) {
+    report.set_value(name, value);
   }
   report.write_json("BENCH_perf_micro.json");
   std::cout << "perf counters written to BENCH_perf_micro.json\n";

@@ -1,0 +1,103 @@
+#include "esim/benchnets.hpp"
+
+#include <string>
+
+#include "esim/mosfet_model.hpp"
+
+namespace sks::esim {
+namespace {
+
+// Level-1 parameters mirroring cell::Technology's 1.2 um defaults.
+MosParams tree_nmos(double width, double vdd) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = width;
+  p.l = 1.2e-6;
+  p.kprime = 60e-6;
+  p.vt = 0.8;
+  p.lambda = 0.02;
+  p.full_on_vgs = vdd;
+  return p;
+}
+
+MosParams tree_pmos(double width, double vdd) {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.w = width;
+  p.l = 1.2e-6;
+  p.kprime = 20e-6;
+  p.vt = 0.9;
+  p.lambda = 0.02;
+  p.full_on_vgs = vdd;
+  return p;
+}
+
+struct TreeBuilder {
+  const ClockTreeOptions& opt;
+  Circuit& c;
+  NodeId vdd_node;
+  std::vector<NodeId>& leaves;
+
+  // Two cascaded inverters: a non-inverting repowering buffer.  Gate-load
+  // capacitances keep the internal nodes from floating at clock corners.
+  NodeId add_buffer(const std::string& prefix, NodeId in) {
+    const NodeId mid = c.node(prefix + ".mid");
+    const NodeId out = c.node(prefix + ".out");
+    c.add_mosfet(prefix + ".i1.mp", tree_pmos(4.8e-6, opt.vdd), in, mid,
+                 vdd_node);
+    c.add_mosfet(prefix + ".i1.mn", tree_nmos(2.4e-6, opt.vdd), in, mid,
+                 c.ground());
+    c.add_mosfet(prefix + ".i2.mp", tree_pmos(9.6e-6, opt.vdd), mid, out,
+                 vdd_node);
+    c.add_mosfet(prefix + ".i2.mn", tree_nmos(4.8e-6, opt.vdd), mid, out,
+                 c.ground());
+    c.add_capacitor(prefix + ".cmid", mid, c.ground(), 15e-15);
+    c.add_capacitor(prefix + ".cout", out, c.ground(), 15e-15);
+    return out;
+  }
+
+  // Grow the subtree hanging off `from` whose children sit at `depth`.
+  void grow(NodeId from, int depth, const std::string& path) {
+    for (int side = 0; side < 2; ++side) {
+      const std::string name = path + (side == 0 ? "l" : "r");
+      const NodeId child = c.node("n_" + name);
+      c.add_resistor("r_" + name, from, child, opt.r_segment);
+      c.add_capacitor("c_" + name, child, c.ground(), opt.c_segment);
+      if (depth == opt.levels) {
+        c.add_capacitor("cl_" + name, child, c.ground(), opt.c_leaf);
+        leaves.push_back(child);
+        continue;
+      }
+      NodeId next = child;
+      if (opt.buffer_every > 0 && depth % opt.buffer_every == 0) {
+        next = add_buffer("buf_" + name, child);
+      }
+      grow(next, depth + 1, name);
+    }
+  }
+};
+
+}  // namespace
+
+ClockTreeNet make_clock_tree(const ClockTreeOptions& options) {
+  ClockTreeNet net;
+  Circuit& c = net.circuit;
+
+  const NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, c.ground(), Waveform::dc(options.vdd));
+
+  const NodeId ck_src = c.node("ck_src");
+  PulseSpec clock = options.clock;
+  clock.v1 = options.vdd;
+  c.add_vsource("vck", ck_src, c.ground(), Waveform::pulse(clock));
+
+  net.root = c.node("ck_root");
+  c.add_resistor("r_drv", ck_src, net.root, options.driver_resistance);
+  c.add_capacitor("c_root", net.root, c.ground(), options.c_segment);
+
+  TreeBuilder builder{options, c, vdd, net.leaves};
+  builder.grow(net.root, 1, "t");
+  return net;
+}
+
+}  // namespace sks::esim

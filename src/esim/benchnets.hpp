@@ -1,0 +1,44 @@
+// Synthetic benchmark netlists for the solver fast path.
+//
+// The bundled sensor cells top out around fifteen MNA unknowns — ideal for
+// validating solver behaviour, far too small to exercise the sparse path.
+// This header builds an H-tree-style buffered clock-distribution network
+// (the structure the paper's testing scheme monitors) at a parametric size:
+// a binary RC tree with a two-inverter repowering buffer every few levels,
+// driven by a trapezoidal clock through a driver resistance.
+//
+// The devices use level-1 parameters that mirror cell::Technology's 1.2 um
+// flavour, duplicated here as plain numbers because sks_esim must not
+// depend on the cell library above it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "esim/netlist.hpp"
+#include "esim/waveform.hpp"
+
+namespace sks::esim {
+
+struct ClockTreeOptions {
+  int levels = 5;            // binary depth: 2^levels leaves
+  double r_segment = 120.0;  // wire resistance per tree segment [ohm]
+  double c_segment = 40e-15; // wire capacitance at each tree node [F]
+  double c_leaf = 60e-15;    // extra sink load on every leaf [F]
+  int buffer_every = 2;      // repower every this many levels; 0 = bare RC
+  double vdd = 5.0;          // supply [V]
+  double driver_resistance = 50.0;  // clock driver output impedance [ohm]
+  PulseSpec clock{};         // root clock waveform (defaults are sensible)
+};
+
+struct ClockTreeNet {
+  Circuit circuit;
+  NodeId root;                  // driven end of the tree (after the driver R)
+  std::vector<NodeId> leaves;   // all 2^levels sink nodes
+};
+
+// Deterministic: same options, same netlist (device order included), so
+// fixed-workload benchmark counters are reproducible run to run.
+ClockTreeNet make_clock_tree(const ClockTreeOptions& options = {});
+
+}  // namespace sks::esim

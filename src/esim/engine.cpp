@@ -4,8 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
 
 #include "esim/matrix.hpp"
+#include "esim/sparse.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -19,7 +23,11 @@ void SolveStats::merge(const SolveStats& other) {
   newton_iterations += other.newton_iterations;
   newton_failures += other.newton_failures;
   lu_factorizations += other.lu_factorizations;
+  lu_refactorizations += other.lu_refactorizations;
+  lu_pattern_rebuilds += other.lu_pattern_rebuilds;
   lu_singular += other.lu_singular;
+  lu_nonfinite += other.lu_nonfinite;
+  sparse_nnz = std::max(sparse_nnz, other.sparse_nnz);
   dc_solves += other.dc_solves;
   dc_gmin_ladders += other.dc_gmin_ladders;
   dc_gmin_steps += other.dc_gmin_steps;
@@ -51,7 +59,14 @@ void mirror_to_obs(const SolveStats& s) {
   static obs::Counter& nr_fail =
       obs::registry().counter("esim.newton_failures");
   static obs::Counter& lu = obs::registry().counter("esim.lu_factorizations");
+  static obs::Counter& lu_refactor =
+      obs::registry().counter("esim.lu_refactorizations");
+  static obs::Counter& lu_rebuilds =
+      obs::registry().counter("esim.lu_pattern_rebuilds");
   static obs::Counter& lu_sing = obs::registry().counter("esim.lu_singular");
+  static obs::Counter& lu_nonfin =
+      obs::registry().counter("esim.lu_nonfinite");
+  static obs::Counter& nnz = obs::registry().counter("esim.sparse_nnz");
   static obs::Counter& gmin_ladders =
       obs::registry().counter("esim.dc_gmin_ladders");
   static obs::Counter& source_ladders =
@@ -70,7 +85,11 @@ void mirror_to_obs(const SolveStats& s) {
   nr_calls.inc(s.newton_calls);
   nr_fail.inc(s.newton_failures);
   lu.inc(s.lu_factorizations);
+  lu_refactor.inc(s.lu_refactorizations);
+  lu_rebuilds.inc(s.lu_pattern_rebuilds);
   lu_sing.inc(s.lu_singular);
+  lu_nonfin.inc(s.lu_nonfinite);
+  nnz.inc(s.sparse_nnz);
   gmin_ladders.inc(s.dc_gmin_ladders);
   source_ladders.inc(s.dc_source_ladders);
   damped.inc(s.dc_damped_retries);
@@ -83,7 +102,57 @@ void mirror_to_obs(const SolveStats& s) {
 
 }  // namespace
 
-Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {}
+// Symbolic prepass product: the sparse Jacobian pattern with every device
+// stamp resolved to a direct value slot, the stamp template split into a
+// constant part (resistors, vsource incidence) and a cached per-(gmin, h,
+// integration method) part (gmin floor, capacitor companion conductances),
+// and the reusable LU.  Stamps touching ground resolve to the matrix's
+// dummy slot, so assembly needs no ground branches.
+struct Simulator::StampPlan {
+  SparseMatrix j;
+  std::vector<double> base_values;      // constant stamps
+  std::vector<double> template_values;  // base + gmin + capacitor geq
+  double template_gmin = -1.0;          // cache key of template_values
+  double template_h = -2.0;
+  bool template_trap = false;
+  bool template_valid = false;
+
+  std::vector<std::size_t> diag_slot;  // per voltage unknown (gmin floor)
+  struct Quad {
+    std::size_t aa, ab, ba, bb;
+  };
+  std::vector<Quad> resistor_slots;
+  std::vector<Quad> cap_slots;
+  struct MosSlots {
+    std::size_t dg, dd, ds, sg, sd, ss;
+  };
+  std::vector<MosSlots> mos_slots;
+  SparseLu lu;
+};
+
+Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
+  if (const char* env = std::getenv("SKS_SOLVER")) {
+    const std::string_view value(env);
+    if (value == "dense") solver_mode_ = SolverMode::kDense;
+    else if (value == "sparse") solver_mode_ = SolverMode::kSparse;
+  }
+}
+
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+bool Simulator::sparse_path_active() const {
+  switch (solver_mode_) {
+    case SolverMode::kDense:
+      return false;
+    case SolverMode::kSparse:
+      return true;
+    case SolverMode::kAuto:
+      break;
+  }
+  return unknown_count() >= kSparseAutoThreshold;
+}
 
 std::size_t Simulator::unknown_count() const {
   return (circuit_.node_count() - 1) + circuit_.vsources().size();
@@ -207,6 +276,237 @@ void Simulator::assemble(const std::vector<double>& x, double t, double h,
   }
 }
 
+void Simulator::build_stamp_plan() const {
+  plan_ = std::make_unique<StampPlan>();
+  StampPlan& plan = *plan_;
+  const std::size_t n = unknown_count();
+  const std::size_t n_voltage = circuit_.node_count() - 1;
+  const std::size_t branch_base = n_voltage;
+
+  // Collect the pattern: every (row, col) a device can ever stamp.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  entries.reserve(n + 4 * (circuit_.resistors().size() +
+                           circuit_.capacitors().size() +
+                           circuit_.vsources().size()) +
+                  6 * circuit_.mosfets().size());
+  const auto add = [&entries](std::size_t r, std::size_t c) {
+    entries.emplace_back(static_cast<std::uint32_t>(r),
+                         static_cast<std::uint32_t>(c));
+  };
+  const auto add_pair = [&](NodeId row, NodeId col) {
+    if (row.index != 0 && col.index != 0) {
+      add(row.index - 1, col.index - 1);
+    }
+  };
+  // The gmin floor guarantees a structural diagonal on every voltage row.
+  for (std::size_t i = 0; i < n_voltage; ++i) add(i, i);
+  for (const auto& r : circuit_.resistors()) {
+    add_pair(r.a, r.a);
+    add_pair(r.a, r.b);
+    add_pair(r.b, r.a);
+    add_pair(r.b, r.b);
+  }
+  for (const auto& c : circuit_.capacitors()) {
+    add_pair(c.a, c.a);
+    add_pair(c.a, c.b);
+    add_pair(c.b, c.a);
+    add_pair(c.b, c.b);
+  }
+  for (const auto& m : circuit_.mosfets()) {
+    add_pair(m.drain, m.gate);
+    add_pair(m.drain, m.drain);
+    add_pair(m.drain, m.source);
+    add_pair(m.source, m.gate);
+    add_pair(m.source, m.drain);
+    add_pair(m.source, m.source);
+  }
+  const auto& vsrcs = circuit_.vsources();
+  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+    const std::size_t bi = branch_base + si;
+    if (vsrcs[si].pos.index != 0) {
+      add(vsrcs[si].pos.index - 1, bi);
+      add(bi, vsrcs[si].pos.index - 1);
+    }
+    if (vsrcs[si].neg.index != 0) {
+      add(vsrcs[si].neg.index - 1, bi);
+      add(bi, vsrcs[si].neg.index - 1);
+    }
+  }
+  plan.j = SparseMatrix(n, std::move(entries));
+
+  // Resolve every stamp to its slot (ground stamps to the dummy slot).
+  const std::size_t dummy = plan.j.dummy_slot();
+  const auto slot_of = [&](NodeId row, NodeId col) {
+    if (row.index == 0 || col.index == 0) return dummy;
+    return plan.j.slot(row.index - 1, col.index - 1);
+  };
+  plan.diag_slot.resize(n_voltage);
+  for (std::size_t i = 0; i < n_voltage; ++i) {
+    plan.diag_slot[i] = plan.j.slot(i, i);
+  }
+  const auto quad_of = [&](NodeId a, NodeId b) {
+    return StampPlan::Quad{slot_of(a, a), slot_of(a, b), slot_of(b, a),
+                           slot_of(b, b)};
+  };
+  plan.resistor_slots.reserve(circuit_.resistors().size());
+  for (const auto& r : circuit_.resistors()) {
+    plan.resistor_slots.push_back(quad_of(r.a, r.b));
+  }
+  plan.cap_slots.reserve(circuit_.capacitors().size());
+  for (const auto& c : circuit_.capacitors()) {
+    plan.cap_slots.push_back(quad_of(c.a, c.b));
+  }
+  plan.mos_slots.reserve(circuit_.mosfets().size());
+  for (const auto& m : circuit_.mosfets()) {
+    plan.mos_slots.push_back({slot_of(m.drain, m.gate),
+                              slot_of(m.drain, m.drain),
+                              slot_of(m.drain, m.source),
+                              slot_of(m.source, m.gate),
+                              slot_of(m.source, m.drain),
+                              slot_of(m.source, m.source)});
+  }
+
+  // Constant template: stamps invariant across NR iterations AND time
+  // steps — resistor conductances and vsource incidence.
+  plan.base_values.assign(plan.j.values_size(), 0.0);
+  for (std::size_t ri = 0; ri < circuit_.resistors().size(); ++ri) {
+    const double g = 1.0 / circuit_.resistors()[ri].resistance;
+    const auto& q = plan.resistor_slots[ri];
+    plan.base_values[q.aa] += g;
+    plan.base_values[q.ab] -= g;
+    plan.base_values[q.ba] -= g;
+    plan.base_values[q.bb] += g;
+  }
+  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+    const std::size_t bi = branch_base + si;
+    if (vsrcs[si].pos.index != 0) {
+      plan.base_values[plan.j.slot(vsrcs[si].pos.index - 1, bi)] += 1.0;
+      plan.base_values[plan.j.slot(bi, vsrcs[si].pos.index - 1)] += 1.0;
+    }
+    if (vsrcs[si].neg.index != 0) {
+      plan.base_values[plan.j.slot(vsrcs[si].neg.index - 1, bi)] -= 1.0;
+      plan.base_values[plan.j.slot(bi, vsrcs[si].neg.index - 1)] -= 1.0;
+    }
+  }
+  plan.base_values[dummy] = 0.0;
+  plan.template_values = plan.base_values;
+
+  plan.lu.analyze(plan.j);
+}
+
+void Simulator::assemble_sparse(const std::vector<double>& x, double t,
+                                double h, bool use_trap,
+                                const std::vector<double>& cap_prev_v,
+                                const std::vector<double>& cap_prev_i,
+                                double gmin, double source_scale,
+                                std::vector<double>& f_out) const {
+  if (!plan_) build_stamp_plan();
+  StampPlan& plan = *plan_;
+  const std::size_t n_unknowns = unknown_count();
+  const std::size_t n_voltage = circuit_.node_count() - 1;
+
+  // Refresh the per-(gmin, h, method) template only when the key changes:
+  // within one Newton solve (and across the steps of a quiet transient
+  // stretch) this is a cache hit and each iteration starts from a memcpy.
+  if (!plan.template_valid || gmin != plan.template_gmin ||
+      h != plan.template_h || use_trap != plan.template_trap) {
+    plan.template_values = plan.base_values;
+    for (std::size_t i = 0; i < n_voltage; ++i) {
+      plan.template_values[plan.diag_slot[i]] += gmin;
+    }
+    if (h > 0.0) {
+      const auto& caps = circuit_.capacitors();
+      for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+        const double geq = (use_trap ? 2.0 : 1.0) * caps[ci].capacitance / h;
+        const auto& q = plan.cap_slots[ci];
+        plan.template_values[q.aa] += geq;
+        plan.template_values[q.ab] -= geq;
+        plan.template_values[q.ba] -= geq;
+        plan.template_values[q.bb] += geq;
+      }
+    }
+    plan.template_values[plan.j.dummy_slot()] = 0.0;
+    plan.template_gmin = gmin;
+    plan.template_h = h;
+    plan.template_trap = use_trap;
+    plan.template_valid = true;
+  }
+  double* vals = plan.j.values();
+  std::memcpy(vals, plan.template_values.data(),
+              plan.j.values_size() * sizeof(double));
+  f_out.assign(n_unknowns, 0.0);
+
+  // The residual accumulation mirrors the dense assemble() device order
+  // exactly, so both paths compute bit-identical F at the same x.
+  auto stamp_f = [&](NodeId n, double current) {
+    if (n.index != 0) f_out[node_unknown(n)] += current;
+  };
+
+  for (std::size_t i = 0; i < n_voltage; ++i) {
+    f_out[i] += gmin * x[i];
+  }
+
+  for (const auto& r : circuit_.resistors()) {
+    const double g = 1.0 / r.resistance;
+    const double i = g * (node_v(x, r.a) - node_v(x, r.b));
+    stamp_f(r.a, i);
+    stamp_f(r.b, -i);
+  }
+
+  if (h > 0.0) {
+    const auto& caps = circuit_.capacitors();
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      const auto& c = caps[ci];
+      const double v = node_v(x, c.a) - node_v(x, c.b);
+      double i = 0.0;
+      if (use_trap) {
+        const double geq = 2.0 * c.capacitance / h;
+        i = geq * (v - cap_prev_v[ci]) - cap_prev_i[ci];
+      } else {
+        const double geq = c.capacitance / h;
+        i = geq * (v - cap_prev_v[ci]);
+      }
+      stamp_f(c.a, i);
+      stamp_f(c.b, -i);
+    }
+  }
+
+  const auto& mosfets = circuit_.mosfets();
+  for (std::size_t mi = 0; mi < mosfets.size(); ++mi) {
+    const auto& m = mosfets[mi];
+    const MosEval e = eval_mosfet(m.params, m.fault, node_v(x, m.gate),
+                                  node_v(x, m.drain), node_v(x, m.source));
+    const double gms = -(e.gm + e.gds);  // dId/dVs
+    stamp_f(m.drain, e.id);
+    stamp_f(m.source, -e.id);
+    const auto& s = plan.mos_slots[mi];
+    vals[s.dg] += e.gm;
+    vals[s.dd] += e.gds;
+    vals[s.ds] += gms;
+    vals[s.sg] -= e.gm;
+    vals[s.sd] -= e.gds;
+    vals[s.ss] -= gms;
+  }
+
+  for (const auto& isrc : circuit_.isources()) {
+    const double i = source_scale * isrc.wave.value(t);
+    stamp_f(isrc.from, i);
+    stamp_f(isrc.to, -i);
+  }
+
+  const std::size_t branch_base = n_voltage;
+  const auto& vsrcs = circuit_.vsources();
+  for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+    const auto& v = vsrcs[si];
+    const std::size_t bi = branch_base + si;
+    const double i_branch = x[bi];
+    if (v.pos.index != 0) f_out[node_unknown(v.pos)] += i_branch;
+    if (v.neg.index != 0) f_out[node_unknown(v.neg)] -= i_branch;
+    f_out[bi] =
+        node_v(x, v.pos) - node_v(x, v.neg) - source_scale * v.wave.value(t);
+  }
+}
+
 bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
                              bool use_trap,
                              const std::vector<double>& cap_prev_v,
@@ -215,24 +515,92 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
                              const NewtonOptions& options) const {
   const std::size_t n = unknown_count();
   const std::size_t n_voltage = circuit_.node_count() - 1;
-  std::vector<double> f;
-  std::vector<double> dx;
-  DenseMatrix j(n);
+  const bool sparse = sparse_path_active();
+  if (!sparse && ws_.j.size() != n) ws_.j = DenseMatrix(n);
 
   ++stats_.newton_calls;
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  // The loop runs one extra trip beyond max_iterations: after an iteration
+  // whose damped update fell below vtol, the NEXT trip's assembly (which a
+  // continuing solve needs anyway) doubles as the residual convergence
+  // check, so a converging iterate costs one assembly instead of two.
+  bool check_residual = false;
+  for (int iter = 0; iter <= options.max_iterations; ++iter) {
+    if (sparse) {
+      assemble_sparse(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin,
+                      source_scale, ws_.f);
+      stats_.sparse_nnz = plan_->j.nnz();
+    } else {
+      assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale,
+               ws_.f, ws_.j);
+    }
+
+    if (check_residual) {
+      // Converged when both the update (previous trip) and the KCL
+      // residual at the updated x are tiny.
+      double max_res = 0.0;
+      for (std::size_t i = 0; i < n_voltage; ++i) {
+        max_res = std::max(max_res, std::fabs(ws_.f[i]));
+      }
+      if (max_res < options.itol) {
+        if (obs::journal().enabled()) {
+          obs::journal().record({obs::EventType::kNewtonConverged, t, h, iter,
+                                 h <= 0.0 ? "dc" : "transient"});
+        }
+        return true;
+      }
+      check_residual = false;
+    }
+    if (iter == options.max_iterations) break;
     ++stats_.newton_iterations;
-    assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale, f,
-             j);
 
     // Newton step: J dx = -F.
-    std::vector<double> rhs(n);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
-    ++stats_.lu_factorizations;
-    if (!lu_solve(j, rhs, dx)) {
-      ++stats_.lu_singular;
-      ++stats_.newton_failures;
-      return false;
+    ws_.rhs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ws_.rhs[i] = -ws_.f[i];
+    if (sparse) {
+      SparseLu& lu = plan_->lu;
+      SparseLuStatus status;
+      if (lu.factored()) {
+        // Fast path: numeric refactorization on the frozen pivot order;
+        // full re-pivoting factorization only when a pivot degenerated.
+        ++stats_.lu_refactorizations;
+        status = lu.refactor(plan_->j);
+        if (status == SparseLuStatus::kPivotDegenerate) {
+          ++stats_.lu_factorizations;
+          ++stats_.lu_pattern_rebuilds;
+          status = lu.factor(plan_->j);
+        }
+      } else {
+        ++stats_.lu_factorizations;
+        ++stats_.lu_pattern_rebuilds;
+        status = lu.factor(plan_->j);
+      }
+      if (status != SparseLuStatus::kOk) {
+        ++stats_.lu_singular;
+        ++stats_.newton_failures;
+        return false;
+      }
+      lu.solve(ws_.rhs, ws_.dx);
+      bool finite = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(ws_.dx[i])) {
+          finite = false;
+          break;
+        }
+      }
+      if (!finite) {
+        ++stats_.lu_nonfinite;
+        ++stats_.newton_failures;
+        return false;
+      }
+    } else {
+      ++stats_.lu_factorizations;
+      const LuStatus status = lu_solve(ws_.j, ws_.rhs, ws_.dx);
+      if (status != LuStatus::kOk) {
+        ++(status == LuStatus::kSingular ? stats_.lu_singular
+                                         : stats_.lu_nonfinite);
+        ++stats_.newton_failures;
+        return false;
+      }
     }
 
     // Clamp the voltage updates (classic SPICE damping); branch currents
@@ -240,10 +608,10 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     double max_dv = 0.0;
     double damping = 1.0;
     for (std::size_t i = 0; i < n_voltage; ++i) {
-      max_dv = std::max(max_dv, std::fabs(dx[i]));
+      max_dv = std::max(max_dv, std::fabs(ws_.dx[i]));
     }
     if (max_dv > options.max_step) damping = options.max_step / max_dv;
-    for (std::size_t i = 0; i < n; ++i) x[i] += damping * dx[i];
+    for (std::size_t i = 0; i < n; ++i) x[i] += damping * ws_.dx[i];
 
     if (!std::isfinite(max_dv)) {
       ++stats_.newton_failures;
@@ -253,23 +621,7 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
       std::fprintf(stderr, "  NR iter=%d t=%g h=%g max_dv=%g damp=%g\n", iter,
                    t, h, max_dv, damping);
     }
-
-    // Converged when both the update and the KCL residual are tiny.
-    if (max_dv * damping < options.vtol) {
-      assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, source_scale,
-               f, j);
-      double max_res = 0.0;
-      for (std::size_t i = 0; i < n_voltage; ++i) {
-        max_res = std::max(max_res, std::fabs(f[i]));
-      }
-      if (max_res < options.itol) {
-        if (obs::journal().enabled()) {
-          obs::journal().record({obs::EventType::kNewtonConverged, t, h,
-                                 iter + 1, h <= 0.0 ? "dc" : "transient"});
-        }
-        return true;
-      }
-    }
+    check_residual = max_dv * damping < options.vtol;
   }
   ++stats_.newton_failures;
   return false;
@@ -299,7 +651,8 @@ bool Simulator::dc_solve(std::vector<double>& x, double t,
         std::max(options.max_iterations, static_cast<int>(600.0 * 0.02 / max_step));
 
     // Strategy 1: plain Newton with the gmin floor.
-    std::vector<double> trial = x;
+    std::vector<double>& trial = ws_.trial;
+    trial = x;
     if (newton_solve(trial, t, -1.0, false, no_caps, no_caps, 1e-12, 1.0,
                      damped)) {
       x = trial;
@@ -355,9 +708,13 @@ std::string Simulator::worst_residual_node(
     const std::vector<double>& x, double t, double h, bool use_trap,
     const std::vector<double>& cap_prev_v, const std::vector<double>& cap_prev_i,
     double gmin) const {
-  std::vector<double> f;
-  DenseMatrix j(unknown_count());
-  assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, 1.0, f, j);
+  std::vector<double>& f = ws_.f;
+  if (sparse_path_active()) {
+    assemble_sparse(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, 1.0, f);
+  } else {
+    if (ws_.j.size() != unknown_count()) ws_.j = DenseMatrix(unknown_count());
+    assemble(x, t, h, use_trap, cap_prev_v, cap_prev_i, gmin, 1.0, f, ws_.j);
+  }
   const std::size_t n_voltage = circuit_.node_count() - 1;
   std::size_t worst = 0;
   double worst_res = -1.0;
@@ -421,7 +778,9 @@ Simulator::DcSolution Simulator::dc_solution(
   stats_.wall_seconds = wall.seconds();
   mirror_to_obs(stats_);
   span.arg("nr_iters", static_cast<double>(stats_.newton_iterations))
-      .arg("lu", static_cast<double>(stats_.lu_factorizations));
+      .arg("lu", static_cast<double>(stats_.lu_factorizations))
+      .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))
+      .arg("sparse_nnz", static_cast<double>(stats_.sparse_nnz));
   solution.stats = stats_;
   return solution;
 }
@@ -555,7 +914,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     // (better damped), then halve the step.
     double h_try = h;
     bool ok = false;
-    std::vector<double> x_saved = x;
+    std::vector<double>& x_saved = ws_.x_saved;
+    x_saved = x;
     const std::size_t n_voltage = n_nodes - 1;
     while (h_try >= options.dt_min) {
       const bool want_trap = options.trapezoidal && !be_next;
@@ -616,6 +976,10 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
                                "newton failure"});
       }
       h_try *= 0.5;
+      // Like the dv_max rejection path: remember that this step size just
+      // failed so the adaptive controller does not immediately re-propose
+      // it for the next interval (it regrows 1.5x per quiet step).
+      if (options.adaptive && h_try < dt_current) dt_current = h_try;
     }
     if (!ok) {
       if (std::getenv("SKS_DEBUG_NR") != nullptr) {
@@ -659,6 +1023,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   mirror_to_obs(stats_);
   span.arg("steps", static_cast<double>(stats_.steps_accepted))
       .arg("nr_iters", static_cast<double>(stats_.newton_iterations))
+      .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))
+      .arg("sparse_nnz", static_cast<double>(stats_.sparse_nnz))
       .arg("min_dt", stats_.min_dt_used);
   result.stats = stats_;
   return result;

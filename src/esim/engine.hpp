@@ -3,7 +3,20 @@
 // Solves the circuit with modified nodal analysis (MNA): unknowns are the
 // non-ground node voltages plus one branch current per voltage source.  Each
 // Newton-Raphson iteration assembles the KCL residual F(x) and its Jacobian
-// and solves J dx = -F with a dense LU.
+// and solves J dx = -F.
+//
+// Two linear-solver paths (see SolverMode):
+//  * dense — reference path: full Jacobian rebuild + dense LU with partial
+//    pivoting each iteration.  Kept for tiny circuits and as the golden
+//    implementation the sparse path is tested against.
+//  * sparse — a symbolic prepass (once per Simulator) records a stamp slot
+//    for every device terminal pair; per iteration the Jacobian starts from
+//    a memcpy of a cached template (constant resistor/vsource stamps plus
+//    the per-timestep capacitor companion conductances) and only the
+//    MOSFET gm/gds stamps are re-evaluated.  The system is solved with a
+//    fill-reducing sparse LU whose pivot order and fill pattern are reused
+//    across iterations (esim/sparse.hpp), falling back to a full
+//    re-pivoting factorization when a pivot degenerates.
 //
 // DC operating point: plain Newton first, then gmin stepping, then source
 // stepping — the standard SPICE continuation ladder.
@@ -23,9 +36,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "esim/matrix.hpp"
 #include "esim/netlist.hpp"
 
 namespace sks::esim {
@@ -41,8 +56,20 @@ struct SolveStats {
   std::uint64_t newton_calls = 0;       // newton_solve() invocations
   std::uint64_t newton_iterations = 0;  // NR iterations across all calls
   std::uint64_t newton_failures = 0;    // calls that gave up
-  std::uint64_t lu_factorizations = 0;  // dense LU solves (one per NR iter)
+  std::uint64_t lu_factorizations = 0;  // full LU factorizations with pivot
+                                        // search (dense: one per NR iter;
+                                        // sparse: pattern rebuilds only)
+  std::uint64_t lu_refactorizations = 0;  // sparse numeric-only refactors on
+                                          // the frozen pivot order (the
+                                          // per-iteration fast path)
+  std::uint64_t lu_pattern_rebuilds = 0;  // sparse full factorizations (the
+                                          // first one plus every
+                                          // degenerate-pivot fallback)
   std::uint64_t lu_singular = 0;        // LU bailouts on a singular matrix
+  std::uint64_t lu_nonfinite = 0;       // LU bailouts on non-finite results
+                                        // (overflow/NaN, not singularity)
+  std::uint64_t sparse_nnz = 0;         // Jacobian nonzeros on the sparse
+                                        // path (0 = dense path used)
   // DC continuation ladder.
   std::uint64_t dc_solves = 0;          // dc_solve() invocations
   std::uint64_t dc_gmin_ladders = 0;    // gmin-stepping ladders entered
@@ -60,6 +87,26 @@ struct SolveStats {
   double wall_seconds = 0.0;            // wall time of the run
 
   void merge(const SolveStats& other);
+};
+
+// Linear-solver selection.  kAuto picks sparse when the circuit has at
+// least Simulator::kSparseAutoThreshold unknowns and dense below it (tiny
+// systems fit in cache and a dense LU beats the sparse bookkeeping).  The
+// SKS_SOLVER environment variable ("dense" / "sparse") overrides the
+// automatic choice at Simulator construction; an explicit
+// set_solver_mode() call afterwards wins over both.
+enum class SolverMode { kAuto, kDense, kSparse };
+
+// Preallocated per-Simulator solver scratch, reused across every Newton
+// iteration, transient step and DC continuation rung so the hot loop is
+// allocation-free.  Buffers grow on first use and are never shrunk.
+struct SolveWorkspace {
+  std::vector<double> f;        // KCL residual
+  std::vector<double> rhs;      // -F, destroyed by the linear solve
+  std::vector<double> dx;       // Newton update
+  std::vector<double> x_saved;  // transient step-retry snapshot
+  std::vector<double> trial;    // DC continuation-ladder iterate
+  DenseMatrix j;                // dense-path Jacobian (empty on sparse path)
 };
 
 struct NewtonOptions {
@@ -105,8 +152,21 @@ class Simulator {
  public:
   // The circuit is copied: the simulator owns an immutable snapshot.
   explicit Simulator(Circuit circuit);
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
 
   const Circuit& circuit() const { return circuit_; }
+
+  // Linear-solver selection (see SolverMode).  The mode can be switched
+  // between solves; the sparse symbolic prepass is cached per Simulator and
+  // survives the round trip.
+  void set_solver_mode(SolverMode mode) { solver_mode_ = mode; }
+  SolverMode solver_mode() const { return solver_mode_; }
+  // The path the current mode resolves to for this circuit.
+  bool sparse_path_active() const;
+  // kAuto switches to the sparse path at this many unknowns.
+  static constexpr std::size_t kSparseAutoThreshold = 24;
 
   // Node voltages (indexed by NodeId::index, ground included as 0 V) at the
   // DC operating point with sources evaluated at time `t`.
@@ -142,7 +202,20 @@ class Simulator {
                 bool use_trap, const std::vector<double>& cap_prev_v,
                 const std::vector<double>& cap_prev_i, double gmin,
                 double source_scale, std::vector<double>& f_out,
-                class DenseMatrix& j_out) const;
+                DenseMatrix& j_out) const;
+
+  // Sparse-path equivalent: writes F into f_out and the Jacobian into the
+  // stamp plan's sparse matrix (template memcpy + MOSFET stamps through
+  // precomputed slots).  Builds the plan on first use.
+  void assemble_sparse(const std::vector<double>& x, double t, double h,
+                       bool use_trap, const std::vector<double>& cap_prev_v,
+                       const std::vector<double>& cap_prev_i, double gmin,
+                       double source_scale, std::vector<double>& f_out) const;
+
+  // Symbolic prepass: the sparse pattern, per-device stamp slots, the
+  // constant stamp template and the LU column ordering.  Cached for the
+  // Simulator's lifetime (the circuit snapshot is immutable).
+  void build_stamp_plan() const;
 
   // One Newton solve; returns true on convergence, x updated in place.
   bool newton_solve(std::vector<double>& x, double t, double h, bool use_trap,
@@ -164,9 +237,16 @@ class Simulator {
                                   double gmin) const;
 
   Circuit circuit_;
+  SolverMode solver_mode_ = SolverMode::kAuto;
   // Accumulated by const solver internals during a run; reset by each
   // public entry point.
   mutable SolveStats stats_;
+  // Reused solver scratch and the lazily built sparse stamp plan.  Both are
+  // solver-internal caches mutated by const solve paths; they are what
+  // makes a single Simulator instance NOT shareable across threads.
+  mutable SolveWorkspace ws_;
+  struct StampPlan;
+  mutable std::unique_ptr<StampPlan> plan_;
 };
 
 // Convenience one-shot: DC operating point of a circuit.

@@ -7,10 +7,10 @@ namespace sks::esim {
 
 void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
 
-bool lu_solve(DenseMatrix& a, std::vector<double>& b,
-              std::vector<double>& x_out) {
+LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
+                  std::vector<double>& x_out) {
   const std::size_t n = a.size();
-  if (b.size() != n) return false;
+  if (b.size() != n) return LuStatus::kSingular;
   x_out.assign(n, 0.0);
 
   std::vector<std::size_t> perm(n);
@@ -29,7 +29,7 @@ bool lu_solve(DenseMatrix& a, std::vector<double>& b,
         pivot = r;
       }
     }
-    if (best < 1e-30) return false;  // singular
+    if (best < 1e-30) return LuStatus::kSingular;
     std::swap(perm[k], perm[pivot]);
 
     const double akk = a.at(perm[k], k);
@@ -51,9 +51,9 @@ bool lu_solve(DenseMatrix& a, std::vector<double>& b,
       sum -= a.at(perm[ki], c) * x_out[c];
     }
     x_out[ki] = sum / a.at(perm[ki], ki);
-    if (!std::isfinite(x_out[ki])) return false;
+    if (!std::isfinite(x_out[ki])) return LuStatus::kNonFinite;
   }
-  return true;
+  return LuStatus::kOk;
 }
 
 }  // namespace sks::esim

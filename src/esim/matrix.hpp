@@ -1,6 +1,8 @@
-// Dense linear algebra for the MNA system.  Circuits in this library are
-// small (tens of unknowns), so a dense LU with partial pivoting is both the
-// simplest and the fastest appropriate solver.
+// Dense linear algebra for the MNA system.  Small circuits (tens of
+// unknowns) stay on this dense LU with partial pivoting — below the sparse
+// threshold it is both the simplest and the fastest appropriate solver, and
+// it serves as the reference implementation the sparse path is checked
+// against (see esim/sparse.hpp).
 #pragma once
 
 #include <cstddef>
@@ -23,9 +25,14 @@ class DenseMatrix {
   std::vector<double> data_;
 };
 
-// Solve A x = b in place (A and b are destroyed).  Returns false when the
-// matrix is numerically singular.
-bool lu_solve(DenseMatrix& a, std::vector<double>& b,
-              std::vector<double>& x_out);
+// Outcome of a dense solve.  kSingular (no pivot above the 1e-30 floor) and
+// kNonFinite (an overflow/NaN surfaced during back substitution) are kept
+// apart so convergence forensics can tell a structurally singular system
+// from a merely ill-scaled one.
+enum class LuStatus { kOk, kSingular, kNonFinite };
+
+// Solve A x = b in place (A and b are destroyed).
+LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
+                  std::vector<double>& x_out);
 
 }  // namespace sks::esim

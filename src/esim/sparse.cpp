@@ -1,0 +1,306 @@
+#include "esim/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::esim {
+
+SparseMatrix::SparseMatrix(
+    std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>> entries)
+    : n_(n) {
+  // Sort by (col, row), merge duplicates, then compress.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  col_ptr_.assign(n + 1, 0);
+  row_.reserve(entries.size());
+  for (const auto& [r, c] : entries) {
+    ++col_ptr_[c + 1];
+    row_.push_back(r);
+  }
+  for (std::size_t c = 0; c < n; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  values_.assign(row_.size() + 1, 0.0);  // + the dummy slot
+}
+
+std::size_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
+  const auto begin = row_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[c]);
+  const auto end = row_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[c + 1]);
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::uint32_t>(r));
+  return static_cast<std::size_t>(it - row_.begin());
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  const std::size_t s = slot(r, c);
+  if (s >= col_ptr_[c + 1] || row_[s] != r) return 0.0;
+  return values_[s];
+}
+
+std::vector<std::uint32_t> min_degree_order(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t idx = a.col_ptr()[c]; idx < a.col_ptr()[c + 1]; ++idx) {
+      const std::uint32_t r = a.row()[idx];
+      if (r == c) continue;
+      adj[r].push_back(static_cast<std::uint32_t>(c));
+      adj[c].push_back(r);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  std::vector<bool> alive(n, true);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<std::uint32_t> neighbors, merged;
+  for (std::size_t pick = 0; pick < n; ++pick) {
+    // Minimum live degree, smallest index on ties: deterministic.
+    std::size_t v = n, best = n + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (adj[i].size() < best) {
+        best = adj[i].size();
+        v = i;
+      }
+    }
+    order.push_back(static_cast<std::uint32_t>(v));
+    alive[v] = false;
+    neighbors = adj[v];
+    // Eliminating v turns its neighborhood into a clique.
+    for (const std::uint32_t u : neighbors) {
+      merged.clear();
+      std::set_union(adj[u].begin(), adj[u].end(), neighbors.begin(),
+                     neighbors.end(), std::back_inserter(merged));
+      merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                  [&](std::uint32_t w) {
+                                    return w == u || !alive[w];
+                                  }),
+                   merged.end());
+      adj[u] = merged;
+    }
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+  }
+  return order;
+}
+
+void SparseLu::analyze(const SparseMatrix& a) {
+  n_ = a.size();
+  q_ = min_degree_order(a);
+  pinv_.assign(n_, kNone);
+  prow_.assign(n_, kNone);
+  x_.assign(n_, 0.0);
+  mark_.assign(n_, 0);
+  epoch_ = 0;
+  fwd_.assign(n_, 0.0);
+  bwd_.assign(n_, 0.0);
+  factored_ = false;
+}
+
+SparseLuStatus SparseLu::factor(const SparseMatrix& a) {
+  factored_ = false;
+  pinv_.assign(n_, kNone);
+  prow_.assign(n_, kNone);
+  lp_.assign(1, 0);
+  up_.assign(1, 0);
+  li_.clear();
+  lx_.clear();
+  ui_.clear();
+  ux_.clear();
+  udiag_.assign(n_, 0.0);
+
+  for (std::uint32_t jj = 0; jj < n_; ++jj) {
+    const SparseLuStatus status = factor_column(a, jj);
+    if (status != SparseLuStatus::kOk) return status;
+  }
+  factored_ = true;
+  return SparseLuStatus::kOk;
+}
+
+SparseLuStatus SparseLu::factor_column(const SparseMatrix& a,
+                                       std::uint32_t jj) {
+  const std::uint32_t j = q_[jj];
+  if (++epoch_ == 0) {  // epoch wrapped: reset marks
+    mark_.assign(n_, 0);
+    epoch_ = 1;
+  }
+
+  // Symbolic: reach of A(:, j)'s rows through the columns of L already
+  // built (the nonzero pattern of L\A(:, j)).  Plain set collection — the
+  // topological order needed by the numeric update is "pivot positions
+  // ascending", established by sorting below and replayed verbatim by
+  // refactor().
+  reach_.clear();
+  dfs_stack_.clear();
+  for (std::size_t idx = a.col_ptr()[j]; idx < a.col_ptr()[j + 1]; ++idx) {
+    const std::uint32_t r = a.row()[idx];
+    if (mark_[r] != epoch_) {
+      mark_[r] = epoch_;
+      dfs_stack_.push_back(r);
+    }
+  }
+  while (!dfs_stack_.empty()) {
+    const std::uint32_t r = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    reach_.push_back(r);
+    const std::uint32_t k = pinv_[r];
+    if (k == kNone) continue;
+    for (std::size_t idx = lp_[k]; idx < lp_[k + 1]; ++idx) {
+      const std::uint32_t child = li_[idx];
+      if (mark_[child] != epoch_) {
+        mark_[child] = epoch_;
+        dfs_stack_.push_back(child);
+      }
+    }
+  }
+
+  // Numeric: x = A(:, j), then eliminate with every reached pivotal column
+  // in ascending pivot order.
+  for (std::size_t idx = a.col_ptr()[j]; idx < a.col_ptr()[j + 1]; ++idx) {
+    x_[a.row()[idx]] = a.values()[idx];
+  }
+  pivotal_.clear();
+  for (const std::uint32_t r : reach_) {
+    if (pinv_[r] != kNone) pivotal_.push_back(pinv_[r]);
+  }
+  std::sort(pivotal_.begin(), pivotal_.end());
+  for (const std::uint32_t k : pivotal_) {
+    const double ukj = x_[prow_[k]];
+    ui_.push_back(k);
+    ux_.push_back(ukj);
+    if (ukj != 0.0) {
+      for (std::size_t idx = lp_[k]; idx < lp_[k + 1]; ++idx) {
+        x_[li_[idx]] -= lx_[idx] * ukj;
+      }
+    }
+  }
+  up_.push_back(ui_.size());
+
+  // Partial pivoting among the not-yet-pivotal rows.
+  std::uint32_t rp = kNone;
+  double best = -1.0;
+  for (const std::uint32_t r : reach_) {
+    if (pinv_[r] != kNone) continue;
+    const double cand = std::fabs(x_[r]);
+    if (cand > best || (cand == best && r < rp)) {
+      best = cand;
+      rp = r;
+    }
+  }
+  if (rp == kNone || best < kSingularFloor) {
+    for (const std::uint32_t r : reach_) x_[r] = 0.0;
+    return SparseLuStatus::kSingular;
+  }
+  pinv_[rp] = jj;
+  prow_[jj] = rp;
+  const double pivot = x_[rp];
+  udiag_[jj] = pivot;
+
+  // L column: the remaining rows, sorted so refactor()'s replay order (and
+  // hence its rounding) matches factor()'s.
+  pivotal_.clear();  // reuse as scratch for the L rows
+  for (const std::uint32_t r : reach_) {
+    if (pinv_[r] == kNone) pivotal_.push_back(r);
+  }
+  std::sort(pivotal_.begin(), pivotal_.end());
+  for (const std::uint32_t r : pivotal_) {
+    li_.push_back(r);
+    lx_.push_back(x_[r] / pivot);
+  }
+  lp_.push_back(li_.size());
+
+  for (const std::uint32_t r : reach_) x_[r] = 0.0;
+  return SparseLuStatus::kOk;
+}
+
+SparseLuStatus SparseLu::refactor(const SparseMatrix& a) {
+  if (!factored_) return SparseLuStatus::kPivotDegenerate;
+  for (std::uint32_t jj = 0; jj < n_; ++jj) {
+    const std::uint32_t j = q_[jj];
+    for (std::size_t idx = a.col_ptr()[j]; idx < a.col_ptr()[j + 1]; ++idx) {
+      x_[a.row()[idx]] = a.values()[idx];
+    }
+    for (std::size_t uidx = up_[jj]; uidx < up_[jj + 1]; ++uidx) {
+      const std::uint32_t k = ui_[uidx];
+      const double ukj = x_[prow_[k]];
+      ux_[uidx] = ukj;
+      if (ukj != 0.0) {
+        for (std::size_t lidx = lp_[k]; lidx < lp_[k + 1]; ++lidx) {
+          x_[li_[lidx]] -= lx_[lidx] * ukj;
+        }
+      }
+    }
+    const double pivot = x_[prow_[jj]];
+    double max_candidate = std::fabs(pivot);
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      max_candidate = std::max(max_candidate, std::fabs(x_[li_[lidx]]));
+    }
+    const bool acceptable =
+        std::fabs(pivot) >= kSingularFloor &&
+        std::fabs(pivot) >= kPivotTolerance * max_candidate;
+    if (!acceptable) {
+      // Clear the touched entries (all within this column's frozen
+      // pattern) and hand control back for a full re-pivoting factor().
+      for (std::size_t uidx = up_[jj]; uidx < up_[jj + 1]; ++uidx) {
+        x_[prow_[ui_[uidx]]] = 0.0;
+      }
+      x_[prow_[jj]] = 0.0;
+      for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+        x_[li_[lidx]] = 0.0;
+      }
+      factored_ = false;
+      return SparseLuStatus::kPivotDegenerate;
+    }
+    udiag_[jj] = pivot;
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      lx_[lidx] = x_[li_[lidx]] / pivot;
+    }
+    for (std::size_t uidx = up_[jj]; uidx < up_[jj + 1]; ++uidx) {
+      x_[prow_[ui_[uidx]]] = 0.0;
+    }
+    x_[prow_[jj]] = 0.0;
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      x_[li_[lidx]] = 0.0;
+    }
+  }
+  return SparseLuStatus::kOk;
+}
+
+void SparseLu::solve(const std::vector<double>& b, std::vector<double>& x_out) {
+  // x = Q (U \ (L \ P b)): forward substitution in original-row space,
+  // back substitution in pivot-position space, then the column permutation.
+  fwd_.assign(b.begin(), b.end());
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const double yk = fwd_[prow_[k]];
+    bwd_[k] = yk;
+    if (yk != 0.0) {
+      for (std::size_t idx = lp_[k]; idx < lp_[k + 1]; ++idx) {
+        fwd_[li_[idx]] -= lx_[idx] * yk;
+      }
+    }
+  }
+  for (std::uint32_t jj = n_; jj-- > 0;) {
+    const double z = bwd_[jj] / udiag_[jj];
+    bwd_[jj] = z;
+    if (z != 0.0) {
+      for (std::size_t idx = up_[jj]; idx < up_[jj + 1]; ++idx) {
+        bwd_[ui_[idx]] -= ux_[idx] * z;
+      }
+    }
+  }
+  x_out.resize(n_);
+  for (std::uint32_t jj = 0; jj < n_; ++jj) x_out[q_[jj]] = bwd_[jj];
+}
+
+std::size_t SparseLu::factor_nnz() const {
+  return li_.size() + ui_.size() + n_;
+}
+
+}  // namespace sks::esim

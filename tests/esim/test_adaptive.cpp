@@ -7,6 +7,7 @@
 #include "cell/measure.hpp"
 #include "esim/engine.hpp"
 #include "esim/trace.hpp"
+#include "obs/journal.hpp"
 
 namespace sks::esim {
 namespace {
@@ -92,6 +93,79 @@ TEST(AdaptiveTransient, SensorMeasurementAgreesWithFixedStep) {
   const double t1 = stim.strobe_time();
   EXPECT_NEAR(ya.min_in(t0, t1), yf.min_in(t0, t1), 0.05);
   EXPECT_LT(ra.steps(), rf.steps());
+}
+
+TEST(AdaptiveTransient, NewtonFailureShrinksTheAdaptiveStep) {
+  // An inverter slammed by a near-vertical input edge with a starved
+  // Newton budget: the solve at the grown step fails and dt is halved.
+  // The halving must feed back into the adaptive controller (dt_current)
+  // exactly like a dv_max rejection does — the journal pins it: the first
+  // full step after the last kDtHalved event must start from the halved
+  // size (regrowth is at most 1.5x per quiet step), not from the large
+  // pre-failure step.
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, c.ground(), Waveform::dc(5.0));
+  c.add_vsource("VIN", in, c.ground(),
+                Waveform::pwl({1e-9, 1.05e-9}, {0.0, 5.0}));
+  MosParams nmos;  // level-1 defaults are the 1.2 um flavour
+  MosParams pmos = nmos;
+  pmos.type = MosType::kPmos;
+  pmos.vt = 0.9;
+  pmos.kprime = 20e-6;
+  pmos.w = 2.0 * nmos.w;
+  c.add_mosfet("mp", pmos, in, out, vdd);
+  c.add_mosfet("mn", nmos, in, out, c.ground());
+  c.add_capacitor("CL", out, c.ground(), 100e-15);
+
+  TransientOptions options;
+  options.t_end = 2e-9;
+  options.dt = 5e-12;
+  options.adaptive = true;
+  options.dv_max = 100.0;  // never reject on slope: isolate the NR path
+  options.dt_max = 80e-12;
+  options.newton.max_iterations = 3;
+  options.newton.max_step = 0.25;
+
+  obs::journal().clear();
+  obs::journal().set_enabled(true);
+  const auto result = simulate(c, options);
+  obs::journal().set_enabled(false);
+
+  ASSERT_GT(result.stats.dt_halvings, 0u) << "the edge must defeat 3-iter NR";
+  // The first failure burst: consecutive kDtHalved events at the same
+  // interval start, while the controller was still proposing the large
+  // pre-edge step.  `halved` is the size that finally converged.
+  const obs::Event* burst_last = nullptr;
+  double t0 = -1.0;
+  for (const auto& event : obs::journal().events()) {
+    if (event.type != obs::EventType::kDtHalved) continue;
+    if (t0 < 0.0) t0 = event.t;
+    if (event.t != t0) break;
+    burst_last = &event;
+  }
+  ASSERT_NE(burst_last, nullptr);
+  const double halved = burst_last->value;
+
+  // Locate the two recorded steps after the failure: the in-interval retry
+  // and then the first step proposed from dt_current.
+  std::size_t s = 0;
+  while (s < result.time.size() && result.time[s] <= t0 + 1e-21) {
+    ++s;
+  }
+  ASSERT_LT(s + 1, result.time.size());
+  const double retry_delta = result.time[s] - t0;
+  const double next_delta = result.time[s + 1] - result.time[s];
+  EXPECT_LE(retry_delta, halved * (1.0 + 1e-9));
+  EXPECT_LE(next_delta, 1.5 * halved * (1.0 + 1e-9))
+      << "dt_current must shrink with the halving, not stay at the "
+         "pre-failure step";
+  // The test only discriminates if the step before the failure was well
+  // above the post-failure one.
+  ASSERT_GT(s, 1u);
+  EXPECT_GT(result.time[s - 1] - result.time[s - 2], 3.0 * halved);
 }
 
 TEST(AdaptiveTransient, BreakpointsStillHonoured) {

@@ -14,7 +14,7 @@ TEST(Matrix, SolvesIdentity) {
   for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
   std::vector<double> b{1.0, 2.0, 3.0};
   std::vector<double> x;
-  ASSERT_TRUE(lu_solve(a, b, x));
+  ASSERT_EQ(lu_solve(a, b, x), LuStatus::kOk);
   EXPECT_DOUBLE_EQ(x[0], 1.0);
   EXPECT_DOUBLE_EQ(x[1], 2.0);
   EXPECT_DOUBLE_EQ(x[2], 3.0);
@@ -29,7 +29,7 @@ TEST(Matrix, Solves2x2) {
   a.at(1, 1) = 3.0;
   std::vector<double> b{5.0, 10.0};
   std::vector<double> x;
-  ASSERT_TRUE(lu_solve(a, b, x));
+  ASSERT_EQ(lu_solve(a, b, x), LuStatus::kOk);
   EXPECT_NEAR(x[0], 1.0, 1e-12);
   EXPECT_NEAR(x[1], 3.0, 1e-12);
 }
@@ -43,7 +43,7 @@ TEST(Matrix, PivotingHandlesZeroDiagonal) {
   a.at(1, 1) = 0.0;
   std::vector<double> b{2.0, 3.0};
   std::vector<double> x;
-  ASSERT_TRUE(lu_solve(a, b, x));
+  ASSERT_EQ(lu_solve(a, b, x), LuStatus::kOk);
   EXPECT_NEAR(x[0], 3.0, 1e-12);
   EXPECT_NEAR(x[1], 2.0, 1e-12);
 }
@@ -56,14 +56,24 @@ TEST(Matrix, DetectsSingular) {
   a.at(1, 1) = 4.0;
   std::vector<double> b{1.0, 2.0};
   std::vector<double> x;
-  EXPECT_FALSE(lu_solve(a, b, x));
+  EXPECT_EQ(lu_solve(a, b, x), LuStatus::kSingular);
 }
 
 TEST(Matrix, RejectsSizeMismatch) {
   DenseMatrix a(2);
   std::vector<double> b{1.0};
   std::vector<double> x;
-  EXPECT_FALSE(lu_solve(a, b, x));
+  EXPECT_EQ(lu_solve(a, b, x), LuStatus::kSingular);
+}
+
+TEST(Matrix, ClassifiesNonFiniteSeparately) {
+  // A pivot just above the singularity floor with a huge RHS overflows in
+  // back substitution: that is kNonFinite (ill-scaled), not kSingular.
+  DenseMatrix a(1);
+  a.at(0, 0) = 1e-30;
+  std::vector<double> b{1e300};
+  std::vector<double> x;
+  EXPECT_EQ(lu_solve(a, b, x), LuStatus::kNonFinite);
 }
 
 TEST(Matrix, ClearZeroes) {
@@ -99,7 +109,7 @@ TEST_P(MatrixRandom, ResidualIsSmall) {
   const std::vector<double> b_copy = b;
 
   std::vector<double> x;
-  ASSERT_TRUE(lu_solve(a, b, x));
+  ASSERT_EQ(lu_solve(a, b, x), LuStatus::kOk);
   for (std::size_t r = 0; r < n; ++r) {
     double sum = 0.0;
     for (std::size_t c = 0; c < n; ++c) sum += a_copy[r][c] * x[c];

@@ -1,0 +1,291 @@
+// Unit tests for the sparse MNA fast path's linear algebra: the CSC
+// pattern/slot machinery, the minimum-degree ordering and the
+// factor/refactor/solve cycle of SparseLu, checked against the dense
+// reference solver.
+#include "esim/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "esim/matrix.hpp"
+#include "util/prng.hpp"
+
+namespace sks::esim {
+namespace {
+
+using Entries = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+TEST(SparseMatrix, MergesDuplicateEntriesAndSortsColumns) {
+  // (1,0) listed twice and out of order: merged, rows sorted per column.
+  SparseMatrix m(3, Entries{{1, 0}, {0, 0}, {1, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  ASSERT_EQ(m.col_ptr().size(), 4u);
+  EXPECT_EQ(m.col_ptr()[0], 0u);
+  EXPECT_EQ(m.col_ptr()[1], 2u);  // column 0: rows 0, 1
+  EXPECT_EQ(m.col_ptr()[2], 2u);  // column 1: empty
+  EXPECT_EQ(m.col_ptr()[3], 4u);  // column 2: rows 0, 2
+  EXPECT_EQ(m.row()[0], 0u);
+  EXPECT_EQ(m.row()[1], 1u);
+}
+
+TEST(SparseMatrix, SlotWritesLandAtTheRightEntry) {
+  SparseMatrix m(2, Entries{{0, 0}, {1, 0}, {1, 1}});
+  m.values()[m.slot(1, 0)] += 2.5;
+  m.values()[m.slot(1, 0)] += 0.5;
+  m.values()[m.slot(0, 0)] = 1.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // outside the pattern
+}
+
+TEST(SparseMatrix, DummySlotAbsorbsWritesWithoutCorruptingValues) {
+  SparseMatrix m(2, Entries{{0, 0}, {1, 1}});
+  EXPECT_EQ(m.dummy_slot(), m.nnz());
+  EXPECT_EQ(m.values_size(), m.nnz() + 1);
+  m.values()[m.slot(0, 0)] = 1.0;
+  m.values()[m.slot(1, 1)] = 2.0;
+  m.values()[m.dummy_slot()] += 42.0;  // a "ground" stamp
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+}
+
+TEST(MinDegree, ReturnsAPermutation) {
+  SparseMatrix m(4, Entries{{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  auto order = min_degree_order(m);
+  std::sort(order.begin(), order.end());
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(MinDegree, EliminatesStarCenterLast) {
+  // Star graph: node 0 touches everyone (degree 4); leaves have degree 1.
+  // Eliminating the hub first would create a clique of all leaves;
+  // minimum-degree must instead leave it for last.
+  Entries e;
+  for (std::uint32_t leaf = 1; leaf <= 4; ++leaf) {
+    e.push_back({0, leaf});
+    e.push_back({leaf, 0});
+    e.push_back({leaf, leaf});
+  }
+  e.push_back({0, 0});
+  const auto order = min_degree_order(SparseMatrix(5, e));
+  ASSERT_EQ(order.size(), 5u);
+  // The hub ties with the surviving leaves only once two remain, so it can
+  // never be eliminated among the first three picks.
+  for (int i = 0; i < 3; ++i) EXPECT_NE(order[i], 0u) << "pick " << i;
+}
+
+// Helpers shared by the LU tests: build a random diagonally-dominant
+// sparse system, solve it both ways and compare.
+struct RandomSystem {
+  SparseMatrix a;
+  DenseMatrix dense;
+  std::vector<double> b;
+};
+
+RandomSystem make_random_system(std::uint64_t seed, std::size_t n,
+                                double fill) {
+  util::Prng prng(seed);
+  Entries entries;
+  for (std::uint32_t i = 0; i < n; ++i) entries.push_back({i, i});
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (r != c && prng.uniform(0.0, 1.0) < fill) entries.push_back({r, c});
+    }
+  }
+  RandomSystem s{SparseMatrix(n, std::move(entries)), DenseMatrix(n), {}};
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t k = s.a.col_ptr()[c]; k < s.a.col_ptr()[c + 1]; ++k) {
+      const std::size_t r = s.a.row()[k];
+      const double v =
+          r == c ? 0.0 : prng.uniform(-1.0, 1.0);  // diagonal set below
+      s.a.values()[k] = v;
+    }
+  }
+  // Make it strictly diagonally dominant so no pivoting surprises decide
+  // solvability.
+  for (std::size_t r = 0; r < n; ++r) {
+    double offsum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) offsum += std::fabs(s.a.at(r, c));
+    s.a.values()[s.a.slot(r, r)] = offsum + prng.uniform(0.5, 2.0);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) s.dense.at(r, c) = s.a.at(r, c);
+  }
+  s.b.resize(n);
+  for (auto& v : s.b) v = prng.uniform(-10.0, 10.0);
+  return s;
+}
+
+class SparseLuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuRandom, FactorSolveMatchesDense) {
+  auto s = make_random_system(static_cast<std::uint64_t>(GetParam()),
+                              5 + GetParam() % 20, 0.15);
+  SparseLu lu;
+  lu.analyze(s.a);
+  ASSERT_TRUE(lu.analyzed());
+  ASSERT_EQ(lu.factor(s.a), SparseLuStatus::kOk);
+  ASSERT_TRUE(lu.factored());
+  std::vector<double> x_sparse;
+  lu.solve(s.b, x_sparse);
+
+  std::vector<double> b_copy = s.b, x_dense;
+  ASSERT_EQ(lu_solve(s.dense, b_copy, x_dense), LuStatus::kOk);
+  ASSERT_EQ(x_sparse.size(), x_dense.size());
+  for (std::size_t i = 0; i < x_sparse.size(); ++i) {
+    EXPECT_NEAR(x_sparse[i], x_dense[i], 1e-9) << "i=" << i;
+  }
+  EXPECT_GE(lu.factor_nnz(), s.a.size());
+}
+
+TEST_P(SparseLuRandom, RefactorWithSameValuesIsBitIdentical) {
+  auto s = make_random_system(static_cast<std::uint64_t>(GetParam()) + 100,
+                              6 + GetParam() % 17, 0.2);
+  SparseLu lu;
+  lu.analyze(s.a);
+  ASSERT_EQ(lu.factor(s.a), SparseLuStatus::kOk);
+  std::vector<double> x_factor;
+  lu.solve(s.b, x_factor);
+
+  // refactor replays the factorization on the frozen pivot order and
+  // pattern, in the same arithmetic order: same values -> same bits.
+  ASSERT_EQ(lu.refactor(s.a), SparseLuStatus::kOk);
+  std::vector<double> x_refactor;
+  lu.solve(s.b, x_refactor);
+  ASSERT_EQ(x_factor.size(), x_refactor.size());
+  for (std::size_t i = 0; i < x_factor.size(); ++i) {
+    EXPECT_EQ(x_factor[i], x_refactor[i]) << "i=" << i;
+  }
+}
+
+TEST_P(SparseLuRandom, RefactorWithPerturbedValuesMatchesDense) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 200;
+  auto s = make_random_system(seed, 8 + GetParam() % 13, 0.2);
+  SparseLu lu;
+  lu.analyze(s.a);
+  ASSERT_EQ(lu.factor(s.a), SparseLuStatus::kOk);
+
+  // Gentle perturbation (same sign and scale) so the frozen pivots stay
+  // acceptable; this is the Newton-iteration pattern.
+  util::Prng prng(seed);
+  for (std::size_t k = 0; k < s.a.nnz(); ++k) {
+    s.a.values()[k] *= prng.uniform(0.95, 1.05);
+  }
+  ASSERT_EQ(lu.refactor(s.a), SparseLuStatus::kOk);
+  std::vector<double> x_sparse;
+  lu.solve(s.b, x_sparse);
+
+  DenseMatrix dense(s.a.size());
+  for (std::size_t r = 0; r < s.a.size(); ++r) {
+    for (std::size_t c = 0; c < s.a.size(); ++c) dense.at(r, c) = s.a.at(r, c);
+  }
+  std::vector<double> b_copy = s.b, x_dense;
+  ASSERT_EQ(lu_solve(dense, b_copy, x_dense), LuStatus::kOk);
+  for (std::size_t i = 0; i < x_sparse.size(); ++i) {
+    EXPECT_NEAR(x_sparse[i], x_dense[i], 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLuRandom, ::testing::Range(1, 13));
+
+TEST(SparseLu, DetectsSingularLikeDense) {
+  // Row 1 = 2 x row 0: numerically singular.  Both solvers must classify
+  // it as singular (the sparse floor mirrors the dense 1e-30 guard).
+  SparseMatrix a(2, Entries{{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  a.values()[a.slot(0, 0)] = 1.0;
+  a.values()[a.slot(0, 1)] = 2.0;
+  a.values()[a.slot(1, 0)] = 2.0;
+  a.values()[a.slot(1, 1)] = 4.0;
+  SparseLu lu;
+  lu.analyze(a);
+  EXPECT_EQ(lu.factor(a), SparseLuStatus::kSingular);
+  EXPECT_FALSE(lu.factored());
+
+  DenseMatrix d(2);
+  d.at(0, 0) = 1.0;
+  d.at(0, 1) = 2.0;
+  d.at(1, 0) = 2.0;
+  d.at(1, 1) = 4.0;
+  std::vector<double> b{1.0, 2.0}, x;
+  EXPECT_EQ(lu_solve(d, b, x), LuStatus::kSingular);
+}
+
+TEST(SparseLu, StructurallyZeroDiagonalPivots) {
+  // MNA vsource incidence shape: branch row/column with a zero diagonal.
+  //   [ g  1 ] [v]   [0]
+  //   [ 1  0 ] [i] = [E]
+  SparseMatrix a(2, Entries{{0, 0}, {0, 1}, {1, 0}});
+  a.values()[a.slot(0, 0)] = 1e-3;
+  a.values()[a.slot(0, 1)] = 1.0;
+  a.values()[a.slot(1, 0)] = 1.0;
+  SparseLu lu;
+  lu.analyze(a);
+  ASSERT_EQ(lu.factor(a), SparseLuStatus::kOk);
+  std::vector<double> x;
+  lu.solve({0.0, 5.0}, x);
+  EXPECT_NEAR(x[0], 5.0, 1e-12);       // node voltage pinned to E
+  EXPECT_NEAR(x[1], -5e-3, 1e-12);     // branch current -g E
+}
+
+TEST(SparseLu, DegeneratePivotTriggersFallbackFactor) {
+  SparseMatrix a(2, Entries{{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  auto set = [&](double a00) {
+    a.values()[a.slot(0, 0)] = a00;
+    a.values()[a.slot(0, 1)] = 1.0;
+    a.values()[a.slot(1, 0)] = 1.0;
+    a.values()[a.slot(1, 1)] = 1.0;
+  };
+  set(10.0);  // pivot of column 0 is row 0
+  SparseLu lu;
+  lu.analyze(a);
+  ASSERT_EQ(lu.factor(a), SparseLuStatus::kOk);
+
+  // The frozen pivot collapses while the competing candidate stays 1.0:
+  // refactor must refuse (growth guard) instead of dividing by ~0.
+  set(1e-12);
+  EXPECT_EQ(lu.refactor(a), SparseLuStatus::kPivotDegenerate);
+  EXPECT_FALSE(lu.factored());
+
+  // The fallback full factorization re-pivots and solves fine.
+  ASSERT_EQ(lu.factor(a), SparseLuStatus::kOk);
+  std::vector<double> x;
+  lu.solve({1.0, 2.0}, x);
+  // Solve [1e-12 1; 1 1] x = [1; 2] -> x ~= [1; 1].
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(SparseLu, MinDegreeOrderingLimitsFillOnTridiagonal) {
+  // A tridiagonal system has a perfect elimination order: fill-free
+  // factors, nnz(L)+nnz(U) == nnz(A).
+  const std::size_t n = 50;
+  Entries e;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    e.push_back({i, i});
+    if (i + 1 < n) {
+      e.push_back({i, i + 1});
+      e.push_back({i + 1, i});
+    }
+  }
+  SparseMatrix a(n, std::move(e));
+  for (std::size_t i = 0; i < n; ++i) {
+    a.values()[a.slot(i, i)] = 4.0;
+    if (i + 1 < n) {
+      a.values()[a.slot(i, i + 1)] = -1.0;
+      a.values()[a.slot(i + 1, i)] = -1.0;
+    }
+  }
+  SparseLu lu;
+  lu.analyze(a);
+  ASSERT_EQ(lu.factor(a), SparseLuStatus::kOk);
+  EXPECT_EQ(lu.factor_nnz(), a.nnz());
+}
+
+}  // namespace
+}  // namespace sks::esim
