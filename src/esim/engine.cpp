@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "esim/matrix.hpp"
+#include "esim/postmortem.hpp"
 #include "esim/sparse.hpp"
+#include "obs/diag.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -136,11 +138,30 @@ Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
     if (value == "dense") solver_mode_ = SolverMode::kDense;
     else if (value == "sparse") solver_mode_ = SolverMode::kSparse;
   }
+  if (const char* env = std::getenv("SKS_POSTMORTEM")) {
+    const std::string_view value(env);
+    if (!value.empty() && value != "0") {
+      set_postmortem_dir(value == "1" ? "sks-postmortem" : std::string(value));
+    }
+  }
 }
 
 Simulator::~Simulator() = default;
 Simulator::Simulator(Simulator&&) noexcept = default;
 Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+void Simulator::set_diagnostics(bool on) {
+  if (on) {
+    if (!diag_) diag_ = std::make_unique<obs::DiagRing>();
+  } else {
+    diag_.reset();
+  }
+}
+
+void Simulator::set_postmortem_dir(std::string dir) {
+  postmortem_dir_ = std::move(dir);
+  if (!postmortem_dir_.empty()) set_diagnostics(true);
+}
 
 bool Simulator::sparse_path_active() const {
   switch (solver_mode_) {
@@ -519,6 +540,13 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
   if (!sparse && ws_.j.size() != n) ws_.j = DenseMatrix(n);
 
   ++stats_.newton_calls;
+  // Diagnostics: one DiagRecord per iteration when the ring is allocated.
+  // `diag == nullptr` is the entire hot-loop cost of the feature when off —
+  // the record is a stack value and the ring never allocates on push.
+  obs::DiagRing* const diag = diag_.get();
+  obs::DiagRecord rec;
+  double last_pivot_growth = 0.0;
+  double last_cond_est = 0.0;
   // The loop runs one extra trip beyond max_iterations: after an iteration
   // whose damped update fell below vtol, the NEXT trip's assembly (which a
   // continuing solve needs anyway) doubles as the residual convergence
@@ -534,6 +562,29 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
                ws_.f, ws_.j);
     }
 
+    if (diag != nullptr) {
+      rec = obs::DiagRecord{};
+      rec.t = t;
+      rec.h = h;
+      rec.iteration = iter;
+      double max_res = 0.0;
+      std::size_t worst = 0;
+      for (std::size_t i = 0; i < n_voltage; ++i) {
+        const double res = std::fabs(ws_.f[i]);
+        if (!std::isfinite(res)) {
+          max_res = res;
+          worst = i;
+          break;
+        }
+        if (res > max_res) {
+          max_res = res;
+          worst = i;
+        }
+      }
+      rec.residual = max_res;
+      rec.worst_unknown = static_cast<int>(worst);
+    }
+
     if (check_residual) {
       // Converged when both the update (previous trip) and the KCL
       // residual at the updated x are tiny.
@@ -545,6 +596,9 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
         if (obs::journal().enabled()) {
           obs::journal().record({obs::EventType::kNewtonConverged, t, h, iter,
                                  h <= 0.0 ? "dc" : "transient"});
+        }
+        if (diag != nullptr) {
+          obs::record_solve_health(max_res, last_pivot_growth, last_cond_est);
         }
         return true;
       }
@@ -559,12 +613,14 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     if (sparse) {
       SparseLu& lu = plan_->lu;
       SparseLuStatus status;
+      bool repivoted = false;
       if (lu.factored()) {
         // Fast path: numeric refactorization on the frozen pivot order;
         // full re-pivoting factorization only when a pivot degenerated.
         ++stats_.lu_refactorizations;
         status = lu.refactor(plan_->j);
         if (status == SparseLuStatus::kPivotDegenerate) {
+          repivoted = true;
           ++stats_.lu_factorizations;
           ++stats_.lu_pattern_rebuilds;
           status = lu.factor(plan_->j);
@@ -577,7 +633,27 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
       if (status != SparseLuStatus::kOk) {
         ++stats_.lu_singular;
         ++stats_.newton_failures;
+        if (diag != nullptr) {
+          rec.lu_status = obs::kDiagLuSingular;
+          diag->push(rec);
+          obs::record_solve_health(rec.residual, last_pivot_growth,
+                                   last_cond_est);
+        }
         return false;
+      }
+      if (diag != nullptr) {
+        if (repivoted) rec.lu_status = obs::kDiagLuRepivoted;
+        double max_a = 0.0;
+        const double* vals = plan_->j.values();
+        for (std::size_t i = 0; i < plan_->j.nnz(); ++i) {
+          max_a = std::max(max_a, std::fabs(vals[i]));
+        }
+        const double dmax = lu.udiag_max_abs();
+        const double dmin = lu.udiag_min_abs();
+        if (dmin > 0.0) rec.cond_est = dmax / dmin;
+        if (max_a > 0.0) rec.pivot_growth = dmax / max_a;
+        last_pivot_growth = rec.pivot_growth;
+        last_cond_est = rec.cond_est;
       }
       lu.solve(ws_.rhs, ws_.dx);
       bool finite = true;
@@ -590,15 +666,49 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
       if (!finite) {
         ++stats_.lu_nonfinite;
         ++stats_.newton_failures;
+        if (diag != nullptr) {
+          rec.lu_status = obs::kDiagLuNonFinite;
+          diag->push(rec);
+          obs::record_solve_health(rec.residual, last_pivot_growth,
+                                   last_cond_est);
+        }
         return false;
       }
     } else {
       ++stats_.lu_factorizations;
-      const LuStatus status = lu_solve(ws_.j, ws_.rhs, ws_.dx);
+      double max_a = 0.0;
+      if (diag != nullptr) {
+        // Pre-factor |A| scan (lu_solve destroys the Jacobian) feeding the
+        // pivot-growth estimate.  Diagnostics path only.
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            max_a = std::max(max_a, std::fabs(ws_.j.at(r, c)));
+          }
+        }
+      }
+      LuPivotInfo pivots;
+      const LuStatus status =
+          lu_solve(ws_.j, ws_.rhs, ws_.dx, diag != nullptr ? &pivots : nullptr);
+      if (diag != nullptr) {
+        if (pivots.min_abs_pivot > 0.0) {
+          rec.cond_est = pivots.max_abs_pivot / pivots.min_abs_pivot;
+        }
+        if (max_a > 0.0) rec.pivot_growth = pivots.max_abs_pivot / max_a;
+        last_pivot_growth = rec.pivot_growth;
+        last_cond_est = rec.cond_est;
+      }
       if (status != LuStatus::kOk) {
         ++(status == LuStatus::kSingular ? stats_.lu_singular
                                          : stats_.lu_nonfinite);
         ++stats_.newton_failures;
+        if (diag != nullptr) {
+          rec.lu_status = status == LuStatus::kSingular
+                              ? obs::kDiagLuSingular
+                              : obs::kDiagLuNonFinite;
+          diag->push(rec);
+          obs::record_solve_health(rec.residual, last_pivot_growth,
+                                   last_cond_est);
+        }
         return false;
       }
     }
@@ -613,8 +723,17 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     if (max_dv > options.max_step) damping = options.max_step / max_dv;
     for (std::size_t i = 0; i < n; ++i) x[i] += damping * ws_.dx[i];
 
+    if (diag != nullptr) {
+      rec.max_dx = max_dv;
+      rec.damping = damping;
+      diag->push(rec);
+    }
     if (!std::isfinite(max_dv)) {
       ++stats_.newton_failures;
+      if (diag != nullptr) {
+        obs::record_solve_health(rec.residual, last_pivot_growth,
+                                 last_cond_est);
+      }
       return false;
     }
     if (std::getenv("SKS_DEBUG_NR") != nullptr) {
@@ -624,6 +743,9 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     check_residual = max_dv * damping < options.vtol;
   }
   ++stats_.newton_failures;
+  if (diag != nullptr) {
+    obs::record_solve_health(rec.residual, last_pivot_growth, last_cond_est);
+  }
   return false;
 }
 
@@ -729,6 +851,51 @@ std::string Simulator::worst_residual_node(
   return circuit_.node_name(NodeId{worst + 1});
 }
 
+void Simulator::attach_postmortem(ConvergenceError& err,
+                                  const NewtonOptions& newton,
+                                  const TransientOptions* transient,
+                                  const TransientResult* waveforms,
+                                  bool dt_at_floor) const {
+  if (postmortem_dir_.empty()) return;
+  obs::FailureEvidence evidence;
+  evidence.phase = err.phase();
+  evidence.lu_singular = stats_.lu_singular;
+  evidence.lu_nonfinite = stats_.lu_nonfinite;
+  evidence.dt_halvings = stats_.dt_halvings;
+  evidence.dt_at_floor = dt_at_floor;
+  if (diag_) evidence.tail = diag_->snapshot();
+  const obs::FailureClass cls = obs::classify_failure(evidence);
+
+  PostmortemContext context;
+  context.circuit = &circuit_;
+  context.phase = err.phase();
+  context.failure_class = obs::to_string(cls);
+  context.message = err.what();
+  context.t = err.sim_time();
+  context.iterations = err.iterations();
+  context.worst_node = err.worst_node();
+  context.sparse_path = sparse_path_active();
+  context.dt_at_floor = dt_at_floor;
+  context.stats = stats_;
+  context.newton = newton;
+  context.transient = transient;
+  context.ring = diag_.get();
+  context.waveforms = waveforms;
+  PostmortemOptions popt;
+  popt.dir = postmortem_dir_;
+  try {
+    const std::string bundle = write_postmortem_bundle(context, popt);
+    err.set_bundle_path(bundle);
+    if (obs::journal().enabled()) {
+      obs::journal().record({obs::EventType::kWarning, err.sim_time(), 0.0,
+                             static_cast<int>(err.iterations()),
+                             "postmortem bundle: " + bundle});
+    }
+  } catch (const std::exception&) {
+    // A full disk or unwritable directory must not mask the solver error.
+  }
+}
+
 std::vector<double> Simulator::dc_operating_point(double t) {
   return dc_solution(t).node_v;
 }
@@ -752,18 +919,21 @@ Simulator::DcSolution Simulator::dc_solution(
     }
   }
   NewtonOptions options;
+  if (diag_) diag_->clear();
   if (!dc_solve(x, t, options)) {
     stats_.wall_seconds = wall.seconds();
     mirror_to_obs(stats_);
     const std::string worst =
         worst_residual_node(x, t, -1.0, false, {}, {}, 1e-12);
-    throw ConvergenceError(
+    ConvergenceError err(
         sks::detail::concat_parts(
             "DC operating point did not converge (t=", t * 1e12, " ps, ",
             stats_.newton_iterations, " NR iterations across the ladder",
             worst.empty() ? "" : ", worst residual at node '" + worst + "'",
             ")"),
         "dc", t, static_cast<long>(stats_.newton_iterations), worst);
+    attach_postmortem(err, options, nullptr, nullptr, false);
+    throw err;
   }
   DcSolution solution;
   solution.node_v.assign(circuit_.node_count(), 0.0);
@@ -805,12 +975,13 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   std::vector<double> x(unknown_count(), 0.0);
   NewtonOptions dc_options = options.newton;
   dc_options.max_iterations = std::max(dc_options.max_iterations, 120);
+  if (diag_) diag_->clear();
   if (!dc_solve(x, 0.0, dc_options)) {
     stats_.wall_seconds = wall.seconds();
     mirror_to_obs(stats_);
     const std::string worst =
         worst_residual_node(x, 0.0, -1.0, false, {}, {}, 1e-12);
-    throw ConvergenceError(
+    ConvergenceError err(
         sks::detail::concat_parts(
             "transient: initial DC operating point failed (",
             stats_.newton_iterations, " NR iterations",
@@ -818,6 +989,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
             ")"),
         "transient_dc", 0.0, static_cast<long>(stats_.newton_iterations),
         worst);
+    attach_postmortem(err, dc_options, &options, nullptr, false);
+    throw err;
   }
 
   // Collect breakpoints from all source waveforms.
@@ -994,9 +1167,12 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
       }
       stats_.wall_seconds = wall.seconds();
       mirror_to_obs(stats_);
+      // Continuous-health counter: the step was abandoned with dt at the
+      // floor.  Always live (failure path only, nowhere near the hot loop).
+      obs::registry().counter("dt.collapse_events").inc();
       const std::string worst = worst_residual_node(
           x_saved, t, options.dt_min, false, cap_v, cap_i, options.gmin);
-      throw ConvergenceError(
+      ConvergenceError err(
           sks::detail::concat_parts(
               "transient: Newton failed at t = ", t * 1e12,
               " ps (dt halved to ", options.dt_min, " s, ",
@@ -1004,6 +1180,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
               worst.empty() ? "" : ", worst residual at node '" + worst + "'",
               ")"),
           "transient", t, static_cast<long>(stats_.newton_iterations), worst);
+      attach_postmortem(err, options.newton, &options, &result, true);
+      throw err;
     }
 
     const bool completed_interval = h_try >= h - 1e-21;

@@ -43,6 +43,14 @@
 #include "esim/matrix.hpp"
 #include "esim/netlist.hpp"
 
+namespace sks {
+class ConvergenceError;
+}
+
+namespace sks::obs {
+class DiagRing;
+}
+
 namespace sks::esim {
 
 // Per-run solver telemetry, accumulated by every public solve entry point
@@ -192,6 +200,30 @@ class Simulator {
   // ConvergenceError handler doing a post-mortem).
   const SolveStats& last_stats() const { return stats_; }
 
+  // --- Numerical-health diagnostics & postmortem capture -----------------
+  // With diagnostics on, every Newton iteration records an obs::DiagRecord
+  // (residual, |dx|, damping, LU status, pivot growth, condition estimate)
+  // into a bounded per-Simulator ring, and each solve mirrors its health
+  // into the obs registry (nr.residual / lu.pivot_growth / lu.cond_est).
+  // Off (the default), the hot loop pays exactly one pointer null-check
+  // and performs zero allocations.  Enabled explicitly here, implicitly by
+  // set_postmortem_dir, or process-wide by the SKS_POSTMORTEM environment
+  // variable ("1" = bundles to ./sks-postmortem, any other non-empty value
+  // = bundles to that directory).
+  void set_diagnostics(bool on);
+  bool diagnostics_enabled() const { return diag_ != nullptr; }
+  // The iteration ring of the most recent solve; nullptr when diagnostics
+  // are off.
+  const obs::DiagRing* diag_ring() const { return diag_.get(); }
+
+  // Where failure bundles are written ("" = none).  A non-empty directory
+  // implies set_diagnostics(true); every ConvergenceError thrown afterwards
+  // carries bundle_path() pointing at a self-contained bundle (netlist,
+  // options, iteration ring, waveform tail, manifest — see
+  // esim/postmortem.hpp).
+  void set_postmortem_dir(std::string dir);
+  const std::string& postmortem_dir() const { return postmortem_dir_; }
+
  private:
   std::size_t unknown_count() const;
   std::size_t node_unknown(NodeId n) const;  // valid only for non-ground
@@ -236,6 +268,14 @@ class Simulator {
                                   const std::vector<double>& cap_prev_i,
                                   double gmin) const;
 
+  // Classify the failure, write the postmortem bundle (when a directory is
+  // configured) and stamp its path onto the error.  Never throws: bundle
+  // I/O problems must not mask the solver error.
+  void attach_postmortem(ConvergenceError& err, const NewtonOptions& newton,
+                         const TransientOptions* transient,
+                         const TransientResult* waveforms,
+                         bool dt_at_floor) const;
+
   Circuit circuit_;
   SolverMode solver_mode_ = SolverMode::kAuto;
   // Accumulated by const solver internals during a run; reset by each
@@ -247,6 +287,10 @@ class Simulator {
   mutable SolveWorkspace ws_;
   struct StampPlan;
   mutable std::unique_ptr<StampPlan> plan_;
+  // Diagnostics ring: allocated only while diagnostics are on; its null
+  // check is the entire hot-loop cost of the feature when off.
+  mutable std::unique_ptr<obs::DiagRing> diag_;
+  std::string postmortem_dir_;
 };
 
 // Convenience one-shot: DC operating point of a circuit.

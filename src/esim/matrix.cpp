@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sks::esim {
 
 void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
 
 LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
-                  std::vector<double>& x_out) {
+                  std::vector<double>& x_out, LuPivotInfo* pivots) {
   const std::size_t n = a.size();
   if (b.size() != n) return LuStatus::kSingular;
   x_out.assign(n, 0.0);
+
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+  const auto publish_pivots = [&] {
+    if (pivots == nullptr) return;
+    pivots->min_abs_pivot = std::isfinite(min_pivot) ? min_pivot : 0.0;
+    pivots->max_abs_pivot = max_pivot;
+  };
 
   std::vector<std::size_t> perm(n);
   for (std::size_t i = 0; i < n; ++i) perm[i] = i;
@@ -29,7 +38,12 @@ LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
         pivot = r;
       }
     }
-    if (best < 1e-30) return LuStatus::kSingular;
+    min_pivot = std::min(min_pivot, best);
+    max_pivot = std::max(max_pivot, best);
+    if (best < 1e-30) {
+      publish_pivots();
+      return LuStatus::kSingular;
+    }
     std::swap(perm[k], perm[pivot]);
 
     const double akk = a.at(perm[k], k);
@@ -51,8 +65,12 @@ LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
       sum -= a.at(perm[ki], c) * x_out[c];
     }
     x_out[ki] = sum / a.at(perm[ki], ki);
-    if (!std::isfinite(x_out[ki])) return LuStatus::kNonFinite;
+    if (!std::isfinite(x_out[ki])) {
+      publish_pivots();
+      return LuStatus::kNonFinite;
+    }
   }
+  publish_pivots();
   return LuStatus::kOk;
 }
 

@@ -31,8 +31,21 @@ class DenseMatrix {
 // from a merely ill-scaled one.
 enum class LuStatus { kOk, kSingular, kNonFinite };
 
-// Solve A x = b in place (A and b are destroyed).
+// Diagnostics sidecar of a dense factorization: the |pivot| extrema seen
+// while eliminating.  max/min is the cheap condition estimate the
+// diagnostics layer exports; max over the pre-factor max |A_ij| is the
+// pivot growth.  Filled even when the solve bails out singular, so a
+// postmortem can show the offending near-zero pivot.
+struct LuPivotInfo {
+  double min_abs_pivot = 0.0;
+  double max_abs_pivot = 0.0;
+};
+
+// Solve A x = b in place (A and b are destroyed).  `pivots`, when non-null,
+// receives the pivot extrema (diagnostics path only — pass nullptr in hot
+// loops).
 LuStatus lu_solve(DenseMatrix& a, std::vector<double>& b,
-                  std::vector<double>& x_out);
+                  std::vector<double>& x_out,
+                  LuPivotInfo* pivots = nullptr);
 
 }  // namespace sks::esim

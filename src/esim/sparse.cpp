@@ -303,4 +303,18 @@ std::size_t SparseLu::factor_nnz() const {
   return li_.size() + ui_.size() + n_;
 }
 
+double SparseLu::udiag_min_abs() const {
+  if (!factored_ || udiag_.empty()) return 0.0;
+  double m = std::fabs(udiag_[0]);
+  for (const double d : udiag_) m = std::min(m, std::fabs(d));
+  return m;
+}
+
+double SparseLu::udiag_max_abs() const {
+  if (!factored_ || udiag_.empty()) return 0.0;
+  double m = 0.0;
+  for (const double d : udiag_) m = std::max(m, std::fabs(d));
+  return m;
+}
+
 }  // namespace sks::esim

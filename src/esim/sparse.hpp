@@ -111,6 +111,12 @@ class SparseLu {
   // nnz(L) + nnz(U) including diagonals — the fill the ordering produced.
   std::size_t factor_nnz() const;
 
+  // |U| diagonal extrema of the current factors (0 when not factored).
+  // max/min is the cheap condition estimate the diagnostics layer exports;
+  // max over the pre-factor max |A_ij| is the pivot growth.
+  double udiag_min_abs() const;
+  double udiag_max_abs() const;
+
  private:
   void scatter_column(const SparseMatrix& a, std::size_t col);
   SparseLuStatus factor_column(const SparseMatrix& a, std::uint32_t jj);

@@ -141,52 +141,106 @@ void write_vcd(const std::string& path, const std::vector<Trace>& traces,
   write_file(path, vcd_string(traces, options));
 }
 
+namespace {
+
+// Whitespace-delimited tokenizer that remembers the 1-based line each token
+// started on, so parse errors can point at the offending input line.
+class VcdLexer {
+ public:
+  explicit VcdLexer(const std::string& text) : text_(text) {}
+
+  // Next token; false at end of input.  After a successful call, line()
+  // names the line the token began on.
+  bool next(std::string& token) {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    token_line_ = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    token.assign(text_, start, pos_ - start);
+    return true;
+  }
+
+  std::size_t line() const { return token_line_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t token_line_ = 1;
+};
+
+template <typename... Parts>
+[[noreturn]] void vcd_fail(std::size_t line, Parts&&... parts) {
+  throw sks::Error(sks::detail::concat_parts(
+      "vcd line ", line, ": ", std::forward<Parts>(parts)...));
+}
+
+}  // namespace
+
 std::vector<Trace> parse_vcd(const std::string& text) {
-  std::istringstream in(text);
+  VcdLexer lex(text);
   std::string token;
   double timescale = 0.0;
   std::vector<std::string> names;
   std::vector<std::string> ids;
 
-  auto expect_end = [&](const char* directive) {
-    while (in >> token) {
+  auto expect_end = [&](const std::string& directive,
+                        std::size_t directive_line) {
+    while (lex.next(token)) {
       if (token == "$end") return;
     }
-    throw sks::Error(
-        sks::detail::concat_parts("vcd: unterminated ", directive));
+    vcd_fail(directive_line, "unterminated ", directive);
   };
 
   // Header: collect $timescale and the real vars until $enddefinitions.
-  while (in >> token) {
+  while (lex.next(token)) {
+    const std::size_t at = lex.line();
     if (token == "$timescale") {
       std::string mantissa, unit;
-      in >> mantissa;
+      if (!lex.next(mantissa)) vcd_fail(at, "truncated $timescale");
       // Accept both "1 fs" and "1fs".
       const std::size_t split = mantissa.find_first_not_of("0123456789");
       if (split == std::string::npos) {
-        in >> unit;
+        if (!lex.next(unit)) vcd_fail(at, "truncated $timescale");
       } else {
         unit = mantissa.substr(split);
         mantissa = mantissa.substr(0, split);
       }
       timescale = parse_timescale(mantissa, unit);
-      expect_end("$timescale");
+      expect_end("$timescale", at);
     } else if (token == "$var") {
       std::string type, width, id, name;
-      in >> type >> width >> id >> name;
-      sks::check(type == "real", "vcd: only real vars supported, got '", type,
-                 "'");
+      if (!lex.next(type) || !lex.next(width) || !lex.next(id) ||
+          !lex.next(name)) {
+        vcd_fail(at, "truncated $var declaration");
+      }
+      for (const std::string* part : {&type, &width, &id, &name}) {
+        if (*part == "$end") {
+          vcd_fail(at, "malformed $var declaration: expected "
+                       "'real <width> <id> <name> $end', got '$end' early");
+        }
+      }
+      if (type != "real") {
+        vcd_fail(at, "only real vars supported, got '", type, "'");
+      }
       ids.push_back(id);
       names.push_back(name);
-      expect_end("$var");
+      expect_end("$var", at);
     } else if (token == "$enddefinitions") {
-      expect_end("$enddefinitions");
+      expect_end("$enddefinitions", at);
       break;
     } else if (!token.empty() && token[0] == '$') {
-      expect_end(token.c_str());
+      expect_end(token, at);
     } else {
-      throw sks::Error(sks::detail::concat_parts(
-          "vcd: unexpected token '", token, "' in header"));
+      vcd_fail(at, "unexpected token '", token, "' in header");
     }
   }
   sks::check(timescale > 0.0, "vcd: missing $timescale");
@@ -196,18 +250,25 @@ std::vector<Trace> parse_vcd(const std::string& text) {
   std::vector<std::vector<double>> values(ids.size());
   double t = 0.0;
   bool have_time = false;
-  while (in >> token) {
+  while (lex.next(token)) {
+    const std::size_t at = lex.line();
     if (token[0] == '#') {
       t = static_cast<double>(std::atoll(token.c_str() + 1)) * timescale;
       have_time = true;
     } else if (token[0] == 'r' || token[0] == 'R') {
-      sks::check(have_time, "vcd: value change before the first timestamp");
+      if (!have_time) {
+        vcd_fail(at, "value change '", token,
+                 "' before the first timestamp");
+      }
       const double v = std::atof(token.c_str() + 1);
       std::string id;
-      in >> id;
+      if (!lex.next(id)) {
+        vcd_fail(at, "value change '", token, "' missing its signal id");
+      }
       const auto it = std::find(ids.begin(), ids.end(), id);
-      sks::check(it != ids.end(), "vcd: value change for unknown id '", id,
-                 "'");
+      if (it == ids.end()) {
+        vcd_fail(at, "value change for unknown id '", id, "'");
+      }
       const auto s = static_cast<std::size_t>(it - ids.begin());
       times[s].push_back(t);
       values[s].push_back(v);
@@ -215,13 +276,12 @@ std::vector<Trace> parse_vcd(const std::string& text) {
       // $dumpvars / $dumpall blocks wrap plain value changes; skip the
       // markers themselves.
       if (token != "$end" && token != "$dumpvars" && token != "$dumpall") {
-        throw sks::Error(sks::detail::concat_parts(
-            "vcd: unsupported directive '", token, "' in value section"));
+        vcd_fail(at, "unsupported directive '", token,
+                 "' in value section");
       }
     } else {
-      throw sks::Error(sks::detail::concat_parts(
-          "vcd: unsupported value change '", token,
-          "' (only real signals are handled)"));
+      vcd_fail(at, "unsupported value change '", token,
+               "' (only real signals are handled)");
     }
   }
 

@@ -91,6 +91,7 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
     // reports can say *why* coverage was lost.
     verdict.seconds = stopwatch.seconds();
     verdict.failure = e.what();
+    verdict.bundle = e.bundle_path();
     if (obs::journal().enabled()) {
       obs::journal().record({obs::EventType::kFaultVerdict, e.sim_time(), 0.0,
                              static_cast<int>(e.iterations()),

@@ -71,6 +71,9 @@ struct FaultVerdict {
   esim::SolveStats stats;
   // Why the simulation was abandoned ("" when `simulated`).
   std::string failure;
+  // Postmortem bundle directory for the failed run ("" unless postmortems
+  // are enabled on the engine, see Simulator::set_postmortem_dir).
+  std::string bundle;
 
   bool detected(bool with_iddq) const {
     return logic_detected || (with_iddq && iddq_detected);

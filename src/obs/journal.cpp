@@ -15,6 +15,7 @@ const char* to_string(EventType type) {
     case EventType::kDtHalved: return "dt_halved";
     case EventType::kBreakpoint: return "breakpoint";
     case EventType::kFaultVerdict: return "fault_verdict";
+    case EventType::kWarning: return "warning";
   }
   return "unknown";
 }

@@ -34,6 +34,7 @@ enum class EventType {
   kDtHalved,         // transient step halved after a Newton failure (value=dt)
   kBreakpoint,       // source-corner breakpoint honoured at t
   kFaultVerdict,     // one fault tested (detail = label + verdict)
+  kWarning,          // telemetry-layer misuse / postmortem notice (detail)
 };
 
 const char* to_string(EventType type);

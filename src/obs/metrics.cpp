@@ -1,6 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <cstdlib>
+#include <sstream>
+
+#include "obs/journal.hpp"
 
 namespace sks::obs {
 
@@ -72,8 +75,32 @@ TimerStat& Registry::timer(const std::string& name) {
 
 util::Histogram& Registry::histogram(const std::string& name, double lo,
                                      double hi, std::size_t bins) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return get_or_create(histograms_, name, lo, hi, bins);
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return get_or_create(histograms_, name, lo, hi, bins);
+  }
+  util::Histogram& existing = *it->second;
+  if (existing.lo() != lo || existing.hi() != hi || existing.bins() != bins) {
+    // The first call fixed the binning; a conflicting re-request would
+    // silently clamp samples into the wrong bins, so make it visible.
+    // The counter bump goes through the map directly — our mutex is not
+    // recursive, so this->counter() would deadlock here.
+    get_or_create(counters_, "obs.histogram_range_mismatch").inc();
+    lock.unlock();  // entry addresses are stable; journal() locks its own
+    if (journal().enabled()) {
+      std::ostringstream msg;
+      msg << "histogram '" << name << "' re-requested with range [" << lo
+          << ", " << hi << "]/" << bins << " bins; keeping existing ["
+          << existing.lo() << ", " << existing.hi() << "]/"
+          << existing.bins();
+      Event event;
+      event.type = EventType::kWarning;
+      event.detail = msg.str();
+      journal().record(std::move(event));
+    }
+  }
+  return existing;
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {

@@ -140,7 +140,10 @@ class Registry {
   Gauge& gauge(const std::string& name);
   TimerStat& timer(const std::string& name);
   // First call fixes the binning; later calls with the same name return the
-  // existing histogram regardless of the requested range.
+  // existing histogram.  A later call with a *different* lo/hi/bins is a
+  // caller bug: it still gets the existing histogram, but the mismatch is
+  // counted (`obs.histogram_range_mismatch`) and journaled as a warning
+  // instead of passing silently.
   util::Histogram& histogram(const std::string& name, double lo, double hi,
                              std::size_t bins);
 

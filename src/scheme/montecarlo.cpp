@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "par/pool.hpp"
+#include "util/error.hpp"
 #include "util/prng.hpp"
 
 namespace sks::scheme {
@@ -56,12 +57,21 @@ SampleResult measure_one(const cell::Technology& tech,
   spec.rel = options.rel;
   cell::apply_random_variation(bench.circuit, spec, prng);
 
-  const cell::SensorMeasurement m = cell::measure_bench(
-      bench, tech.interpretation_threshold(), options.dt, &out.solve);
-  // Positive tau delays phi2, so the late output is y2.
-  s.vmin_late = m.vmin_y2;
-  s.indication = m.indication;
-  s.detected = m.error();
+  try {
+    const cell::SensorMeasurement m = cell::measure_bench(
+        bench, tech.interpretation_threshold(), options.dt, &out.solve);
+    // Positive tau delays phi2, so the late output is y2.
+    s.vmin_late = m.vmin_y2;
+    s.indication = m.indication;
+    s.detected = m.error();
+  } catch (const ConvergenceError& e) {
+    // A pathological random draw must not abort the whole population: mark
+    // the sample unsimulated and keep the failure context (plus the
+    // postmortem bundle path when bundles are enabled) for the report.
+    s.simulated = false;
+    s.failure = e.what();
+    s.bundle = e.bundle_path();
+  }
   out.seconds = sample_wall.seconds();
   span.arg("tau", s.tau)
       .arg("vmin_late", s.vmin_late)
@@ -76,6 +86,7 @@ obs::Report McRunStats::run_report(const std::string& name) const {
   obs::Report report(name);
   report.set_value("samples", static_cast<double>(sample_seconds.count()));
   report.set_value("detected", static_cast<double>(detected));
+  report.set_value("unsimulated", static_cast<double>(unsimulated));
   report.set_value("wall_seconds", wall_seconds);
   if (sample_seconds.count() > 0) {
     report.set_value("sample_seconds.mean", sample_seconds.mean());
@@ -121,6 +132,7 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
       stats->sample_seconds.add(results[i].seconds);
       stats->solve.merge(results[i].solve);
       if (results[i].sample.detected) ++stats->detected;
+      if (!results[i].sample.simulated) ++stats->unsimulated;
     }
     if (progress) progress(i + 1, options.samples);
   });
@@ -152,6 +164,7 @@ ProbabilityEstimates estimate_probabilities(const std::vector<McSample>& mc,
   ProbabilityEstimates est;
   est.tau_min_nominal = tau_min_nominal;
   for (const McSample& s : mc) {
+    if (!s.simulated) continue;  // no measurement to classify
     ++est.loose_joint.trials;
     ++est.false_alarm_joint.trials;
     if (s.tau > tau_min_nominal) {

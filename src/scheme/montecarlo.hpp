@@ -52,6 +52,13 @@ struct McSample {
   double vmin_late = 0.0;  // V_min of the LATE phase's output (y2) [V]
   cell::Indication indication = cell::Indication::kNone;
   bool detected = false;   // any error indication produced
+  // Electrical simulation converged.  An unsimulated sample carries the
+  // solver's failure message (and, when postmortems are enabled via
+  // SKS_POSTMORTEM, the bundle directory) and is excluded from the
+  // probability estimates instead of aborting the whole population.
+  bool simulated = true;
+  std::string failure;
+  std::string bundle;
 };
 
 // Aggregated telemetry of one Monte-Carlo population run.
@@ -60,6 +67,7 @@ struct McRunStats {
   util::RunningStats sample_seconds;  // per-sample wall time distribution
   esim::SolveStats solve;             // engine stats summed over all samples
   std::size_t detected = 0;           // samples with an error indication
+  std::size_t unsimulated = 0;        // samples whose solve did not converge
 
   // Machine-readable run report (schema: obs/report.hpp, EXPERIMENTS.md).
   obs::Report run_report(const std::string& name = "vmin_montecarlo") const;

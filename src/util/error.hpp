@@ -62,11 +62,18 @@ class ConvergenceError : public Error {
   // unknown).
   const std::string& worst_node() const { return worst_node_; }
 
+  // Directory of the postmortem bundle written for this failure ("" when
+  // postmortem capture was off).  Set by the engine after construction so
+  // the bundle writer can serialize the error message into the manifest.
+  const std::string& bundle_path() const { return bundle_path_; }
+  void set_bundle_path(std::string path) { bundle_path_ = std::move(path); }
+
  private:
   std::string phase_;
   double sim_time_ = -1.0;
   long iterations_ = 0;
   std::string worst_node_;
+  std::string bundle_path_;
 };
 
 // Thrown on malformed netlists / trees (dangling node, duplicate name, ...).

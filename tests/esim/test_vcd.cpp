@@ -150,6 +150,46 @@ TEST(Vcd, ErrorCases) {
                Error);
 }
 
+TEST(Vcd, ParseErrorsCarryLineNumberAndToken) {
+  // Malformed $var: a non-real type on line 2.
+  try {
+    parse_vcd(
+        "$timescale 1 fs $end\n"
+        "$var wire 1 ! x $end\n"
+        "$enddefinitions $end\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'wire'"), std::string::npos) << what;
+  }
+  // Truncated $var: $end arrives before the declaration is complete.
+  try {
+    parse_vcd(
+        "$timescale 1 fs $end\n"
+        "$var real 64 $end\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("$var"), std::string::npos) << what;
+  }
+  // Value-section errors point at their own line and the offending token.
+  try {
+    parse_vcd(
+        "$timescale 1 fs $end\n"
+        "$var real 64 ! x $end\n"
+        "$enddefinitions $end\n"
+        "#0\n"
+        "r1.5 ?\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("'?'"), std::string::npos) << what;
+  }
+}
+
 TEST(Vcd, ParserToleratesDumpvarsBlocks) {
   const auto parsed = parse_vcd(
       "$timescale 1 fs $end\n"

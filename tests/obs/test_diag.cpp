@@ -1,0 +1,137 @@
+// Numerical-health diagnostics data model: DiagRing bounded semantics,
+// failure-class naming round trips, and the classifier's priority order on
+// synthetic evidence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/diag.hpp"
+#include "obs/metrics.hpp"
+
+namespace sks::obs {
+namespace {
+
+DiagRecord record_with(int iteration, double residual) {
+  DiagRecord r;
+  r.iteration = iteration;
+  r.residual = residual;
+  r.max_dx = 0.1;
+  return r;
+}
+
+TEST(DiagRing, KeepsMostRecentRecordsOldestFirst) {
+  DiagRing ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) ring.push(record_with(i, 1.0));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(records[i].iteration, i + 2);
+
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.total_pushed(), 0u);
+}
+
+TEST(DiagRing, SnapshotBeforeWrapIsInsertionOrder) {
+  DiagRing ring(8);
+  for (int i = 0; i < 3; ++i) ring.push(record_with(i, 1.0));
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(records[i].iteration, i);
+}
+
+TEST(FailureClassNames, RoundTripThroughToStringAndParse) {
+  for (const FailureClass c :
+       {FailureClass::kSingularSystem, FailureClass::kNonFiniteEval,
+        FailureClass::kOscillatingNewton, FailureClass::kTimestepCollapse,
+        FailureClass::kNoConvergence}) {
+    EXPECT_EQ(parse_failure_class(to_string(c)), c);
+    EXPECT_FALSE(describe(c, "n42").empty());
+    EXPECT_NE(describe(c, "n42").find("n42"), std::string::npos);
+  }
+  EXPECT_THROW(parse_failure_class("not_a_class"), std::runtime_error);
+}
+
+TEST(ClassifyFailure, SingularEvidenceWinsOverGeneric) {
+  FailureEvidence e;
+  e.phase = "dc";
+  e.lu_singular = 3;
+  EXPECT_EQ(classify_failure(e), FailureClass::kSingularSystem);
+
+  // Also via a per-iteration LU status with no aggregate counter.
+  FailureEvidence tail_only;
+  tail_only.phase = "dc";
+  DiagRecord r = record_with(0, 1.0);
+  r.lu_status = kDiagLuSingular;
+  tail_only.tail.push_back(r);
+  EXPECT_EQ(classify_failure(tail_only), FailureClass::kSingularSystem);
+}
+
+TEST(ClassifyFailure, NonFiniteBeatsSingular) {
+  FailureEvidence e;
+  e.phase = "dc";
+  e.lu_singular = 1;
+  e.lu_nonfinite = 1;
+  EXPECT_EQ(classify_failure(e), FailureClass::kNonFiniteEval);
+
+  FailureEvidence nan_residual;
+  nan_residual.phase = "dc";
+  nan_residual.tail.push_back(
+      record_with(0, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(classify_failure(nan_residual), FailureClass::kNonFiniteEval);
+}
+
+TEST(ClassifyFailure, BouncingResidualIsOscillation) {
+  FailureEvidence e;
+  e.phase = "dc";
+  for (int i = 0; i < 16; ++i) {
+    e.tail.push_back(record_with(i, i % 2 == 0 ? 1.0 : 2.0));
+  }
+  EXPECT_EQ(classify_failure(e), FailureClass::kOscillatingNewton);
+}
+
+TEST(ClassifyFailure, ContractingResidualIsNotOscillation) {
+  FailureEvidence e;
+  e.phase = "dc";
+  double residual = 1.0;
+  for (int i = 0; i < 16; ++i) {
+    e.tail.push_back(record_with(i, residual));
+    residual *= 0.3;
+  }
+  EXPECT_EQ(classify_failure(e), FailureClass::kNoConvergence);
+}
+
+TEST(ClassifyFailure, TransientAtDtFloorIsTimestepCollapse) {
+  FailureEvidence e;
+  e.phase = "transient";
+  e.dt_at_floor = true;
+  e.dt_halvings = 40;
+  e.tail.push_back(record_with(0, 1.0));
+  EXPECT_EQ(classify_failure(e), FailureClass::kTimestepCollapse);
+
+  // The same evidence in a DC phase is just non-convergence.
+  e.phase = "dc";
+  EXPECT_EQ(classify_failure(e), FailureClass::kNoConvergence);
+}
+
+TEST(RecordSolveHealth, SetsGaugesAndFillsResidualHistogram) {
+  Registry& reg = registry();
+  const std::size_t before =
+      reg.histogram("nr.residual", -15.0, 5.0, 40).total();
+  record_solve_health(1e-8, 2.5, 1e4);
+  EXPECT_EQ(reg.gauge("lu.pivot_growth").value(), 2.5);
+  EXPECT_EQ(reg.gauge("lu.cond_est").value(), 1e4);
+  EXPECT_EQ(reg.histogram("nr.residual", -15.0, 5.0, 40).total(), before + 1);
+  // Non-finite residuals must not poison the histogram.
+  record_solve_health(std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0);
+  EXPECT_EQ(reg.histogram("nr.residual", -15.0, 5.0, 40).total(), before + 1);
+}
+
+}  // namespace
+}  // namespace sks::obs

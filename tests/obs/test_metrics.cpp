@@ -97,6 +97,24 @@ TEST(RegistryTest, HistogramBinningFixedOnFirstUse) {
   EXPECT_EQ(h.total(), 0u);
 }
 
+TEST(RegistryTest, HistogramRangeMismatchIsCountedNotSilent) {
+  Registry reg;
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_EQ(reg.find_counter("obs.histogram_range_mismatch"), nullptr)
+      << "first use fixes the binning without complaint";
+  // Matching re-request: still no mismatch.
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_EQ(reg.find_counter("obs.histogram_range_mismatch"), nullptr);
+  // Conflicting range, hi, and bin count each count once.
+  reg.histogram("h", -1.0, 10.0, 5);
+  reg.histogram("h", 0.0, 20.0, 5);
+  reg.histogram("h", 0.0, 10.0, 7);
+  const Counter* mismatches =
+      reg.find_counter("obs.histogram_range_mismatch");
+  ASSERT_NE(mismatches, nullptr);
+  EXPECT_EQ(mismatches->value(), 3u);
+}
+
 TEST(ScopedTimerTest, DisabledRecordsNothing) {
   ObsFlagGuard guard;
   set_enabled(false);

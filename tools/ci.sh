@@ -101,6 +101,41 @@ python3 -m json.tool "$SMOKE_DIR/journal_trace.json" > /dev/null \
   || { echo "invalid JSON: $SMOKE_DIR/journal_trace.json" >&2; exit 1; }
 echo "ok: sks-report print/diff/merge/trace"
 
+echo "=== postmortem bundle smoke check ==="
+# A deliberately singular netlist (two ideal sources pinning one node to
+# different voltages) must fail, emit a self-contained bundle, explain to
+# the singular_system class, and reproduce from the bundle alone.
+PM_DIR=build-ci/postmortem
+rm -rf "$PM_DIR"
+mkdir -p "$PM_DIR"
+cat > "$PM_DIR/singular.sp" <<'EOF'
+* conflicting ideal sources: structurally singular MNA system
+V1 n 0 DC 1.0
+V2 n 0 DC 2.0
+R1 n 0 1e3
+.end
+EOF
+if "$SKS_REPORT" run "$PM_DIR/singular.sp" --dc \
+    --postmortem "$PM_DIR/bundles" > "$PM_DIR/run.log" 2>&1; then
+  echo "singular netlist unexpectedly converged" >&2; exit 1
+fi
+BUNDLE=$(ls -d "$PM_DIR"/bundles/pm_* | head -1)
+[ -n "$BUNDLE" ] || { echo "no postmortem bundle written" >&2; exit 1; }
+"$SKS_REPORT" explain "$BUNDLE" | tee "$PM_DIR/explain.log" \
+    | grep -q "singular_system" \
+  || { echo "explain did not classify singular_system" >&2; exit 1; }
+"$SKS_REPORT" repro "$BUNDLE" \
+  || { echo "bundle failure did not reproduce" >&2; exit 1; }
+echo "ok: sks-report run/explain/repro on $BUNDLE"
+
+echo "=== bench history smoke check ==="
+"$SKS_REPORT" history "$PM_DIR/history.jsonl" \
+    "$SMOKE_DIR/BENCH_perf_micro.json" > /dev/null
+"$SKS_REPORT" history "$PM_DIR/history.jsonl" \
+    "$SMOKE_DIR/BENCH_perf_micro.json" | grep -q "metric" \
+  || { echo "history trend table missing" >&2; exit 1; }
+echo "ok: sks-report history"
+
 echo "=== bench regression gate ==="
 # perf_micro's deterministic fixed-workload pass yields exact solver work
 # counts (values.fixed.*, machine-independent, gated at >0%); the

@@ -1,14 +1,24 @@
 // sks-report: inspect the BENCH_*.json run reports written by the obs
 // telemetry layer (schema documented in obs/report.hpp and EXPERIMENTS.md).
 //
-//   sks-report print  REPORT...        pretty-print reports
-//   sks-report diff   A B              values/counters/timers deltas
-//   sks-report merge  OUT A B...       sum shards into one schema-1 report
-//   sks-report trace  OUT REPORT...    journal events -> Chrome trace JSON
+//   sks-report print   REPORT...        pretty-print reports
+//   sks-report diff    A B              values/counters/timers deltas
+//   sks-report merge   OUT A B...       sum shards into one schema-1 report
+//   sks-report trace   OUT REPORT...    journal events -> Chrome trace JSON
+//   sks-report explain BUNDLE           diagnose a postmortem bundle
+//   sks-report repro   BUNDLE           re-run a bundle, check it reproduces
+//   sks-report run     NETLIST [flags]  solve a netlist; bundle on failure
+//   sks-report history JSONL [REPORT..] append summaries, print trend table
 //
 // `trace` renders each report's journal section as instant events on its
 // own track, with simulation time mapped 1 ns -> 1 us so ns-scale
 // transients are visible at Perfetto's microsecond zoom levels.
+//
+// `explain`/`repro` operate on the failure postmortem bundles the engine
+// writes (esim/postmortem.hpp): `explain` re-derives the failure class from
+// the recorded evidence and prints a diagnosis plus the iteration tail;
+// `repro` re-runs the embedded netlist with the embedded options and exits 0
+// iff the same failure class reproduces.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "esim/engine.hpp"
+#include "esim/postmortem.hpp"
+#include "esim/spice_io.hpp"
+#include "obs/diag.hpp"
 #include "obs/json.hpp"
 #include "util/error.hpp"
 
@@ -292,12 +306,269 @@ int journal_to_trace(const std::string& out_path,
   return 0;
 }
 
+// ---- postmortem bundles -------------------------------------------------
+
+void print_iteration_tail(const std::vector<sks::obs::DiagRecord>& records,
+                          std::size_t max_rows) {
+  if (records.empty()) {
+    std::cout << "  (no iteration records in bundle)\n";
+    return;
+  }
+  const std::size_t first =
+      records.size() > max_rows ? records.size() - max_rows : 0;
+  std::printf("  %-5s %-12s %-12s %-12s %-7s %-10s %-12s %-12s\n", "iter",
+              "t", "residual", "max|dx|", "damp", "lu", "pivot_growth",
+              "cond_est");
+  for (std::size_t i = first; i < records.size(); ++i) {
+    const sks::obs::DiagRecord& r = records[i];
+    std::printf("  %-5d %-12.4g %-12.4g %-12.4g %-7.3f %-10s %-12.4g %-12.4g\n",
+                r.iteration, r.t, r.residual, r.max_dx, r.damping,
+                sks::obs::to_string(
+                    static_cast<sks::obs::DiagLuStatus>(r.lu_status)),
+                r.pivot_growth, r.cond_est);
+  }
+  if (first > 0) {
+    std::cout << "  (" << first << " older records omitted)\n";
+  }
+}
+
+int explain_bundle(const std::string& bundle_dir) {
+  const auto manifest = sks::esim::read_postmortem_manifest(bundle_dir);
+  const auto tail = sks::esim::read_postmortem_iterations(bundle_dir);
+  const sks::obs::FailureClass derived =
+      sks::esim::classify_bundle(manifest, tail);
+
+  std::cout << "bundle: " << bundle_dir << "\n"
+            << "  phase:        " << manifest.phase << " (t = "
+            << fmt(manifest.t) << " s, " << manifest.iterations
+            << " Newton iterations)\n"
+            << "  solver:       " << manifest.solver_mode << "\n"
+            << "  class:        " << sks::obs::to_string(derived);
+  if (!manifest.failure_class.empty() &&
+      manifest.failure_class != sks::obs::to_string(derived)) {
+    std::cout << "  (manifest recorded: " << manifest.failure_class << ")";
+  }
+  std::cout << "\n";
+  if (!manifest.worst_node.empty()) {
+    std::cout << "  worst node:   " << manifest.worst_node << "\n";
+  }
+  std::cout << "  lu bailouts:  singular=" << manifest.lu_singular
+            << " nonfinite=" << manifest.lu_nonfinite << "\n";
+  if (manifest.has_transient) {
+    std::cout << "  dt halvings:  " << manifest.dt_halvings
+              << (manifest.dt_at_floor ? " (gave up at dt_min)" : "") << "\n";
+  }
+  if (!manifest.message.empty()) {
+    std::cout << "  error:        " << manifest.message << "\n";
+  }
+  std::cout << "\ndiagnosis:\n  "
+            << sks::obs::describe(derived, manifest.worst_node) << "\n"
+            << "\niteration tail:\n";
+  print_iteration_tail(tail, 12);
+  std::cout << "\nreproduce with:\n  sks-report repro " << bundle_dir << "\n";
+  return 0;
+}
+
+sks::esim::SolverMode parse_solver_mode(const std::string& name) {
+  if (name == "dense") return sks::esim::SolverMode::kDense;
+  if (name == "sparse") return sks::esim::SolverMode::kSparse;
+  sks::check(name == "auto", "unknown solver mode '", name,
+             "' (use dense/sparse/auto)");
+  return sks::esim::SolverMode::kAuto;
+}
+
+// Re-run one netlist the way the failing engine ran it; returns the failure
+// class name ("" when the solve converged).
+std::string rerun_failure_class(sks::esim::Simulator& sim,
+                                const sks::esim::BundleManifest& manifest) {
+  try {
+    if (manifest.has_transient && manifest.phase != "dc") {
+      sim.run_transient(manifest.transient);
+    } else {
+      sim.dc_solution(manifest.t);
+    }
+  } catch (const sks::ConvergenceError& e) {
+    sks::obs::FailureEvidence evidence;
+    evidence.phase = e.phase();
+    evidence.lu_singular = sim.last_stats().lu_singular;
+    evidence.lu_nonfinite = sim.last_stats().lu_nonfinite;
+    evidence.dt_halvings = sim.last_stats().dt_halvings;
+    // The transient loop only throws once dt has collapsed to the floor.
+    evidence.dt_at_floor = e.phase() == "transient";
+    if (sim.diag_ring() != nullptr) {
+      evidence.tail = sim.diag_ring()->snapshot();
+    }
+    return sks::obs::to_string(sks::obs::classify_failure(evidence));
+  }
+  return "";
+}
+
+int repro_bundle(const std::string& bundle_dir) {
+  const auto manifest = sks::esim::read_postmortem_manifest(bundle_dir);
+  const std::string netlist =
+      read_file(bundle_dir + "/" + manifest.netlist_file);
+  sks::esim::Simulator sim(sks::esim::parse_spice(netlist));
+  sim.set_solver_mode(parse_solver_mode(manifest.solver_mode));
+  sim.set_diagnostics(true);
+
+  const std::string got = rerun_failure_class(sim, manifest);
+  if (got.empty()) {
+    std::cout << "repro: solve CONVERGED — bundle failure ("
+              << manifest.failure_class << ") did not reproduce\n";
+    return 1;
+  }
+  if (got == manifest.failure_class) {
+    std::cout << "repro: reproduced failure class '" << got << "' on the "
+              << manifest.solver_mode << " path\n";
+    return 0;
+  }
+  std::cout << "repro: failure class mismatch — bundle says '"
+            << manifest.failure_class << "', re-run produced '" << got
+            << "'\n";
+  return 1;
+}
+
+int run_netlist(const std::vector<std::string>& args) {
+  std::string netlist_path;
+  std::string solver;
+  std::string postmortem_dir;
+  bool transient = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--dc") {
+      transient = false;
+    } else if (a == "--tran") {
+      transient = true;
+    } else if (a == "--solver" && i + 1 < args.size()) {
+      solver = args[++i];
+    } else if (a == "--postmortem" && i + 1 < args.size()) {
+      postmortem_dir = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      sks::check(false, "run: unknown flag '", a, "'");
+    } else {
+      sks::check(netlist_path.empty(), "run: more than one netlist given");
+      netlist_path = a;
+    }
+  }
+  sks::check(!netlist_path.empty(), "run: no netlist given");
+
+  sks::esim::Simulator sim(sks::esim::parse_spice(read_file(netlist_path)));
+  // No --solver flag leaves the simulator's own selection (auto threshold
+  // or the SKS_SOLVER environment override) in force.
+  if (!solver.empty()) sim.set_solver_mode(parse_solver_mode(solver));
+  if (!postmortem_dir.empty()) sim.set_postmortem_dir(postmortem_dir);
+  try {
+    if (transient) {
+      const auto result = sim.run_transient({});
+      std::cout << "run: transient OK, " << result.steps()
+                << " steps recorded\n";
+    } else {
+      const auto dc = sim.dc_solution(0.0);
+      std::cout << "run: dc OK, " << dc.node_v.size() << " node voltages\n";
+    }
+  } catch (const sks::ConvergenceError& e) {
+    std::cerr << "run: solve failed: " << e.what() << "\n";
+    if (!e.bundle_path().empty()) {
+      std::cerr << "run: postmortem bundle: " << e.bundle_path() << "\n"
+                << "run: diagnose with: sks-report explain " << e.bundle_path()
+                << "\n";
+    }
+    return 3;
+  }
+  return 0;
+}
+
+// ---- bench history ------------------------------------------------------
+
+// One history line: report name plus its numeric values/counters, flat.
+std::string history_line(const std::string& path) {
+  const Json doc = load_report(path);
+  std::map<std::string, double> rows = number_section(doc, "values");
+  for (const auto& [key, v] : number_section(doc, "counters")) {
+    rows.emplace(key, v);
+  }
+  std::ostringstream out;
+  out << "{\"report\": \"" << sks::obs::json_escape(doc.at("report").str())
+      << "\", \"source\": \"" << sks::obs::json_escape(path)
+      << "\", \"values\": {";
+  bool first = true;
+  for (const auto& [key, v] : rows) {
+    out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
+        << "\": " << fmt(v);
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+int history_command(const std::string& jsonl_path,
+                    const std::vector<std::string>& reports) {
+  if (!reports.empty()) {
+    std::ofstream out(jsonl_path, std::ios::app);
+    sks::check(out.good(), "cannot open '", jsonl_path, "' for appending");
+    for (const std::string& path : reports) {
+      out << history_line(path) << "\n";
+    }
+    out.flush();
+    sks::check(out.good(), "append to '", jsonl_path, "' failed");
+    std::cout << "appended " << reports.size() << " report(s) to "
+              << jsonl_path << "\n";
+  }
+
+  std::ifstream in(jsonl_path);
+  sks::check(in.good(), "cannot open '", jsonl_path, "'");
+  std::vector<std::pair<std::string, std::map<std::string, double>>> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const Json doc = Json::parse(line);
+    entries.emplace_back(doc.at("report").str(),
+                         number_section(doc, "values"));
+  }
+  if (entries.empty()) {
+    std::cout << jsonl_path << ": no history entries\n";
+    return 0;
+  }
+
+  // Trend table: the latest entry's metrics as rows, the most recent runs
+  // as columns (newest right).
+  constexpr std::size_t kMaxColumns = 6;
+  const std::size_t first =
+      entries.size() > kMaxColumns ? entries.size() - kMaxColumns : 0;
+  std::cout << "history " << jsonl_path << " (" << entries.size()
+            << " entries, showing last " << entries.size() - first << ")\n";
+  std::printf("  %-36s", "metric");
+  for (std::size_t c = first; c < entries.size(); ++c) {
+    std::printf(" %12s", ("run " + std::to_string(c + 1)).c_str());
+  }
+  std::printf("\n");
+  for (const auto& [key, latest] : entries.back().second) {
+    (void)latest;
+    std::printf("  %-36s", key.c_str());
+    for (std::size_t c = first; c < entries.size(); ++c) {
+      const auto it = entries[c].second.find(key);
+      if (it == entries[c].second.end()) {
+        std::printf(" %12s", "-");
+      } else {
+        std::printf(" %12s", fmt(it->second).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
-               "  sks-report print  REPORT.json...\n"
-               "  sks-report diff   A.json B.json\n"
-               "  sks-report merge  OUT.json A.json B.json...\n"
-               "  sks-report trace  OUT.json REPORT.json...\n";
+               "  sks-report print   REPORT.json...\n"
+               "  sks-report diff    A.json B.json\n"
+               "  sks-report merge   OUT.json A.json B.json...\n"
+               "  sks-report trace   OUT.json REPORT.json...\n"
+               "  sks-report explain BUNDLE_DIR\n"
+               "  sks-report repro   BUNDLE_DIR\n"
+               "  sks-report run     NETLIST.sp [--dc|--tran] "
+               "[--solver dense|sparse|auto] [--postmortem DIR]\n"
+               "  sks-report history HISTORY.jsonl [REPORT.json...]\n";
   return 2;
 }
 
@@ -320,6 +591,18 @@ int main(int argc, char** argv) {
     }
     if (command == "trace" && paths.size() >= 2) {
       return journal_to_trace(paths[0], {paths.begin() + 1, paths.end()});
+    }
+    if (command == "explain" && paths.size() == 1) {
+      return explain_bundle(paths[0]);
+    }
+    if (command == "repro" && paths.size() == 1) {
+      return repro_bundle(paths[0]);
+    }
+    if (command == "run") {
+      return run_netlist(paths);
+    }
+    if (command == "history") {
+      return history_command(paths[0], {paths.begin() + 1, paths.end()});
     }
     return usage();
   } catch (const sks::Error& e) {
