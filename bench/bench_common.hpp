@@ -12,6 +12,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
 
@@ -67,6 +68,12 @@ inline RunOutputs& run_outputs() {
 // SKS_THREADS=N), which sets the process-wide default worker count the
 // campaign/Monte-Carlo layers resolve their `threads = 0` knob against.
 // Results are bit-identical for any N; only the wall time changes.
+//
+// Timeline: `--timeline FILE` (or SKS_TIMELINE=FILE in the environment)
+// streams append-only JSONL snapshots of the live metrics/progress state
+// while the run is in flight — see obs/timeline.hpp for the schema and the
+// SKS_TIMELINE_EVERY / SKS_TIMELINE_WALL_S / SKS_TIMELINE_SIM_S cadence
+// knobs.  `sks-report tail FILE` renders it live.
 inline bool profile_init(int argc, char** argv) {
   bool on = obs::enabled();  // SKS_PROFILE already honoured by the obs layer
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +91,11 @@ inline bool profile_init(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--csv-out") == 0 && i + 1 < argc) {
       run_outputs().csv_out = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      obs::TimelineOptions topt = obs::timeline().options();
+      topt.path = argv[i + 1];
+      obs::timeline().configure(topt);
     }
   }
   if (on) {
@@ -106,12 +118,17 @@ inline void write_trace_report(const std::string& name) {
 }
 
 inline void write_profile_report(const std::string& name) {
+  // Final timeline snapshot BEFORE the registry is captured: the snapshot
+  // bumps its own seq counter first, so the last JSONL line and the
+  // BENCH_<name>.json below agree on every counter exactly.
+  if (obs::timeline().enabled()) obs::timeline().snapshot("final");
   if (obs::enabled()) {
     obs::Report report(name);
     report.set_meta("bench", name);
     report.set_meta("scale", std::to_string(scale()));
     report.capture_registry();
     report.capture_journal();
+    report.capture_trace();
     const std::string path = "BENCH_" + name + ".json";
     report.write_json(path);
     std::cout << "\n[profile] run report written to " << path << "\n";

@@ -181,6 +181,15 @@ FixedWorkload fixed_workload_counters() {
   FixedWorkload out;
   obs::registry().reset();
 
+  // Streaming-accumulator guard: pre-create the counters the obs stream /
+  // timeline layers bump on every update so they appear in `fixed.*` even
+  // when untouched.  The gate requires both to stay EXACTLY zero across
+  // the fixed solves below — proof that with streaming disabled no stream
+  // accumulator or timeline snapshot rides the Newton hot path (same
+  // pattern as the DiagRing null-check guarantee).
+  obs::registry().counter("obs.stream_updates");
+  obs::registry().counter("obs.timeline_snapshots");
+
   const cell::Technology tech;
   {  // one transient sensor edge (the BM_TransientSensorEdge kernel)
     cell::SensorOptions options;

@@ -14,6 +14,7 @@
 #include "obs/diag.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -1016,6 +1017,11 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   result.vsrc_i.resize(n_vsrc);
 
   auto record = [&](double t) {
+    if (options.stream_tap != nullptr && n_nodes > 1) {
+      options.stream_tap->on_step(t, x.data(), n_nodes - 1);
+    }
+    if (obs::timeline().enabled()) obs::timeline().on_sim_time(t);
+    if (!options.record_waveforms) return;  // bounded-memory soak mode
     result.time.push_back(t);
     result.node_v[0].push_back(0.0);
     for (std::size_t i = 1; i < n_nodes; ++i) {

@@ -51,6 +51,10 @@ namespace sks::obs {
 class DiagRing;
 }
 
+namespace sks::obs::stream {
+class WaveformStreams;
+}
+
 namespace sks::esim {
 
 // Per-run solver telemetry, accumulated by every public solve entry point
@@ -138,6 +142,15 @@ struct TransientOptions {
   double dv_max = 0.25;       // [V] per step
   double dt_max = 50e-12;     // [s]
   NewtonOptions newton;
+
+  // Observability taps (src/obs/stream.hpp).  With record_waveforms off
+  // the result retains NO per-step arrays (time/node_v/vsrc_i stay empty)
+  // so a multi-second soak transient runs in bounded memory; pair it with
+  // a stream_tap to keep per-node summary statistics instead.  A non-null
+  // stream_tap receives every accepted step's non-ground node voltages
+  // (values[i] = node i+1) regardless of record_waveforms.
+  bool record_waveforms = true;
+  obs::stream::WaveformStreams* stream_tap = nullptr;
 };
 
 struct TransientResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
@@ -120,12 +121,24 @@ CampaignReport run_campaign(const esim::Circuit& good_circuit,
   // Aggregation and the progress callback run strictly in universe order
   // (via OrderedSink), so every CampaignStats field — including the
   // floating-point RunningStats sums — is bit-identical for any thread
-  // count.
+  // count.  The same ordering makes the live progress tracker and the
+  // registry stream deterministic at any thread count.
+  static obs::StreamStat& seconds_stream =
+      obs::registry().stream("fault.seconds");
+  obs::ProgressTracker tracker("fault_campaign", universe.size());
   par::OrderedSink sink(universe.size(), [&](std::size_t i) {
     const FaultVerdict& v = report.verdicts[i];
     report.stats.fault_seconds.add(v.seconds);
     report.stats.solve.merge(v.stats);
     if (!v.simulated) ++report.stats.unsimulated;
+    seconds_stream.record(v.seconds);
+    if (v.logic_detected) {
+      tracker.add_partial("logic_detected");
+    } else if (v.iddq_detected) {
+      tracker.add_partial("iddq_only");
+    }
+    if (!v.simulated) tracker.add_partial("unsimulated");
+    tracker.on_item();
     if (progress) progress(i + 1, universe.size(), v);
   });
   auto test_one = [&](std::size_t i) {

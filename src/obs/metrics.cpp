@@ -42,6 +42,33 @@ void TimerStat::reset() {
   max_ns_.store(0, std::memory_order_relaxed);
 }
 
+void StreamStat::record(double x) {
+  // Resolved outside the stream lock: registry() takes its own mutex on
+  // first use, and taking it while holding mutex_ would invert the
+  // registry-then-stream order the snapshot path uses.
+  static Counter& updates = registry().counter("obs.stream_updates");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary_.add(x);
+  }
+  updates.inc();
+}
+
+stream::StreamSummary StreamStat::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+std::size_t StreamStat::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_.count();
+}
+
+void StreamStat::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  summary_.reset();
+}
+
 namespace {
 
 template <typename Map, typename... Args>
@@ -71,6 +98,11 @@ Gauge& Registry::gauge(const std::string& name) {
 TimerStat& Registry::timer(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return get_or_create(timers_, name);
+}
+
+StreamStat& Registry::stream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(streams_, name);
 }
 
 util::Histogram& Registry::histogram(const std::string& name, double lo,
@@ -121,6 +153,12 @@ const TimerStat* Registry::find_timer(const std::string& name) const {
   return it == timers_.end() ? nullptr : it->second.get();
 }
 
+const StreamStat* Registry::find_stream(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -154,12 +192,24 @@ Registry::histograms() const {
   return out;
 }
 
+std::vector<std::pair<std::string, stream::StreamSummary>> Registry::streams()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, stream::StreamSummary>> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, s] : streams_) {
+    out.emplace_back(name, s->snapshot());
+  }
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : streams_) s->reset();
 }
 
 Registry& registry() {

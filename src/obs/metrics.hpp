@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stream.hpp"
 #include "util/stats.hpp"
 
 namespace sks::obs {
@@ -134,11 +135,36 @@ class TimerStat {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+// Mutex-guarded streaming summary (Welford + min/max + P² p50/p90/p99) for
+// registry use: the campaign/Monte-Carlo layers record one sample per
+// committed item from inside the OrderedSink callback, so contention is
+// nil and the per-item cost is one short critical section.  Every record()
+// also bumps the process-wide `obs.stream_updates` counter — the bench
+// gate pins that counter to zero for the streaming-disabled hot paths, so
+// a stream accumulator leaking into the Newton loop is caught by CI.
+class StreamStat {
+ public:
+  StreamStat() = default;
+  StreamStat(const StreamStat&) = delete;
+  StreamStat& operator=(const StreamStat&) = delete;
+
+  void record(double x);
+  // Consistent copy of the summary (safe under concurrent record()).
+  stream::StreamSummary snapshot() const;
+  std::size_t count() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  stream::StreamSummary summary_;
+};
+
 class Registry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   TimerStat& timer(const std::string& name);
+  StreamStat& stream(const std::string& name);
   // First call fixes the binning; later calls with the same name return the
   // existing histogram.  A later call with a *different* lo/hi/bins is a
   // caller bug: it still gets the existing histogram, but the mismatch is
@@ -151,12 +177,16 @@ class Registry {
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const TimerStat* find_timer(const std::string& name) const;
+  const StreamStat* find_stream(const std::string& name) const;
 
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, const TimerStat*>> timers() const;
   std::vector<std::pair<std::string, const util::Histogram*>> histograms()
       const;
+  // Stream summaries are returned by value: each copy is taken under its
+  // stream's own mutex, so the snapshot is safe while workers record.
+  std::vector<std::pair<std::string, stream::StreamSummary>> streams() const;
 
   // Zero every value.  Entries (and references to them) survive.
   void reset();
@@ -167,6 +197,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<TimerStat>> timers_;
   std::map<std::string, std::unique_ptr<util::Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<StreamStat>> streams_;
 };
 
 // Process-wide registry the engine and campaign layers report into.

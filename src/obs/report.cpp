@@ -55,6 +55,27 @@ void Report::capture_registry(const Registry& reg) {
     }
     histograms_.push_back(std::move(row));
   }
+  streams_.clear();
+  for (const auto& [name, s] : reg.streams()) {
+    if (s.count() == 0) continue;  // declared but never fed
+    StreamRow row;
+    row.name = name;
+    row.count = s.count();
+    row.mean = s.mean();
+    row.stddev = s.stddev();
+    row.min = s.min();
+    row.max = s.max();
+    row.p50 = s.p50();
+    row.p90 = s.p90();
+    row.p99 = s.p99();
+    streams_.push_back(std::move(row));
+  }
+}
+
+void Report::capture_trace(const Tracer& tracer) {
+  have_trace_ = true;
+  trace_events_ = tracer.event_count();
+  trace_dropped_ = tracer.dropped();
 }
 
 void Report::capture_journal(const Journal& j, std::size_t max_events) {
@@ -148,6 +169,22 @@ std::string Report::to_json() const {
     out << "}";
   }
 
+  if (!streams_.empty()) {
+    out << ",\n  \"streams\": {";
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const StreamRow& s = streams_[i];
+      out << (i == 0 ? "" : ", ") << '"' << json_escape(s.name) << "\": {"
+          << "\"count\": " << s.count << ", \"mean\": " << json_number(s.mean)
+          << ", \"stddev\": " << json_number(s.stddev)
+          << ", \"min\": " << json_number(s.min)
+          << ", \"max\": " << json_number(s.max)
+          << ", \"p50\": " << json_number(s.p50)
+          << ", \"p90\": " << json_number(s.p90)
+          << ", \"p99\": " << json_number(s.p99) << "}";
+    }
+    out << "}";
+  }
+
   if (have_journal_) {
     out << ",\n  \"journal\": {\"recorded\": " << journal_recorded_
         << ", \"dropped\": " << journal_dropped_ << ", \"counts\": {";
@@ -165,6 +202,11 @@ std::string Report::to_json() const {
           << json_escape(e.detail) << "\"}";
     }
     out << "]}";
+  }
+
+  if (have_trace_) {
+    out << ",\n  \"trace\": {\"events\": " << trace_events_
+        << ", \"dropped\": " << trace_dropped_ << "}";
   }
 
   out << "\n}\n";
@@ -200,6 +242,12 @@ std::string Report::to_csv() const {
         << "\n";
     out << "timer," << esc(t.name) << ",mean_s," << json_number(t.mean_s)
         << "\n";
+  }
+  for (const StreamRow& s : streams_) {
+    out << "stream," << esc(s.name) << ",count," << s.count << "\n";
+    out << "stream," << esc(s.name) << ",mean," << json_number(s.mean) << "\n";
+    out << "stream," << esc(s.name) << ",p50," << json_number(s.p50) << "\n";
+    out << "stream," << esc(s.name) << ",p99," << json_number(s.p99) << "\n";
   }
   for (const auto& [k, v] : journal_counts_) {
     out << "journal," << esc(k) << ",count," << v << "\n";

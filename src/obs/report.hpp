@@ -14,10 +14,14 @@
 //     "timers":   { "<name>": { "count": n, "total_s": s, "mean_s": s,
 //                               "min_s": s, "max_s": s }, ... },
 //     "histograms": { "<name>": { "lo": x, "hi": x, "counts": [..] }, ... },
+//     "streams":  { "<name>": { "count": n, "mean": x, "stddev": x,
+//                               "min": x, "max": x, "p50": x, "p90": x,
+//                               "p99": x }, ... },
 //     "journal":  { "recorded": n, "dropped": n,
 //                   "counts": { "<event_type>": n, ... },
 //                   "events": [ { "type": "...", "t": x, "value": x,
-//                                 "iterations": n, "detail": "..." }, .. ] }
+//                                 "iterations": n, "detail": "..." }, .. ] },
+//     "trace":    { "events": n, "dropped": n }
 //   }
 //
 // Sections are omitted when empty, so a counters-only report stays small.
@@ -30,6 +34,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sks::obs {
 
@@ -49,6 +54,9 @@ class Report {
   void capture_registry(const Registry& reg = registry());
   void capture_journal(const Journal& j = journal(),
                        std::size_t max_events = 64);
+  // Trace-buffer saturation summary (span count + drop counter), so a
+  // report shows when `--trace-out` silently lost events.
+  void capture_trace(const Tracer& tracer = obs::tracer());
 
   std::string to_json() const;
   std::string to_csv() const;
@@ -68,6 +76,12 @@ class Report {
     double lo = 0.0, hi = 0.0;
     std::vector<std::uint64_t> counts;
   };
+  struct StreamRow {
+    std::string name;
+    std::size_t count = 0;
+    double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
 
   std::string name_;
   std::vector<std::pair<std::string, std::string>> meta_;
@@ -76,6 +90,10 @@ class Report {
   std::vector<std::pair<std::string, double>> gauges_;
   std::vector<TimerRow> timers_;
   std::vector<HistogramRow> histograms_;
+  std::vector<StreamRow> streams_;
+  bool have_trace_ = false;
+  std::uint64_t trace_events_ = 0;
+  std::uint64_t trace_dropped_ = 0;
   bool have_journal_ = false;
   std::size_t journal_recorded_ = 0;
   std::size_t journal_dropped_ = 0;

@@ -1,0 +1,311 @@
+#include "obs/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::obs::stream {
+
+// ---- OnlineStats --------------------------------------------------------
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats(); }
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+// ---- P2Quantile ---------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  for (double& h : heights_) h = 0.0;
+  for (int i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  dn_[0] = 0.0;
+  dn_[1] = q_ / 2.0;
+  dn_[2] = q_;
+  dn_[3] = (1.0 + q_) / 2.0;
+  dn_[4] = 1.0;
+}
+
+void P2Quantile::reset() { *this = P2Quantile(q_); }
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  // Locate the cell and clamp the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += dn_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    const bool move_right = d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0;
+    const bool move_left = d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0;
+    if (!move_right && !move_left) continue;
+    const double s = move_right ? 1.0 : -1.0;
+    // Piecewise-parabolic candidate height; fall back to linear when the
+    // parabola would break marker monotonicity.
+    const double np = pos_[i + 1] - pos_[i];
+    const double nm = pos_[i - 1] - pos_[i];
+    const double parabolic =
+        heights_[i] +
+        s / (np - nm) *
+            ((s - nm) * (heights_[i + 1] - heights_[i]) / np +
+             (np - s) * (heights_[i] - heights_[i - 1]) / -nm);
+    if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+      heights_[i] = parabolic;
+    } else {
+      const int j = move_right ? i + 1 : i - 1;
+      heights_[i] += s * (heights_[j] - heights_[i]) /
+                     (pos_[j] - pos_[i]);
+    }
+    pos_[i] += s;
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact from the (small) retained sample: nearest-rank with linear
+    // interpolation, matching util::percentile's convention.
+    double sorted[5];
+    std::copy(heights_, heights_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+// ---- StreamSummary ------------------------------------------------------
+
+void StreamSummary::add(double x) {
+  stats_.add(x);
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+  last_ = x;
+}
+
+void StreamSummary::reset() {
+  stats_.reset();
+  p50_.reset();
+  p90_.reset();
+  p99_.reset();
+  last_ = 0.0;
+}
+
+// ---- RollingWindow ------------------------------------------------------
+
+RollingWindow::RollingWindow(std::size_t buckets, double bucket_width)
+    : width_(bucket_width), cells_(buckets == 0 ? 1 : buckets) {}
+
+void RollingWindow::reset() {
+  for (Cell& c : cells_) c = Cell();
+  cur_ = -1;
+  oldest_ = 0;
+}
+
+void RollingWindow::advance_to(std::int64_t bucket) {
+  if (cur_ < 0) {
+    cur_ = oldest_ = bucket;
+    cells_[static_cast<std::size_t>(bucket % static_cast<std::int64_t>(
+               cells_.size()))] = Cell();
+    return;
+  }
+  while (cur_ < bucket) {
+    ++cur_;
+    cells_[static_cast<std::size_t>(cur_ % static_cast<std::int64_t>(
+               cells_.size()))] = Cell();
+    if (cur_ - oldest_ >= static_cast<std::int64_t>(cells_.size())) {
+      oldest_ = cur_ - static_cast<std::int64_t>(cells_.size()) + 1;
+    }
+  }
+}
+
+void RollingWindow::add(double pos, double value) {
+  const std::int64_t bucket =
+      static_cast<std::int64_t>(std::floor(pos / width_));
+  if (bucket > cur_ || cur_ < 0) advance_to(bucket);
+  // A position older than the window is folded into the oldest live
+  // bucket rather than dropped (positions are monotone by contract, so
+  // this only happens within one bucket of jitter).
+  const std::int64_t b = std::max(bucket, oldest_);
+  Cell& c = cells_[static_cast<std::size_t>(
+      b % static_cast<std::int64_t>(cells_.size()))];
+  c.sum += value;
+  ++c.count;
+}
+
+double RollingWindow::sum() const {
+  double s = 0.0;
+  for (const Cell& c : cells_) s += c.sum;
+  return s;
+}
+
+std::size_t RollingWindow::count() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.count;
+  return n;
+}
+
+double RollingWindow::mean() const {
+  const std::size_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double RollingWindow::span() const {
+  if (cur_ < 0) return 0.0;
+  return static_cast<double>(cur_ - oldest_ + 1) * width_;
+}
+
+double RollingWindow::rate() const {
+  const double s = span();
+  return s <= 0.0 ? 0.0 : static_cast<double>(count()) / s;
+}
+
+// ---- AllanAccumulator ---------------------------------------------------
+
+AllanAccumulator::AllanAccumulator(std::size_t max_octaves)
+    : octaves_(max_octaves == 0 ? 1 : max_octaves) {}
+
+void AllanAccumulator::reset() {
+  n_ = 0;
+  for (Octave& o : octaves_) o = Octave();
+}
+
+void AllanAccumulator::add(double y) {
+  ++n_;
+  std::size_t window = 1;
+  for (Octave& o : octaves_) {
+    o.sum += y;
+    if (++o.filled == window) {
+      const double mean = o.sum / static_cast<double>(window);
+      if (o.has_prev) {
+        const double d = mean - o.prev_mean;
+        o.diff2 += d * d;
+        ++o.pairs;
+      }
+      o.prev_mean = mean;
+      o.has_prev = true;
+      o.sum = 0.0;
+      o.filled = 0;
+    }
+    window <<= 1;
+  }
+}
+
+std::vector<AllanAccumulator::Point> AllanAccumulator::points() const {
+  std::vector<Point> out;
+  std::size_t window = 1;
+  for (const Octave& o : octaves_) {
+    if (o.pairs > 0) {
+      Point p;
+      p.window = window;
+      p.pairs = o.pairs;
+      p.avar = o.diff2 / (2.0 * static_cast<double>(o.pairs));
+      p.adev = std::sqrt(p.avar);
+      out.push_back(p);
+    }
+    window <<= 1;
+  }
+  return out;
+}
+
+double AllanAccumulator::adev(std::size_t window) const {
+  std::size_t w = 1;
+  for (const Octave& o : octaves_) {
+    if (w == window) {
+      if (o.pairs == 0) return 0.0;
+      return std::sqrt(o.diff2 / (2.0 * static_cast<double>(o.pairs)));
+    }
+    w <<= 1;
+  }
+  return 0.0;
+}
+
+// ---- WaveformStreams ----------------------------------------------------
+
+void WaveformStreams::configure(std::vector<std::string> names) {
+  names_ = std::move(names);
+  channels_.assign(names_.size(), StreamSummary());
+  steps_ = 0;
+  t_first_ = t_last_ = 0.0;
+}
+
+void WaveformStreams::on_step(double t, const double* values, std::size_t n) {
+  if (channels_.empty() && n > 0) {
+    channels_.assign(n, StreamSummary());
+    names_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (names_[i].empty()) names_[i] = "ch" + std::to_string(i);
+    }
+  }
+  const std::size_t m = std::min(n, channels_.size());
+  for (std::size_t i = 0; i < m; ++i) channels_[i].add(values[i]);
+  if (steps_ == 0) t_first_ = t;
+  t_last_ = t;
+  ++steps_;
+}
+
+void WaveformStreams::reset() {
+  for (StreamSummary& c : channels_) c.reset();
+  steps_ = 0;
+  t_first_ = t_last_ = 0.0;
+}
+
+}  // namespace sks::obs::stream

@@ -1,0 +1,223 @@
+// Bounded-memory online statistics: the streaming layer of sks::obs.
+//
+// Everything in this header digests an unbounded sample stream into O(1)
+// state, so a four-hour soak run (or a per-node waveform over millions of
+// transient steps) can keep live summary statistics without retaining the
+// samples:
+//
+//  * OnlineStats        — Welford mean/variance plus streaming min/max;
+//  * P2Quantile         — Jain & Chlamtac's P² estimator for one quantile
+//                         (five markers, no sample retention);
+//  * StreamSummary      — the combination the timeline serializes:
+//                         count/mean/stddev/min/max + p50/p90/p99;
+//  * RollingWindow      — fixed-bucket ring over a sliding position axis
+//                         (wall seconds, committed items) for "recent rate"
+//                         style queries;
+//  * AllanAccumulator   — windowed (non-overlapping) Allan deviation over
+//                         per-cycle skew/interval samples, one partial sum
+//                         per octave window size;
+//  * WaveformStreams    — per-channel StreamSummary bank an engine tap
+//                         feeds once per accepted transient step, so long
+//                         transients never retain full traces.
+//
+// Concurrency: like util::Histogram these classes are NOT internally
+// synchronized — one writer at a time.  The registry wraps a StreamSummary
+// in a mutex-guarded StreamStat (obs/metrics.hpp) for the campaign layers;
+// WaveformStreams belongs to the Simulator run that feeds it, which is
+// single-threaded by construction (a Simulator is share-nothing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sks::obs::stream {
+
+// Welford streaming mean/variance with exact min/max.  Mirrors
+// util::RunningStats but lives here so the obs layer owns one coherent
+// streaming vocabulary (and gains merge()).
+class OnlineStats {
+ public:
+  void add(double x);
+  // Pooled combination of two disjoint streams (Chan et al.); used when
+  // sharded accumulators are folded into one summary.
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// P² single-quantile estimator (Jain & Chlamtac, CACM 1985): five markers
+// whose heights track q's order statistic via parabolic interpolation.
+// Exact for the first five samples, O(1) memory and O(1) per sample after.
+// Typical relative error on smooth distributions is well under 1%; the
+// test suite pins uniform / lognormal / adversarial-sorted bounds.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  // Current estimate; exact for count() < 5, 0 when empty.
+  double value() const;
+  std::size_t count() const { return n_; }
+  double quantile() const { return q_; }
+  void reset();
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5];   // marker heights (ascending)
+  double pos_[5];       // marker positions (1-based sample ranks)
+  double desired_[5];   // desired positions
+  double dn_[5];        // desired-position increments per sample
+};
+
+// The summary the timeline and run reports serialize for one metric
+// stream: Welford moments, extrema and the three operational quantiles.
+class StreamSummary {
+ public:
+  StreamSummary() : p50_(0.50), p90_(0.90), p99_(0.99) {}
+
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double variance() const { return stats_.variance(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double last() const { return last_; }
+  double p50() const { return p50_.value(); }
+  double p90() const { return p90_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  OnlineStats stats_;
+  P2Quantile p50_, p90_, p99_;
+  double last_ = 0.0;
+};
+
+// Fixed-bucket rolling window over a monotone position axis (wall-clock
+// seconds, committed items, simulation time).  add() drops the value into
+// the bucket containing `pos`, zeroing any buckets skipped since the last
+// add; sum()/count() then cover the most recent `buckets * bucket_width`
+// of the axis.  Positions may repeat or move forward, never backward.
+class RollingWindow {
+ public:
+  RollingWindow(std::size_t buckets, double bucket_width);
+
+  void add(double pos, double value);
+  void reset();
+
+  double sum() const;
+  std::size_t count() const;
+  double mean() const;
+  // Width of the axis the live buckets cover (shorter right after reset).
+  double span() const;
+  // count() / span(): e.g. items per second when pos is wall seconds and
+  // each add records one item.  0 until the window has any width.
+  double rate() const;
+  std::size_t buckets() const { return cells_.size(); }
+  double bucket_width() const { return width_; }
+
+ private:
+  struct Cell {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  void advance_to(std::int64_t bucket);
+
+  double width_;
+  std::vector<Cell> cells_;
+  std::int64_t cur_ = -1;    // highest bucket index seen (-1 = empty)
+  std::int64_t oldest_ = 0;  // lowest live bucket index
+};
+
+// Windowed Allan deviation over a stream of per-cycle samples (period
+// error, skew estimate, fractional frequency).  For every octave window
+// size m = 1, 2, 4, ... the accumulator keeps one partial window sum and
+// the previous completed window mean, folding each completed pair into
+//
+//   AVAR(m) = 1/(2 (M-1)) * sum_i (ybar_{i+1} - ybar_i)^2
+//
+// over non-overlapping windows — O(log N) state for an N-sample stream.
+class AllanAccumulator {
+ public:
+  explicit AllanAccumulator(std::size_t max_octaves = 20);
+
+  void add(double y);
+  void reset();
+  std::size_t count() const { return n_; }
+
+  struct Point {
+    std::size_t window = 0;  // samples averaged per window (m)
+    std::size_t pairs = 0;   // adjacent window pairs folded in (M-1)
+    double avar = 0.0;       // Allan variance at this window
+    double adev = 0.0;       // sqrt(avar)
+  };
+  // One point per octave that has at least one complete pair, smallest
+  // window first.
+  std::vector<Point> points() const;
+  // Allan deviation at window m (0 when m is not a tracked octave or has
+  // no complete pair yet).
+  double adev(std::size_t window) const;
+
+ private:
+  struct Octave {
+    double sum = 0.0;          // partial sum of the current window
+    std::size_t filled = 0;    // samples in the current window
+    double prev_mean = 0.0;    // last completed window mean
+    bool has_prev = false;
+    double diff2 = 0.0;        // sum of squared successive differences
+    std::size_t pairs = 0;
+  };
+  std::size_t n_ = 0;
+  std::vector<Octave> octaves_;
+};
+
+// Per-channel StreamSummary bank for streaming waveform statistics.  The
+// engine's transient loop calls on_step() once per accepted step (see
+// TransientOptions::stream_tap); afterwards channel(i) holds the full-run
+// voltage statistics of node i+1 (ground excluded) with O(channels)
+// memory regardless of run length.
+class WaveformStreams {
+ public:
+  // Optional channel names (node names); sized on first on_step otherwise.
+  void configure(std::vector<std::string> names);
+
+  // One accepted step: values[0..n) are the tracked signals.  The first
+  // call fixes the channel count; later calls must match it (extra values
+  // are ignored, missing ones leave their channels unchanged).
+  void on_step(double t, const double* values, std::size_t n);
+
+  std::size_t channels() const { return channels_.size(); }
+  const StreamSummary& channel(std::size_t i) const { return channels_[i]; }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+  std::uint64_t steps() const { return steps_; }
+  double t_first() const { return t_first_; }
+  double t_last() const { return t_last_; }
+  void reset();
+
+ private:
+  std::vector<StreamSummary> channels_;
+  std::vector<std::string> names_;
+  std::uint64_t steps_ = 0;
+  double t_first_ = 0.0;
+  double t_last_ = 0.0;
+};
+
+}  // namespace sks::obs::stream

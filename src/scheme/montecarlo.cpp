@@ -4,6 +4,7 @@
 
 #include "esim/engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
@@ -126,7 +127,13 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
   std::vector<SampleResult> results(options.samples);
   // Telemetry aggregation and progress fire strictly in sample order so the
   // RunningStats sums (and the callback sequence) match the serial run
-  // bit-for-bit.
+  // bit-for-bit.  Registry streams and the live progress tracker ride the
+  // same commit order, so their content is thread-count-invariant too.
+  static obs::StreamStat& seconds_stream =
+      obs::registry().stream("mc.sample_seconds");
+  static obs::StreamStat& vmin_stream = obs::registry().stream("mc.vmin");
+  static obs::StreamStat& tau_stream = obs::registry().stream("mc.tau");
+  obs::ProgressTracker tracker("vmin_montecarlo", options.samples);
   par::OrderedSink sink(options.samples, [&](std::size_t i) {
     if (stats != nullptr) {
       stats->sample_seconds.add(results[i].seconds);
@@ -134,6 +141,15 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
       if (results[i].sample.detected) ++stats->detected;
       if (!results[i].sample.simulated) ++stats->unsimulated;
     }
+    const McSample& s = results[i].sample;
+    seconds_stream.record(results[i].seconds);
+    if (s.simulated) {
+      vmin_stream.record(s.vmin_late);
+      tau_stream.record(s.tau);
+    }
+    if (s.detected) tracker.add_partial("detected");
+    if (!s.simulated) tracker.add_partial("unsimulated");
+    tracker.on_item();
     if (progress) progress(i + 1, options.samples);
   });
   auto run_one = [&](std::size_t i) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "esim/trace.hpp"
+#include "obs/stream.hpp"
 #include "util/error.hpp"
 
 namespace sks::esim {
@@ -133,6 +135,39 @@ TEST(EngineTransient, RcChargingMatchesAnalytic) {
     const double expected = 1.0 - std::exp(-(t - 1e-12) / (r * cap));
     EXPECT_NEAR(trace.value_at(t), expected, 0.01);
   }
+}
+
+TEST(EngineTransient, StreamTapSeesEveryStepWithoutRetainingWaveforms) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), Waveform::pwl({0.0, 1e-12}, {0.0, 1.0}));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, c.ground(), 1e-12);
+
+  TransientOptions recorded;
+  recorded.t_end = 5e-9;
+  recorded.dt = 10e-12;
+  const auto full = simulate(c, recorded);
+
+  // Same deterministic solve, but streamed: the tap must see exactly the
+  // recorded sample points while the result retains no per-step arrays.
+  obs::stream::WaveformStreams streams;
+  TransientOptions tapped = recorded;
+  tapped.record_waveforms = false;
+  tapped.stream_tap = &streams;
+  const auto lean = simulate(c, tapped);
+
+  EXPECT_TRUE(lean.time.empty());
+  for (const auto& column : lean.node_v) EXPECT_TRUE(column.empty());
+  ASSERT_EQ(streams.channels(), 2u);  // in, out (ground excluded)
+  EXPECT_EQ(streams.steps(), full.time.size());
+  EXPECT_DOUBLE_EQ(streams.t_first(), full.time.front());
+  EXPECT_DOUBLE_EQ(streams.t_last(), full.time.back());
+  const auto& out_v = full.node_v[out.index];
+  EXPECT_DOUBLE_EQ(streams.channel(1).max(),
+                   *std::max_element(out_v.begin(), out_v.end()));
+  EXPECT_NEAR(streams.channel(1).max(), 1.0, 0.01);  // RC settles to 1 V
 }
 
 TEST(EngineTransient, StartsFromDcOperatingPoint) {

@@ -1,0 +1,256 @@
+// Streaming-statistics accuracy tests (obs/stream.hpp): the P² quantile
+// estimator against exact sorted quantiles on friendly and adversarial
+// streams, Welford moments against a two-pass reference, the windowed
+// Allan accumulator against a brute-force non-overlapping computation,
+// plus the rolling window and waveform stream bank.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "obs/stream.hpp"
+
+namespace sks::obs::stream {
+namespace {
+
+// Exact quantile with the linear-interpolation convention P2Quantile uses
+// for its small-n path (matching util::percentile).
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// Relative error of the P² estimate against the exact quantile, scaled by
+// the sample spread so near-zero quantiles don't blow up the ratio.
+double p2_error(const std::vector<double>& samples, double q) {
+  P2Quantile est(q);
+  for (double x : samples) est.add(x);
+  const double exact = exact_quantile(samples, q);
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  const double spread = *hi - *lo;
+  return spread == 0.0 ? 0.0 : std::abs(est.value() - exact) / spread;
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile p50(0.5);
+  p50.add(3.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 3.0);
+  p50.add(1.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);  // interpolated median of {1, 3}
+  p50.add(2.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+  p50.add(10.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.5);  // median of {1, 2, 3, 10}
+}
+
+TEST(P2Quantile, UniformStreamCloseToExact) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> samples(20000);
+  for (double& x : samples) x = dist(rng);
+  // Spread-relative error bounds; P² is typically far tighter than this on
+  // smooth distributions, the bound just has to be stable across seeds.
+  EXPECT_LT(p2_error(samples, 0.50), 0.01);
+  EXPECT_LT(p2_error(samples, 0.90), 0.01);
+  EXPECT_LT(p2_error(samples, 0.99), 0.01);
+}
+
+TEST(P2Quantile, LognormalStreamCloseToExact) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> samples(20000);
+  for (double& x : samples) x = dist(rng);
+  // Heavy right tail: judge against the exact value relatively, not via
+  // the (huge) spread.
+  for (double q : {0.50, 0.90, 0.99}) {
+    P2Quantile est(q);
+    for (double x : samples) est.add(x);
+    const double exact = exact_quantile(samples, q);
+    EXPECT_NEAR(est.value(), exact, 0.08 * exact) << "q=" << q;
+  }
+}
+
+TEST(P2Quantile, AdversarialSortedStreamStaysBounded) {
+  // Monotone input is the classic P² stressor: every sample lands in the
+  // top cell and the markers trail behind.  The estimate must still stay
+  // within a few percent of the exact quantile (relative to the spread).
+  std::vector<double> ascending(10000);
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<double>(i);
+  }
+  EXPECT_LT(p2_error(ascending, 0.50), 0.05);
+  EXPECT_LT(p2_error(ascending, 0.90), 0.05);
+  EXPECT_LT(p2_error(ascending, 0.99), 0.05);
+
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  EXPECT_LT(p2_error(descending, 0.50), 0.05);
+  EXPECT_LT(p2_error(descending, 0.99), 0.05);
+}
+
+TEST(OnlineStats, MatchesTwoPassMoments) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> dist(5.0, 2.5);
+  std::vector<double> samples(5000);
+  OnlineStats stats;
+  for (double& x : samples) {
+    x = dist(rng);
+    stats.add(x);
+  }
+
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(samples.size() - 1);
+
+  EXPECT_EQ(stats.count(), samples.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::abs(mean));
+  EXPECT_NEAR(stats.variance(), var, 1e-9 * var);
+  EXPECT_DOUBLE_EQ(stats.min(),
+                   *std::min_element(samples.begin(), samples.end()));
+  EXPECT_DOUBLE_EQ(stats.max(),
+                   *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+// Brute-force non-overlapping Allan variance for the reference: chop the
+// stream into windows of m, average each, sum squared successive
+// differences.
+double brute_force_avar(const std::vector<double>& y, std::size_t m) {
+  std::vector<double> means;
+  for (std::size_t i = 0; i + m <= y.size(); i += m) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) sum += y[i + j];
+    means.push_back(sum / static_cast<double>(m));
+  }
+  if (means.size() < 2) return 0.0;
+  double diff2 = 0.0;
+  for (std::size_t i = 0; i + 1 < means.size(); ++i) {
+    const double d = means[i + 1] - means[i];
+    diff2 += d * d;
+  }
+  return diff2 / (2.0 * static_cast<double>(means.size() - 1));
+}
+
+TEST(AllanAccumulator, MatchesBruteForceAtEveryOctave) {
+  std::mt19937_64 rng(19);
+  std::normal_distribution<double> white(0.0, 1.0);
+  std::vector<double> y(4096);
+  double walk = 0.0;
+  for (double& v : y) {
+    walk += 0.01 * white(rng);  // white noise + a slow random walk
+    v = white(rng) + walk;
+  }
+
+  AllanAccumulator acc;
+  for (double v : y) acc.add(v);
+
+  EXPECT_EQ(acc.count(), y.size());
+  for (std::size_t m = 1; m <= 1024; m <<= 1) {
+    const double expected = brute_force_avar(y, m);
+    const double got = acc.adev(m);
+    EXPECT_NEAR(got, std::sqrt(expected), 1e-9 * (1.0 + std::sqrt(expected)))
+        << "window m=" << m;
+  }
+  // White noise: ADEV should fall roughly as 1/sqrt(m) at small m.
+  EXPECT_GT(acc.adev(1), acc.adev(8));
+}
+
+TEST(AllanAccumulator, PointsListMatchesAdevLookup) {
+  AllanAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(std::sin(0.01 * i));
+  const auto points = acc.points();
+  ASSERT_FALSE(points.empty());
+  for (const auto& p : points) {
+    EXPECT_DOUBLE_EQ(p.adev, acc.adev(p.window));
+    EXPECT_DOUBLE_EQ(p.adev, std::sqrt(p.avar));
+    EXPECT_GT(p.pairs, 0u);
+  }
+}
+
+TEST(RollingWindow, CoversOnlyRecentBuckets) {
+  RollingWindow window(4, 1.0);  // last 4 seconds
+  window.add(0.5, 1.0);
+  window.add(1.5, 1.0);
+  window.add(2.5, 1.0);
+  EXPECT_EQ(window.count(), 3u);
+  EXPECT_DOUBLE_EQ(window.sum(), 3.0);
+
+  // Jump far ahead: everything old must age out.
+  window.add(10.5, 2.0);
+  EXPECT_EQ(window.count(), 1u);
+  EXPECT_DOUBLE_EQ(window.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(window.span(), 4.0);
+  EXPECT_DOUBLE_EQ(window.rate(), 0.25);
+}
+
+TEST(RollingWindow, RateTracksRecentThroughput) {
+  RollingWindow window(8, 0.5);  // last 4 seconds, half-second buckets
+  for (int i = 0; i < 40; ++i) {
+    window.add(0.1 * i, 1.0);  // 10 adds per second for 4 seconds
+  }
+  EXPECT_NEAR(window.rate(), 10.0, 1.0);
+}
+
+TEST(StreamSummary, CombinesMomentsAndQuantiles) {
+  StreamSummary summary;
+  for (int i = 1; i <= 100; ++i) summary.add(static_cast<double>(i));
+  EXPECT_EQ(summary.count(), 100u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 100.0);
+  EXPECT_DOUBLE_EQ(summary.last(), 100.0);
+  EXPECT_NEAR(summary.p50(), 50.5, 5.0);
+  EXPECT_NEAR(summary.p99(), 99.0, 5.0);
+  summary.reset();
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_DOUBLE_EQ(summary.p50(), 0.0);
+}
+
+TEST(WaveformStreams, PerChannelStatsWithBoundedState) {
+  WaveformStreams streams;
+  const double values0[] = {1.0, -1.0};
+  const double values1[] = {2.0, -2.0};
+  streams.on_step(0.0, values0, 2);
+  streams.on_step(1e-9, values1, 2);
+  ASSERT_EQ(streams.channels(), 2u);
+  EXPECT_EQ(streams.steps(), 2u);
+  EXPECT_DOUBLE_EQ(streams.t_first(), 0.0);
+  EXPECT_DOUBLE_EQ(streams.t_last(), 1e-9);
+  EXPECT_DOUBLE_EQ(streams.channel(0).mean(), 1.5);
+  EXPECT_DOUBLE_EQ(streams.channel(1).min(), -2.0);
+  EXPECT_EQ(streams.name(0), "ch0");
+
+  WaveformStreams named;
+  named.configure({"y1", "y2"});
+  named.on_step(0.0, values0, 2);
+  EXPECT_EQ(named.name(1), "y2");
+  EXPECT_EQ(named.channel(0).count(), 1u);
+}
+
+}  // namespace
+}  // namespace sks::obs::stream

@@ -40,6 +40,12 @@ import sys
 COUNTER_BASELINE = "BENCH_perf_micro.json"
 TIMING_BASELINE = "gbench_perf_micro.json"
 
+# Counters that must exist in the report AND be exactly zero: perf_micro
+# pre-creates them before its fixed workload, so a nonzero value proves a
+# streaming accumulator or timeline snapshot leaked onto the solver hot
+# path with streaming disabled (obs/metrics.hpp documents the guarantee).
+REQUIRED_ZERO = ("obs.stream_updates", "obs.timeline_snapshots")
+
 REBASELINE_HINT = ("re-create it with `tools/bench_gate.py rebaseline "
                    "--report BENCH_perf_micro.json "
                    "[--timings gbench_perf_micro.json]` "
@@ -116,6 +122,15 @@ def check_counters(baseline_path, report_path):
               f"{new[name]:.0f} (rebaseline to start tracking it)")
     for line in improvements:
         print(f"improved: {line} (rebaseline to lock in)")
+    for name in REQUIRED_ZERO:
+        if name not in new:
+            failures.append(
+                f"required zero-guard counter missing: fixed.{name} "
+                "(perf_micro must pre-create it)")
+        elif new[name] != 0:
+            failures.append(
+                f"hot-path streaming guard tripped: fixed.{name} = "
+                f"{new[name]:.0f} (must stay 0 with streaming disabled)")
     return failures
 
 

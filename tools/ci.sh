@@ -136,6 +136,63 @@ echo "=== bench history smoke check ==="
   || { echo "history trend table missing" >&2; exit 1; }
 echo "ok: sks-report history"
 
+echo "=== metrics timeline smoke check ==="
+# A scaled-down fig5 Monte-Carlo run with the timeline enabled must emit
+# >= 10 JSONL snapshots with strictly monotone seq, and the final snapshot
+# must agree exactly with the end-of-run BENCH report's counters (the
+# equality contract documented in obs/timeline.hpp).  `sks-report
+# timeline`/`tail` must both render the file.
+TL_DIR=build-ci/timeline
+rm -rf "$TL_DIR"
+mkdir -p "$TL_DIR"
+(cd "$TL_DIR" && SKS_BENCH_SCALE=0.1 SKS_TIMELINE=fig5_timeline.jsonl \
+    SKS_TIMELINE_EVERY=10 ../bench/fig5_montecarlo --profile > fig5.log)
+python3 - "$TL_DIR/fig5_timeline.jsonl" "$TL_DIR/BENCH_fig5_montecarlo.json" <<'EOF'
+import json, sys
+snaps = []
+with open(sys.argv[1]) as f:
+    for line_no, line in enumerate(f, 1):
+        if not line.strip():
+            continue
+        snap = json.loads(line)  # every line must parse
+        assert isinstance(snap["seq"], int), f"line {line_no}: bad seq"
+        snaps.append(snap)
+assert len(snaps) >= 10, f"only {len(snaps)} snapshots"
+seqs = [s["seq"] for s in snaps]
+assert seqs == sorted(set(seqs)), "seq not strictly monotone"
+final = snaps[-1]
+assert final["label"] == "final", final["label"]
+report = json.load(open(sys.argv[2]))
+# Counter equality: the final snapshot is taken immediately before the
+# registry capture, and bumps its own counters first.
+assert final["counters"] == {k: int(v) for k, v in report["counters"].items()}, \
+    "final snapshot counters != BENCH report counters"
+# Stream summaries must match too (same registry, same instant).
+assert set(final["streams"]) == set(report["streams"]), \
+    (set(final["streams"]), set(report["streams"]))
+for name, snap_s in final["streams"].items():
+    rep_s = report["streams"][name]
+    assert snap_s["count"] == rep_s["count"], name
+    assert abs(snap_s["mean"] - rep_s["mean"]) <= 1e-9 * max(1.0, abs(rep_s["mean"])), name
+# Progress snapshots rode the OrderedSink commit order.
+with_progress = [s for s in snaps if "progress" in s]
+assert with_progress, "no item-cadence progress snapshots"
+assert with_progress[-1]["progress"]["done"] == with_progress[-1]["progress"]["total"]
+# Drop counters are surfaced in every snapshot.
+assert all("journal" in s and "trace" in s for s in snaps)
+print(f"ok: {len(snaps)} monotone snapshots; final matches BENCH report")
+EOF
+"$SKS_REPORT" timeline "$TL_DIR/fig5_timeline.jsonl" > "$TL_DIR/timeline.log" \
+  || { echo "sks-report timeline failed" >&2; exit 1; }
+grep -q "monotone" "$TL_DIR/timeline.log" \
+  || { echo "timeline summary missing" >&2; exit 1; }
+"$SKS_REPORT" timeline "$TL_DIR/fig5_timeline.jsonl" \
+    "$TL_DIR/fig5_timeline.jsonl" > /dev/null \
+  || { echo "sks-report timeline diff failed" >&2; exit 1; }
+"$SKS_REPORT" tail "$TL_DIR/fig5_timeline.jsonl" | grep -q "final" \
+  || { echo "sks-report tail did not render the final snapshot" >&2; exit 1; }
+echo "ok: timeline JSONL + sks-report timeline/tail"
+
 echo "=== bench regression gate ==="
 # perf_micro's deterministic fixed-workload pass yields exact solver work
 # counts (values.fixed.*, machine-independent, gated at >0%); the

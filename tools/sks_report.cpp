@@ -9,6 +9,15 @@
 //   sks-report repro   BUNDLE           re-run a bundle, check it reproduces
 //   sks-report run     NETLIST [flags]  solve a netlist; bundle on failure
 //   sks-report history JSONL [REPORT..] append summaries, print trend table
+//   sks-report timeline FILE [B]        summarize a metrics timeline JSONL
+//                                       (two files: diff final snapshots)
+//   sks-report tail    FILE [--follow]  render the latest timeline snapshot
+//
+// `timeline` validates the file (every line parses, seq strictly monotone
+// — exit 1 otherwise) and prints the snapshot ladder plus the final stream
+// statistics; `tail` renders the newest snapshot as a live progress view
+// and with `--follow` keeps polling until the run writes its "final"
+// snapshot (schema in obs/timeline.hpp).
 //
 // `trace` renders each report's journal section as instant events on its
 // own track, with simulation time mapped 1 ns -> 1 us so ns-scale
@@ -20,12 +29,14 @@
 // `repro` re-runs the embedded netlist with the embedded options and exits 0
 // iff the same failure class reproduces.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "esim/engine.hpp"
@@ -33,6 +44,7 @@
 #include "esim/spice_io.hpp"
 #include "obs/diag.hpp"
 #include "obs/json.hpp"
+#include "obs/stream.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -120,6 +132,24 @@ void print_report(const std::string& path) {
                   ct.first, ct.second);
     }
   }
+  if (const Json* streams = doc.find("streams");
+      streams != nullptr && streams->is_object() &&
+      !streams->object().empty()) {
+    std::cout << "  streams:\n";
+    std::printf("    %-28s %8s %12s %12s %12s %12s\n", "name", "count",
+                "mean", "p50", "p90", "p99");
+    for (const auto& [key, s] : streams->object()) {
+      if (!s.is_object()) continue;
+      auto field = [&s](const char* name) {
+        const Json* f = s.find(name);
+        return f != nullptr && f->is_number() ? f->number() : 0.0;
+      };
+      std::printf("    %-28s %8.0f %12s %12s %12s %12s\n", key.c_str(),
+                  field("count"), fmt(field("mean")).c_str(),
+                  fmt(field("p50")).c_str(), fmt(field("p90")).c_str(),
+                  fmt(field("p99")).c_str());
+    }
+  }
   if (const Json* journal = doc.find("journal"); journal != nullptr) {
     std::cout << "  journal: recorded="
               << fmt(journal->at("recorded").number())
@@ -129,6 +159,24 @@ void print_report(const std::string& path) {
         std::cout << "    " << key << " = " << fmt(value.number()) << "\n";
       }
     }
+  }
+  if (const Json* trace = doc.find("trace"); trace != nullptr) {
+    std::cout << "  trace: events=" << fmt(trace->at("events").number())
+              << " dropped=" << fmt(trace->at("dropped").number()) << "\n";
+  }
+  // Saturation at a glance: any nonzero drop means a bounded buffer lost
+  // data and the sections above undercount.
+  double journal_drops = 0.0, trace_drops = 0.0;
+  if (const Json* journal = doc.find("journal")) {
+    journal_drops = journal->at("dropped").number();
+  }
+  if (const Json* trace = doc.find("trace")) {
+    trace_drops = trace->at("dropped").number();
+  }
+  if (journal_drops > 0.0 || trace_drops > 0.0) {
+    std::cout << "  DROPS: journal=" << fmt(journal_drops)
+              << " trace=" << fmt(trace_drops)
+              << " (bounded buffers saturated; raise their capacity)\n";
   }
 }
 
@@ -478,6 +526,255 @@ int run_netlist(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- metrics timelines --------------------------------------------------
+
+// Parse a timeline JSONL file (obs/timeline.hpp schema).  Hard-fails (via
+// sks::check) on an unparsable line or a non-monotone seq — a corrupt
+// timeline must not summarize as if it were healthy.
+std::vector<Json> load_timeline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  sks::check(in.good(), "cannot open '", path, "'");
+  std::vector<Json> out;
+  std::string line;
+  std::size_t line_no = 0;
+  double prev_seq = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Json snap;
+    try {
+      snap = Json::parse(line);
+    } catch (const sks::Error& e) {
+      sks::check(false, path, ":", line_no, ": unparsable snapshot: ",
+                 e.what());
+    }
+    sks::check(snap.is_object() && snap.has("seq"), path, ":", line_no,
+               ": snapshot has no \"seq\"");
+    const double seq = snap.at("seq").number();
+    sks::check(seq > prev_seq, path, ":", line_no, ": seq ", fmt(seq),
+               " not strictly greater than ", fmt(prev_seq));
+    prev_seq = seq;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+double opt_number(const Json& obj, const char* key, double fallback = 0.0) {
+  const Json* f = obj.find(key);
+  return f != nullptr && f->is_number() ? f->number() : fallback;
+}
+
+void print_stream_table(const Json& snap, const char* indent) {
+  const Json* streams = snap.find("streams");
+  if (streams == nullptr || !streams->is_object() ||
+      streams->object().empty()) {
+    return;
+  }
+  std::printf("%s%-24s %8s %12s %12s %12s %12s %12s\n", indent, "stream",
+              "count", "mean", "min", "p50", "p99", "max");
+  for (const auto& [key, s] : streams->object()) {
+    if (!s.is_object()) continue;
+    std::printf("%s%-24s %8.0f %12s %12s %12s %12s %12s\n", indent,
+                key.c_str(), opt_number(s, "count"),
+                fmt(opt_number(s, "mean")).c_str(),
+                fmt(opt_number(s, "min")).c_str(),
+                fmt(opt_number(s, "p50")).c_str(),
+                fmt(opt_number(s, "p99")).c_str(),
+                fmt(opt_number(s, "max")).c_str());
+  }
+}
+
+// One ladder row per snapshot: seq, label, wall clock, progress and the
+// drop counters (so saturation mid-run is visible in the summary).
+void print_timeline_row(const Json& snap) {
+  std::string progress_text = "-";
+  if (const Json* p = snap.find("progress"); p != nullptr && p->is_object()) {
+    std::ostringstream text;
+    text << static_cast<std::uint64_t>(opt_number(*p, "done")) << "/"
+         << static_cast<std::uint64_t>(opt_number(*p, "total")) << " @"
+         << fmt(opt_number(*p, "rate_per_s")) << "/s eta "
+         << fmt(opt_number(*p, "eta_s")) << "s";
+    progress_text = text.str();
+  }
+  double drops = 0.0;
+  if (const Json* j = snap.find("journal")) drops += opt_number(*j, "dropped");
+  if (const Json* t = snap.find("trace")) drops += opt_number(*t, "dropped");
+  const Json* label = snap.find("label");
+  std::printf("  %6.0f %-18s %10ss %-28s %8.0f\n", opt_number(snap, "seq"),
+              label != nullptr && label->is_string() ? label->str().c_str()
+                                                     : "?",
+              fmt(opt_number(snap, "wall_s")).c_str(), progress_text.c_str(),
+              drops);
+}
+
+int summarize_timeline(const std::string& path) {
+  const std::vector<Json> snaps = load_timeline(path);
+  if (snaps.empty()) {
+    std::cout << path << ": no snapshots\n";
+    return 0;
+  }
+  const Json& last = snaps.back();
+  std::cout << "timeline " << path << ": " << snaps.size()
+            << " snapshots over " << fmt(opt_number(last, "wall_s"))
+            << "s (seq " << fmt(opt_number(snaps.front(), "seq")) << ".."
+            << fmt(opt_number(last, "seq")) << ", monotone)\n";
+  std::printf("  %6s %-18s %11s %-28s %8s\n", "seq", "label", "wall",
+              "progress", "drops");
+  // Middle rows elided on long timelines; the ends carry the story.
+  constexpr std::size_t kHead = 8, kTail = 8;
+  if (snaps.size() <= kHead + kTail + 1) {
+    for (const Json& snap : snaps) print_timeline_row(snap);
+  } else {
+    for (std::size_t i = 0; i < kHead; ++i) print_timeline_row(snaps[i]);
+    std::cout << "  ... (" << snaps.size() - kHead - kTail
+              << " snapshots elided)\n";
+    for (std::size_t i = snaps.size() - kTail; i < snaps.size(); ++i) {
+      print_timeline_row(snaps[i]);
+    }
+  }
+  std::cout << "final snapshot streams:\n";
+  print_stream_table(last, "  ");
+  double journal_drops = 0.0, trace_drops = 0.0;
+  if (const Json* j = last.find("journal")) {
+    journal_drops = opt_number(*j, "dropped");
+  }
+  if (const Json* t = last.find("trace")) trace_drops = opt_number(*t, "dropped");
+  if (journal_drops > 0.0 || trace_drops > 0.0) {
+    std::cout << "DROPS: journal=" << fmt(journal_drops)
+              << " trace=" << fmt(trace_drops) << "\n";
+  }
+  return 0;
+}
+
+std::map<std::string, double> snapshot_section(const Json& snap,
+                                               const std::string& section) {
+  return number_section(snap, section);
+}
+
+// Two timelines: diff their FINAL snapshots (counters, gauges, stream
+// means) — "did the overnight run end in the same place as yesterday's".
+int diff_timelines(const std::string& path_a, const std::string& path_b) {
+  const std::vector<Json> a = load_timeline(path_a);
+  const std::vector<Json> b = load_timeline(path_b);
+  sks::check(!a.empty(), path_a, ": no snapshots");
+  sks::check(!b.empty(), path_b, ": no snapshots");
+  std::cout << "timeline diff (final snapshots) " << path_a << " -> "
+            << path_b << "\n";
+  diff_section("counters", snapshot_section(a.back(), "counters"),
+               snapshot_section(b.back(), "counters"));
+  diff_section("gauges", snapshot_section(a.back(), "gauges"),
+               snapshot_section(b.back(), "gauges"));
+  auto stream_means = [](const Json& snap) {
+    std::map<std::string, double> out;
+    if (const Json* streams = snap.find("streams");
+        streams != nullptr && streams->is_object()) {
+      for (const auto& [key, s] : streams->object()) {
+        if (!s.is_object()) continue;
+        out[key + ".mean"] = opt_number(s, "mean");
+        out[key + ".p99"] = opt_number(s, "p99");
+      }
+    }
+    return out;
+  };
+  diff_section("streams", stream_means(a.back()), stream_means(b.back()));
+  return 0;
+}
+
+// Latest-snapshot view for a live run: progress bar, rates, streams.
+void render_tail_snapshot(const Json& snap, std::size_t total_snapshots) {
+  const Json* label = snap.find("label");
+  std::cout << "snapshot #" << fmt(opt_number(snap, "seq")) << " \""
+            << (label != nullptr && label->is_string() ? label->str() : "?")
+            << "\" at wall " << fmt(opt_number(snap, "wall_s")) << "s ("
+            << total_snapshots << " snapshots so far)\n";
+  if (const Json* sim_t = snap.find("sim_t")) {
+    std::cout << "  sim time: " << fmt(sim_t->number()) << "s\n";
+  }
+  if (const Json* p = snap.find("progress"); p != nullptr && p->is_object()) {
+    const double done = opt_number(*p, "done");
+    const double total = opt_number(*p, "total");
+    const double frac = total > 0.0 ? done / total : 0.0;
+    constexpr int kBarWidth = 40;
+    const int filled = static_cast<int>(frac * kBarWidth + 0.5);
+    std::string bar(static_cast<std::size_t>(filled), '#');
+    bar.resize(kBarWidth, '.');
+    const Json* name = p->find("name");
+    std::printf("  %s [%s] %.0f/%.0f (%.1f%%)\n",
+                name != nullptr && name->is_string() ? name->str().c_str()
+                                                     : "progress",
+                bar.c_str(), done, total, 100.0 * frac);
+    std::printf("  rate %s/s (recent %s/s), eta %ss\n",
+                fmt(opt_number(*p, "rate_per_s")).c_str(),
+                fmt(opt_number(*p, "recent_rate_per_s")).c_str(),
+                fmt(opt_number(*p, "eta_s")).c_str());
+    if (const Json* partial = p->find("partial");
+        partial != nullptr && partial->is_object()) {
+      std::cout << "  partial:";
+      for (const auto& [key, v] : partial->object()) {
+        std::cout << " " << key << "=" << fmt(v.number());
+      }
+      std::cout << "\n";
+    }
+  }
+  print_stream_table(snap, "  ");
+  double journal_drops = 0.0, trace_drops = 0.0;
+  if (const Json* j = snap.find("journal")) {
+    journal_drops = opt_number(*j, "dropped");
+  }
+  if (const Json* t = snap.find("trace")) trace_drops = opt_number(*t, "dropped");
+  if (journal_drops > 0.0 || trace_drops > 0.0) {
+    std::cout << "  DROPS: journal=" << fmt(journal_drops)
+              << " trace=" << fmt(trace_drops) << "\n";
+  }
+}
+
+int tail_timeline(const std::string& path, bool follow) {
+  // Poll-and-render loop; one pass when not following.  The writer flushes
+  // whole lines, so re-reading the file always sees complete snapshots.
+  constexpr auto kPoll = std::chrono::milliseconds(500);
+  constexpr int kIdleExit = 60;  // ~30 s without a new snapshot
+  double last_seq = -1.0;
+  int idle = 0;
+  while (true) {
+    std::vector<Json> snaps;
+    try {
+      snaps = load_timeline(path);
+    } catch (const sks::Error& e) {
+      // A partially-written first line right at startup is not an error
+      // in follow mode — retry; bare tail reports it.
+      if (!follow) throw;
+      std::cerr << "tail: " << e.what() << " (retrying)\n";
+      std::this_thread::sleep_for(kPoll);
+      continue;
+    }
+    if (!snaps.empty()) {
+      const Json& last = snaps.back();
+      const double seq = opt_number(last, "seq");
+      if (seq != last_seq) {
+        last_seq = seq;
+        idle = 0;
+        render_tail_snapshot(last, snaps.size());
+        const Json* label = last.find("label");
+        if (label != nullptr && label->is_string() &&
+            label->str() == "final") {
+          if (follow) std::cout << "tail: run finished (final snapshot)\n";
+          return 0;
+        }
+      } else {
+        ++idle;
+      }
+    } else {
+      ++idle;
+    }
+    if (!follow) return snaps.empty() ? 1 : 0;
+    if (idle >= kIdleExit) {
+      std::cout << "tail: no new snapshot for a while; giving up\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(kPoll);
+  }
+}
+
 // ---- bench history ------------------------------------------------------
 
 // One history line: report name plus its numeric values/counters, flat.
@@ -531,17 +828,20 @@ int history_command(const std::string& jsonl_path,
   }
 
   // Trend table: the latest entry's metrics as rows, the most recent runs
-  // as columns (newest right).
+  // as columns (newest right), closed by p50/p99 columns computed over the
+  // WHOLE history with the streaming P² estimator — bounded memory no
+  // matter how many runs the file has accumulated.
   constexpr std::size_t kMaxColumns = 6;
   const std::size_t first =
       entries.size() > kMaxColumns ? entries.size() - kMaxColumns : 0;
   std::cout << "history " << jsonl_path << " (" << entries.size()
-            << " entries, showing last " << entries.size() - first << ")\n";
+            << " entries, showing last " << entries.size() - first
+            << "; p50/p99 over all)\n";
   std::printf("  %-36s", "metric");
   for (std::size_t c = first; c < entries.size(); ++c) {
     std::printf(" %12s", ("run " + std::to_string(c + 1)).c_str());
   }
-  std::printf("\n");
+  std::printf(" %12s %12s\n", "p50", "p99");
   for (const auto& [key, latest] : entries.back().second) {
     (void)latest;
     std::printf("  %-36s", key.c_str());
@@ -553,7 +853,17 @@ int history_command(const std::string& jsonl_path,
         std::printf(" %12s", fmt(it->second).c_str());
       }
     }
-    std::printf("\n");
+    sks::obs::stream::P2Quantile p50(0.50), p99(0.99);
+    for (const auto& [name, values] : entries) {
+      (void)name;
+      const auto it = values.find(key);
+      if (it != values.end()) {
+        p50.add(it->second);
+        p99.add(it->second);
+      }
+    }
+    std::printf(" %12s %12s\n", fmt(p50.value()).c_str(),
+                fmt(p99.value()).c_str());
   }
   return 0;
 }
@@ -568,7 +878,9 @@ int usage() {
                "  sks-report repro   BUNDLE_DIR\n"
                "  sks-report run     NETLIST.sp [--dc|--tran] "
                "[--solver dense|sparse|auto] [--postmortem DIR]\n"
-               "  sks-report history HISTORY.jsonl [REPORT.json...]\n";
+               "  sks-report history HISTORY.jsonl [REPORT.json...]\n"
+               "  sks-report timeline TIMELINE.jsonl [B.jsonl]\n"
+               "  sks-report tail    TIMELINE.jsonl [--follow]\n";
   return 2;
 }
 
@@ -603,6 +915,16 @@ int main(int argc, char** argv) {
     }
     if (command == "history") {
       return history_command(paths[0], {paths.begin() + 1, paths.end()});
+    }
+    if (command == "timeline" && paths.size() == 1) {
+      return summarize_timeline(paths[0]);
+    }
+    if (command == "timeline" && paths.size() == 2) {
+      return diff_timelines(paths[0], paths[1]);
+    }
+    if (command == "tail" && !paths.empty()) {
+      const bool follow = paths.size() > 1 && paths[1] == "--follow";
+      return tail_timeline(paths[0], follow);
     }
     return usage();
   } catch (const sks::Error& e) {
