@@ -23,6 +23,7 @@
 #include "fault/universe.hpp"
 #include "logic/masking.hpp"
 #include "obs/report.hpp"
+#include "scheme/montecarlo.hpp"
 #include "scheme/scheme.hpp"
 #include "util/prng.hpp"
 
@@ -134,6 +135,40 @@ void BM_SingleFaultSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleFaultSimulation);
+
+// Fig. 5-style Monte-Carlo population, scalar vs the batched SoA solver.
+// Serial (threads = 1) so the wall ratio isolates the lane-vectorization
+// win; the per-sample verdicts are identical on both paths (test_batch /
+// test_montecarlo pin that).
+scheme::McOptions mc_bench_options(std::size_t lanes) {
+  scheme::McOptions mc;
+  mc.samples = 32;  // one full block at the widest measured lane count
+  mc.threads = 1;
+  mc.dt = 10e-12;
+  mc.batch = lanes;  // 1 = scalar golden path
+  return mc;
+}
+
+void BM_MonteCarlo(benchmark::State& state, std::size_t lanes) {
+  const cell::Technology tech;
+  const cell::SensorOptions base;
+  const auto mc = mc_bench_options(lanes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme::run_vmin_montecarlo(tech, base, mc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mc.samples));
+}
+
+void BM_MonteCarloScalar(benchmark::State& state) {
+  BM_MonteCarlo(state, 1);
+}
+BENCHMARK(BM_MonteCarloScalar);
+
+void BM_MonteCarloBatch(benchmark::State& state) {
+  BM_MonteCarlo(state, 32);
+}
+BENCHMARK(BM_MonteCarloBatch);
 
 void BM_SchemeCycles(benchmark::State& state) {
   clocktree::HTreeOptions ho;
@@ -248,6 +283,34 @@ FixedWorkload fixed_workload_counters() {
   if (sparse_wall > 0.0) {
     out.wall.emplace_back("solver.clocktree_speedup",
                           dense_wall / sparse_wall);
+  }
+
+  // Batched Monte-Carlo fast path: the same fixed 32-sample fig5-style
+  // population once scalar and once batched (one full 32-lane block), each
+  // in its own counter window.  The batch.* counters are pure work counts
+  // (lane occupancy, fallback count, refactorization sweeps — all
+  // draw-deterministic), so any change fails the gate; the wall ratio is
+  // the headline solver.mc_batch_speedup the gate windows.
+  double mc_scalar_wall = 0.0, mc_batch_wall = 0.0;
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{32}}) {
+    obs::registry().reset();
+    scheme::McRunStats mc_stats;
+    scheme::run_vmin_montecarlo(tech, {}, mc_bench_options(lanes),
+                                &mc_stats);
+    (lanes == 1 ? mc_scalar_wall : mc_batch_wall) = mc_stats.wall_seconds;
+    if (lanes != 1) {
+      for (const auto& [name, value] : obs::registry().counters()) {
+        if (name.rfind("batch.", 0) == 0) {
+          out.counters.emplace_back("mc_" + name, value);
+        }
+      }
+    }
+  }
+  out.wall.emplace_back("solver.mc_scalar_wall_s", mc_scalar_wall);
+  out.wall.emplace_back("solver.mc_batch_wall_s", mc_batch_wall);
+  if (mc_batch_wall > 0.0) {
+    out.wall.emplace_back("solver.mc_batch_speedup",
+                          mc_scalar_wall / mc_batch_wall);
   }
 
   obs::registry().reset();

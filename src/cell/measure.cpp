@@ -66,6 +66,12 @@ SensorMeasurement measure_bench(const SensorBench& bench, double vth,
   const auto result =
       esim::simulate(bench.circuit, sensor_sim_options(bench.stimulus, dt));
   if (stats != nullptr) *stats = result.stats;
+  return measure_result(bench, result, vth);
+}
+
+SensorMeasurement measure_result(const SensorBench& bench,
+                                 const esim::TransientResult& result,
+                                 double vth) {
   const auto y1 = esim::Trace::node_voltage(
       result, bench.circuit, bench.cell.qualified("y1"));
   const auto y2 = esim::Trace::node_voltage(

@@ -57,6 +57,14 @@ SensorMeasurement measure_bench(const SensorBench& bench, double vth,
                                 double dt = 2e-12,
                                 esim::SolveStats* stats = nullptr);
 
+// Interpret an already-computed transient of bench.circuit (the verdict
+// half of measure_bench).  The batched Monte-Carlo path runs K benches
+// through esim::BatchSimulator and feeds each lane's result here, so the
+// scalar and batched sweeps share one interpretation routine.
+SensorMeasurement measure_result(const SensorBench& bench,
+                                 const esim::TransientResult& result,
+                                 double vth);
+
 // The sensitivity tau_min: smallest skew (within [lo, hi]) detected by the
 // sensor, found by bisection to `tolerance`.  Returns `hi` when even the
 // largest skew is not detected (degenerate circuit), `lo` when the smallest

@@ -49,12 +49,12 @@ void SolveStats::merge(const SolveStats& other) {
   wall_seconds += other.wall_seconds;
 }
 
-namespace {
-
 // Batched mirror into the process-wide registry, once per public solve.
 // The Counter references are resolved once: registry entries have stable
-// addresses for the process lifetime.
-void mirror_to_obs(const SolveStats& s) {
+// addresses for the process lifetime.  Also used by BatchSimulator, which
+// accounts each lane's SolveStats itself and must feed the same esim.*
+// counters the scalar path does.
+void mirror_stats_to_registry(const SolveStats& s) {
   static obs::Counter& runs = obs::registry().counter("esim.runs");
   static obs::Counter& nr_iters =
       obs::registry().counter("esim.newton_iterations");
@@ -102,8 +102,6 @@ void mirror_to_obs(const SolveStats& s) {
   be.inc(s.be_fallbacks);
   bps.inc(s.breakpoints_hit);
 }
-
-}  // namespace
 
 // Symbolic prepass product: the sparse Jacobian pattern with every device
 // stamp resolved to a direct value slot, the stamp template split into a
@@ -923,7 +921,7 @@ Simulator::DcSolution Simulator::dc_solution(
   if (diag_) diag_->clear();
   if (!dc_solve(x, t, options)) {
     stats_.wall_seconds = wall.seconds();
-    mirror_to_obs(stats_);
+    mirror_stats_to_registry(stats_);
     const std::string worst =
         worst_residual_node(x, t, -1.0, false, {}, {}, 1e-12);
     ConvergenceError err(
@@ -947,7 +945,7 @@ Simulator::DcSolution Simulator::dc_solution(
     solution.vsrc_i[s] = x[branch_base + s];
   }
   stats_.wall_seconds = wall.seconds();
-  mirror_to_obs(stats_);
+  mirror_stats_to_registry(stats_);
   span.arg("nr_iters", static_cast<double>(stats_.newton_iterations))
       .arg("lu", static_cast<double>(stats_.lu_factorizations))
       .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))
@@ -979,7 +977,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   if (diag_) diag_->clear();
   if (!dc_solve(x, 0.0, dc_options)) {
     stats_.wall_seconds = wall.seconds();
-    mirror_to_obs(stats_);
+    mirror_stats_to_registry(stats_);
     const std::string worst =
         worst_residual_node(x, 0.0, -1.0, false, {}, {}, 1e-12);
     ConvergenceError err(
@@ -1172,7 +1170,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
         }
       }
       stats_.wall_seconds = wall.seconds();
-      mirror_to_obs(stats_);
+      mirror_stats_to_registry(stats_);
       // Continuous-health counter: the step was abandoned with dt at the
       // floor.  Always live (failure path only, nowhere near the hot loop).
       obs::registry().counter("dt.collapse_events").inc();
@@ -1204,7 +1202,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   }
 
   stats_.wall_seconds = wall.seconds();
-  mirror_to_obs(stats_);
+  mirror_stats_to_registry(stats_);
   span.arg("steps", static_cast<double>(stats_.steps_accepted))
       .arg("nr_iters", static_cast<double>(stats_.newton_iterations))
       .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))

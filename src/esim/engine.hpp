@@ -101,6 +101,12 @@ struct SolveStats {
   void merge(const SolveStats& other);
 };
 
+// Mirror one run's SolveStats into the process-wide obs registry (the
+// esim.* counters) and bump esim.runs.  The scalar Simulator calls this
+// once per public solve; BatchSimulator (esim/batch.hpp) calls it once per
+// non-fallback lane so batched and scalar runs report identically.
+void mirror_stats_to_registry(const SolveStats& stats);
+
 // Linear-solver selection.  kAuto picks sparse when the circuit has at
 // least Simulator::kSparseAutoThreshold unknowns and dense below it (tiny
 // systems fit in cache and a dense LU beats the sparse bookkeeping).  The

@@ -317,4 +317,149 @@ double SparseLu::udiag_max_abs() const {
   return m;
 }
 
+void BatchLu::attach(const SparseLu& reference, std::size_t lanes) {
+  n_ = reference.n_;
+  lanes_ = lanes;
+  q_ = reference.q_;
+  pinv_ = reference.pinv_;
+  prow_ = reference.prow_;
+  lp_ = reference.lp_;
+  up_ = reference.up_;
+  li_ = reference.li_;
+  ui_ = reference.ui_;
+  lx_.assign(li_.size() * lanes_, 0.0);
+  ux_.assign(ui_.size() * lanes_, 0.0);
+  udiag_.assign(n_ * lanes_, 0.0);
+  acc_.assign(n_ * lanes_, 0.0);
+  fwd_.assign(n_ * lanes_, 0.0);
+  bwd_.assign(n_ * lanes_, 0.0);
+  yk_.assign(lanes_, 0.0);
+  maxc_.assign(lanes_, 0.0);
+}
+
+void BatchLu::refactor(const SparseMatrix& pattern, const double* soa_values,
+                       std::vector<std::uint8_t>& ok) {
+  // Per-lane replay of SparseLu::refactor on the frozen pattern: the outer
+  // structure (columns, U updates in ascending pivot order, pivot test, L
+  // scaling, sparse clear) is identical; only the innermost dimension is
+  // the contiguous lane axis.  Unlike the scalar version there is no
+  // `ukj != 0` skip — eliminating with a zero coefficient leaves the lane
+  // value bit-identical, so each live lane rounds exactly like the scalar
+  // replay would.
+  // The K-trip lane loops below are tiny (K <= 64 doubles); without
+  // __restrict the vectorizer versions every one of them with runtime
+  // overlap checks that cost as much as the vector body.  The SoA arrays
+  // are distinct members, so the no-alias promise holds by construction.
+  const std::size_t K = lanes_;
+  double* __restrict acc = acc_.data();
+  double* __restrict lx = lx_.data();
+  double* __restrict ux = ux_.data();
+  double* __restrict udiag = udiag_.data();
+  double* __restrict maxc = maxc_.data();
+  for (std::uint32_t jj = 0; jj < n_; ++jj) {
+    const std::uint32_t j = q_[jj];
+    for (std::size_t idx = pattern.col_ptr()[j]; idx < pattern.col_ptr()[j + 1];
+         ++idx) {
+      const double* __restrict src = soa_values + idx * K;
+      double* __restrict dst = acc + pattern.row()[idx] * K;
+      for (std::size_t lane = 0; lane < K; ++lane) dst[lane] = src[lane];
+    }
+    for (std::size_t uidx = up_[jj]; uidx < up_[jj + 1]; ++uidx) {
+      const std::uint32_t k = ui_[uidx];
+      const double* ukj = acc + prow_[k] * K;
+      double* __restrict uxv = ux + uidx * K;
+      for (std::size_t lane = 0; lane < K; ++lane) uxv[lane] = ukj[lane];
+      for (std::size_t lidx = lp_[k]; lidx < lp_[k + 1]; ++lidx) {
+        double* __restrict xr = acc + li_[lidx] * K;
+        const double* __restrict lxv = lx + lidx * K;
+        for (std::size_t lane = 0; lane < K; ++lane) {
+          xr[lane] -= lxv[lane] * uxv[lane];
+        }
+      }
+    }
+    const double* pivot = acc + prow_[jj] * K;
+    for (std::size_t lane = 0; lane < K; ++lane) {
+      maxc[lane] = std::fabs(pivot[lane]);
+    }
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      const double* __restrict xr = acc + li_[lidx] * K;
+      for (std::size_t lane = 0; lane < K; ++lane) {
+        maxc[lane] = std::max(maxc[lane], std::fabs(xr[lane]));
+      }
+    }
+    for (std::size_t lane = 0; lane < K; ++lane) {
+      // Same acceptance rule as the scalar refactor; a NaN pivot fails the
+      // >= comparisons and retires the lane.
+      const bool acceptable =
+          std::fabs(pivot[lane]) >= SparseLu::kSingularFloor &&
+          std::fabs(pivot[lane]) >= SparseLu::kPivotTolerance * maxc[lane];
+      if (!acceptable) ok[lane] = 0;
+    }
+    double* __restrict ud = udiag + static_cast<std::size_t>(jj) * K;
+    for (std::size_t lane = 0; lane < K; ++lane) ud[lane] = pivot[lane];
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      double* __restrict lxv = lx + lidx * K;
+      const double* __restrict xr = acc + li_[lidx] * K;
+      for (std::size_t lane = 0; lane < K; ++lane) {
+        lxv[lane] = xr[lane] / pivot[lane];
+      }
+    }
+    for (std::size_t uidx = up_[jj]; uidx < up_[jj + 1]; ++uidx) {
+      double* __restrict xr = acc + prow_[ui_[uidx]] * K;
+      for (std::size_t lane = 0; lane < K; ++lane) xr[lane] = 0.0;
+    }
+    double* __restrict xp = acc + prow_[jj] * K;
+    for (std::size_t lane = 0; lane < K; ++lane) xp[lane] = 0.0;
+    for (std::size_t lidx = lp_[jj]; lidx < lp_[jj + 1]; ++lidx) {
+      double* __restrict xr = acc + li_[lidx] * K;
+      for (std::size_t lane = 0; lane < K; ++lane) xr[lane] = 0.0;
+    }
+  }
+}
+
+void BatchLu::solve(const double* b_soa, double* x_soa) {
+  const std::size_t K = lanes_;
+  double* __restrict fwd = fwd_.data();
+  double* __restrict bwd = bwd_.data();
+  double* __restrict yk = yk_.data();
+  const double* __restrict lx = lx_.data();
+  const double* __restrict ux = ux_.data();
+  std::copy(b_soa, b_soa + n_ * K, fwd_.begin());
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const double* src = fwd + prow_[k] * K;
+    double* __restrict bw = bwd + static_cast<std::size_t>(k) * K;
+    for (std::size_t lane = 0; lane < K; ++lane) {
+      yk[lane] = src[lane];
+      bw[lane] = src[lane];
+    }
+    for (std::size_t idx = lp_[k]; idx < lp_[k + 1]; ++idx) {
+      double* __restrict fw = fwd + li_[idx] * K;
+      const double* __restrict lxv = lx + idx * K;
+      for (std::size_t lane = 0; lane < K; ++lane) {
+        fw[lane] -= lxv[lane] * yk[lane];
+      }
+    }
+  }
+  for (std::uint32_t jj = n_; jj-- > 0;) {
+    double* __restrict bw = bwd + static_cast<std::size_t>(jj) * K;
+    const double* __restrict ud = udiag_.data() + static_cast<std::size_t>(jj) * K;
+    for (std::size_t lane = 0; lane < K; ++lane) {
+      yk[lane] = bw[lane] / ud[lane];
+      bw[lane] = yk[lane];
+    }
+    for (std::size_t idx = up_[jj]; idx < up_[jj + 1]; ++idx) {
+      double* __restrict br = bwd + ui_[idx] * K;
+      const double* __restrict uxv = ux + idx * K;
+      for (std::size_t lane = 0; lane < K; ++lane) {
+        br[lane] -= uxv[lane] * yk[lane];
+      }
+    }
+  }
+  for (std::uint32_t jj = 0; jj < n_; ++jj) {
+    const double* __restrict bw = bwd + static_cast<std::size_t>(jj) * K;
+    double* __restrict xo = x_soa + q_[jj] * K;
+    for (std::size_t lane = 0; lane < K; ++lane) xo[lane] = bw[lane];
+  }
+}
+
 }  // namespace sks::esim

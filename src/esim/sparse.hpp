@@ -87,6 +87,8 @@ enum class SparseLuStatus {
                      // retry with a full factor()
 };
 
+class BatchLu;
+
 class SparseLu {
  public:
   // Phase 1 (once per pattern): fill-reducing column ordering.
@@ -118,6 +120,8 @@ class SparseLu {
   double udiag_max_abs() const;
 
  private:
+  friend class BatchLu;
+
   void scatter_column(const SparseMatrix& a, std::size_t col);
   SparseLuStatus factor_column(const SparseMatrix& a, std::uint32_t jj);
 
@@ -148,6 +152,51 @@ class SparseLu {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> reach_, dfs_stack_, dfs_pos_, pivotal_;
   std::vector<double> fwd_, bwd_;  // solve scratch
+};
+
+// Multi-lane companion of SparseLu for structure-identical matrix batches:
+// replays the numeric refactorization and the triangular solves of ONE
+// frozen symbolic factorization (column order, pivot order, L/U fill
+// pattern) across K matrices stored structure-of-arrays — values laid out
+// `slot * lanes + lane`, so every inner loop runs contiguously over the
+// lane axis and auto-vectorizes.  There is no per-lane pivoting: a lane
+// whose frozen pivot degenerates (same acceptance rule as
+// SparseLu::refactor) is flagged in the `ok` mask and must be retired to a
+// scalar solver by the caller; the other lanes are unaffected.  Flagged
+// lanes keep being computed (their factors are garbage, possibly non-
+// finite) — garbage stays confined to the lane because no cross-lane
+// reduction ever mixes values.
+class BatchLu {
+ public:
+  // Freeze the symbolic structure of a successfully factored reference.
+  // Only the pattern is copied; call refactor() before solve().
+  void attach(const SparseLu& reference, std::size_t lanes);
+  bool attached() const { return lanes_ > 0; }
+  std::size_t lanes() const { return lanes_; }
+
+  // Numeric refactor of every lane from `soa_values` (the SoA view of
+  // `pattern.values()`: `lanes` doubles per slot; the dummy slot is never
+  // read).  `ok` must arrive sized `lanes`; entries already false are
+  // computed but not re-validated, entries true are cleared when that
+  // lane's pivot acceptance fails.
+  void refactor(const SparseMatrix& pattern, const double* soa_values,
+                std::vector<std::uint8_t>& ok);
+
+  // Blocked multi-RHS solve: x[u * lanes + lane] solves lane `lane` for
+  // b[u * lanes + lane].  Requires refactor(); b and x may not alias.
+  void solve(const double* b_soa, double* x_soa);
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  // Frozen symbolic data, copied from the reference (names as in SparseLu).
+  std::vector<std::uint32_t> q_, pinv_, prow_;
+  std::vector<std::size_t> lp_, up_;
+  std::vector<std::uint32_t> li_, ui_;
+  // SoA numeric factors: `lanes` doubles per L/U entry and per pivot.
+  std::vector<double> lx_, ux_, udiag_;
+  // Scratch: dense per-lane accumulator (n * lanes), solve buffers.
+  std::vector<double> acc_, fwd_, bwd_, yk_, maxc_;
 };
 
 }  // namespace sks::esim

@@ -67,6 +67,13 @@ struct CampaignOptions {
   // test is share-nothing (its Simulator owns a circuit snapshot) and
   // results are committed in universe order.
   std::size_t threads = 0;
+  // Batched-solver lane width: consecutive faults whose injected circuits
+  // are structure-compatible are simulated together by esim::BatchSimulator
+  // (faults that change topology — opens splitting a node, bridges adding a
+  // resistor — start a new group).  0 = resolve from SKS_BATCH, defaulting
+  // to esim::kDefaultBatchLanes; 1 disables batching.  Verdicts and
+  // aggregation order are identical either way.
+  std::size_t batch = 0;
 };
 
 struct CampaignReport {

@@ -40,7 +40,7 @@ TestPlan default_sensor_test_plan(const cell::SensorBench& bench, double vth,
   return plan;
 }
 
-Observation observe(const esim::Circuit& circuit, const TestPlan& plan) {
+esim::TransientOptions observation_options(const TestPlan& plan) {
   esim::TransientOptions options;
   options.dt = plan.dt;
   options.t_end = plan.t_end > 0.0
@@ -48,8 +48,17 @@ Observation observe(const esim::Circuit& circuit, const TestPlan& plan) {
                       : *std::max_element(plan.logic_strobes.begin(),
                                           plan.logic_strobes.end()) +
                             1e-9;
-  const auto result = esim::simulate(circuit, options);
+  return options;
+}
 
+Observation observe(const esim::Circuit& circuit, const TestPlan& plan) {
+  const auto result = esim::simulate(circuit, observation_options(plan));
+  return interpret_observation(result, circuit, plan);
+}
+
+Observation interpret_observation(const esim::TransientResult& result,
+                                  const esim::Circuit& circuit,
+                                  const TestPlan& plan) {
   Observation obs;
   obs.stats = result.stats;
   obs.values.reserve(plan.logic_strobes.size());
@@ -99,6 +108,18 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
     }
     return verdict;
   }
+  verdict = classify_fault(fault_to_test, good_observation,
+                           faulty_observation, plan);
+  verdict.seconds = stopwatch.seconds();
+  return verdict;
+}
+
+FaultVerdict classify_fault(const Fault& fault_to_test,
+                            const Observation& good_observation,
+                            const Observation& faulty_observation,
+                            const TestPlan& plan) {
+  FaultVerdict verdict;
+  verdict.fault = fault_to_test;
   verdict.simulated = true;
   verdict.stats = faulty_observation.stats;
 
@@ -114,7 +135,6 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
     verdict.max_excess_iddq = std::max(verdict.max_excess_iddq, excess);
   }
   verdict.iddq_detected = verdict.max_excess_iddq > plan.iddq_threshold;
-  verdict.seconds = stopwatch.seconds();
   if (obs::journal().enabled()) {
     obs::journal().record(
         {obs::EventType::kFaultVerdict, 0.0, verdict.max_excess_iddq, 0,

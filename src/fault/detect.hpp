@@ -59,6 +59,17 @@ struct Observation {
 // Simulate the circuit under the plan's stimulus and sample it.
 Observation observe(const esim::Circuit& circuit, const TestPlan& plan);
 
+// The transient options observe() runs — exposed so the batched campaign
+// path (esim::BatchSimulator over a group of faulty circuits) drives its
+// lanes with exactly the scalar schedule.
+esim::TransientOptions observation_options(const TestPlan& plan);
+
+// Sample an already-computed transient of `circuit` (the second half of
+// observe()); shared by the scalar and batched campaign paths.
+Observation interpret_observation(const esim::TransientResult& result,
+                                  const esim::Circuit& circuit,
+                                  const TestPlan& plan);
+
 struct FaultVerdict {
   Fault fault;
   bool simulated = false;       // electrical simulation converged
@@ -85,6 +96,16 @@ FaultVerdict test_fault(const esim::Circuit& good_circuit,
                         const Observation& good_observation,
                         const Fault& fault_to_test, const TestPlan& plan,
                         const InjectOptions& inject_options = {});
+
+// Classify an already-observed faulty circuit against the fault-free
+// reference: the detection-criteria half of test_fault (including the
+// journal record), shared by the scalar and batched campaign paths.  The
+// returned verdict carries the fault, the detection flags and the solver
+// stats of `faulty_observation`; the caller fills `seconds`.
+FaultVerdict classify_fault(const Fault& fault_to_test,
+                            const Observation& good_observation,
+                            const Observation& faulty_observation,
+                            const TestPlan& plan);
 
 // Does the (possibly faulty) sensor still flag an abnormal skew?  Used to
 // check the paper's claim that stuck-opens on c/g "do not mask the presence

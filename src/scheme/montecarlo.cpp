@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "esim/batch.hpp"
 #include "esim/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -26,18 +27,24 @@ struct SampleResult {
   esim::SolveStats solve;
 };
 
-SampleResult measure_one(const cell::Technology& tech,
-                         const cell::SensorOptions& base,
-                         const McOptions& options, std::size_t index) {
-  const obs::Stopwatch sample_wall;
-  obs::Span span("scheme.mc_sample");
-  span.arg("index", static_cast<double>(index));
+// A drawn sample and its ready-to-simulate bench.  Splitting the draw from
+// the measurement lets the scalar path and the batched path share one
+// randomness protocol: sample i's circuit and stimulus depend only on
+// (options.seed, i), never on the execution schedule or the lane width.
+struct PreparedSample {
+  McSample sample;
+  cell::SensorBench bench;
+};
+
+PreparedSample prepare_one(const cell::Technology& tech,
+                           const cell::SensorOptions& base,
+                           const McOptions& options, std::size_t index) {
   // Index-addressed stream: sample i's randomness depends only on
   // (options.seed, i), so any schedule across any thread count draws the
   // exact same circuits and stimuli.
   util::Prng prng(util::derive_seed(options.seed, index));
 
-  SampleResult out;
+  PreparedSample out;
   McSample& s = out.sample;
   s.tau = prng.uniform(options.tau_lo, options.tau_hi);
   s.slew1 = prng.uniform(options.slew_lo, options.slew_hi);
@@ -53,18 +60,36 @@ SampleResult measure_one(const cell::Technology& tech,
   stimulus.slew1 = s.slew1;
   stimulus.slew2 = s.slew2;
 
-  cell::SensorBench bench = cell::make_sensor_bench(tech, opt, stimulus);
+  out.bench = cell::make_sensor_bench(tech, opt, stimulus);
   cell::VariationSpec spec;
   spec.rel = options.rel;
-  cell::apply_random_variation(bench.circuit, spec, prng);
+  cell::apply_random_variation(out.bench.circuit, spec, prng);
+  return out;
+}
 
+void fill_measurement(McSample& s, const cell::SensorMeasurement& m) {
+  // Positive tau delays phi2, so the late output is y2.
+  s.vmin_late = m.vmin_y2;
+  s.indication = m.indication;
+  s.detected = m.error();
+}
+
+SampleResult measure_one(const cell::Technology& tech,
+                         const cell::SensorOptions& base,
+                         const McOptions& options, std::size_t index) {
+  const obs::Stopwatch sample_wall;
+  obs::Span span("scheme.mc_sample");
+  span.arg("index", static_cast<double>(index));
+  PreparedSample prepared = prepare_one(tech, base, options, index);
+
+  SampleResult out;
+  out.sample = prepared.sample;
+  McSample& s = out.sample;
   try {
-    const cell::SensorMeasurement m = cell::measure_bench(
-        bench, tech.interpretation_threshold(), options.dt, &out.solve);
-    // Positive tau delays phi2, so the late output is y2.
-    s.vmin_late = m.vmin_y2;
-    s.indication = m.indication;
-    s.detected = m.error();
+    const cell::SensorMeasurement m =
+        cell::measure_bench(prepared.bench, tech.interpretation_threshold(),
+                            options.dt, &out.solve);
+    fill_measurement(s, m);
   } catch (const ConvergenceError& e) {
     // A pathological random draw must not abort the whole population: mark
     // the sample unsimulated and keep the failure context (plus the
@@ -79,6 +104,61 @@ SampleResult measure_one(const cell::Technology& tech,
       .arg("detected", static_cast<double>(s.detected))
       .arg("nr_iters", static_cast<double>(out.solve.newton_iterations));
   return out;
+}
+
+// Measure samples [lo, hi) as one BatchSimulator run (the SoA fast path).
+// A lane the batch retires is re-run on the scalar Simulator inside
+// run_transients, so the verdicts here match the scalar path sample for
+// sample; per-sample seconds are the block's wall time split evenly (the
+// lanes advance in lockstep, so there is no meaningful per-lane split).
+void measure_block(const cell::Technology& tech,
+                   const cell::SensorOptions& base, const McOptions& options,
+                   std::size_t lo, std::size_t hi,
+                   std::vector<SampleResult>& results) {
+  const obs::Stopwatch block_wall;
+  const std::size_t lanes = hi - lo;
+  obs::Span span("scheme.mc_block");
+  span.arg("first", static_cast<double>(lo))
+      .arg("lanes", static_cast<double>(lanes));
+
+  std::vector<PreparedSample> prepared;
+  prepared.reserve(lanes);
+  std::vector<esim::Circuit> circuits;
+  circuits.reserve(lanes);
+  std::vector<esim::TransientOptions> sim_options;
+  sim_options.reserve(lanes);
+  for (std::size_t i = lo; i < hi; ++i) {
+    prepared.push_back(prepare_one(tech, base, options, i));
+    circuits.push_back(prepared.back().bench.circuit);
+    sim_options.push_back(
+        cell::sensor_sim_options(prepared.back().bench.stimulus, options.dt));
+  }
+
+  esim::BatchSimulator batch(std::move(circuits));
+  const auto outcomes = batch.run_transients(sim_options);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    SampleResult out;
+    out.sample = prepared[l].sample;
+    McSample& s = out.sample;
+    const esim::BatchLaneOutcome& oc = outcomes[l];
+    if (oc.simulated) {
+      out.solve = oc.result.stats;
+      fill_measurement(
+          s, cell::measure_result(prepared[l].bench, oc.result,
+                                  tech.interpretation_threshold()));
+    } else {
+      s.simulated = false;
+      s.failure = oc.failure;
+      s.bundle = oc.bundle;
+    }
+    results[lo + l] = std::move(out);
+  }
+  // Split the block's wall time evenly across its samples so the
+  // mc.sample_seconds stream and McRunStats keep their meaning.
+  const double per_sample = block_wall.seconds() / static_cast<double>(lanes);
+  for (std::size_t i = lo; i < hi; ++i) results[i].seconds = per_sample;
+  span.arg("fallbacks",
+           static_cast<double>(batch.last_batch_stats().fallbacks));
 }
 
 }  // namespace
@@ -152,19 +232,41 @@ std::vector<McSample> run_vmin_montecarlo(const cell::Technology& tech,
     tracker.on_item();
     if (progress) progress(i + 1, options.samples);
   });
-  auto run_one = [&](std::size_t i) {
-    results[i] = measure_one(tech, base, options, i);
-    sink.complete(i);
-  };
-
   const std::size_t threads =
       options.threads == 0 ? par::default_threads() : options.threads;
-  mc_span.arg("threads", static_cast<double>(threads));
-  if (threads <= 1 || options.samples <= 1) {
-    for (std::size_t i = 0; i < options.samples; ++i) run_one(i);
+  const std::size_t lanes =
+      esim::resolve_batch_lanes(options.batch, esim::kDefaultBatchLanes);
+  mc_span.arg("threads", static_cast<double>(threads))
+      .arg("batch_lanes", static_cast<double>(lanes));
+  if (lanes <= 1) {
+    // Scalar golden path: one Simulator per sample.
+    auto run_one = [&](std::size_t i) {
+      results[i] = measure_one(tech, base, options, i);
+      sink.complete(i);
+    };
+    if (threads <= 1 || options.samples <= 1) {
+      for (std::size_t i = 0; i < options.samples; ++i) run_one(i);
+    } else {
+      par::ThreadPool pool(std::min(threads, options.samples));
+      par::parallel_for(pool, 0, options.samples, run_one);
+    }
   } else {
-    par::ThreadPool pool(std::min(threads, options.samples));
-    par::parallel_for(pool, 0, options.samples, run_one);
+    // Batched fast path: consecutive index blocks share one BatchSimulator.
+    // Draws are still per-index, and the sink still commits per sample, so
+    // the population and every aggregate are lane-width-invariant.
+    const std::size_t blocks = (options.samples + lanes - 1) / lanes;
+    auto run_block = [&](std::size_t b) {
+      const std::size_t lo = b * lanes;
+      const std::size_t hi = std::min(lo + lanes, options.samples);
+      measure_block(tech, base, options, lo, hi, results);
+      for (std::size_t i = lo; i < hi; ++i) sink.complete(i);
+    };
+    if (threads <= 1 || blocks <= 1) {
+      for (std::size_t b = 0; b < blocks; ++b) run_block(b);
+    } else {
+      par::ThreadPool pool(std::min(threads, blocks));
+      par::parallel_for(pool, 0, blocks, run_block);
+    }
   }
 
   std::vector<McSample> samples;

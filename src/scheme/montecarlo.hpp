@@ -44,6 +44,13 @@ struct McOptions {
   // Prng(util::derive_seed(seed, i)) stream, so the McSample vector and
   // every aggregate are bit-identical for any thread count.
   std::size_t threads = 0;
+  // Batched-solver lane width: consecutive samples are evaluated together
+  // by esim::BatchSimulator (SoA Monte-Carlo fast path).  0 = resolve from
+  // the SKS_BATCH environment variable, defaulting to
+  // esim::kDefaultBatchLanes; 1 disables batching (scalar golden path).
+  // Sample draws, verdicts and aggregation order are identical either way
+  // (a lane the batch cannot hold falls back to the scalar solver).
+  std::size_t batch = 0;
 };
 
 struct McSample {

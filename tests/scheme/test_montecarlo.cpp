@@ -75,6 +75,51 @@ TEST(MonteCarlo, DeterministicForSeed) {
   }
 }
 
+TEST(BatchMonteCarlo, BatchedPopulationMatchesScalarVerdicts) {
+  // The SoA fast path must not change the population: identical draws,
+  // identical verdicts, and measured V_min within the solver-equivalence
+  // band for every sample — whatever the lane width.
+  const cell::Technology tech;
+  McOptions scalar_o = small_mc();
+  scalar_o.samples = 12;
+  scalar_o.threads = 1;
+  scalar_o.batch = 1;  // scalar golden path
+  McOptions batch_o = scalar_o;
+  batch_o.batch = 4;
+  const auto scalar = run_vmin_montecarlo(tech, cell::SensorOptions{}, scalar_o);
+  McRunStats batch_stats;
+  const auto batched =
+      run_vmin_montecarlo(tech, cell::SensorOptions{}, batch_o, &batch_stats);
+  ASSERT_EQ(scalar.size(), batched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    // Draws are index-addressed: bit-identical regardless of batching.
+    EXPECT_DOUBLE_EQ(scalar[i].tau, batched[i].tau) << i;
+    EXPECT_DOUBLE_EQ(scalar[i].slew1, batched[i].slew1) << i;
+    EXPECT_DOUBLE_EQ(scalar[i].slew2, batched[i].slew2) << i;
+    EXPECT_EQ(scalar[i].simulated, batched[i].simulated) << i;
+    EXPECT_EQ(scalar[i].detected, batched[i].detected) << i;
+    EXPECT_EQ(scalar[i].indication, batched[i].indication) << i;
+    EXPECT_NEAR(scalar[i].vmin_late, batched[i].vmin_late, 1e-3) << i;
+  }
+  EXPECT_EQ(batch_stats.unsimulated, 0u);
+}
+
+TEST(BatchMonteCarlo, BatchedRunIsThreadCountInvariant) {
+  const cell::Technology tech;
+  McOptions o = small_mc();
+  o.samples = 10;
+  o.batch = 4;
+  o.threads = 1;
+  const auto serial = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  o.threads = 3;
+  const auto parallel = run_vmin_montecarlo(tech, cell::SensorOptions{}, o);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].vmin_late, parallel[i].vmin_late) << i;
+    EXPECT_EQ(serial[i].detected, parallel[i].detected) << i;
+  }
+}
+
 TEST(Probabilities, ClassifyAgainstNominalTauMin) {
   std::vector<McSample> mc;
   auto sample = [](double tau, double vmin, bool detected) {

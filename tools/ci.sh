@@ -131,8 +131,11 @@ echo "ok: sks-report run/explain/repro on $BUNDLE"
 echo "=== bench history smoke check ==="
 "$SKS_REPORT" history "$PM_DIR/history.jsonl" \
     "$SMOKE_DIR/BENCH_perf_micro.json" > /dev/null
+# Capture to a file rather than `| grep -q`: under pipefail, grep -q
+# closing the pipe at the first match SIGPIPEs sks-report mid-table.
 "$SKS_REPORT" history "$PM_DIR/history.jsonl" \
-    "$SMOKE_DIR/BENCH_perf_micro.json" | grep -q "metric" \
+    "$SMOKE_DIR/BENCH_perf_micro.json" > "$PM_DIR/history_table.log"
+grep -q "metric" "$PM_DIR/history_table.log" \
   || { echo "history trend table missing" >&2; exit 1; }
 echo "ok: sks-report history"
 
@@ -213,6 +216,15 @@ else
       --report "$BENCH_DIR/BENCH_perf_micro.json" \
       --timings "$BENCH_DIR/gbench_perf_micro.json"
 fi
+
+echo "=== bench history append ==="
+# Every bench pass that reaches this point appends its perf_micro report to
+# the running history log; CI uploads bench/history.jsonl as an artifact so
+# the perf trajectory across runs is downloadable (render the trend table
+# locally with `sks-report history bench/history.jsonl`).
+"$SKS_REPORT" history bench/history.jsonl \
+    "$BENCH_DIR/BENCH_perf_micro.json" > /dev/null
+echo "ok: appended $BENCH_DIR/BENCH_perf_micro.json to bench/history.jsonl"
 
 if [ "$RUN_ASAN" = 1 ]; then
   echo "=== ASan+UBSan build + tests ==="
