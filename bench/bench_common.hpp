@@ -3,6 +3,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "esim/trace.hpp"
 #include "esim/vcd.hpp"
 #include "obs/journal.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
@@ -118,6 +120,10 @@ inline void write_trace_report(const std::string& name) {
 }
 
 inline void write_profile_report(const std::string& name) {
+  // Memory gauges refresh at the end of EVERY bench run — profiling on or
+  // off — so any report written below (and the bench history built from
+  // it) carries the peak-RSS / page-fault trend.  Cold: one getrusage.
+  obs::record_mem_gauges();
   // Final timeline snapshot BEFORE the registry is captured: the snapshot
   // bumps its own seq counter first, so the last JSONL line and the
   // BENCH_<name>.json below agree on every counter exactly.
@@ -129,6 +135,20 @@ inline void write_profile_report(const std::string& name) {
     report.capture_registry();
     report.capture_journal();
     report.capture_trace();
+    // A traced run also embeds the aggregated call-tree profile and writes
+    // the collapsed-stack text next to the report (flamegraph.pl input).
+    if (obs::tracer().enabled()) {
+      report.capture_profile();
+      if (!report.profile().empty()) {
+        const std::string collapsed = "FLAME_" + name + ".collapsed";
+        std::ofstream flame(collapsed, std::ios::binary | std::ios::trunc);
+        if (flame.good()) {
+          flame << report.profile().collapsed_stacks();
+          std::cout << "[profile] collapsed stacks written to " << collapsed
+                    << "\n";
+        }
+      }
+    }
     const std::string path = "BENCH_" + name + ".json";
     report.write_json(path);
     std::cout << "\n[profile] run report written to " << path << "\n";

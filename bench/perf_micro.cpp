@@ -218,12 +218,15 @@ FixedWorkload fixed_workload_counters() {
 
   // Streaming-accumulator guard: pre-create the counters the obs stream /
   // timeline layers bump on every update so they appear in `fixed.*` even
-  // when untouched.  The gate requires both to stay EXACTLY zero across
-  // the fixed solves below — proof that with streaming disabled no stream
-  // accumulator or timeline snapshot rides the Newton hot path (same
-  // pattern as the DiagRing null-check guarantee).
+  // when untouched.  The gate requires all of them to stay EXACTLY zero
+  // across the fixed solves below — proof that with streaming disabled no
+  // stream accumulator, timeline snapshot, profile build, or instrumented
+  // memory-gauge update rides the Newton hot path (same pattern as the
+  // DiagRing null-check guarantee).
   obs::registry().counter("obs.stream_updates");
   obs::registry().counter("obs.timeline_snapshots");
+  obs::registry().counter("obs.profile_builds");
+  obs::registry().counter("obs.mem_gauge_updates");
 
   const cell::Technology tech;
   {  // one transient sensor edge (the BM_TransientSensorEdge kernel)
@@ -346,11 +349,18 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   // Always emit the machine-readable counter report; timers/journal ride
-  // along only under --profile (they perturb the measured loops).
+  // along only under --profile (they perturb the measured loops).  Memory
+  // gauges are sampled unconditionally (one cold getrusage) so the bench
+  // history carries a peak-RSS / page-fault trend even in plain runs.
+  obs::record_mem_gauges();
   obs::Report report("perf_micro");
   report.set_meta("bench", "perf_micro");
   report.capture_registry();
   if (obs::enabled()) report.capture_journal();
+  // A traced run (--trace-out / SKS_TRACE=1) also embeds the aggregated
+  // call-tree profile, which is what `sks-report attribute` diffs when the
+  // bench gate trips.
+  if (obs::tracer().enabled()) report.capture_profile();
   for (const auto& [name, value] : fixed.counters) {
     report.set_value("fixed." + name, static_cast<double>(value));
   }

@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
 #include "esim/sparse.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stream.hpp"
 #include "obs/timeline.hpp"
@@ -201,6 +203,10 @@ struct BatchSimulator::Impl {
   const double* node_ptr(std::ptrdiff_t u) const {
     return u < 0 ? zeros.data() : x.data() + static_cast<std::size_t>(u) * K;
   }
+
+  // Heap footprint of the SoA stripes + the shared pattern and batched LU,
+  // for the mem.batch_soa_bytes gauge.
+  std::size_t soa_bytes() const;
 
   void build_structure();
   void refresh_template(std::size_t L, double gmin, double capmult, double h);
@@ -424,6 +430,25 @@ void BatchSimulator::Impl::build_structure() {
   lane.resize(K);
 
   ref_lu.analyze(j);
+}
+
+std::size_t BatchSimulator::Impl::soa_bytes() const {
+  const auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t total = j.memory_bytes() + ref_lu.memory_bytes() +
+                      blu.memory_bytes();
+  for (const auto* v :
+       {&res_g, &cap_c, &mp_sign, &mp_beta, &mp_vt, &mp_lambda, &mp_fullon,
+        &mp_on, &mp_open, &base_vals, &tpl_vals, &soa_vals, &tpl_gmin,
+        &tpl_capmult, &tpl_h, &x, &x_saved, &f, &rhs, &dx, &cap_v, &cap_i,
+        &zeros, &lane_gmin, &lane_h, &lane_capmult, &lane_trapmask, &lane_t,
+        &maxdv, &damp, &id0, &gm, &gds, &cur, &tap_buf, &sc_flow, &sc_lo,
+        &sc_vds, &sc_leak, &sc_clm, &sc_iopen, &isrc_val, &vsrc_val}) {
+    total += bytes(*v);
+  }
+  total += bytes(mos_touched_slots) + bytes(tpl_valid) + bytes(lu_ok);
+  return total;
 }
 
 // Rebuild lane L's column of the Jacobian template for its current
@@ -1239,6 +1264,11 @@ std::vector<BatchLaneOutcome> BatchSimulator::run_transients(
   c_lanes.inc(im.bstats.lanes);
   c_fallbacks.inc(im.bstats.fallbacks);
   c_refactor.inc(im.bstats.refactor_passes);
+  if (obs::enabled()) {
+    static obs::Gauge& soa_gauge =
+        obs::registry().gauge("mem.batch_soa_bytes");
+    obs::record_peak_bytes(soa_gauge, static_cast<double>(im.soa_bytes()));
+  }
   span.arg("fallbacks", static_cast<double>(im.bstats.fallbacks))
       .arg("refactor_passes", static_cast<double>(im.bstats.refactor_passes));
   return out;

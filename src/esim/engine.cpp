@@ -13,6 +13,7 @@
 #include "esim/sparse.hpp"
 #include "obs/diag.hpp"
 #include "obs/journal.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/timer.hpp"
@@ -102,6 +103,27 @@ void mirror_stats_to_registry(const SolveStats& s) {
   be.inc(s.be_fallbacks);
   bps.inc(s.breakpoints_hit);
 }
+
+namespace {
+
+// Byte-gauge ratchets for the mem.* section of the reports.  Call sites
+// gate on obs::enabled() and sit at solve *ends*, never inside the Newton
+// loop; each update is one gauge compare-and-set plus the
+// obs.mem_gauge_updates bump the bench gate pins to zero when off.
+void record_sparse_lu_bytes(std::size_t bytes) {
+  static obs::Gauge& gauge = obs::registry().gauge("mem.sparse_lu_bytes");
+  obs::record_peak_bytes(gauge, static_cast<double>(bytes));
+}
+
+void record_waveform_bytes(const TransientResult& result) {
+  static obs::Gauge& gauge = obs::registry().gauge("mem.waveform_bytes");
+  std::size_t bytes = result.time.capacity() * sizeof(double);
+  for (const auto& v : result.node_v) bytes += v.capacity() * sizeof(double);
+  for (const auto& v : result.vsrc_i) bytes += v.capacity() * sizeof(double);
+  obs::record_peak_bytes(gauge, static_cast<double>(bytes));
+}
+
+}  // namespace
 
 // Symbolic prepass product: the sparse Jacobian pattern with every device
 // stamp resolved to a direct value slot, the stamp template split into a
@@ -946,6 +968,9 @@ Simulator::DcSolution Simulator::dc_solution(
   }
   stats_.wall_seconds = wall.seconds();
   mirror_stats_to_registry(stats_);
+  if (obs::enabled() && plan_) {
+    record_sparse_lu_bytes(plan_->j.memory_bytes() + plan_->lu.memory_bytes());
+  }
   span.arg("nr_iters", static_cast<double>(stats_.newton_iterations))
       .arg("lu", static_cast<double>(stats_.lu_factorizations))
       .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))
@@ -1203,6 +1228,13 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
 
   stats_.wall_seconds = wall.seconds();
   mirror_stats_to_registry(stats_);
+  if (obs::enabled()) {
+    if (plan_) {
+      record_sparse_lu_bytes(plan_->j.memory_bytes() +
+                             plan_->lu.memory_bytes());
+    }
+    record_waveform_bytes(result);
+  }
   span.arg("steps", static_cast<double>(stats_.steps_accepted))
       .arg("nr_iters", static_cast<double>(stats_.newton_iterations))
       .arg("lu_refactor", static_cast<double>(stats_.lu_refactorizations))

@@ -317,6 +317,31 @@ double SparseLu::udiag_max_abs() const {
   return m;
 }
 
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+std::size_t SparseLu::memory_bytes() const {
+  return vec_bytes(q_) + vec_bytes(pinv_) + vec_bytes(prow_) + vec_bytes(lp_) +
+         vec_bytes(up_) + vec_bytes(li_) + vec_bytes(ui_) + vec_bytes(lx_) +
+         vec_bytes(ux_) + vec_bytes(udiag_) + vec_bytes(x_) +
+         vec_bytes(mark_) + vec_bytes(reach_) + vec_bytes(dfs_stack_) +
+         vec_bytes(dfs_pos_) + vec_bytes(pivotal_) + vec_bytes(fwd_) +
+         vec_bytes(bwd_);
+}
+
+std::size_t BatchLu::memory_bytes() const {
+  return vec_bytes(q_) + vec_bytes(pinv_) + vec_bytes(prow_) + vec_bytes(lp_) +
+         vec_bytes(up_) + vec_bytes(li_) + vec_bytes(ui_) + vec_bytes(lx_) +
+         vec_bytes(ux_) + vec_bytes(udiag_) + vec_bytes(acc_) +
+         vec_bytes(fwd_) + vec_bytes(bwd_) + vec_bytes(yk_) + vec_bytes(maxc_);
+}
+
 void BatchLu::attach(const SparseLu& reference, std::size_t lanes) {
   n_ = reference.n_;
   lanes_ = lanes;

@@ -68,6 +68,14 @@ class SparseMatrix {
   // diagnostics, not the hot path.
   double at(std::size_t r, std::size_t c) const;
 
+  // Heap footprint of the pattern + values (allocated capacity), for the
+  // mem.* byte gauges.
+  std::size_t memory_bytes() const {
+    return col_ptr_.capacity() * sizeof(std::size_t) +
+           row_.capacity() * sizeof(std::uint32_t) +
+           values_.capacity() * sizeof(double);
+  }
+
  private:
   std::size_t n_ = 0;
   std::vector<std::size_t> col_ptr_;  // n + 1
@@ -118,6 +126,10 @@ class SparseLu {
   // max over the pre-factor max |A_ij| is the pivot growth.
   double udiag_min_abs() const;
   double udiag_max_abs() const;
+
+  // Heap footprint of the factors + scratch (allocated capacity), for the
+  // mem.* byte gauges.
+  std::size_t memory_bytes() const;
 
  private:
   friend class BatchLu;
@@ -185,6 +197,10 @@ class BatchLu {
   // Blocked multi-RHS solve: x[u * lanes + lane] solves lane `lane` for
   // b[u * lanes + lane].  Requires refactor(); b and x may not alias.
   void solve(const double* b_soa, double* x_soa);
+
+  // Heap footprint of the frozen symbolic data + SoA factors + scratch
+  // (allocated capacity), for the mem.* byte gauges.
+  std::size_t memory_bytes() const;
 
  private:
   std::size_t n_ = 0;

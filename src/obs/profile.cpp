@@ -1,0 +1,197 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace sks::obs {
+
+const ProfileNode* Profile::find(const std::string& path) const {
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), path,
+      [](const ProfileNode& n, const std::string& p) { return n.path < p; });
+  if (it == nodes_.end() || it->path != path) return nullptr;
+  return &*it;
+}
+
+std::string Profile::collapsed_stacks() const {
+  std::ostringstream out;
+  for (const ProfileNode& n : nodes_) {
+    const std::uint64_t self_us = n.self_ns / 1000;
+    if (self_us == 0) continue;
+    out << n.path << ' ' << self_us << '\n';
+  }
+  return out.str();
+}
+
+void Profile::seal() {
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              return a.path < b.path;
+            });
+  std::sort(workers_.begin(), workers_.end(),
+            [](const WorkerUtil& a, const WorkerUtil& b) {
+              return a.thread < b.thread;
+            });
+}
+
+namespace {
+
+std::string parent_path(const std::string& path) {
+  const std::size_t cut = path.rfind(';');
+  return cut == std::string::npos ? std::string() : path.substr(0, cut);
+}
+
+}  // namespace
+
+Profile build_profile(std::vector<ProfileSpan> spans) {
+  registry().counter("obs.profile_builds").inc();
+
+  Profile profile;
+  if (spans.empty()) return profile;
+
+  // Stable grouping by thread; within a thread sort by (start asc, dur
+  // desc) so an enclosing span precedes spans it contains even when they
+  // share a start timestamp.
+  std::sort(spans.begin(), spans.end(),
+            [](const ProfileSpan& a, const ProfileSpan& b) {
+              if (a.thread != b.thread) return a.thread < b.thread;
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+
+  std::uint64_t t_min = spans.front().ts_ns;
+  std::uint64_t t_max = 0;
+  for (const ProfileSpan& s : spans) {
+    t_min = std::min(t_min, s.ts_ns);
+    t_max = std::max(t_max, s.ts_ns + s.dur_ns);
+  }
+
+  std::unordered_map<std::string, ProfileNode> by_path;
+  std::map<std::string, WorkerUtil> by_thread;
+
+  struct Frame {
+    std::uint64_t end_ns;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  const std::string* current_thread = nullptr;
+
+  for (const ProfileSpan& s : spans) {
+    if (current_thread == nullptr || *current_thread != s.thread) {
+      stack.clear();
+      current_thread = &s.thread;
+    }
+    // Pop finished enclosers: RAII spans end no later than their parent,
+    // so interval containment reduces to a start-time check.
+    while (!stack.empty() && s.ts_ns >= stack.back().end_ns) stack.pop_back();
+
+    std::string path =
+        stack.empty() ? s.name : stack.back().path + ';' + s.name;
+    const std::size_t depth = stack.size();
+
+    WorkerUtil& w = by_thread[s.thread];
+    if (w.thread.empty()) w.thread = s.thread;
+    if (depth == 0) {
+      w.spans += 1;
+      w.busy_ns += s.dur_ns;
+    }
+
+    ProfileNode& node = by_path[path];
+    if (node.count == 0) {
+      node.path = path;
+      node.name = s.name;
+      node.depth = depth;
+      node.min_ns = s.dur_ns;
+      node.max_ns = s.dur_ns;
+    } else {
+      node.min_ns = std::min(node.min_ns, s.dur_ns);
+      node.max_ns = std::max(node.max_ns, s.dur_ns);
+    }
+    node.count += 1;
+    node.total_ns += s.dur_ns;
+    ThreadSlice& slice = node.threads[s.thread];
+    slice.count += 1;
+    slice.total_ns += s.dur_ns;
+
+    stack.push_back(Frame{s.ts_ns + s.dur_ns, std::move(path)});
+  }
+
+  // Self time: total minus direct children, saturating (a dropped parent
+  // or clock jitter can make children sum past the parent).
+  for (auto& [path, node] : by_path) node.self_ns = node.total_ns;
+  for (auto& [path, node] : by_path) {
+    if (node.depth == 0) continue;
+    const auto parent = by_path.find(parent_path(path));
+    if (parent == by_path.end()) continue;
+    ProfileNode& p = parent->second;
+    p.self_ns -= std::min(p.self_ns, node.total_ns);
+  }
+
+  const std::uint64_t window = t_max > t_min ? t_max - t_min : 0;
+  profile.set_window_ns(window);
+  for (auto& [path, node] : by_path) profile.add_node(std::move(node));
+  for (auto& [name, w] : by_thread) {
+    w.util = window == 0
+                 ? 0.0
+                 : static_cast<double>(w.busy_ns) / static_cast<double>(window);
+    profile.add_worker(std::move(w));
+  }
+  profile.seal();
+  return profile;
+}
+
+Profile profile_from_tracer(const Tracer& tracer) {
+  std::vector<ProfileSpan> spans;
+  for (const auto& buffer : tracer.buffers()) {
+    const std::string thread = buffer->thread_name().empty()
+                                   ? "tid-" + std::to_string(buffer->tid())
+                                   : buffer->thread_name();
+    const std::size_t n = buffer->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buffer->event(i);
+      if (e.phase != 'X') continue;  // instants carry no duration
+      spans.push_back(ProfileSpan{thread, e.name, e.ts_ns, e.dur_ns});
+    }
+  }
+  return build_profile(std::move(spans));
+}
+
+std::vector<Attribution> attribute_profiles(const Profile& base,
+                                            const Profile& current) {
+  std::map<std::string, Attribution> by_path;
+  for (const ProfileNode& n : base.nodes()) {
+    Attribution& a = by_path[n.path];
+    a.path = n.path;
+    a.base_total_s = static_cast<double>(n.total_ns) * 1e-9;
+    a.base_self_s = static_cast<double>(n.self_ns) * 1e-9;
+    a.base_count = n.count;
+  }
+  for (const ProfileNode& n : current.nodes()) {
+    Attribution& a = by_path[n.path];
+    a.path = n.path;
+    a.cur_total_s = static_cast<double>(n.total_ns) * 1e-9;
+    a.cur_self_s = static_cast<double>(n.self_ns) * 1e-9;
+    a.cur_count = n.count;
+  }
+  std::vector<Attribution> out;
+  out.reserve(by_path.size());
+  for (auto& [path, a] : by_path) {
+    a.delta_total_s = a.cur_total_s - a.base_total_s;
+    a.delta_self_s = a.cur_self_s - a.base_self_s;
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(), [](const Attribution& a,
+                                       const Attribution& b) {
+    const double da = std::abs(a.delta_total_s);
+    const double db = std::abs(b.delta_total_s);
+    if (da != db) return da > db;
+    return a.path < b.path;
+  });
+  return out;
+}
+
+}  // namespace sks::obs

@@ -1,0 +1,138 @@
+// Performance attribution: aggregate the per-thread span traces
+// (trace.hpp) into a call tree keyed by span-name *path*, so a run can
+// answer "where did the wall time go" without hand-reading a Perfetto
+// timeline.
+//
+// A ProfileNode is one position in the call tree — e.g. the path
+// "scheme.run_vmin_montecarlo;scheme.mc_block;esim.batch_transients" —
+// with count, total/self wall time, min/max span duration and a per-thread
+// breakdown.  Self time is total minus the summed totals of direct
+// children, i.e. the time actually spent at that tree position; it is what
+// a flamegraph renders and what `sks-report flame` ranks.  Paths use ';'
+// as the separator so `collapsed_stacks()` is already in the collapsed
+// flamegraph format (`stack;substack <value>` per line).
+//
+// The profile also derives per-worker utilization: for each thread track,
+// busy time is the summed duration of its *top-level* spans (the pool
+// workers name their tracks "par.worker-N"), and utilization is busy time
+// over the observed trace window.  This is the Amdahl view of a parallel
+// campaign — idle workers show up as util << 1.
+//
+// Cost model: building a profile walks already-recorded trace buffers
+// *after* a run (the same contract as Tracer::buffers() — complete once
+// writers quiesced).  Nothing here runs on a hot path; every build bumps
+// the `obs.profile_builds` counter so the bench gate can pin it to zero
+// for the profiling-off fixed workloads.
+//
+// Caveats, by construction: the tracer records spans at *end* time into a
+// bounded drop-newest buffer, so children are recorded before parents.  If
+// a parent span is dropped at capacity its children re-root at depth 0 —
+// attribution degrades gracefully instead of failing (the report's trace
+// section carries the drop count).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sks::obs {
+
+// One complete span lifted out of a TraceBuffer (or a parsed Chrome
+// trace): the minimal information tree reconstruction needs.
+struct ProfileSpan {
+  std::string thread;       // thread track name ("main", "par.worker-3")
+  std::string name;         // span name ("esim.run_transient")
+  std::uint64_t ts_ns = 0;  // start, ns since the session epoch
+  std::uint64_t dur_ns = 0;
+};
+
+// Per-thread slice of one tree node.
+struct ThreadSlice {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+// One call-tree position, merged across threads.
+struct ProfileNode {
+  std::string path;   // ';'-joined span names from root ("a;b;c")
+  std::string name;   // last path component
+  std::size_t depth = 0;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;  // total minus direct children (saturating)
+  std::uint64_t min_ns = 0;   // per-span duration extrema
+  std::uint64_t max_ns = 0;
+  std::map<std::string, ThreadSlice> threads;
+};
+
+// Busy/idle accounting for one thread track.
+struct WorkerUtil {
+  std::string thread;
+  std::uint64_t spans = 0;    // top-level spans on this track
+  std::uint64_t busy_ns = 0;  // summed top-level span duration
+  double util = 0.0;          // busy_ns / profile window
+};
+
+// Attribution: one node's wall-time movement between two profiles, the
+// unit `sks-report attribute` ranks.  Deltas are current minus base; a
+// node absent on one side contributes zero there.
+struct Attribution {
+  std::string path;
+  double base_total_s = 0.0, cur_total_s = 0.0, delta_total_s = 0.0;
+  double base_self_s = 0.0, cur_self_s = 0.0, delta_self_s = 0.0;
+  std::uint64_t base_count = 0, cur_count = 0;
+};
+
+class Profile {
+ public:
+  // Nodes in path order (deterministic across runs); workers in thread
+  // name order.
+  const std::vector<ProfileNode>& nodes() const { return nodes_; }
+  const std::vector<WorkerUtil>& workers() const { return workers_; }
+  // Observed trace window: global max(ts + dur) - min(ts) over the spans.
+  std::uint64_t window_ns() const { return window_ns_; }
+  bool empty() const { return nodes_.empty(); }
+
+  // nullptr when no node has this exact path.
+  const ProfileNode* find(const std::string& path) const;
+
+  // Collapsed-stack text (flamegraph.pl / speedscope input): one line per
+  // node with nonzero self time, "path;sub;subsub <self_us>".
+  std::string collapsed_stacks() const;
+
+  // Re-hydration from an already-aggregated source (a report's `profile`
+  // JSON section): append rows, then seal().  Used by sks-report so
+  // `attribute` works on reports without the original trace.
+  void add_node(ProfileNode node) { nodes_.push_back(std::move(node)); }
+  void add_worker(WorkerUtil w) { workers_.push_back(std::move(w)); }
+  void set_window_ns(std::uint64_t ns) { window_ns_ = ns; }
+  // Sort nodes by path / workers by thread (idempotent).
+  void seal();
+
+ private:
+  std::vector<ProfileNode> nodes_;
+  std::vector<WorkerUtil> workers_;
+  std::uint64_t window_ns_ = 0;
+};
+
+// Build the call tree from raw spans.  Spans are grouped per thread,
+// nested by interval containment (a span is the child of the innermost
+// span enclosing its start — exact for RAII spans), and merged across
+// threads by path.  Bumps `obs.profile_builds`.
+Profile build_profile(std::vector<ProfileSpan> spans);
+
+// Lift every complete span out of the process tracer's buffers and build.
+// Same completeness contract as Tracer::buffers(): exact once writers
+// have quiesced.
+Profile profile_from_tracer(const Tracer& tracer = obs::tracer());
+
+// Diff two profiles node-by-node (matched on path), ranked by
+// |delta_total_s| descending — the top entries are where the wall time
+// moved between the runs.
+std::vector<Attribution> attribute_profiles(const Profile& base,
+                                            const Profile& current);
+
+}  // namespace sks::obs

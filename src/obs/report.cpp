@@ -78,6 +78,15 @@ void Report::capture_trace(const Tracer& tracer) {
   trace_dropped_ = tracer.dropped();
 }
 
+void Report::capture_profile(const Tracer& tracer) {
+  set_profile(profile_from_tracer(tracer));
+}
+
+void Report::set_profile(Profile profile) {
+  profile_ = std::move(profile);
+  have_profile_ = !profile_.empty();
+}
+
 void Report::capture_journal(const Journal& j, std::size_t max_events) {
   have_journal_ = true;
   journal_recorded_ = j.total_recorded();
@@ -209,6 +218,47 @@ std::string Report::to_json() const {
         << ", \"dropped\": " << trace_dropped_ << "}";
   }
 
+  if (have_profile_) {
+    out << ",\n  \"profile\": {\"window_s\": "
+        << json_number(static_cast<double>(profile_.window_ns()) * 1e-9)
+        << ", \"nodes\": [";
+    const auto& nodes = profile_.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const ProfileNode& n = nodes[i];
+      out << (i == 0 ? "" : ", ") << "{\"path\": \"" << json_escape(n.path)
+          << "\", \"name\": \"" << json_escape(n.name)
+          << "\", \"depth\": " << n.depth << ", \"count\": " << n.count
+          << ", \"total_s\": "
+          << json_number(static_cast<double>(n.total_ns) * 1e-9)
+          << ", \"self_s\": "
+          << json_number(static_cast<double>(n.self_ns) * 1e-9)
+          << ", \"min_s\": "
+          << json_number(static_cast<double>(n.min_ns) * 1e-9)
+          << ", \"max_s\": "
+          << json_number(static_cast<double>(n.max_ns) * 1e-9)
+          << ", \"threads\": {";
+      bool first_thread = true;
+      for (const auto& [thread, slice] : n.threads) {
+        out << (first_thread ? "" : ", ") << '"' << json_escape(thread)
+            << "\": {\"count\": " << slice.count << ", \"total_s\": "
+            << json_number(static_cast<double>(slice.total_ns) * 1e-9) << "}";
+        first_thread = false;
+      }
+      out << "}}";
+    }
+    out << "], \"workers\": [";
+    const auto& workers = profile_.workers();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const WorkerUtil& w = workers[i];
+      out << (i == 0 ? "" : ", ") << "{\"thread\": \""
+          << json_escape(w.thread) << "\", \"spans\": " << w.spans
+          << ", \"busy_s\": "
+          << json_number(static_cast<double>(w.busy_ns) * 1e-9)
+          << ", \"util\": " << json_number(w.util) << "}";
+    }
+    out << "]}";
+  }
+
   out << "\n}\n";
   return out.str();
 }
@@ -251,6 +301,13 @@ std::string Report::to_csv() const {
   }
   for (const auto& [k, v] : journal_counts_) {
     out << "journal," << esc(k) << ",count," << v << "\n";
+  }
+  for (const ProfileNode& n : profile_.nodes()) {
+    out << "profile," << esc(n.path) << ",count," << n.count << "\n";
+    out << "profile," << esc(n.path) << ",total_s,"
+        << json_number(static_cast<double>(n.total_ns) * 1e-9) << "\n";
+    out << "profile," << esc(n.path) << ",self_s,"
+        << json_number(static_cast<double>(n.self_ns) * 1e-9) << "\n";
   }
   return out.str();
 }

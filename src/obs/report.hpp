@@ -21,7 +21,15 @@
 //                   "counts": { "<event_type>": n, ... },
 //                   "events": [ { "type": "...", "t": x, "value": x,
 //                                 "iterations": n, "detail": "..." }, .. ] },
-//     "trace":    { "events": n, "dropped": n }
+//     "trace":    { "events": n, "dropped": n },
+//     "profile":  { "window_s": s,
+//                   "nodes": [ { "path": "a;b;c", "name": "c", "depth": d,
+//                                "count": n, "total_s": s, "self_s": s,
+//                                "min_s": s, "max_s": s,
+//                                "threads": { "<thread>": { "count": n,
+//                                             "total_s": s }, ... } }, .. ],
+//                   "workers": [ { "thread": "par.worker-0", "spans": n,
+//                                  "busy_s": s, "util": u }, ... ] }
 //   }
 //
 // Sections are omitted when empty, so a counters-only report stays small.
@@ -34,6 +42,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace sks::obs {
@@ -57,6 +66,12 @@ class Report {
   // Trace-buffer saturation summary (span count + drop counter), so a
   // report shows when `--trace-out` silently lost events.
   void capture_trace(const Tracer& tracer = obs::tracer());
+  // Aggregate the tracer's spans into a call-tree profile (profile.hpp)
+  // embedded as the `profile` section.  Call after writers quiesced; a
+  // no-op section when no spans were recorded.
+  void capture_profile(const Tracer& tracer = obs::tracer());
+  void set_profile(Profile profile);
+  const Profile& profile() const { return profile_; }
 
   std::string to_json() const;
   std::string to_csv() const;
@@ -94,6 +109,8 @@ class Report {
   bool have_trace_ = false;
   std::uint64_t trace_events_ = 0;
   std::uint64_t trace_dropped_ = 0;
+  bool have_profile_ = false;
+  Profile profile_;
   bool have_journal_ = false;
   std::size_t journal_recorded_ = 0;
   std::size_t journal_dropped_ = 0;

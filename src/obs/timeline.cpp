@@ -6,6 +6,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -204,6 +205,11 @@ std::uint64_t MetricsTimeline::snapshot_locked(const std::string& label,
 
   const double wall_s = static_cast<double>(steady_ns() - epoch_ns_) * 1e-9;
   last_wall_s_ = wall_s;
+
+  // Refresh the mem.* gauges so every snapshot line carries the current
+  // peak RSS / fault counts — a live tail sees the memory trend, not just
+  // the final value.  Cold path: one getrusage per snapshot.
+  record_mem_gauges();
 
   std::ostringstream out;
   out << "{\"seq\": " << seq << ", \"label\": \"" << json_escape(label)

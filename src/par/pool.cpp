@@ -104,7 +104,14 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     if (try_pop(self, task)) {
       pending_.fetch_sub(1, std::memory_order_relaxed);
-      task();
+      {
+        // Top-level span per executed task: obs::Profile derives each
+        // worker's busy/idle utilization from the summed duration of its
+        // top-level spans, so tasks without spans of their own still
+        // account as busy time.  One relaxed load when tracing is off.
+        SKS_TRACE_SPAN("par.task");
+        task();
+      }
       task = nullptr;
       continue;
     }

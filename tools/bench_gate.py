@@ -21,7 +21,8 @@ Two kinds of signal, gated differently:
 
 Usage:
   tools/bench_gate.py check --report BENCH_perf_micro.json \
-      [--timings gbench.json] [--baseline-dir bench/baseline]
+      [--timings gbench.json] [--baseline-dir bench/baseline] \
+      [--attribute-with build/sks-report]
   tools/bench_gate.py rebaseline --report BENCH_perf_micro.json \
       [--timings gbench.json] [--baseline-dir bench/baseline]
 
@@ -44,6 +45,7 @@ import argparse
 import json
 import os
 import shutil
+import subprocess
 import sys
 
 COUNTER_BASELINE = "BENCH_perf_micro.json"
@@ -51,9 +53,11 @@ TIMING_BASELINE = "gbench_perf_micro.json"
 
 # Counters that must exist in the report AND be exactly zero: perf_micro
 # pre-creates them before its fixed workload, so a nonzero value proves a
-# streaming accumulator or timeline snapshot leaked onto the solver hot
-# path with streaming disabled (obs/metrics.hpp documents the guarantee).
-REQUIRED_ZERO = ("obs.stream_updates", "obs.timeline_snapshots")
+# streaming accumulator, timeline snapshot, profile build, or instrumented
+# memory-gauge update leaked onto the solver hot path with streaming
+# disabled (obs/metrics.hpp documents the guarantee).
+REQUIRED_ZERO = ("obs.stream_updates", "obs.timeline_snapshots",
+                 "obs.profile_builds", "obs.mem_gauge_updates")
 
 # Report values (full "values.*" keys, not fixed counters) that must land
 # inside [lo, hi] (None = that side open).  These are wall-derived ratios,
@@ -79,6 +83,32 @@ REBASELINE_HINT = ("re-create it with `tools/bench_gate.py rebaseline "
                    "--report BENCH_perf_micro.json "
                    "[--timings gbench_perf_micro.json]` "
                    "and commit bench/baseline/")
+
+
+def run_attribution(sks_report, baseline_path, report_path):
+    """Best-effort `sks-report attribute BASELINE CURRENT` on a gate trip.
+
+    Ranks the span-tree paths whose wall time moved the most between the
+    baseline and the failing run, so an out-of-window failure arrives with
+    its likely cause attached.  Printed AFTER the one-line grep-able
+    failures so those stay machine-parseable; any problem (missing binary,
+    reports without profile sections) degrades to a one-line note, never a
+    second failure.
+    """
+    print("\nattribution (baseline -> this run):", file=sys.stderr)
+    try:
+        proc = subprocess.run(
+            [sks_report, "attribute", baseline_path, report_path],
+            capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"  attribution unavailable: {e}", file=sys.stderr)
+        return
+    out = (proc.stdout + proc.stderr).strip()
+    if proc.returncode != 0:
+        print("  attribution unavailable (no profile sections? run "
+              "perf_micro with SKS_TRACE=1 and rebaseline)", file=sys.stderr)
+    for line in out.splitlines():
+        print(f"  {line}", file=sys.stderr)
 
 
 class GateError(Exception):
@@ -251,6 +281,13 @@ def cmd_check(args):
               "`tools/bench_gate.py rebaseline` and commit bench/baseline/)",
               file=sys.stderr)
         codes = {code for code, _ in failures}
+        # A value drifted out of its window or a wall time regressed: diff
+        # the two runs' span-tree profiles so the failure names a suspect,
+        # not just a number.
+        if args.attribute_with and (EXIT_OUT_OF_WINDOW in codes or
+                                    EXIT_FAIL in codes):
+            run_attribution(args.attribute_with, counter_baseline,
+                            args.report)
         # Missing keys are the more structural problem; report that code
         # first, then out-of-window, then the generic failure.
         for code in (EXIT_MISSING_KEY, EXIT_OUT_OF_WINDOW, EXIT_FAIL):
@@ -285,6 +322,12 @@ def main():
     parser.add_argument("--timings",
                         help="fresh google-benchmark JSON (--benchmark_out)")
     parser.add_argument("--baseline-dir", default="bench/baseline")
+    parser.add_argument("--attribute-with", metavar="SKS_REPORT_BIN",
+                        help="path to the sks-report binary; on an "
+                             "out-of-window or time-regression failure the "
+                             "gate runs `sks-report attribute BASELINE "
+                             "CURRENT` and appends the ranked wall-time "
+                             "deltas below the failure lines")
     args = parser.parse_args()
     try:
         if args.command == "check":

@@ -101,6 +101,31 @@ python3 -m json.tool "$SMOKE_DIR/journal_trace.json" > /dev/null \
   || { echo "invalid JSON: $SMOKE_DIR/journal_trace.json" >&2; exit 1; }
 echo "ok: sks-report print/diff/merge/trace"
 
+echo "=== performance attribution smoke check ==="
+# The traced fig2 run must embed a call-tree profile in its report and
+# drop the collapsed-stack flamegraph file next to it; `sks-report flame`
+# must rank it (from the report AND from the raw Chrome trace), and
+# `sks-report attribute` must diff two profile sources (report vs its own
+# trace: all deltas ~0, but the full parse/merge/rank path runs).
+FLAME_FILE=$SMOKE_DIR/FLAME_fig2_waveforms.collapsed
+[ -s "$FLAME_FILE" ] \
+  || { echo "missing collapsed stacks: $FLAME_FILE" >&2; exit 1; }
+grep -q "esim.run_transient" "$FLAME_FILE" \
+  || { echo "collapsed stacks lack solver spans" >&2; exit 1; }
+"$SKS_REPORT" flame "$SMOKE_DIR/BENCH_fig2_waveforms.json" \
+    > "$SMOKE_DIR/flame_report.log"
+grep -q "esim.run_transient" "$SMOKE_DIR/flame_report.log" \
+  || { echo "flame table lacks solver spans" >&2; exit 1; }
+"$SKS_REPORT" flame "$SMOKE_DIR/fig2_trace.json" --top 5 \
+    --collapsed "$SMOKE_DIR/flame_from_trace.collapsed" > /dev/null
+[ -s "$SMOKE_DIR/flame_from_trace.collapsed" ] \
+  || { echo "flame --collapsed wrote nothing" >&2; exit 1; }
+"$SKS_REPORT" attribute "$SMOKE_DIR/BENCH_fig2_waveforms.json" \
+    "$SMOKE_DIR/fig2_trace.json" > "$SMOKE_DIR/attribute.log"
+grep -q "esim" "$SMOKE_DIR/attribute.log" \
+  || { echo "attribution table lacks solver paths" >&2; exit 1; }
+echo "ok: sks-report flame/attribute + $FLAME_FILE"
+
 echo "=== postmortem bundle smoke check ==="
 # A deliberately singular netlist (two ideal sources pinning one node to
 # different voltages) must fail, emit a self-contained bundle, explain to
@@ -203,7 +228,12 @@ echo "=== bench regression gate ==="
 # SKS_BENCH_TIME_TOL when a baseline exists).
 BENCH_DIR=build-ci/bench-gate
 mkdir -p "$BENCH_DIR"
-(cd "$BENCH_DIR" && ../bench/perf_micro \
+# SKS_TRACE=1: the gate run records spans so its report embeds the span-tree
+# profile — that is what `sks-report attribute` diffs against the baseline
+# when a value drifts out of its window.  Span recording is outside the
+# fixed counter windows, so the fixed.* counts (and the REQUIRED_ZERO
+# obs.* guards) are identical with tracing on or off.
+(cd "$BENCH_DIR" && SKS_TRACE=1 ../bench/perf_micro \
     --benchmark_min_time=0.05 \
     --benchmark_out=gbench_perf_micro.json \
     --benchmark_out_format=json > bench.log)
@@ -214,7 +244,8 @@ if [ "$REBASELINE" = 1 ]; then
 else
   python3 tools/bench_gate.py check \
       --report "$BENCH_DIR/BENCH_perf_micro.json" \
-      --timings "$BENCH_DIR/gbench_perf_micro.json"
+      --timings "$BENCH_DIR/gbench_perf_micro.json" \
+      --attribute-with "$SKS_REPORT"
 fi
 
 echo "=== bench history append ==="

@@ -1,10 +1,12 @@
 // sks-report: inspect the BENCH_*.json run reports written by the obs
 // telemetry layer (schema documented in obs/report.hpp and EXPERIMENTS.md).
 //
-//   sks-report print   REPORT...        pretty-print reports
+//   sks-report print   REPORT... [--top N]  pretty-print reports
 //   sks-report diff    A B              values/counters/timers deltas
 //   sks-report merge   OUT A B...       sum shards into one schema-1 report
 //   sks-report trace   OUT REPORT...    journal events -> Chrome trace JSON
+//   sks-report flame   INPUT [flags]    top self-time spans + collapsed stacks
+//   sks-report attribute BASE CURRENT   rank span-tree wall-time deltas
 //   sks-report explain BUNDLE           diagnose a postmortem bundle
 //   sks-report repro   BUNDLE           re-run a bundle, check it reproduces
 //   sks-report run     NETLIST [flags]  solve a netlist; bundle on failure
@@ -23,6 +25,14 @@
 // own track, with simulation time mapped 1 ns -> 1 us so ns-scale
 // transients are visible at Perfetto's microsecond zoom levels.
 //
+// `flame` and `attribute` consume the call-tree `profile` section a traced
+// run embeds in its report (obs/profile.hpp) — or, for `flame`, a raw
+// Chrome trace JSON, whose spans are re-aggregated on the fly.  `flame`
+// prints the top self-time table plus per-worker utilization and can write
+// the collapsed-stack text flamegraph.pl/speedscope take directly;
+// `attribute` diffs two runs' profiles and ranks nodes by wall-time delta
+// (the bench gate invokes it automatically on an out-of-window failure).
+//
 // `explain`/`repro` operate on the failure postmortem bundles the engine
 // writes (esim/postmortem.hpp): `explain` re-derives the failure class from
 // the recorded evidence and prints a diagnosis plus the iteration tail;
@@ -31,6 +41,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -44,6 +55,7 @@
 #include "esim/spice_io.hpp"
 #include "obs/diag.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "obs/stream.hpp"
 #include "util/error.hpp"
 
@@ -96,7 +108,7 @@ std::map<std::string, std::pair<double, double>> timer_section(
   return out;
 }
 
-void print_report(const std::string& path) {
+void print_report(const std::string& path, std::size_t top = 0) {
   const Json doc = load_report(path);
   std::cout << path << ": report \"" << doc.at("report").str() << "\"";
   if (const Json* v = doc.find("schema_version")) {
@@ -126,7 +138,13 @@ void print_report(const std::string& path) {
     std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
       return a.second.second > b.second.second;
     });
-    std::cout << "  timers (by total):\n";
+    if (top > 0 && rows.size() > top) {
+      std::cout << "  timers (top " << top << " of " << rows.size()
+                << " by total):\n";
+      rows.resize(top);
+    } else {
+      std::cout << "  timers (by total):\n";
+    }
     for (const auto& [key, ct] : rows) {
       std::printf("    %-32s count=%-8.0f total=%.6fs\n", key.c_str(),
                   ct.first, ct.second);
@@ -777,11 +795,16 @@ int tail_timeline(const std::string& path, bool follow) {
 
 // ---- bench history ------------------------------------------------------
 
-// One history line: report name plus its numeric values/counters, flat.
+// One history line: report name plus its numeric values/counters/gauges,
+// flat.  Gauges fold in the mem.* rows (peak RSS, page faults, byte
+// accounting) so the history accumulates a memory trend alongside walls.
 std::string history_line(const std::string& path) {
   const Json doc = load_report(path);
   std::map<std::string, double> rows = number_section(doc, "values");
   for (const auto& [key, v] : number_section(doc, "counters")) {
+    rows.emplace(key, v);
+  }
+  for (const auto& [key, v] : number_section(doc, "gauges")) {
     rows.emplace(key, v);
   }
   std::ostringstream out;
@@ -868,12 +891,233 @@ int history_command(const std::string& jsonl_path,
   return 0;
 }
 
+// ---- performance attribution --------------------------------------------
+
+// Re-hydrate an obs::Profile from a report's aggregated `profile` section.
+sks::obs::Profile profile_from_report_doc(const Json& doc,
+                                          const std::string& path) {
+  const Json* prof = doc.find("profile");
+  sks::check(prof != nullptr && prof->is_object(), path,
+             ": no \"profile\" section (re-run with --profile and tracing "
+             "enabled: SKS_TRACE=1 or --trace-out)");
+  sks::obs::Profile p;
+  p.set_window_ns(
+      static_cast<std::uint64_t>(opt_number(*prof, "window_s") * 1e9));
+  if (const Json* nodes = prof->find("nodes");
+      nodes != nullptr && nodes->is_array()) {
+    for (const Json& jn : nodes->array()) {
+      sks::obs::ProfileNode n;
+      n.path = jn.at("path").str();
+      n.name = jn.at("name").str();
+      n.depth = static_cast<std::size_t>(opt_number(jn, "depth"));
+      n.count = static_cast<std::uint64_t>(opt_number(jn, "count"));
+      n.total_ns = static_cast<std::uint64_t>(opt_number(jn, "total_s") * 1e9);
+      n.self_ns = static_cast<std::uint64_t>(opt_number(jn, "self_s") * 1e9);
+      n.min_ns = static_cast<std::uint64_t>(opt_number(jn, "min_s") * 1e9);
+      n.max_ns = static_cast<std::uint64_t>(opt_number(jn, "max_s") * 1e9);
+      if (const Json* threads = jn.find("threads");
+          threads != nullptr && threads->is_object()) {
+        for (const auto& [thread, slice] : threads->object()) {
+          if (!slice.is_object()) continue;
+          n.threads[thread] = {
+              static_cast<std::uint64_t>(opt_number(slice, "count")),
+              static_cast<std::uint64_t>(opt_number(slice, "total_s") * 1e9)};
+        }
+      }
+      p.add_node(std::move(n));
+    }
+  }
+  if (const Json* workers = prof->find("workers");
+      workers != nullptr && workers->is_array()) {
+    for (const Json& jw : workers->array()) {
+      sks::obs::WorkerUtil w;
+      const Json* thread = jw.find("thread");
+      if (thread == nullptr || !thread->is_string()) continue;
+      w.thread = thread->str();
+      w.spans = static_cast<std::uint64_t>(opt_number(jw, "spans"));
+      w.busy_ns = static_cast<std::uint64_t>(opt_number(jw, "busy_s") * 1e9);
+      w.util = opt_number(jw, "util");
+      p.add_worker(std::move(w));
+    }
+  }
+  p.seal();
+  return p;
+}
+
+// Rebuild a profile from a raw Chrome trace (--trace-out output, or any
+// trace-event JSON): thread_name metadata labels the tracks, complete
+// ('X') events become spans.  ts/dur are microseconds in that format.
+sks::obs::Profile profile_from_chrome_trace(const Json& doc,
+                                            const std::string& path) {
+  const Json* events = doc.find("traceEvents");
+  sks::check(events != nullptr && events->is_array(), path,
+             ": no \"traceEvents\" array");
+  std::map<double, std::string> thread_names;
+  for (const Json& e : events->array()) {
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str() != "M") continue;
+    const Json* name = e.find("name");
+    if (name == nullptr || !name->is_string() ||
+        name->str() != "thread_name") {
+      continue;
+    }
+    const Json* args = e.find("args");
+    if (args == nullptr) continue;
+    const Json* tname = args->find("name");
+    if (tname == nullptr || !tname->is_string()) continue;
+    thread_names[opt_number(e, "tid")] = tname->str();
+  }
+  std::vector<sks::obs::ProfileSpan> spans;
+  for (const Json& e : events->array()) {
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str() != "X") continue;
+    const Json* name = e.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const double tid = opt_number(e, "tid");
+    const auto it = thread_names.find(tid);
+    spans.push_back({it != thread_names.end() ? it->second : "tid-" + fmt(tid),
+                     name->str(),
+                     static_cast<std::uint64_t>(opt_number(e, "ts") * 1000.0),
+                     static_cast<std::uint64_t>(opt_number(e, "dur") * 1000.0)});
+  }
+  return sks::obs::build_profile(std::move(spans));
+}
+
+// Accept either input kind: a BENCH report with a `profile` section, or a
+// Chrome trace JSON to aggregate on the fly.
+sks::obs::Profile load_profile_any(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  sks::check(doc.is_object(), path, ": not a JSON object");
+  if (doc.has("traceEvents")) return profile_from_chrome_trace(doc, path);
+  sks::check(doc.has("report"), path,
+             ": neither a run report nor a Chrome trace");
+  return profile_from_report_doc(doc, path);
+}
+
+int flame_command(const std::vector<std::string>& args) {
+  std::string input, collapsed_path;
+  std::size_t top = 20;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+    } else if (a == "--collapsed" && i + 1 < args.size()) {
+      collapsed_path = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      sks::check(false, "flame: unknown flag '", a, "'");
+    } else {
+      sks::check(input.empty(), "flame: more than one input given");
+      input = a;
+    }
+  }
+  sks::check(!input.empty(), "flame: no input given");
+
+  const sks::obs::Profile profile = load_profile_any(input);
+  if (profile.empty()) {
+    std::cout << input << ": profile is empty (no spans recorded)\n";
+    return 1;
+  }
+
+  std::vector<const sks::obs::ProfileNode*> rows;
+  rows.reserve(profile.nodes().size());
+  for (const auto& n : profile.nodes()) rows.push_back(&n);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+    return a->path < b->path;
+  });
+
+  std::cout << "flame " << input << ": " << profile.nodes().size()
+            << " tree nodes over " << fmt(profile.window_ns() * 1e-9)
+            << "s window\n";
+  const std::size_t shown = top > 0 ? std::min(top, rows.size()) : rows.size();
+  std::printf("  %12s %12s %10s  %s\n", "self", "total", "count", "path");
+  for (std::size_t i = 0; i < shown; ++i) {
+    const sks::obs::ProfileNode& n = *rows[i];
+    std::printf("  %11ss %11ss %10llu  %s\n",
+                fmt(static_cast<double>(n.self_ns) * 1e-9).c_str(),
+                fmt(static_cast<double>(n.total_ns) * 1e-9).c_str(),
+                static_cast<unsigned long long>(n.count), n.path.c_str());
+  }
+  if (shown < rows.size()) {
+    std::cout << "  ... (" << rows.size() - shown << " nodes below --top "
+              << top << ")\n";
+  }
+  if (!profile.workers().empty()) {
+    std::cout << "  workers (busy over window):\n";
+    for (const auto& w : profile.workers()) {
+      std::printf("    %-20s spans=%-8llu busy=%ss util=%.1f%%\n",
+                  w.thread.c_str(), static_cast<unsigned long long>(w.spans),
+                  fmt(static_cast<double>(w.busy_ns) * 1e-9).c_str(),
+                  100.0 * w.util);
+    }
+  }
+  if (!collapsed_path.empty()) {
+    write_file(collapsed_path, profile.collapsed_stacks());
+    std::cout << "wrote collapsed stacks to " << collapsed_path
+              << " (feed to flamegraph.pl or speedscope)\n";
+  }
+  return 0;
+}
+
+int attribute_command(const std::vector<std::string>& args) {
+  std::vector<std::string> inputs;
+  std::size_t top = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+    } else if (!a.empty() && a[0] == '-') {
+      sks::check(false, "attribute: unknown flag '", a, "'");
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  sks::check(inputs.size() == 2, "attribute: expected BASE and CURRENT");
+
+  const sks::obs::Profile base = load_profile_any(inputs[0]);
+  const sks::obs::Profile cur = load_profile_any(inputs[1]);
+  const auto ranked = sks::obs::attribute_profiles(base, cur);
+  if (ranked.empty()) {
+    std::cout << "attribution: both profiles are empty\n";
+    return 1;
+  }
+
+  // Overall movement = summed root-node delta (roots cover the tree once).
+  double overall = 0.0;
+  for (const auto& a : ranked) {
+    if (a.path.find(';') == std::string::npos) overall += a.delta_total_s;
+  }
+  std::cout << "attribution " << inputs[0] << " -> " << inputs[1] << " ("
+            << ranked.size() << " nodes, overall "
+            << (overall >= 0.0 ? "+" : "") << fmt(overall)
+            << "s across roots)\n";
+  const std::size_t shown = top > 0 ? std::min(top, ranked.size())
+                                    : ranked.size();
+  for (std::size_t i = 0; i < shown; ++i) {
+    const sks::obs::Attribution& a = ranked[i];
+    std::printf("  #%-2zu %+.6fs total (%s -> %s)  self %+.6fs  "
+                "count %llu -> %llu  %s\n",
+                i + 1, a.delta_total_s, fmt(a.base_total_s).c_str(),
+                fmt(a.cur_total_s).c_str(), a.delta_self_s,
+                static_cast<unsigned long long>(a.base_count),
+                static_cast<unsigned long long>(a.cur_count), a.path.c_str());
+  }
+  if (shown < ranked.size()) {
+    std::cout << "  ... (" << ranked.size() - shown << " nodes below --top "
+              << top << ")\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
-               "  sks-report print   REPORT.json...\n"
+               "  sks-report print   REPORT.json... [--top N]\n"
                "  sks-report diff    A.json B.json\n"
                "  sks-report merge   OUT.json A.json B.json...\n"
                "  sks-report trace   OUT.json REPORT.json...\n"
+               "  sks-report flame   REPORT.json|TRACE.json [--top N] "
+               "[--collapsed OUT.txt]\n"
+               "  sks-report attribute BASE.json CURRENT.json [--top N]\n"
                "  sks-report explain BUNDLE_DIR\n"
                "  sks-report repro   BUNDLE_DIR\n"
                "  sks-report run     NETLIST.sp [--dc|--tran] "
@@ -892,8 +1136,23 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths(argv + 2, argv + argc);
   try {
     if (command == "print") {
-      for (const std::string& path : paths) print_report(path);
+      std::size_t top = 0;
+      std::vector<std::string> files;
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (paths[i] == "--top" && i + 1 < paths.size()) {
+          top = static_cast<std::size_t>(std::atol(paths[++i].c_str()));
+        } else {
+          files.push_back(paths[i]);
+        }
+      }
+      for (const std::string& path : files) print_report(path, top);
       return 0;
+    }
+    if (command == "flame") {
+      return flame_command(paths);
+    }
+    if (command == "attribute") {
+      return attribute_command(paths);
     }
     if (command == "diff" && paths.size() == 2) {
       return diff_reports(paths[0], paths[1]);
