@@ -1,0 +1,184 @@
+#include "clocktree/electrical.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "clocktree/buffering.hpp"
+#include "clocktree/dme.hpp"
+#include "clocktree/htree.hpp"
+#include "esim/benchnets.hpp"
+#include "util/error.hpp"
+
+namespace sks::clocktree {
+
+namespace {
+
+// DME merges can place a tapping point on top of a child root, producing a
+// zero-length edge; a zero-ohm resistor is an infinite conductance stamp,
+// so every segment resistance gets this floor.  Far below any real wire —
+// electrically invisible, numerically safe.
+constexpr double kMinSegmentResistance = 1e-3;  // [ohm]
+
+}  // namespace
+
+ElectricalNet to_circuit(const ClockTree& tree,
+                         const ElectricalOptions& options) {
+  sks::check(options.vdd > 0.0, "to_circuit: vdd must be positive, got ",
+             options.vdd);
+  sks::check(options.driver_resistance > 0.0,
+             "to_circuit: driver_resistance must be positive, got ",
+             options.driver_resistance);
+  sks::check(options.wire.r_per_m >= 0.0,
+             "to_circuit: wire r_per_m must not be negative, got ",
+             options.wire.r_per_m);
+  sks::check(options.wire.c_per_m >= 0.0,
+             "to_circuit: wire c_per_m must not be negative, got ",
+             options.wire.c_per_m);
+  sks::check(options.wire.segments >= 1,
+             "to_circuit: wire.segments must be >= 1");
+  if (!options.edge_r_scale.empty()) {
+    sks::check(options.edge_r_scale.size() == tree.size(),
+               "to_circuit: edge_r_scale has ", options.edge_r_scale.size(),
+               " entries, tree has ", tree.size(), " nodes");
+  }
+
+  ElectricalNet net;
+  net.tree = tree;
+  esim::Circuit& c = net.circuit;
+
+  const esim::NodeId vdd = c.node("vdd");
+  c.add_vsource("vdd", vdd, c.ground(), esim::Waveform::dc(options.vdd));
+  const esim::NodeId ck_src = c.node("ck_src");
+  esim::PulseSpec clock = options.clock;
+  clock.v1 = options.vdd;
+  c.add_vsource("vck", ck_src, c.ground(), esim::Waveform::pulse(clock));
+
+  net.node_of.assign(tree.size(), esim::NodeId{});
+  // Driven end per topology node: the node's own electrical node, or the
+  // repowering buffer's output when the node is flagged buffered.
+  std::vector<esim::NodeId> drive_of(tree.size());
+
+  net.root = c.node("ct0");
+  c.add_resistor("r_drv", ck_src, net.root, options.driver_resistance);
+  net.node_of[0] = net.root;
+  drive_of[0] = net.root;
+  if (tree.node(0).buffered) {
+    drive_of[0] = esim::add_repower_buffer(c, "b0", net.root, vdd,
+                                           options.vdd);
+  }
+
+  // add_node() appends under an existing parent, so indices are already a
+  // valid topological (parent-before-child) order.
+  const std::size_t segments = options.wire.segments;
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const ClockTreeNode& nd = tree.node(i);
+    const double r_edge = std::max(
+        options.wire.resistance(nd.wire_length) * options.edge_r(i),
+        kMinSegmentResistance * static_cast<double>(segments));
+    const double r_seg = r_edge / static_cast<double>(segments);
+    const double c_seg = options.wire.capacitance(nd.wire_length) /
+                         static_cast<double>(segments);
+    const std::string tag = std::to_string(i);
+    esim::NodeId prev = drive_of[nd.parent];
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::string seg_tag =
+          s + 1 == segments ? tag : tag + "s" + std::to_string(s);
+      const esim::NodeId next = c.node("ct" + seg_tag);
+      c.add_resistor("r" + seg_tag, prev, next, r_seg);
+      c.add_capacitor("c" + seg_tag, next, c.ground(), c_seg);
+      prev = next;
+    }
+    net.node_of[i] = prev;
+    if (nd.is_sink()) {
+      c.add_capacitor("cs" + tag, prev, c.ground(), nd.sink_cap);
+      net.sinks.push_back(prev);
+    }
+    drive_of[i] = prev;
+    if (nd.buffered) {
+      drive_of[i] =
+          esim::add_repower_buffer(c, "b" + tag, prev, vdd, options.vdd);
+    }
+  }
+  return net;
+}
+
+ElectricalNet make_big_clock_tree(const BigClockTreeOptions& options) {
+  sks::check(options.levels >= 1,
+             "make_big_clock_tree: levels must be >= 1, got ", options.levels);
+  sks::check(options.levels <= 8,
+             "make_big_clock_tree: levels must be <= 8 (4^levels sinks), got ",
+             options.levels);
+  sks::check(options.chip_width > 0.0,
+             "make_big_clock_tree: chip_width must be positive, got ",
+             options.chip_width);
+  sks::check(options.sink_cap >= 0.0,
+             "make_big_clock_tree: sink_cap must not be negative, got ",
+             options.sink_cap);
+
+  ClockTree tree = [&] {
+    if (options.topology == BigTreeTopology::kHTree) {
+      HTreeOptions h;
+      h.levels = options.levels;
+      h.chip_width = options.chip_width;
+      h.sink_cap = options.sink_cap;
+      h.buffer_levels = 0;  // buffering applied explicitly below
+      ClockTree t = build_h_tree(h);
+      if (options.buffer_every > 0) {
+        BufferingOptions buf;
+        buf.wire = options.wire;
+        // H-tree geometry: one H-level spans two tree depths (bar node,
+        // then quadrant node); buffers sit on the quadrant roots.
+        for (std::size_t lev = options.buffer_every; lev < options.levels;
+             lev += options.buffer_every) {
+          insert_buffers_at_depth(t, 2 * lev, buf);
+        }
+      }
+      return t;
+    }
+    // DME: a regular 2^levels x 2^levels sink grid, zero-skew merged.
+    const std::size_t side = std::size_t{1} << options.levels;
+    const double pitch = options.chip_width / static_cast<double>(side);
+    std::vector<Sink> sinks;
+    sinks.reserve(side * side);
+    for (std::size_t gy = 0; gy < side; ++gy) {
+      for (std::size_t gx = 0; gx < side; ++gx) {
+        sinks.push_back(
+            {Point{(static_cast<double>(gx) + 0.5) * pitch,
+                   (static_cast<double>(gy) + 0.5) * pitch},
+             options.sink_cap});
+      }
+    }
+    DmeOptions dme;
+    dme.wire = options.wire;
+    dme.source = Point{options.chip_width / 2.0, options.chip_width / 2.0};
+    ClockTree t = build_zero_skew_tree(sinks, dme);
+    if (options.buffer_every > 0) {
+      // The merge tree is irregular, so depth cadence is meaningless;
+      // cap-limited clustering keeps each buffer stage's load comparable to
+      // the H-tree variant's.
+      BufferingOptions buf;
+      buf.wire = options.wire;
+      insert_buffers_by_cap(t, buf);
+    }
+    return t;
+  }();
+
+  ElectricalOptions elec;
+  elec.wire = options.wire;
+  elec.vdd = options.vdd;
+  elec.driver_resistance = options.driver_resistance;
+  elec.clock = options.clock;
+  if (options.defect_node != 0) {
+    sks::check(options.defect_node < tree.size(),
+               "make_big_clock_tree: defect_node ", options.defect_node,
+               " out of range, tree has ", tree.size(), " nodes");
+    sks::check(options.defect_r_scale > 0.0,
+               "make_big_clock_tree: defect_r_scale must be positive, got ",
+               options.defect_r_scale);
+    elec.edge_r_scale.assign(tree.size(), 1.0);
+    elec.edge_r_scale[options.defect_node] = options.defect_r_scale;
+  }
+  return to_circuit(tree, elec);
+}
+
+}  // namespace sks::clocktree

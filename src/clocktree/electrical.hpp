@@ -1,0 +1,97 @@
+// Transistor-level expansion of routed clock trees.
+//
+// The topology layer (topology.hpp, htree.hpp, dme.hpp) answers skew
+// questions with Elmore analysis; the paper's testing scheme ultimately
+// lives at the electrical level, where the engine solves the full MNA
+// system.  `to_circuit` bridges the two: every routed edge becomes a chain
+// of RC L-sections, every sink its pin load, and every node flagged
+// `buffered` a two-inverter repowering stage (the same device recipe as
+// esim::benchnets, via add_repower_buffer, so both generators stress the
+// solver identically).
+//
+// `make_big_clock_tree` composes the generators into the deterministic
+// paper-realistic nets ROADMAP item 2 asks for: H-tree or zero-skew-DME
+// topologies at 10k-100k MNA unknowns, symmetric buffering every N levels,
+// and optional resistive-open defect injection on a chosen edge.  Same
+// options, same netlist (names and device order included), so
+// fixed-workload bench counters are reproducible run to run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocktree/topology.hpp"
+#include "esim/netlist.hpp"
+#include "esim/waveform.hpp"
+
+namespace sks::clocktree {
+
+struct ElectricalOptions {
+  WireModel wire;            // per-edge R/C; `segments` L-sections per edge
+  double vdd = 5.0;          // supply [V]
+  double driver_resistance = 25.0;  // clock driver output impedance [ohm]
+  esim::PulseSpec clock{};   // root clock (v1 is forced to vdd)
+  // Per-edge wire-resistance multipliers, indexed by tree node (the edge
+  // runs from the node to its parent); empty = pristine.  This is the
+  // electrical twin of AnalysisOptions::edge_r_scale — a resistive open is
+  // a large multiplier on one edge.
+  std::vector<double> edge_r_scale;
+
+  double edge_r(std::size_t i) const {
+    return edge_r_scale.empty() ? 1.0 : edge_r_scale.at(i);
+  }
+};
+
+struct ElectricalNet {
+  esim::Circuit circuit;
+  esim::NodeId root;                    // driven end of the tree root
+  // Topology node -> its electrical node (the far end of the node's edge,
+  // before any buffer at that node).
+  std::vector<esim::NodeId> node_of;
+  std::vector<esim::NodeId> sinks;      // electrical nodes of topology sinks
+  // The routed topology the circuit was expanded from (post-buffering for
+  // make_big_clock_tree).  `tree.sinks()[j]` is the topology index behind
+  // `sinks[j]`, which is how callers pick a defect_node deterministically.
+  ClockTree tree;
+};
+
+// Expand a routed ClockTree into an esim::Circuit.  Throws sks::Error on
+// degenerate options (non-positive vdd/driver resistance, negative wire
+// values, zero segments).
+ElectricalNet to_circuit(const ClockTree& tree,
+                         const ElectricalOptions& options);
+
+enum class BigTreeTopology {
+  kHTree,  // symmetric H (build_h_tree): zero nominal skew by construction
+  kDme,    // zero-skew merge (build_zero_skew_tree) over a regular sink grid
+};
+
+struct BigClockTreeOptions {
+  BigTreeTopology topology = BigTreeTopology::kHTree;
+  // 4^levels sinks (H-tree levels; the DME grid is 2^levels x 2^levels).
+  // With the default 4 wire segments per edge this lands at roughly 2k MNA
+  // unknowns for levels = 4, 8k for 5, 33k for 6, 131k for 7.
+  std::size_t levels = 5;
+  double chip_width = 8e-3;  // [m] square die edge
+  double sink_cap = 50e-15;  // flip-flop clock pin load [F]
+  // Symmetric repowering cadence in H-levels (every `buffer_every`-th level
+  // gets buffers on all its subtree roots; 0 = bare RC).  The DME topology
+  // uses cap-limited clustering instead, seeded from the same wire model.
+  std::size_t buffer_every = 2;
+  WireModel wire;
+  double vdd = 5.0;
+  double driver_resistance = 25.0;
+  esim::PulseSpec clock{};
+  // Deterministic defect injection: multiply the wire resistance of the
+  // edge above topology node `defect_node` (0 = pristine; the root has no
+  // edge).  25x on a sink edge is a resistive open big enough to push that
+  // leaf's skew past the paper's sensing threshold.
+  std::size_t defect_node = 0;
+  double defect_r_scale = 25.0;
+};
+
+// The returned net's `sinks` are in deterministic topology order, so tests
+// can pick leaf pairs for sensor attachment reproducibly.
+ElectricalNet make_big_clock_tree(const BigClockTreeOptions& options);
+
+}  // namespace sks::clocktree

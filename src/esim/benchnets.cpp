@@ -3,6 +3,7 @@
 #include <string>
 
 #include "esim/mosfet_model.hpp"
+#include "util/error.hpp"
 
 namespace sks::esim {
 namespace {
@@ -38,24 +39,6 @@ struct TreeBuilder {
   NodeId vdd_node;
   std::vector<NodeId>& leaves;
 
-  // Two cascaded inverters: a non-inverting repowering buffer.  Gate-load
-  // capacitances keep the internal nodes from floating at clock corners.
-  NodeId add_buffer(const std::string& prefix, NodeId in) {
-    const NodeId mid = c.node(prefix + ".mid");
-    const NodeId out = c.node(prefix + ".out");
-    c.add_mosfet(prefix + ".i1.mp", tree_pmos(4.8e-6, opt.vdd), in, mid,
-                 vdd_node);
-    c.add_mosfet(prefix + ".i1.mn", tree_nmos(2.4e-6, opt.vdd), in, mid,
-                 c.ground());
-    c.add_mosfet(prefix + ".i2.mp", tree_pmos(9.6e-6, opt.vdd), mid, out,
-                 vdd_node);
-    c.add_mosfet(prefix + ".i2.mn", tree_nmos(4.8e-6, opt.vdd), mid, out,
-                 c.ground());
-    c.add_capacitor(prefix + ".cmid", mid, c.ground(), 15e-15);
-    c.add_capacitor(prefix + ".cout", out, c.ground(), 15e-15);
-    return out;
-  }
-
   // Grow the subtree hanging off `from` whose children sit at `depth`.
   void grow(NodeId from, int depth, const std::string& path) {
     for (int side = 0; side < 2; ++side) {
@@ -70,7 +53,7 @@ struct TreeBuilder {
       }
       NodeId next = child;
       if (opt.buffer_every > 0 && depth % opt.buffer_every == 0) {
-        next = add_buffer("buf_" + name, child);
+        next = add_repower_buffer(c, "buf_" + name, child, vdd_node, opt.vdd);
       }
       grow(next, depth + 1, name);
     }
@@ -79,7 +62,46 @@ struct TreeBuilder {
 
 }  // namespace
 
+// Gate-load capacitances keep the internal nodes from floating at clock
+// corners.  Naming and device order are part of the deterministic-netlist
+// contract the fixed-workload benches pin.
+NodeId add_repower_buffer(Circuit& c, const std::string& prefix, NodeId in,
+                          NodeId vdd_node, double vdd) {
+  const NodeId mid = c.node(prefix + ".mid");
+  const NodeId out = c.node(prefix + ".out");
+  c.add_mosfet(prefix + ".i1.mp", tree_pmos(4.8e-6, vdd), in, mid, vdd_node);
+  c.add_mosfet(prefix + ".i1.mn", tree_nmos(2.4e-6, vdd), in, mid, c.ground());
+  c.add_mosfet(prefix + ".i2.mp", tree_pmos(9.6e-6, vdd), mid, out, vdd_node);
+  c.add_mosfet(prefix + ".i2.mn", tree_nmos(4.8e-6, vdd), mid, out,
+               c.ground());
+  c.add_capacitor(prefix + ".cmid", mid, c.ground(), 15e-15);
+  c.add_capacitor(prefix + ".cout", out, c.ground(), 15e-15);
+  return out;
+}
+
 ClockTreeNet make_clock_tree(const ClockTreeOptions& options) {
+  sks::check(options.levels >= 1, "make_clock_tree: levels must be >= 1, got ",
+             options.levels);
+  sks::check(options.levels <= 24,
+             "make_clock_tree: levels must be <= 24 (2^levels leaves), got ",
+             options.levels);
+  sks::check(options.buffer_every >= 0,
+             "make_clock_tree: buffer_every must be >= 0 (0 = bare RC), got ",
+             options.buffer_every);
+  sks::check(options.r_segment > 0.0,
+             "make_clock_tree: r_segment must be positive, got ",
+             options.r_segment);
+  sks::check(options.c_segment >= 0.0,
+             "make_clock_tree: c_segment must not be negative, got ",
+             options.c_segment);
+  sks::check(options.c_leaf >= 0.0,
+             "make_clock_tree: c_leaf must not be negative, got ",
+             options.c_leaf);
+  sks::check(options.driver_resistance > 0.0,
+             "make_clock_tree: driver_resistance must be positive, got ",
+             options.driver_resistance);
+  sks::check(options.vdd > 0.0, "make_clock_tree: vdd must be positive, got ",
+             options.vdd);
   ClockTreeNet net;
   Circuit& c = net.circuit;
 

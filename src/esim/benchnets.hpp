@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "esim/netlist.hpp"
@@ -39,6 +40,17 @@ struct ClockTreeNet {
 
 // Deterministic: same options, same netlist (device order included), so
 // fixed-workload benchmark counters are reproducible run to run.
+// Throws sks::Error on degenerate options (levels < 1, negative
+// buffer_every, non-positive wire values).
 ClockTreeNet make_clock_tree(const ClockTreeOptions& options = {});
+
+// Two cascaded inverters — a non-inverting repowering stage using the
+// bundled 1.2 um device parameters — driving a fresh output node, with
+// gate-load capacitors on both internal nodes.  Devices are named
+// `prefix + ".i1.mp"` etc., so distinct prefixes keep the netlist unique.
+// Shared by make_clock_tree and the clocktree electrical expansion
+// (clocktree/electrical.hpp), so both realize buffers identically.
+NodeId add_repower_buffer(Circuit& c, const std::string& prefix, NodeId in,
+                          NodeId vdd_node, double vdd);
 
 }  // namespace sks::esim

@@ -10,6 +10,7 @@
 
 #include "esim/matrix.hpp"
 #include "esim/postmortem.hpp"
+#include "esim/schur.hpp"
 #include "esim/sparse.hpp"
 #include "obs/diag.hpp"
 #include "obs/journal.hpp"
@@ -32,6 +33,8 @@ void SolveStats::merge(const SolveStats& other) {
   lu_singular += other.lu_singular;
   lu_nonfinite += other.lu_nonfinite;
   sparse_nnz = std::max(sparse_nnz, other.sparse_nnz);
+  schur_block_factorizations += other.schur_block_factorizations;
+  schur_interface_solves += other.schur_interface_solves;
   dc_solves += other.dc_solves;
   dc_gmin_ladders += other.dc_gmin_ladders;
   dc_gmin_steps += other.dc_gmin_steps;
@@ -71,6 +74,10 @@ void mirror_stats_to_registry(const SolveStats& s) {
   static obs::Counter& lu_nonfin =
       obs::registry().counter("esim.lu_nonfinite");
   static obs::Counter& nnz = obs::registry().counter("esim.sparse_nnz");
+  static obs::Counter& schur_blocks =
+      obs::registry().counter("schur.block_factorizations");
+  static obs::Counter& schur_solves =
+      obs::registry().counter("schur.interface_solves");
   static obs::Counter& gmin_ladders =
       obs::registry().counter("esim.dc_gmin_ladders");
   static obs::Counter& source_ladders =
@@ -94,6 +101,8 @@ void mirror_stats_to_registry(const SolveStats& s) {
   lu_sing.inc(s.lu_singular);
   lu_nonfin.inc(s.lu_nonfinite);
   nnz.inc(s.sparse_nnz);
+  schur_blocks.inc(s.schur_block_factorizations);
+  schur_solves.inc(s.schur_interface_solves);
   gmin_ladders.inc(s.dc_gmin_ladders);
   source_ladders.inc(s.dc_source_ladders);
   damped.inc(s.dc_damped_retries);
@@ -112,6 +121,11 @@ namespace {
 // obs.mem_gauge_updates bump the bench gate pins to zero when off.
 void record_sparse_lu_bytes(std::size_t bytes) {
   static obs::Gauge& gauge = obs::registry().gauge("mem.sparse_lu_bytes");
+  obs::record_peak_bytes(gauge, static_cast<double>(bytes));
+}
+
+void record_schur_bytes(std::size_t bytes) {
+  static obs::Gauge& gauge = obs::registry().gauge("mem.schur_bytes");
   obs::record_peak_bytes(gauge, static_cast<double>(bytes));
 }
 
@@ -151,6 +165,11 @@ struct Simulator::StampPlan {
   };
   std::vector<MosSlots> mos_slots;
   SparseLu lu;
+  // Hierarchical Schur path (esim/schur.hpp): non-null when the mode asked
+  // for it AND the pattern partitioned into exploitable linear blocks.
+  // When set, `lu` stays un-analyzed — the flat path's quadratic global
+  // min-degree ordering is skipped entirely.
+  std::unique_ptr<HierarchicalSolver> hier;
 };
 
 Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
@@ -158,6 +177,7 @@ Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
     const std::string_view value(env);
     if (value == "dense") solver_mode_ = SolverMode::kDense;
     else if (value == "sparse") solver_mode_ = SolverMode::kSparse;
+    else if (value == "hierarchical") solver_mode_ = SolverMode::kHierarchical;
   }
   if (const char* env = std::getenv("SKS_POSTMORTEM")) {
     const std::string_view value(env);
@@ -189,11 +209,33 @@ bool Simulator::sparse_path_active() const {
     case SolverMode::kDense:
       return false;
     case SolverMode::kSparse:
+    case SolverMode::kHierarchical:
+      // kHierarchical is a sparse-family mode: when partitioning declines
+      // it degrades to the flat sparse path, never to dense.
       return true;
     case SolverMode::kAuto:
       break;
   }
   return unknown_count() >= kSparseAutoThreshold;
+}
+
+bool Simulator::hierarchical_path_active() const {
+  if (solver_mode_ != SolverMode::kHierarchical &&
+      (solver_mode_ != SolverMode::kAuto ||
+       unknown_count() < kHierarchicalAutoThreshold)) {
+    return false;
+  }
+  if (!plan_) build_stamp_plan();
+  return plan_->hier != nullptr;
+}
+
+std::size_t Simulator::schur_memory_bytes() const {
+  return plan_ && plan_->hier ? plan_->hier->memory_bytes() : 0;
+}
+
+void Simulator::set_pool(par::ThreadPool* pool) {
+  pool_ = pool;
+  if (plan_ && plan_->hier) plan_->hier->set_pool(pool);
 }
 
 std::size_t Simulator::unknown_count() const {
@@ -433,7 +475,39 @@ void Simulator::build_stamp_plan() const {
   plan.base_values[dummy] = 0.0;
   plan.template_values = plan.base_values;
 
-  plan.lu.analyze(plan.j);
+  // Hierarchical attempt: explicitly requested modes try to partition at
+  // any size; kAuto only once the system is big enough that the flat
+  // path's global ordering starts to hurt.
+  const bool attempt_hier =
+      solver_mode_ == SolverMode::kHierarchical ||
+      (solver_mode_ == SolverMode::kAuto && n >= kHierarchicalAutoThreshold);
+  if (attempt_hier) {
+    // The interface is every unknown a per-iteration stamp or a zero-
+    // structural-diagonal row touches: MOSFET terminals (the gate column
+    // receives fresh gm stamps each iteration, so it cannot sit inside a
+    // frozen block), vsource terminal nodes and branch-current unknowns.
+    std::vector<std::uint8_t> interface_mask(n, 0);
+    const auto mark = [&](NodeId node) {
+      if (node.index != 0) interface_mask[node.index - 1] = 1;
+    };
+    for (const auto& m : circuit_.mosfets()) {
+      mark(m.gate);
+      mark(m.drain);
+      mark(m.source);
+    }
+    for (std::size_t si = 0; si < vsrcs.size(); ++si) {
+      mark(vsrcs[si].pos);
+      mark(vsrcs[si].neg);
+      interface_mask[branch_base + si] = 1;
+    }
+    auto hier = std::make_unique<HierarchicalSolver>();
+    if (hier->build(plan.j, interface_mask, pool_)) {
+      plan.hier = std::move(hier);
+    }
+  }
+  // The flat path's global min-degree ordering is quadratic in n; skip it
+  // entirely when the hierarchical solver owns the solve.
+  if (!plan.hier) plan.lu.analyze(plan.j);
 }
 
 void Simulator::assemble_sparse(const std::vector<double>& x, double t,
@@ -632,10 +706,27 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
     ws_.rhs.resize(n);
     for (std::size_t i = 0; i < n; ++i) ws_.rhs[i] = -ws_.f[i];
     if (sparse) {
+      HierarchicalSolver* const hier = plan_->hier.get();
       SparseLu& lu = plan_->lu;
       SparseLuStatus status;
       bool repivoted = false;
-      if (lu.factored()) {
+      if (hier != nullptr) {
+        // Partitioned path: linear-block factors are cached per
+        // (gmin, h, method) configuration inside the solver; each iteration
+        // only re-solves the small Schur system over the interface and
+        // writes dx directly.  The interface system runs the same
+        // refactor-first / full-factor-on-degeneracy protocol as the flat
+        // path, accounted through the same lu_* counters.
+        status = hier->solve(plan_->j, SchurConfigKey{gmin, h, use_trap},
+                             ws_.rhs, ws_.dx);
+        const SchurStats ss = hier->take_stats();
+        stats_.schur_block_factorizations += ss.block_factorizations;
+        stats_.schur_interface_solves += ss.interface_solves;
+        stats_.lu_refactorizations += ss.interface_refactors;
+        stats_.lu_factorizations += ss.interface_factors;
+        stats_.lu_pattern_rebuilds += ss.interface_factors;
+        repivoted = ss.interface_refactors > 0 && ss.interface_factors > 0;
+      } else if (lu.factored()) {
         // Fast path: numeric refactorization on the frozen pivot order;
         // full re-pivoting factorization only when a pivot degenerated.
         ++stats_.lu_refactorizations;
@@ -669,14 +760,16 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, double h,
         for (std::size_t i = 0; i < plan_->j.nnz(); ++i) {
           max_a = std::max(max_a, std::fabs(vals[i]));
         }
-        const double dmax = lu.udiag_max_abs();
-        const double dmin = lu.udiag_min_abs();
+        const double dmax =
+            hier != nullptr ? hier->udiag_max_abs() : lu.udiag_max_abs();
+        const double dmin =
+            hier != nullptr ? hier->udiag_min_abs() : lu.udiag_min_abs();
         if (dmin > 0.0) rec.cond_est = dmax / dmin;
         if (max_a > 0.0) rec.pivot_growth = dmax / max_a;
         last_pivot_growth = rec.pivot_growth;
         last_cond_est = rec.cond_est;
       }
-      lu.solve(ws_.rhs, ws_.dx);
+      if (hier == nullptr) lu.solve(ws_.rhs, ws_.dx);
       bool finite = true;
       for (std::size_t i = 0; i < n; ++i) {
         if (!std::isfinite(ws_.dx[i])) {
@@ -970,6 +1063,7 @@ Simulator::DcSolution Simulator::dc_solution(
   mirror_stats_to_registry(stats_);
   if (obs::enabled() && plan_) {
     record_sparse_lu_bytes(plan_->j.memory_bytes() + plan_->lu.memory_bytes());
+    if (plan_->hier) record_schur_bytes(plan_->hier->memory_bytes());
   }
   span.arg("nr_iters", static_cast<double>(stats_.newton_iterations))
       .arg("lu", static_cast<double>(stats_.lu_factorizations))
@@ -1232,6 +1326,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     if (plan_) {
       record_sparse_lu_bytes(plan_->j.memory_bytes() +
                              plan_->lu.memory_bytes());
+      if (plan_->hier) record_schur_bytes(plan_->hier->memory_bytes());
     }
     record_waveform_bytes(result);
   }

@@ -55,6 +55,10 @@ namespace sks::obs::stream {
 class WaveformStreams;
 }
 
+namespace sks::par {
+class ThreadPool;
+}
+
 namespace sks::esim {
 
 // Per-run solver telemetry, accumulated by every public solve entry point
@@ -82,6 +86,13 @@ struct SolveStats {
                                         // (overflow/NaN, not singularity)
   std::uint64_t sparse_nnz = 0;         // Jacobian nonzeros on the sparse
                                         // path (0 = dense path used)
+  // Hierarchical (Schur-complement) path; all zero on the other paths.
+  std::uint64_t schur_block_factorizations = 0;  // per-block LU factors
+                                                 // (config refreshes only —
+                                                 // steady-state Newton
+                                                 // iterations add ZERO)
+  std::uint64_t schur_interface_solves = 0;      // Schur-system solves (one
+                                                 // per Newton iteration)
   // DC continuation ladder.
   std::uint64_t dc_solves = 0;          // dc_solve() invocations
   std::uint64_t dc_gmin_ladders = 0;    // gmin-stepping ladders entered
@@ -109,11 +120,15 @@ void mirror_stats_to_registry(const SolveStats& stats);
 
 // Linear-solver selection.  kAuto picks sparse when the circuit has at
 // least Simulator::kSparseAutoThreshold unknowns and dense below it (tiny
-// systems fit in cache and a dense LU beats the sparse bookkeeping).  The
-// SKS_SOLVER environment variable ("dense" / "sparse") overrides the
-// automatic choice at Simulator construction; an explicit
-// set_solver_mode() call afterwards wins over both.
-enum class SolverMode { kAuto, kDense, kSparse };
+// systems fit in cache and a dense LU beats the sparse bookkeeping); at
+// kHierarchicalAutoThreshold unknowns and above it additionally tries the
+// partitioned Schur-complement path (esim/schur.hpp), which falls back to
+// flat sparse when the pattern has no exploitable linear-block structure.
+// The SKS_SOLVER environment variable ("dense" / "sparse" /
+// "hierarchical") overrides the automatic choice at Simulator
+// construction; an explicit set_solver_mode() call afterwards wins over
+// both.
+enum class SolverMode { kAuto, kDense, kSparse, kHierarchical };
 
 // Preallocated per-Simulator solver scratch, reused across every Newton
 // iteration, transient step and DC continuation rung so the hot loop is
@@ -192,8 +207,31 @@ class Simulator {
   SolverMode solver_mode() const { return solver_mode_; }
   // The path the current mode resolves to for this circuit.
   bool sparse_path_active() const;
+  // Whether the sparse path runs through the hierarchical Schur solver.
+  // Resolved when the stamp plan is first built: kHierarchical (explicit or
+  // via SKS_SOLVER) tries to partition at any size, kAuto only from
+  // kHierarchicalAutoThreshold unknowns; either way a pattern with no
+  // exploitable linear-block structure falls back to flat sparse.
+  bool hierarchical_path_active() const;
+  // Heap footprint of the hierarchical Schur solver (block factors,
+  // interface clique, workspaces), 0 when the hierarchical path is not
+  // active or the stamp plan has not been built yet.  The same number the
+  // instrumented runs export as the mem.schur_bytes gauge; exposed directly
+  // so un-instrumented benches can report it without enabling obs.
+  std::size_t schur_memory_bytes() const;
+
   // kAuto switches to the sparse path at this many unknowns.
   static constexpr std::size_t kSparseAutoThreshold = 24;
+  // kAuto additionally attempts the hierarchical partition at this many
+  // unknowns (large enough that every pre-existing mid-size bench keeps its
+  // flat-sparse counters bit-identical).
+  static constexpr std::size_t kHierarchicalAutoThreshold = 4096;
+
+  // Work-stealing pool used for parallel linear-block elimination on the
+  // hierarchical path (nullptr = serial elimination).  Results are
+  // bit-identical with or without a pool; the Simulator does not own it and
+  // never uses it outside its own solve calls.
+  void set_pool(par::ThreadPool* pool);
 
   // Node voltages (indexed by NodeId::index, ground included as 0 V) at the
   // DC operating point with sources evaluated at time `t`.
@@ -306,6 +344,8 @@ class Simulator {
   mutable SolveWorkspace ws_;
   struct StampPlan;
   mutable std::unique_ptr<StampPlan> plan_;
+  // Pool for parallel block elimination (hierarchical path only, not owned).
+  par::ThreadPool* pool_ = nullptr;
   // Diagnostics ring: allocated only while diagnostics are on; its null
   // check is the entire hot-loop cost of the feature when off.
   mutable std::unique_ptr<obs::DiagRing> diag_;

@@ -1,0 +1,448 @@
+#include "esim/schur.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "par/parallel.hpp"
+#include "util/error.hpp"
+
+namespace sks::esim {
+
+namespace {
+constexpr std::uint32_t kInvalid = 0xffffffffu;
+}
+
+HierPartition partition_linear_blocks(
+    const SparseMatrix& a, const std::vector<std::uint8_t>& interface_mask) {
+  const std::size_t n = a.size();
+  sks::check(interface_mask.size() == n,
+             "partition_linear_blocks: mask size ", interface_mask.size(),
+             " != pattern size ", n);
+  HierPartition p;
+  p.block_of.assign(n, -1);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (interface_mask[u]) ++p.interface_count;
+  }
+
+  // Symmetrized adjacency restricted to interior-interior off-diagonal
+  // entries, as compressed neighbor lists (no per-node allocations).
+  std::vector<std::size_t> deg(n + 1, 0);
+  const auto each_edge = [&](const auto& fn) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (interface_mask[c]) continue;
+      for (std::size_t idx = a.col_ptr()[c]; idx < a.col_ptr()[c + 1]; ++idx) {
+        const std::uint32_t r = a.row()[idx];
+        if (r == c || interface_mask[r]) continue;
+        fn(r, static_cast<std::uint32_t>(c));
+      }
+    }
+  };
+  each_edge([&](std::uint32_t r, std::uint32_t c) {
+    ++deg[r];
+    ++deg[c];
+  });
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) offset[u + 1] = offset[u] + deg[u];
+  std::vector<std::uint32_t> nbr(offset[n]);
+  std::vector<std::size_t> fill = offset;
+  each_edge([&](std::uint32_t r, std::uint32_t c) {
+    nbr[fill[r]++] = c;
+    nbr[fill[c]++] = r;
+  });
+
+  // Components in ascending-smallest-member order: iterative DFS seeded by
+  // increasing unknown id.
+  std::vector<std::uint32_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (interface_mask[seed] || p.block_of[seed] >= 0) continue;
+    const std::int32_t id = static_cast<std::int32_t>(p.block_count++);
+    std::size_t members = 0;
+    stack.assign(1, static_cast<std::uint32_t>(seed));
+    p.block_of[seed] = id;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++members;
+      for (std::size_t i = offset[u]; i < offset[u + 1]; ++i) {
+        const std::uint32_t v = nbr[i];
+        if (p.block_of[v] < 0) {
+          p.block_of[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+    p.largest_block = std::max(p.largest_block, members);
+  }
+  return p;
+}
+
+bool HierarchicalSolver::build(const SparseMatrix& pattern,
+                               const std::vector<std::uint8_t>& interface_mask,
+                               par::ThreadPool* pool) {
+  built_ = false;
+  pool_ = pool;
+  const std::size_t n = pattern.size();
+  partition_ = partition_linear_blocks(pattern, interface_mask);
+  const std::size_t interior = n - partition_.interface_count;
+  // No exploitable structure: the nonlinear interface dominates (a dense
+  // sprinkling of devices) or the system is tiny.  The flat sparse path is
+  // the right tool there.
+  if (interior < kMinInteriorUnknowns || interior * 3 < n) return false;
+
+  // Interface numbering (ascending global id) and per-unknown local ids.
+  interface_.clear();
+  std::vector<std::uint32_t> iface_of(n, kInvalid);
+  std::vector<std::uint32_t> loc_of(n, kInvalid);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (partition_.block_of[u] < 0) {
+      iface_of[u] = static_cast<std::uint32_t>(interface_.size());
+      interface_.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  blocks_.assign(partition_.block_count, Block{});
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t b = partition_.block_of[u];
+    if (b < 0) continue;
+    auto& interior_ids = blocks_[static_cast<std::size_t>(b)].interior;
+    loc_of[u] = static_cast<std::uint32_t>(interior_ids.size());
+    interior_ids.push_back(static_cast<std::uint32_t>(u));
+  }
+
+  // One sweep over the global pattern classifies every entry: in-block,
+  // block<->interface coupling, or interface-interface.
+  struct LocalEntry {
+    std::uint32_t r, c;
+    std::size_t slot;
+  };
+  std::vector<std::vector<LocalEntry>> block_entries(blocks_.size());
+  std::vector<std::vector<LocalEntry>> ib_raw(blocks_.size());  // c = iface id
+  std::vector<std::vector<LocalEntry>> bi_raw(blocks_.size());  // r = iface id
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> s_entries;
+  std::vector<std::pair<std::size_t, std::size_t>> abb_raw;  // (slot, entry#)
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::int32_t bc = partition_.block_of[c];
+    for (std::size_t idx = pattern.col_ptr()[c]; idx < pattern.col_ptr()[c + 1];
+         ++idx) {
+      const std::uint32_t r = pattern.row()[idx];
+      const std::int32_t br = partition_.block_of[r];
+      if (br >= 0 && bc >= 0) {
+        sks::check(br == bc,
+                   "hierarchical build: pattern entry couples two linear "
+                   "blocks — partition is inconsistent");
+        block_entries[static_cast<std::size_t>(bc)].push_back(
+            {loc_of[r], loc_of[c], idx});
+      } else if (br >= 0) {  // interior row, interface column
+        ib_raw[static_cast<std::size_t>(br)].push_back(
+            {loc_of[r], iface_of[c], idx});
+      } else if (bc >= 0) {  // interface row, interior column
+        bi_raw[static_cast<std::size_t>(bc)].push_back(
+            {iface_of[r], loc_of[c], idx});
+      } else {
+        abb_raw.emplace_back(idx, s_entries.size());
+        s_entries.emplace_back(iface_of[r], iface_of[c]);
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    Block& blk = blocks_[k];
+    const std::size_t ni = blk.interior.size();
+
+    // Boundary: the interface unknowns this block couples to, ascending.
+    std::vector<std::uint32_t> boundary;
+    for (const auto& e : ib_raw[k]) boundary.push_back(e.c);
+    for (const auto& e : bi_raw[k]) boundary.push_back(e.r);
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    blk.boundary = std::move(boundary);
+    const auto boundary_index = [&](std::uint32_t iface) {
+      const auto it =
+          std::lower_bound(blk.boundary.begin(), blk.boundary.end(), iface);
+      return static_cast<std::uint32_t>(it - blk.boundary.begin());
+    };
+    blk.a_ib.reserve(ib_raw[k].size());
+    for (const auto& e : ib_raw[k]) {
+      blk.a_ib.push_back({e.r, boundary_index(e.c), e.slot});
+    }
+    blk.a_bi.reserve(bi_raw[k].size());
+    for (const auto& e : bi_raw[k]) {
+      blk.a_bi.push_back({e.c, boundary_index(e.r), e.slot});
+    }
+    // W is built column-by-column: group the A_IB entries by boundary
+    // column so each right-hand side is one contiguous scan.
+    std::sort(blk.a_ib.begin(), blk.a_ib.end(),
+              [](const Coupling& x, const Coupling& y) {
+                return x.boundary != y.boundary ? x.boundary < y.boundary
+                                                : x.local < y.local;
+              });
+
+    // Local block pattern + global slot map.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    entries.reserve(block_entries[k].size());
+    for (const auto& e : block_entries[k]) entries.emplace_back(e.r, e.c);
+    blk.a = SparseMatrix(ni, std::move(entries));
+    blk.a_slots.assign(blk.a.nnz(), 0);
+    for (const auto& e : block_entries[k]) {
+      blk.a_slots[blk.a.slot(e.r, e.c)] = e.slot;
+    }
+    blk.lu_symbolic.analyze(blk.a);
+    blk.r.assign(ni, 0.0);
+    blk.y.assign(ni, 0.0);
+
+    // The block's Schur contribution fills a clique over its boundary.
+    const std::size_t bk = blk.boundary.size();
+    for (std::size_t cc = 0; cc < bk; ++cc) {
+      for (std::size_t rr = 0; rr < bk; ++rr) {
+        s_entries.emplace_back(blk.boundary[rr], blk.boundary[cc]);
+      }
+    }
+  }
+
+  // Schur pattern over the interface (A_BB entries + all block cliques).
+  const std::size_t m = interface_.size();
+  abb_map_.clear();
+  if (m > 0) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = s_entries;
+    s_ = SparseMatrix(m, std::move(pairs));
+    abb_map_.reserve(abb_raw.size());
+    for (const auto& [gslot, which] : abb_raw) {
+      const auto& rc = s_entries[which];
+      abb_map_.emplace_back(gslot, s_.slot(rc.first, rc.second));
+    }
+    for (Block& blk : blocks_) {
+      const std::size_t bk = blk.boundary.size();
+      blk.contrib_slots.assign(bk * bk, 0);
+      for (std::size_t cc = 0; cc < bk; ++cc) {
+        for (std::size_t rr = 0; rr < bk; ++rr) {
+          blk.contrib_slots[cc * bk + rr] =
+              s_.slot(blk.boundary[rr], blk.boundary[cc]);
+        }
+      }
+    }
+    s_lu_ = SparseLu{};
+    s_lu_.analyze(s_);
+    rb_.assign(m, 0.0);
+    dxb_.assign(m, 0.0);
+  } else {
+    s_ = SparseMatrix{};
+    s_lu_ = SparseLu{};
+    rb_.clear();
+    dxb_.clear();
+  }
+
+  for (ConfigCache& cfg : configs_) {
+    cfg = ConfigCache{};
+    cfg.blocks.resize(blocks_.size());
+  }
+  lru_clock_ = 0;
+  built_ = true;
+  return true;
+}
+
+SparseLuStatus HierarchicalSolver::eliminate_block(const SparseMatrix& a,
+                                                   std::size_t k,
+                                                   ConfigCache& cfg) {
+  Block& blk = blocks_[k];
+  BlockFactors& bf = cfg.blocks[k];
+  const double* gv = a.values();
+  const std::size_t ni = blk.interior.size();
+  const std::size_t bk = blk.boundary.size();
+
+  double* av = blk.a.values();
+  for (std::size_t i = 0; i < blk.a.nnz(); ++i) av[i] = gv[blk.a_slots[i]];
+  if (!bf.lu.analyzed()) bf.lu = blk.lu_symbolic;
+  if (bf.lu.factor(blk.a) != SparseLuStatus::kOk) {
+    return SparseLuStatus::kSingular;
+  }
+
+  // W = A_kk^-1 A_kB, one boundary column at a time (a_ib is grouped by
+  // boundary column), and the dense Schur clique -A_Bk W.
+  bf.w.assign(ni * bk, 0.0);
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < bk; ++c) {
+    std::fill(blk.r.begin(), blk.r.end(), 0.0);
+    bool any = false;
+    while (at < blk.a_ib.size() && blk.a_ib[at].boundary == c) {
+      blk.r[blk.a_ib[at].local] = gv[blk.a_ib[at].slot];
+      any = true;
+      ++at;
+    }
+    if (!any) continue;
+    bf.lu.solve(blk.r, blk.y);
+    std::memcpy(bf.w.data() + c * ni, blk.y.data(), ni * sizeof(double));
+  }
+  bf.contrib.assign(bk * bk, 0.0);
+  for (const Coupling& e : blk.a_bi) {
+    const double val = gv[e.slot];
+    if (val == 0.0) continue;
+    for (std::size_t c = 0; c < bk; ++c) {
+      bf.contrib[c * bk + e.boundary] -= val * bf.w[c * ni + e.local];
+    }
+  }
+  return SparseLuStatus::kOk;
+}
+
+SparseLuStatus HierarchicalSolver::refresh_config(const SparseMatrix& a,
+                                                  ConfigCache& cfg) {
+  cfg.valid = false;
+  std::vector<std::uint8_t> singular(blocks_.size(), 0);
+  const auto run = [&](std::size_t k) {
+    if (eliminate_block(a, k, cfg) != SparseLuStatus::kOk) singular[k] = 1;
+  };
+  if (pool_ != nullptr && blocks_.size() > 1) {
+    par::parallel_for(*pool_, 0, blocks_.size(), run);
+  } else {
+    for (std::size_t k = 0; k < blocks_.size(); ++k) run(k);
+  }
+  // Every block is factored exactly once per refresh, with or without the
+  // pool, so the counter is deterministic at any thread count.
+  stats_.block_factorizations += blocks_.size();
+  for (const std::uint8_t s : singular) {
+    if (s) return SparseLuStatus::kSingular;
+  }
+
+  // Serial reduction in block order: bit-identical results at any thread
+  // count even where boundary cliques of different blocks overlap.
+  if (!interface_.empty()) {
+    cfg.s_base.assign(s_.nnz(), 0.0);
+    for (const Block& blk : blocks_) {
+      const BlockFactors& bf = cfg.blocks[&blk - blocks_.data()];
+      for (std::size_t i = 0; i < blk.contrib_slots.size(); ++i) {
+        cfg.s_base[blk.contrib_slots[i]] += bf.contrib[i];
+      }
+    }
+  }
+  cfg.valid = true;
+  return SparseLuStatus::kOk;
+}
+
+HierarchicalSolver::ConfigCache& HierarchicalSolver::config_for(
+    const SparseMatrix& a, const SchurConfigKey& key, SparseLuStatus& status) {
+  for (ConfigCache& cfg : configs_) {
+    if (cfg.valid && cfg.key == key) {
+      cfg.stamp = ++lru_clock_;
+      status = SparseLuStatus::kOk;
+      return cfg;
+    }
+  }
+  ConfigCache& victim =
+      configs_[0].stamp <= configs_[1].stamp ? configs_[0] : configs_[1];
+  victim.key = key;
+  victim.stamp = ++lru_clock_;
+  status = refresh_config(a, victim);
+  return victim;
+}
+
+SparseLuStatus HierarchicalSolver::solve(const SparseMatrix& a,
+                                         const SchurConfigKey& key,
+                                         const std::vector<double>& b,
+                                         std::vector<double>& x_out) {
+  sks::check(built_, "HierarchicalSolver::solve before a successful build()");
+  SparseLuStatus status = SparseLuStatus::kOk;
+  ConfigCache& cfg = config_for(a, key, status);
+  if (status != SparseLuStatus::kOk) return status;
+
+  const std::size_t m = interface_.size();
+  const double* gv = a.values();
+
+  // Forward phase: per-block y = A_kk^-1 r_k, and the interface deficit
+  // r_B - A_BI y accumulated serially in block order.
+  for (std::size_t i = 0; i < m; ++i) rb_[i] = b[interface_[i]];
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    Block& blk = blocks_[k];
+    BlockFactors& bf = cfg.blocks[k];
+    for (std::size_t i = 0; i < blk.interior.size(); ++i) {
+      blk.r[i] = b[blk.interior[i]];
+    }
+    bf.lu.solve(blk.r, blk.y);
+    for (const Coupling& e : blk.a_bi) {
+      rb_[blk.boundary[e.boundary]] -= gv[e.slot] * blk.y[e.local];
+    }
+  }
+
+  // Interface phase: assemble S from the cached linear part plus the live
+  // A_BB values (which carry this iteration's MOSFET stamps), then the
+  // refactor-first protocol the flat path uses.
+  if (m > 0) {
+    double* sv = s_.values();
+    std::memcpy(sv, cfg.s_base.data(), s_.nnz() * sizeof(double));
+    sv[s_.dummy_slot()] = 0.0;
+    for (const auto& [gslot, sslot] : abb_map_) sv[sslot] += gv[gslot];
+    SparseLuStatus sst;
+    if (s_lu_.factored()) {
+      ++stats_.interface_refactors;
+      sst = s_lu_.refactor(s_);
+      if (sst == SparseLuStatus::kPivotDegenerate) {
+        ++stats_.interface_factors;
+        sst = s_lu_.factor(s_);
+      }
+    } else {
+      ++stats_.interface_factors;
+      sst = s_lu_.factor(s_);
+    }
+    if (sst != SparseLuStatus::kOk) return SparseLuStatus::kSingular;
+    s_lu_.solve(rb_, dxb_);
+    ++stats_.interface_solves;
+  }
+
+  // Back substitution: dx_I = y - W dx_B per block, then scatter.
+  x_out.assign(a.size(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) x_out[interface_[i]] = dxb_[i];
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    Block& blk = blocks_[k];
+    const BlockFactors& bf = cfg.blocks[k];
+    const std::size_t ni = blk.interior.size();
+    for (std::size_t c = 0; c < blk.boundary.size(); ++c) {
+      const double xb = dxb_[blk.boundary[c]];
+      if (xb == 0.0) continue;
+      const double* wc = bf.w.data() + c * ni;
+      for (std::size_t i = 0; i < ni; ++i) blk.y[i] -= wc[i] * xb;
+    }
+    for (std::size_t i = 0; i < ni; ++i) x_out[blk.interior[i]] = blk.y[i];
+  }
+  return SparseLuStatus::kOk;
+}
+
+SchurStats HierarchicalSolver::take_stats() {
+  const SchurStats out = stats_;
+  stats_ = SchurStats{};
+  return out;
+}
+
+double HierarchicalSolver::udiag_min_abs() const {
+  return interface_.empty() ? 0.0 : s_lu_.udiag_min_abs();
+}
+
+double HierarchicalSolver::udiag_max_abs() const {
+  return interface_.empty() ? 0.0 : s_lu_.udiag_max_abs();
+}
+
+std::size_t HierarchicalSolver::memory_bytes() const {
+  std::size_t bytes = partition_.block_of.capacity() * sizeof(std::int32_t) +
+                      interface_.capacity() * sizeof(std::uint32_t) +
+                      abb_map_.capacity() * sizeof(abb_map_[0]) +
+                      s_.memory_bytes() + s_lu_.memory_bytes() +
+                      (rb_.capacity() + dxb_.capacity()) * sizeof(double);
+  for (const Block& blk : blocks_) {
+    bytes += blk.interior.capacity() * sizeof(std::uint32_t) +
+             blk.boundary.capacity() * sizeof(std::uint32_t) +
+             blk.a.memory_bytes() +
+             blk.a_slots.capacity() * sizeof(std::size_t) +
+             (blk.a_ib.capacity() + blk.a_bi.capacity()) * sizeof(Coupling) +
+             blk.contrib_slots.capacity() * sizeof(std::size_t) +
+             blk.lu_symbolic.memory_bytes() +
+             (blk.r.capacity() + blk.y.capacity()) * sizeof(double);
+  }
+  for (const ConfigCache& cfg : configs_) {
+    bytes += cfg.s_base.capacity() * sizeof(double);
+    for (const BlockFactors& bf : cfg.blocks) {
+      bytes += bf.lu.memory_bytes() +
+               (bf.w.capacity() + bf.contrib.capacity()) * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace sks::esim

@@ -1,0 +1,208 @@
+// Hierarchical Schur-complement solves for big clock networks.
+//
+// A synthesized clock distribution network at 10k-100k MNA unknowns is
+// overwhelmingly *linear*: RC wire segments, with a sparse sprinkling of
+// nonlinear devices (repowering buffers, sensors) and the sources.  Inside
+// a Newton loop only the MOSFET gm/gds stamps change between iterations —
+// every resistor / capacitor-companion / gmin stamp is frozen per
+// (gmin, h, integration-method) template configuration.  The flat sparse
+// path still re-runs the numeric LU over ALL unknowns per iteration, and
+// its global minimum-degree ordering is quadratic in n — both become the
+// bill at scale.
+//
+// This header factors the structure out:
+//
+//  * `partition_linear_blocks` — a partitioning pass over the StampPlan
+//    pattern: the *interface* is every unknown a nonlinear device or a
+//    voltage source touches (MOSFET gate/drain/source rows+columns, vsource
+//    terminal nodes and branch-current rows); the connected components of
+//    the remaining unknowns are the linear RC subtree *blocks*.  On a
+//    buffered tree each block is the passive wiring between buffer stages,
+//    bounded by a handful of interface nodes (nested dissection with the
+//    separator chosen by device physics instead of graph heuristics).
+//
+//  * `HierarchicalSolver` — block elimination of J dx = r:
+//
+//        [ A_II  A_IB ] [dx_I]   [r_I]      I: block (linear) unknowns
+//        [ A_BI  A_BB ] [dx_B] = [r_B]      B: interface unknowns
+//
+//    Once per companion configuration (cached, LRU of two so the
+//    trapezoidal<->backward-Euler alternation around breakpoints does not
+//    thrash): factor each block A_kk with its own small `SparseLu`, compute
+//    W_k = A_kk^-1 A_kB and the block's Schur contribution
+//    -A_Bk W_k (a dense clique over the block's boundary).  Independent
+//    blocks are eliminated in parallel on the caller's work-stealing pool —
+//    every block owns its workspace, and all cross-block reductions are
+//    replayed serially in block order, so results are bit-identical at any
+//    thread count.
+//
+//    Per Newton iteration only the interface system is re-solved:
+//    S = A_BB + sum_k(contrib_k) picks the fresh MOSFET stamps straight out
+//    of the global values array, a numeric `refactor()` on S's frozen
+//    pivots (full factor on degeneracy, like the flat path), one small
+//    solve, then per-block back-substitution dx_I = y_k - W_k dx_B.  Zero
+//    linear-block factorizations in steady state — the
+//    `schur.block_factorizations` counter proves it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "esim/sparse.hpp"
+
+namespace sks::par {
+class ThreadPool;
+}
+
+namespace sks::esim {
+
+// Partition of the unknowns induced by an interface mask: block_of[u] is
+// -1 for interface unknowns and the block id for linear-block members.
+// Blocks are numbered in order of their smallest member, so the partition
+// is deterministic for a given pattern + mask.
+struct HierPartition {
+  std::vector<std::int32_t> block_of;
+  std::size_t block_count = 0;
+  std::size_t interface_count = 0;
+  std::size_t largest_block = 0;
+};
+
+// Connected components of the non-interface unknowns under the symmetrized
+// pattern (A + A^T).  Exposed for tests.
+HierPartition partition_linear_blocks(
+    const SparseMatrix& pattern, const std::vector<std::uint8_t>& interface_mask);
+
+// Identifies the (gmin, h, method) companion-model configuration the
+// linear stamps of the Jacobian were assembled from — the same key the
+// engine's stamp-template cache uses.  Block factors are reused while a
+// cached configuration matches exactly.
+struct SchurConfigKey {
+  double gmin = -1.0;
+  double h = -2.0;
+  bool trap = false;
+
+  bool operator==(const SchurConfigKey& o) const {
+    return gmin == o.gmin && h == o.h && trap == o.trap;
+  }
+};
+
+// Counters accumulated across solve() calls; the engine drains them into
+// its SolveStats (and from there the obs registry) via take_stats().
+struct SchurStats {
+  std::uint64_t block_factorizations = 0;  // per-block full LU factors
+                                           // (config refreshes only)
+  std::uint64_t interface_solves = 0;      // Schur-system solves (one per
+                                           // Newton iteration)
+  std::uint64_t interface_refactors = 0;   // numeric-only S refactors
+  std::uint64_t interface_factors = 0;     // full S factors (first + every
+                                           // degenerate-pivot fallback)
+};
+
+class HierarchicalSolver {
+ public:
+  // Partitioning heuristics: below this many interior unknowns — or when
+  // the interior is less than a third of the system — partitioning buys
+  // nothing over the flat sparse path and build() declines.
+  static constexpr std::size_t kMinInteriorUnknowns = 16;
+
+  // Symbolic phase, once per pattern: partition, per-block local patterns
+  // and orderings, coupling-entry slot maps, the Schur pattern and its
+  // ordering.  Returns false (and stays unbuilt) when the partition has no
+  // exploitable structure; the caller then keeps the flat sparse path.
+  bool build(const SparseMatrix& pattern,
+             const std::vector<std::uint8_t>& interface_mask,
+             par::ThreadPool* pool = nullptr);
+  bool built() const { return built_; }
+
+  // The pool used for parallel block elimination during configuration
+  // refreshes (nullptr = serial).  May be changed between solves.
+  void set_pool(par::ThreadPool* pool) { pool_ = pool; }
+
+  const HierPartition& partition() const { return partition_; }
+
+  // Solve a * x = b.  `a` must carry the pattern given to build(), with
+  // every linear stamp matching `key`'s template and the current MOSFET
+  // stamps added (exactly what the engine's assemble_sparse produces).
+  // kSingular when a block or the Schur complement is singular; never
+  // returns kPivotDegenerate (the internal refactor falls back itself).
+  SparseLuStatus solve(const SparseMatrix& a, const SchurConfigKey& key,
+                       const std::vector<double>& b,
+                       std::vector<double>& x_out);
+
+  // Drain the accumulated counters (returns the totals since the previous
+  // take_stats() and resets them).
+  SchurStats take_stats();
+
+  // |U| diagonal extrema of the current Schur factors, mirroring
+  // SparseLu's accessors for the diagnostics layer (0 when unbuilt or the
+  // interface is empty).
+  double udiag_min_abs() const;
+  double udiag_max_abs() const;
+
+  // Heap footprint of the partition, per-block factors across cached
+  // configurations, coupling maps and the Schur system, for mem.schur_bytes.
+  std::size_t memory_bytes() const;
+
+ private:
+  // One coupling entry between a block and its boundary: local row/col
+  // plus the slot in the *global* values array it reads from.
+  struct Coupling {
+    std::uint32_t local;     // interior-local index
+    std::uint32_t boundary;  // index into Block::boundary
+    std::size_t slot;        // global values slot
+  };
+
+  struct Block {
+    std::vector<std::uint32_t> interior;  // global unknown ids, ascending
+    std::vector<std::uint32_t> boundary;  // interface-local ids, ascending
+    SparseMatrix a;                       // local pattern (values = scratch)
+    std::vector<std::size_t> a_slots;     // global slot per local a entry
+    std::vector<Coupling> a_ib;           // A_IB entries (rows interior)
+    std::vector<Coupling> a_bi;           // A_BI entries (rows boundary)
+    std::vector<std::size_t> contrib_slots;  // boundary^2 -> Schur slot
+    SparseLu lu_symbolic;                 // analyzed once, copied per config
+    // Per-iteration workspace (owned per block so parallel elimination and
+    // the serial solve phases never share scratch).
+    std::vector<double> r, y;
+  };
+
+  // Numeric state for one companion configuration.
+  struct BlockFactors {
+    SparseLu lu;
+    std::vector<double> w;        // |interior| x |boundary|, column-major
+    std::vector<double> contrib;  // |boundary| x |boundary|, column-major
+  };
+  struct ConfigCache {
+    SchurConfigKey key;
+    bool valid = false;
+    std::uint64_t stamp = 0;  // LRU clock
+    std::vector<BlockFactors> blocks;
+    std::vector<double> s_base;  // summed block contributions, Schur slots
+  };
+
+  ConfigCache& config_for(const SparseMatrix& a, const SchurConfigKey& key,
+                          SparseLuStatus& status);
+  SparseLuStatus refresh_config(const SparseMatrix& a, ConfigCache& cfg);
+  // Eliminate one block for `cfg` from the global values of `a`.  Returns
+  // kOk or kSingular; safe to run concurrently across distinct blocks.
+  SparseLuStatus eliminate_block(const SparseMatrix& a, std::size_t k,
+                                 ConfigCache& cfg);
+
+  bool built_ = false;
+  par::ThreadPool* pool_ = nullptr;
+  HierPartition partition_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint32_t> interface_;  // interface-local -> global id
+  SparseMatrix s_;                        // Schur pattern over the interface
+  std::vector<std::pair<std::size_t, std::size_t>> abb_map_;  // global -> S
+  SparseLu s_lu_;
+  // Two cached configurations: current + previous, so the BE step after
+  // every breakpoint does not evict the trapezoidal block factors.
+  ConfigCache configs_[2];
+  std::uint64_t lru_clock_ = 0;
+  SchurStats stats_;
+  std::vector<double> rb_, dxb_;  // interface staging / solution
+};
+
+}  // namespace sks::esim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace sks::esim {
 
 SparseMatrix::SparseMatrix(
@@ -89,6 +91,55 @@ std::vector<std::uint32_t> min_degree_order(const SparseMatrix& a) {
     adj[v].shrink_to_fit();
   }
   return order;
+}
+
+std::size_t symbolic_fill(const SparseMatrix& a,
+                          const std::vector<std::uint32_t>& order) {
+  const std::size_t n = a.size();
+  sks::check(order.size() == n, "symbolic_fill: order has ", order.size(),
+             " entries for an n = ", n, " pattern");
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t idx = a.col_ptr()[c]; idx < a.col_ptr()[c + 1]; ++idx) {
+      const std::uint32_t r = a.row()[idx];
+      if (r == c) continue;
+      adj[r].push_back(static_cast<std::uint32_t>(c));
+      adj[c].push_back(r);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  // Same elimination as min_degree_order, with the pivot dictated by
+  // `order`; the lists hold live vertices only, so each clique merge counts
+  // every new edge once per endpoint.
+  std::vector<bool> alive(n, true);
+  std::size_t endpoint_fills = 0;
+  std::vector<std::uint32_t> neighbors, merged;
+  for (const std::uint32_t v : order) {
+    sks::check(v < n && alive[v],
+               "symbolic_fill: order is not a permutation of 0..n-1");
+    alive[v] = false;
+    neighbors = adj[v];
+    for (const std::uint32_t u : neighbors) {
+      merged.clear();
+      std::set_union(adj[u].begin(), adj[u].end(), neighbors.begin(),
+                     neighbors.end(), std::back_inserter(merged));
+      merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                  [&](std::uint32_t w) {
+                                    return w == u || !alive[w];
+                                  }),
+                   merged.end());
+      // adj[u] loses v (just died) and gains the new clique edges.
+      endpoint_fills += merged.size() - (adj[u].size() - 1);
+      adj[u] = merged;
+    }
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+  }
+  return endpoint_fills / 2;
 }
 
 void SparseLu::analyze(const SparseMatrix& a) {

@@ -88,6 +88,14 @@ class SparseMatrix {
 // tie-breaking, so the order is deterministic.  Exposed for tests.
 std::vector<std::uint32_t> min_degree_order(const SparseMatrix& a);
 
+// Structural fill of symbolically eliminating the symmetrized pattern in
+// the given order: the number of new off-diagonal (undirected) adjacencies
+// created.  `order` must be a permutation of 0..n-1 (throws sks::Error
+// otherwise).  This is the quantity min_degree_order minimizes greedily;
+// exposed so tests can compare orderings without running a numeric factor.
+std::size_t symbolic_fill(const SparseMatrix& a,
+                          const std::vector<std::uint32_t>& order);
+
 enum class SparseLuStatus {
   kOk,
   kSingular,         // no acceptable pivot (|pivot| < 1e-30): matrix singular

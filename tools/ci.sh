@@ -248,6 +248,29 @@ else
       --attribute-with "$SKS_REPORT"
 fi
 
+echo "=== bigtree scaling curve artifact ==="
+# Fold the hierarchical-vs-flat wall-time-vs-size curve (and the Schur
+# working-set bytes) out of the gate run's report into one CSV; CI uploads
+# it next to bench/history.jsonl so the scaling trend is a downloadable
+# artifact without parsing the full report.
+python3 - "$BENCH_DIR/BENCH_perf_micro.json" \
+    > "$BENCH_DIR/bigtree_scaling.csv" <<'EOF'
+import json, sys
+values = json.load(open(sys.argv[1]))["values"]
+print("levels,unknowns_approx,hier_wall_s,sparse_wall_s,schur_bytes")
+for lv, n in ((4, 2076), (5, 8732), (6, 33308), (7, 139804)):
+    hier = values.get(f"solver.bigtree_l{lv}_hier_wall_s")
+    flat = values.get(f"solver.bigtree_l{lv}_sparse_wall_s")
+    mem = values.get(f"mem.bigtree_l{lv}_schur_bytes")
+    assert hier is not None, f"report lacks the level-{lv} hier wall time"
+    row = [str(lv), str(n), f"{hier:.6f}",
+           "" if flat is None else f"{flat:.6f}",
+           "" if mem is None else f"{mem:.0f}"]
+    print(",".join(row))
+EOF
+cat "$BENCH_DIR/bigtree_scaling.csv"
+echo "ok: $BENCH_DIR/bigtree_scaling.csv"
+
 echo "=== bench history append ==="
 # Every bench pass that reaches this point appends its perf_micro report to
 # the running history log; CI uploads bench/history.jsonl as an artifact so
@@ -261,7 +284,10 @@ if [ "$RUN_ASAN" = 1 ]; then
   echo "=== ASan+UBSan build + tests ==="
   cmake --preset asan
   cmake --build build-asan -j "$JOBS"
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  # -LE slow: the soak suites (integration, bigtree scaling) take minutes
+  # under sanitizer instrumentation; the default job above ran them
+  # uninstrumented.  Same policy as the tsan preset.
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -LE slow
 fi
 
 if [ "$RUN_TSAN" = 1 ]; then

@@ -125,9 +125,18 @@ void print_report(const std::string& path, std::size_t top = 0) {
   for (const char* section : {"values", "counters", "gauges"}) {
     const auto rows = number_section(doc, section);
     if (rows.empty()) continue;
+    // Key column sized to the longest name so long keys (the per-size
+    // fixed.bigtree_* counter windows, the schur.* family) keep the value
+    // column aligned instead of overflowing a hard-coded width.
+    std::size_t width = 0;
+    for (const auto& [key, value] : rows) {
+      (void)value;
+      width = std::max(width, key.size());
+    }
     std::cout << "  " << section << ":\n";
     for (const auto& [key, value] : rows) {
-      std::cout << "    " << key << " = " << fmt(value) << "\n";
+      std::printf("    %-*s = %s\n", static_cast<int>(width), key.c_str(),
+                  fmt(value).c_str());
     }
   }
   const auto timers = timer_section(doc);
@@ -438,8 +447,9 @@ int explain_bundle(const std::string& bundle_dir) {
 sks::esim::SolverMode parse_solver_mode(const std::string& name) {
   if (name == "dense") return sks::esim::SolverMode::kDense;
   if (name == "sparse") return sks::esim::SolverMode::kSparse;
+  if (name == "hierarchical") return sks::esim::SolverMode::kHierarchical;
   sks::check(name == "auto", "unknown solver mode '", name,
-             "' (use dense/sparse/auto)");
+             "' (use dense/sparse/hierarchical/auto)");
   return sks::esim::SolverMode::kAuto;
 }
 
@@ -857,23 +867,40 @@ int history_command(const std::string& jsonl_path,
   constexpr std::size_t kMaxColumns = 6;
   const std::size_t first =
       entries.size() > kMaxColumns ? entries.size() - kMaxColumns : 0;
+  // Metric column sized to the longest key in the latest entry (36 min):
+  // the folded fixed.bigtree_* counter names run past 40 characters and
+  // must not shear the run columns out of alignment.
+  std::size_t key_width = 36;
+  std::size_t val_width = 12;
+  for (const auto& [key, latest] : entries.back().second) {
+    key_width = std::max(key_width, key.size());
+    for (std::size_t c = first; c < entries.size(); ++c) {
+      const auto it = entries[c].second.find(key);
+      if (it != entries[c].second.end()) {
+        val_width = std::max(val_width, fmt(it->second).size());
+      }
+    }
+    (void)latest;
+  }
+  const int kw = static_cast<int>(key_width);
+  const int vw = static_cast<int>(val_width);
   std::cout << "history " << jsonl_path << " (" << entries.size()
             << " entries, showing last " << entries.size() - first
             << "; p50/p99 over all)\n";
-  std::printf("  %-36s", "metric");
+  std::printf("  %-*s", kw, "metric");
   for (std::size_t c = first; c < entries.size(); ++c) {
-    std::printf(" %12s", ("run " + std::to_string(c + 1)).c_str());
+    std::printf(" %*s", vw, ("run " + std::to_string(c + 1)).c_str());
   }
-  std::printf(" %12s %12s\n", "p50", "p99");
+  std::printf(" %*s %*s\n", vw, "p50", vw, "p99");
   for (const auto& [key, latest] : entries.back().second) {
     (void)latest;
-    std::printf("  %-36s", key.c_str());
+    std::printf("  %-*s", kw, key.c_str());
     for (std::size_t c = first; c < entries.size(); ++c) {
       const auto it = entries[c].second.find(key);
       if (it == entries[c].second.end()) {
-        std::printf(" %12s", "-");
+        std::printf(" %*s", vw, "-");
       } else {
-        std::printf(" %12s", fmt(it->second).c_str());
+        std::printf(" %*s", vw, fmt(it->second).c_str());
       }
     }
     sks::obs::stream::P2Quantile p50(0.50), p99(0.99);
@@ -885,7 +912,7 @@ int history_command(const std::string& jsonl_path,
         p99.add(it->second);
       }
     }
-    std::printf(" %12s %12s\n", fmt(p50.value()).c_str(),
+    std::printf(" %*s %*s\n", vw, fmt(p50.value()).c_str(), vw,
                 fmt(p99.value()).c_str());
   }
   return 0;
@@ -1121,7 +1148,8 @@ int usage() {
                "  sks-report explain BUNDLE_DIR\n"
                "  sks-report repro   BUNDLE_DIR\n"
                "  sks-report run     NETLIST.sp [--dc|--tran] "
-               "[--solver dense|sparse|auto] [--postmortem DIR]\n"
+               "[--solver dense|sparse|hierarchical|auto] "
+               "[--postmortem DIR]\n"
                "  sks-report history HISTORY.jsonl [REPORT.json...]\n"
                "  sks-report timeline TIMELINE.jsonl [B.jsonl]\n"
                "  sks-report tail    TIMELINE.jsonl [--follow]\n";
