@@ -1,15 +1,19 @@
 // Shared helpers for the figure/table reproduction binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "esim/batch.hpp"
 #include "esim/trace.hpp"
 #include "esim/vcd.hpp"
+#include "obs/expose.hpp"
 #include "obs/journal.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +56,52 @@ inline RunOutputs& run_outputs() {
   return outputs;
 }
 
+// Live exposition (--expose PORT or SKS_EXPOSE=PORT; port 0 = ephemeral):
+// start the obs::Exposer so the run can be scraped while it executes.
+// The bound port is printed (and flushed — ci.sh polls a redirected log
+// for it) as "[expose] serving ... on 127.0.0.1:<port>".  Failure to bind
+// warns and leaves the run otherwise untouched.
+inline void expose_init(long port) {
+  if (port < 0 || port > 65535) {
+    std::cerr << "[expose] ignoring out-of-range port " << port << "\n";
+    return;
+  }
+  const std::uint16_t bound =
+      obs::exposer().start(static_cast<std::uint16_t>(port));
+  if (bound != 0) {
+    std::cout << "[expose] serving /metrics /healthz /readyz on 127.0.0.1:"
+              << bound << std::endl;
+  }
+}
+
+// End-of-run hook, called by write_profile_report after the report is on
+// disk: hold the listener open so a scraper can take a final sample whose
+// counters match the just-written BENCH_*.json, then shut it down.
+// SKS_EXPOSE_LINGER_S bounds the wait (default 0 = stop immediately); the
+// wait ends early once one post-report /metrics scrape has landed.
+inline void expose_finish() {
+  if (!obs::exposer().enabled()) return;
+  const long linger_s =
+      std::getenv("SKS_EXPOSE_LINGER_S") == nullptr
+          ? 0
+          : std::atol(std::getenv("SKS_EXPOSE_LINGER_S"));
+  if (linger_s > 0) {
+    const std::uint64_t scrapes_before =
+        obs::registry().counter("obs.expose_scrapes").value();
+    std::cout << "[expose] report complete; lingering up to " << linger_s
+              << "s for a final scrape on 127.0.0.1:"
+              << obs::exposer().port() << std::endl;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(linger_s);
+    while (std::chrono::steady_clock::now() < deadline &&
+           obs::registry().counter("obs.expose_scrapes").value() ==
+               scrapes_before) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  obs::exposer().stop();
+}
+
 // Run telemetry: `--profile` on the command line (or SKS_PROFILE=1 in the
 // environment) turns on the obs layer — scoped timers and the solver event
 // journal — for the whole run; `write_profile_report()` then dumps a
@@ -78,8 +128,18 @@ inline RunOutputs& run_outputs() {
 // knobs.  `sks-report tail FILE` renders it live.
 inline bool profile_init(int argc, char** argv) {
   bool on = obs::enabled();  // SKS_PROFILE already honoured by the obs layer
+  // Live exposition: --expose PORT wins over SKS_EXPOSE=PORT; either
+  // starts the listener before the workload so mid-run scrapes see the
+  // campaign in flight.
+  long expose_port = -1;
+  if (const char* env = std::getenv("SKS_EXPOSE")) {
+    expose_port = std::atol(env);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) on = true;
+    if (std::strcmp(argv[i], "--expose") == 0 && i + 1 < argc) {
+      expose_port = std::atol(argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const long n = std::atol(argv[i + 1]);
       if (n > 0) par::set_default_threads(static_cast<std::size_t>(n));
@@ -104,6 +164,7 @@ inline bool profile_init(int argc, char** argv) {
     obs::set_enabled(true);
     obs::journal().set_enabled(true);
   }
+  if (expose_port >= 0) expose_init(expose_port);
   return on;
 }
 
@@ -132,6 +193,15 @@ inline void write_profile_report(const std::string& name) {
     obs::Report report(name);
     report.set_meta("bench", name);
     report.set_meta("scale", std::to_string(scale()));
+    // Provenance: commit/compiler/host identify WHERE the numbers came
+    // from; threads and lane width identify the run shape — together they
+    // make a history.jsonl trend attributable (and let the sentinel's
+    // reader discount, say, a laptop run mixed into CI history).
+    report.capture_provenance();
+    report.set_meta("threads", std::to_string(par::default_threads()));
+    report.set_meta("lane_width",
+                    std::to_string(esim::resolve_batch_lanes(
+                        0, esim::kDefaultBatchLanes)));
     report.capture_registry();
     report.capture_journal();
     report.capture_trace();
@@ -151,9 +221,10 @@ inline void write_profile_report(const std::string& name) {
     }
     const std::string path = "BENCH_" + name + ".json";
     report.write_json(path);
-    std::cout << "\n[profile] run report written to " << path << "\n";
+    std::cout << "\n[profile] run report written to " << path << std::endl;
   }
   write_trace_report(name);
+  expose_finish();
 }
 
 // Waveform export for the figure benches; no-op unless --vcd-out /

@@ -269,6 +269,10 @@ FixedWorkload fixed_workload_counters() {
   obs::registry().counter("obs.timeline_snapshots");
   obs::registry().counter("obs.profile_builds");
   obs::registry().counter("obs.mem_gauge_updates");
+  // Exposition guard: gate runs never pass --expose, so the scrape counter
+  // must stay exactly zero — proof the live-metrics listener costs the
+  // solver nothing when it is not asked for.
+  obs::registry().counter("obs.expose_scrapes");
 
   const cell::Technology tech;
   {  // one transient sensor edge (the BM_TransientSensorEdge kernel)
@@ -441,7 +445,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg(argv[i]);
     if (arg == "--profile") continue;
-    if (arg == "--threads") {
+    if (arg == "--threads" || arg == "--expose") {
       if (i + 1 < argc) ++i;
       continue;
     }
@@ -467,6 +471,11 @@ int main(int argc, char** argv) {
   obs::record_mem_gauges();
   obs::Report report("perf_micro");
   report.set_meta("bench", "perf_micro");
+  report.capture_provenance();
+  report.set_meta("threads", std::to_string(par::default_threads()));
+  report.set_meta("lane_width",
+                  std::to_string(esim::resolve_batch_lanes(
+                      0, esim::kDefaultBatchLanes)));
   report.capture_registry();
   if (obs::enabled()) report.capture_journal();
   // A traced run (--trace-out / SKS_TRACE=1) also embeds the aggregated
@@ -480,6 +489,7 @@ int main(int argc, char** argv) {
     report.set_value(name, value);
   }
   report.write_json("BENCH_perf_micro.json");
-  std::cout << "perf counters written to BENCH_perf_micro.json\n";
+  std::cout << "perf counters written to BENCH_perf_micro.json" << std::endl;
+  bench::expose_finish();
   return 0;
 }

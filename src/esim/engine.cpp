@@ -13,6 +13,7 @@
 #include "esim/schur.hpp"
 #include "esim/sparse.hpp"
 #include "obs/diag.hpp"
+#include "obs/expose.hpp"
 #include "obs/journal.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
@@ -1023,6 +1024,7 @@ Simulator::DcSolution Simulator::dc_solution(
   static obs::TimerStat& dc_timer = obs::registry().timer("esim.dc_solution");
   obs::ScopedTimer timer(dc_timer);
   obs::Span span("esim.dc_solution");
+  obs::ScopedRunPhase phase(obs::RunPhase::kDc);
   std::vector<double> x(unknown_count(), 0.0);
   if (node_guess != nullptr) {
     sks::check(node_guess->size() == circuit_.node_count(),
@@ -1083,6 +1085,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
       obs::registry().timer("esim.run_transient");
   obs::ScopedTimer timer(transient_timer);
   obs::Span span("esim.run_transient");
+  obs::ScopedRunPhase phase(obs::RunPhase::kTransient);
   span.arg("t_end", options.t_end).arg("dt", options.dt);
 
   const std::size_t n_nodes = circuit_.node_count();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "esim/batch.hpp"
+#include "obs/expose.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -112,6 +113,7 @@ CampaignReport run_campaign(const esim::Circuit& good_circuit,
   const std::size_t threads =
       options.threads == 0 ? par::default_threads() : options.threads;
   obs::Span campaign_span("fault.run_campaign");
+  obs::ScopedRunPhase phase(obs::RunPhase::kCampaign);
   campaign_span.arg("faults", static_cast<double>(universe.size()))
       .arg("threads", static_cast<double>(threads));
   const obs::Stopwatch good_wall;

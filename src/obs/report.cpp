@@ -1,8 +1,12 @@
 #include "obs/report.hpp"
 
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "obs/buildinfo.hpp"
 #include "obs/json.hpp"
 #include "util/error.hpp"
 
@@ -26,6 +30,21 @@ void Report::set_value(const std::string& key, double value) {
     }
   }
   values_.emplace_back(key, value);
+}
+
+void Report::capture_provenance() {
+  set_meta("git_sha", buildinfo::kGitSha);
+  set_meta("git_dirty", buildinfo::kGitDirty ? "true" : "false");
+  set_meta("compiler", buildinfo::kCompiler);
+  set_meta("build_type", buildinfo::kBuildType);
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    set_meta("hostname", host);
+  } else {
+    set_meta("hostname", "unknown");
+  }
+  set_meta("hw_threads",
+           std::to_string(std::thread::hardware_concurrency()));
 }
 
 void Report::capture_registry(const Registry& reg) {

@@ -57,6 +57,12 @@ class Report {
   void set_meta(const std::string& key, const std::string& value);
   void set_value(const std::string& key, double value);
 
+  // Build/host provenance into `meta`: git SHA + dirty flag, compiler and
+  // build type (baked at configure time, see obs/buildinfo.hpp.in),
+  // hostname and hardware thread count.  Callers layer run-shape keys
+  // (threads, lane width) on top via set_meta.
+  void capture_provenance();
+
   // Snapshot every metric currently in the registry / journal.  `max_events`
   // bounds the embedded journal tail; counts cover the whole (bounded)
   // journal.

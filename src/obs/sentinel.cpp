@@ -1,0 +1,72 @@
+#include "obs/sentinel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks::obs {
+
+const char* to_string(SentinelVerdict verdict) {
+  switch (verdict) {
+    case SentinelVerdict::kOk:
+      return "ok";
+    case SentinelVerdict::kDrift:
+      return "drift";
+    case SentinelVerdict::kStep:
+      return "step";
+  }
+  return "ok";
+}
+
+SentinelFinding sentinel_check(const std::string& metric,
+                               const std::vector<double>& series,
+                               const SentinelOptions& opt) {
+  SentinelFinding f;
+  f.metric = metric;
+  f.runs = series.size();
+  if (!series.empty()) f.value = series.back();
+  const std::size_t warmup = std::max<std::size_t>(opt.warmup, 2);
+  if (series.size() <= warmup) return f;  // no baseline yet — stay quiet
+
+  // Baseline moments over the warm-up window.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < warmup; ++i) mean += series[i];
+  mean /= static_cast<double>(warmup);
+  double var = 0.0;
+  for (std::size_t i = 0; i < warmup; ++i) {
+    const double d = series[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(warmup - 1);
+  double sigma = std::sqrt(var);
+  sigma = std::max(sigma, std::max(opt.sigma_floor_rel * std::fabs(mean),
+                                   opt.sigma_floor_abs));
+
+  const double lambda = std::clamp(opt.lambda, 1e-6, 1.0);
+  const double sigma_z = sigma * std::sqrt(lambda / (2.0 - lambda));
+
+  // EWMA from the end of the warm-up window; z_prev going into the last
+  // observation feeds the step rule.
+  double z = mean;
+  double z_prev = mean;
+  for (std::size_t i = warmup; i < series.size(); ++i) {
+    z_prev = z;
+    z = lambda * series[i] + (1.0 - lambda) * z;
+  }
+
+  f.baseline_mean = mean;
+  f.baseline_sigma = sigma;
+  f.ewma = z;
+  f.band_lo = mean - opt.k * sigma_z;
+  f.band_hi = mean + opt.k * sigma_z;
+
+  const bool step = std::fabs(series.back() - z_prev) > opt.k * sigma;
+  const bool drift = z < f.band_lo || z > f.band_hi;
+  if (step) {
+    f.verdict = SentinelVerdict::kStep;
+  } else if (drift) {
+    f.verdict = SentinelVerdict::kDrift;
+  }
+  return f;
+}
+
+}  // namespace sks::obs

@@ -1,0 +1,73 @@
+// Bench-history regression sentinel: EWMA control charts over the
+// per-metric series in bench/history.jsonl.
+//
+// The hard gate (tools/bench_gate.py) pins each metric inside a fixed
+// window — it catches a 2x wall-time blowup but is blind to a slow leak
+// that moves 2% per PR and stays inside the window for ten merges.  The
+// sentinel watches the *trend*: for each metric series x_1..x_n it takes
+// the first `warmup` runs as the baseline (mean μ0, stddev σ0, with a
+// relative floor so a bit-identical deterministic counter series doesn't
+// produce a zero-width band), then runs the EWMA
+//
+//     z_t = λ·x_t + (1−λ)·z_{t−1},   z_warmup = μ0
+//
+// and flags two conditions, most recent run last:
+//
+//  * STEP  — the newest observation jumped: |x_n − z_{n−1}| > k·σ0.
+//            One bad commit, visible immediately.
+//  * DRIFT — the smoothed level left the control band:
+//            |z_n − μ0| > k·σ0·sqrt(λ/(2−λ)).  The EWMA variance factor
+//            sqrt(λ/(2−λ)) makes the band much tighter than ±k·σ0, which
+//            is exactly what catches consistent small moves the Shewhart
+//            rule never would.
+//
+// STEP takes precedence when both fire (the step explains the drift).
+// Series no longer than `warmup` return kOk — the chart has no baseline
+// yet, so a young history (like the checked-in seed) stays quiet.
+//
+// Defaults λ=0.2, k=3 are the textbook EWMA-chart operating point
+// (Lucas & Saccucci 1990): ~steady-state ARL₀ of a 3σ Shewhart chart,
+// with good sensitivity to 0.5–1σ sustained shifts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sks::obs {
+
+struct SentinelOptions {
+  double lambda = 0.2;    // EWMA smoothing weight, 0 < λ <= 1
+  double k = 3.0;         // control-band half-width in baseline σ units
+  std::size_t warmup = 5; // runs that form the baseline (μ0, σ0)
+  // σ0 floor: max(sigma_floor_rel·|μ0|, sigma_floor_abs).  Deterministic
+  // counters repeat exactly (σ0 = 0); without a floor any 1-count move
+  // would flag.  1% relative means "flag when a deterministic metric
+  // moves ≳3% or a noisy one leaves its own 3σ band".
+  double sigma_floor_rel = 0.01;
+  double sigma_floor_abs = 1e-12;
+};
+
+enum class SentinelVerdict { kOk, kDrift, kStep };
+
+const char* to_string(SentinelVerdict verdict);
+
+struct SentinelFinding {
+  std::string metric;
+  SentinelVerdict verdict = SentinelVerdict::kOk;
+  std::size_t runs = 0;          // series length
+  double value = 0.0;            // newest observation x_n
+  double baseline_mean = 0.0;    // μ0
+  double baseline_sigma = 0.0;   // σ0 after the floor
+  double ewma = 0.0;             // z_n
+  double band_lo = 0.0;          // μ0 − k·σ_z  (drift band)
+  double band_hi = 0.0;          // μ0 + k·σ_z
+};
+
+// Run the chart over one metric's series (oldest first).  Pure function;
+// the CLI layer (sks-report sentinel) owns file parsing and formatting.
+SentinelFinding sentinel_check(const std::string& metric,
+                               const std::vector<double>& series,
+                               const SentinelOptions& opt = {});
+
+}  // namespace sks::obs

@@ -1,0 +1,145 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sks::util::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+// Wait until `fd` is ready for `events` (POLLIN/POLLOUT); false on
+// timeout or poll error.  EINTR retries within the same budget — close
+// enough for a diagnostics listener.
+bool wait_ready(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return (p.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                  std::string* error) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_string("bind");
+    return Socket();
+  }
+  if (::listen(s.fd(), 16) != 0) {
+    if (error != nullptr) *error = errno_string("listen");
+    return Socket();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      if (error != nullptr) *error = errno_string("getsockname");
+      return Socket();
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return s;
+}
+
+Socket accept_tcp(const Socket& listener, int timeout_ms) {
+  if (!listener.valid()) return Socket();
+  if (!wait_ready(listener.fd(), POLLIN, timeout_ms)) return Socket();
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  return Socket(fd);
+}
+
+Socket connect_tcp(std::uint16_t port, int timeout_ms, std::string* error) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return Socket();
+  }
+  sockaddr_in addr = loopback_addr(port);
+  // Loopback connects complete essentially immediately, but keep the
+  // timeout honest: connect non-blocking style would add complexity for
+  // no observable benefit on 127.0.0.1, so rely on the kernel default and
+  // verify writability within the budget afterwards.
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_string("connect");
+    return Socket();
+  }
+  if (!wait_ready(s.fd(), POLLOUT, timeout_ms)) {
+    if (error != nullptr) *error = "connect: not writable within timeout";
+    return Socket();
+  }
+  return s;
+}
+
+bool send_all(const Socket& s, const char* data, std::size_t size) {
+  if (!s.valid()) return false;
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE
+    // the bench process the exposer is embedded in.
+    const ssize_t n =
+        ::send(s.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string recv_some(const Socket& s, std::size_t max_bytes, int timeout_ms) {
+  if (!s.valid() || max_bytes == 0) return {};
+  if (!wait_ready(s.fd(), POLLIN, timeout_ms)) return {};
+  std::string buf(max_bytes, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(s.fd(), buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return {};
+    buf.resize(static_cast<std::size_t>(n));
+    return buf;
+  }
+}
+
+}  // namespace sks::util::net

@@ -1,0 +1,76 @@
+// Minimal blocking TCP helpers for the obs exposition listener (and, down
+// the road, the sks-serve daemon): a move-only RAII fd wrapper plus
+// listen / accept / connect / send / recv free functions.
+//
+// Scope is deliberately tiny — loopback-only listeners, blocking sockets
+// with poll()-based timeouts, no TLS, no address resolution beyond
+// 127.0.0.1.  The exposition server is a diagnostics side-channel, not a
+// traffic plane; keeping this layer boring means the single-threaded
+// accept loop in obs::Exposer is auditable at a glance.
+//
+// Error reporting: the listen/connect entry points return an invalid
+// Socket and fill *error instead of throwing, because the exposer must
+// degrade to "disabled with a warning" rather than kill a running bench
+// when a port is taken.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sks::util::net {
+
+// Move-only owner of a file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1:`port` (port 0 = kernel-assigned
+// ephemeral port).  On success *bound_port holds the actual port; on
+// failure the returned Socket is invalid and *error describes why.
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                  std::string* error);
+
+// One accepted connection, or an invalid Socket when `timeout_ms` elapsed
+// (or the listener failed) — the caller's accept loop distinguishes the
+// two by polling a stop flag between calls.
+Socket accept_tcp(const Socket& listener, int timeout_ms);
+
+// Blocking loopback connect with a poll() timeout (test clients and the
+// ci.sh scrape helper path).  Invalid Socket + *error on failure.
+Socket connect_tcp(std::uint16_t port, int timeout_ms, std::string* error);
+
+// Write the whole buffer; false on any error (EPIPE included — SIGPIPE is
+// suppressed per-call).
+bool send_all(const Socket& s, const char* data, std::size_t size);
+inline bool send_all(const Socket& s, const std::string& data) {
+  return send_all(s, data.data(), data.size());
+}
+
+// One recv() of at most `max_bytes`, waiting up to `timeout_ms` for
+// readability.  Empty string on timeout, peer close, or error.
+std::string recv_some(const Socket& s, std::size_t max_bytes, int timeout_ms);
+
+}  // namespace sks::util::net

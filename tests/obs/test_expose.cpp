@@ -1,0 +1,332 @@
+// Live exposition plane: Prometheus text rendering, run-phase probes, the
+// HTTP listener end-to-end over loopback, and registry scrapes under
+// write contention.  Fixture names start with ObsExpose so the tsan test
+// preset picks the contention suites up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expose.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+using sks::obs::Journal;
+using sks::obs::Registry;
+using sks::obs::render_prometheus;
+using sks::obs::RunPhase;
+using sks::obs::ScopedRunPhase;
+using sks::obs::Tracer;
+
+// Validate one exposition body line by line: every line is a comment or a
+// `name[{quantile="q"}] value` sample with a legal metric name and a
+// parseable value.  Returns the plain (label-free) samples.
+std::map<std::string, double> parse_exposition(const std::string& body) {
+  std::map<std::string, double> samples;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "no value in: " << line;
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::size_t brace = name.find('{');
+    bool labeled = false;
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << "unterminated labels in: " << line;
+      labeled = true;
+      name.resize(brace);
+    }
+    EXPECT_FALSE(name.empty()) << "empty metric name in: " << line;
+    if (name.empty()) continue;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "illegal character '" << c << "' in: " << line;
+    }
+    EXPECT_FALSE(name[0] >= '0' && name[0] <= '9')
+        << "name starts with a digit: " << line;
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    if (!labeled) samples[name] = v;
+  }
+  return samples;
+}
+
+TEST(ObsExposeName, SanitizesToPrometheusCharset) {
+  EXPECT_EQ(sks::obs::prometheus_name("solver.lu_refactor"),
+            "solver_lu_refactor");
+  EXPECT_EQ(sks::obs::prometheus_name("mem.peak-rss[kb]"),
+            "mem_peak_rss_kb_");
+  EXPECT_EQ(sks::obs::prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(sks::obs::prometheus_name(""), "_");
+}
+
+TEST(ObsExposeRender, TypesQuantilesAndSums) {
+  Registry reg;
+  reg.counter("esim.nr_iterations").inc(42);
+  reg.gauge("mem.peak_rss_bytes").set(1.5e6);
+  reg.timer("esim.dc_solution").record_ns(2'000'000);
+  reg.timer("esim.dc_solution").record_ns(4'000'000);
+  for (int i = 1; i <= 100; ++i) {
+    reg.stream("mc.vmin").record(static_cast<double>(i));
+  }
+  Journal j;
+  Tracer t;
+  const std::string body = render_prometheus(reg, j, t);
+  const auto samples = parse_exposition(body);
+
+  EXPECT_NE(body.find("# TYPE esim_nr_iterations counter\n"),
+            std::string::npos);
+  EXPECT_EQ(samples.at("esim_nr_iterations"), 42.0);
+  EXPECT_NE(body.find("# TYPE mem_peak_rss_bytes gauge\n"),
+            std::string::npos);
+  EXPECT_EQ(samples.at("mem_peak_rss_bytes"), 1.5e6);
+
+  // Timers render as a quantile-less summary: _sum (seconds) + _count.
+  EXPECT_NE(body.find("# TYPE esim_dc_solution summary\n"),
+            std::string::npos);
+  EXPECT_NEAR(samples.at("esim_dc_solution_sum"), 6e-3, 1e-12);
+  EXPECT_EQ(samples.at("esim_dc_solution_count"), 2.0);
+  EXPECT_EQ(body.find("esim_dc_solution{quantile"), std::string::npos);
+
+  // Streams carry the P2 quantiles.
+  EXPECT_NE(body.find("mc_vmin{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(body.find("mc_vmin{quantile=\"0.9\"} "), std::string::npos);
+  EXPECT_NE(body.find("mc_vmin{quantile=\"0.99\"} "), std::string::npos);
+  EXPECT_EQ(samples.at("mc_vmin_count"), 100.0);
+  EXPECT_NEAR(samples.at("mc_vmin_sum"), 5050.0, 1e-6);
+
+  // Synthesized gauges are always present; no drops -> no warning line.
+  EXPECT_EQ(samples.at("obs_run_phase"),
+            static_cast<double>(static_cast<int>(RunPhase::kIdle)));
+  EXPECT_EQ(samples.at("obs_journal_dropped"), 0.0);
+  EXPECT_EQ(samples.at("obs_trace_dropped"), 0.0);
+  EXPECT_EQ(body.find("# DROPS"), std::string::npos);
+}
+
+TEST(ObsExposeRender, DropSaturationSurfacesAsGaugesAndWarning) {
+  Registry reg;
+  Journal j(2);
+  j.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    j.record({sks::obs::EventType::kWarning, 0.0, 0.0, 0, "overflow"});
+  }
+  Tracer t;
+  t.set_buffer_capacity(1);
+  t.set_enabled(true);
+  t.thread_buffer()->push({'i', "a", 0, 0, {}});
+  t.thread_buffer()->push({'i', "b", 0, 0, {}});
+  t.thread_buffer()->push({'i', "c", 0, 0, {}});
+
+  const std::string body = render_prometheus(reg, j, t);
+  const auto samples = parse_exposition(body);
+  EXPECT_EQ(samples.at("obs_journal_dropped"), 3.0);
+  EXPECT_EQ(samples.at("obs_trace_dropped"), 2.0);
+  // The warning comment leads the body so a scraper can cheaply grep it.
+  EXPECT_EQ(body.rfind("# DROPS journal=3 trace=2\n", 0), 0u);
+}
+
+TEST(ObsExposeRunPhase, OutermostScopeWinsAndRestoresIdle) {
+  EXPECT_EQ(sks::obs::run_phase(), RunPhase::kIdle);
+  {
+    ScopedRunPhase campaign(RunPhase::kCampaign);
+    EXPECT_EQ(sks::obs::run_phase(), RunPhase::kCampaign);
+    {
+      // A campaign's inner transient/dc solves must not flip the probe.
+      ScopedRunPhase transient(RunPhase::kTransient);
+      EXPECT_EQ(sks::obs::run_phase(), RunPhase::kCampaign);
+      ScopedRunPhase dc(RunPhase::kDc);
+      EXPECT_EQ(sks::obs::run_phase(), RunPhase::kCampaign);
+    }
+    EXPECT_EQ(sks::obs::run_phase(), RunPhase::kCampaign);
+  }
+  EXPECT_EQ(sks::obs::run_phase(), RunPhase::kIdle);
+  EXPECT_STREQ(sks::obs::to_string(RunPhase::kDc), "dc");
+  EXPECT_STREQ(sks::obs::to_string(RunPhase::kTransient), "transient");
+  EXPECT_STREQ(sks::obs::to_string(RunPhase::kCampaign), "campaign");
+}
+
+// One blocking HTTP/1.0 round trip against a live Exposer.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  std::string error;
+  sks::util::net::Socket conn =
+      sks::util::net::connect_tcp(port, 2000, &error);
+  EXPECT_TRUE(conn.valid()) << error;
+  if (!conn.valid()) return {};
+  EXPECT_TRUE(sks::util::net::send_all(
+      conn, "GET " + path + " HTTP/1.0\r\n\r\n"));
+  std::string response;
+  for (;;) {
+    const std::string chunk = sks::util::net::recv_some(conn, 65536, 2000);
+    if (chunk.empty()) break;  // peer closed (HTTP/1.0 Connection: close)
+    response += chunk;
+  }
+  return response;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+TEST(ObsExposeHttp, ServesMetricsHealthAndReadiness) {
+  sks::obs::Exposer exposer;
+  const std::uint16_t port = exposer.start(0);
+  ASSERT_NE(port, 0) << "could not bind an ephemeral loopback port";
+  EXPECT_TRUE(exposer.enabled());
+
+  const std::uint64_t scrapes_before =
+      sks::obs::registry().counter("obs.expose_scrapes").value();
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const auto samples = parse_exposition(http_body(metrics));
+  EXPECT_TRUE(samples.count("obs_run_phase"));
+  // The scrape counted itself (bumped before rendering), so the body the
+  // client is holding already includes this scrape.
+  EXPECT_GE(samples.at("obs_expose_scrapes"),
+            static_cast<double>(scrapes_before + 1));
+  EXPECT_EQ(sks::obs::registry().counter("obs.expose_scrapes").value(),
+            scrapes_before + 1);
+
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  const std::string ready_idle = http_get(port, "/readyz");
+  EXPECT_NE(ready_idle.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(http_body(ready_idle), "phase=idle\n");
+  {
+    ScopedRunPhase campaign(RunPhase::kCampaign);
+    const std::string ready_busy = http_get(port, "/readyz");
+    EXPECT_NE(ready_busy.find("HTTP/1.0 503"), std::string::npos);
+    EXPECT_EQ(http_body(ready_busy), "phase=campaign\n");
+  }
+
+  const std::string missing = http_get(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  // A query string is stripped, not 404'd (cache-busting scrapers).
+  const std::string busted = http_get(port, "/healthz?x=1");
+  EXPECT_NE(busted.find("HTTP/1.0 200 OK"), std::string::npos);
+
+  exposer.stop();
+  EXPECT_FALSE(exposer.enabled());
+  // Idempotent stop, restartable exposer.
+  exposer.stop();
+  const std::uint16_t port2 = exposer.start(0);
+  ASSERT_NE(port2, 0);
+  EXPECT_NE(http_get(port2, "/healthz").find("200 OK"), std::string::npos);
+  exposer.stop();
+}
+
+// 8-thread hammer: 4 writers update counters/timers/streams in a local
+// registry while 4 scrapers render it; every scrape must parse and each
+// scraper must see its counter monotonically non-decreasing.
+TEST(ObsExposeContention, ScrapesParseAndCountersAreMonotoneUnderWrites) {
+  Registry reg;
+  Journal j;
+  Tracer t;
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 4;
+  constexpr int kWrites = 4000;
+  constexpr int kScrapes = 60;
+  // Pre-create so the first scrape already sees every series.
+  for (int w = 0; w < kWriters; ++w) {
+    reg.counter("hammer.c" + std::to_string(w));
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&reg, &go, w] {
+      while (!go.load(std::memory_order_acquire)) {}
+      auto& c = reg.counter("hammer.c" + std::to_string(w));
+      auto& timer = reg.timer("hammer.t" + std::to_string(w));
+      auto& stream = reg.stream("hammer.s" + std::to_string(w));
+      for (int i = 1; i <= kWrites; ++i) {
+        c.inc();
+        timer.record_ns(static_cast<std::uint64_t>(i));
+        stream.record(static_cast<double>(i % 97));
+      }
+    });
+  }
+  std::vector<std::string> failures(kScrapers);
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([&reg, &j, &t, &go, &failures, s] {
+      while (!go.load(std::memory_order_acquire)) {}
+      double last[kWriters] = {0, 0, 0, 0};
+      for (int i = 0; i < kScrapes; ++i) {
+        const std::string body = render_prometheus(reg, j, t);
+        // EXPECT_* is not thread-safe; collect and assert on the main
+        // thread instead.
+        std::map<std::string, double> samples;
+        std::istringstream in(body);
+        std::string line;
+        while (std::getline(in, line)) {
+          if (line.empty()) {
+            failures[s] = "blank line in scrape";
+            return;
+          }
+          if (line[0] == '#') continue;
+          const std::size_t space = line.rfind(' ');
+          char* end = nullptr;
+          std::strtod(line.c_str() + space + 1, &end);
+          if (space == std::string::npos || *end != '\0') {
+            failures[s] = "unparseable line: " + line;
+            return;
+          }
+          if (line.find('{') == std::string::npos) {
+            samples[line.substr(0, space)] =
+                std::strtod(line.c_str() + space + 1, nullptr);
+          }
+        }
+        for (int w = 0; w < kWriters; ++w) {
+          const auto it = samples.find("hammer_c" + std::to_string(w));
+          if (it == samples.end()) {
+            failures[s] = "hammer_c" + std::to_string(w) + " missing";
+            return;
+          }
+          if (it->second < last[w]) {
+            failures[s] = "counter went backwards: hammer_c" +
+                          std::to_string(w);
+            return;
+          }
+          last[w] = it->second;
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  for (int s = 0; s < kScrapers; ++s) {
+    EXPECT_EQ(failures[s], "") << "scraper " << s;
+  }
+  // Writers quiesced: the final render carries exact totals.
+  const auto samples = parse_exposition(render_prometheus(reg, j, t));
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(samples.at("hammer_c" + std::to_string(w)),
+              static_cast<double>(kWrites));
+    EXPECT_EQ(samples.at("hammer_t" + std::to_string(w) + "_count"),
+              static_cast<double>(kWrites));
+    EXPECT_EQ(samples.at("hammer_s" + std::to_string(w) + "_count"),
+              static_cast<double>(kWrites));
+  }
+}
+
+}  // namespace

@@ -33,7 +33,13 @@ Usage:
 Every failure is one grep-able "BENCH_GATE_FAIL kind=... key=..." line
 naming the offending key and both values.  Exit codes: 0 OK; 2 a gated
 key is missing from the report; 3 a value violated REQUIRED_ZERO or its
-window; 1 everything else (counter/time regressions, file problems).
+window; 4 the EWMA trend sentinel flagged under --sentinel-strict; 1
+everything else (counter/time regressions, file problems).
+
+* trend sentinel (--sentinel bench/history.jsonl): appends `sks-report
+  sentinel` EWMA drift/step verdicts after the hard-gate results — warn
+  only by default, exit 4 with --sentinel-strict on an otherwise-green
+  run (hard-gate failures always win).
 
 Re-baselining (after an intentional perf-relevant change): run the check,
 review the printed deltas, then re-run with `rebaseline` and commit the
@@ -58,6 +64,10 @@ TIMING_BASELINE = "gbench_perf_micro.json"
 # disabled (obs/metrics.hpp documents the guarantee).
 REQUIRED_ZERO = ("obs.stream_updates", "obs.timeline_snapshots",
                  "obs.profile_builds", "obs.mem_gauge_updates",
+                 # Live exposition guard: gate runs never pass --expose, so
+                 # the /metrics scrape counter must stay exactly zero — the
+                 # listener (obs/expose.hpp) costs nothing unless asked for.
+                 "obs.expose_scrapes",
                  # Hierarchical Schur path steady-state guard: doubling the
                  # simulated time on the same companion configs must add
                  # exactly zero linear-block factorizations (they are paid
@@ -90,6 +100,7 @@ WINDOWS = {
 EXIT_FAIL = 1            # counter/time regression, file problems
 EXIT_MISSING_KEY = 2     # a gated key is absent from the report
 EXIT_OUT_OF_WINDOW = 3   # REQUIRED_ZERO violated or WINDOWS value outside
+EXIT_SENTINEL = 4        # --sentinel-strict and the EWMA sentinel flagged
 
 REBASELINE_HINT = ("re-create it with `tools/bench_gate.py rebaseline "
                    "--report BENCH_perf_micro.json "
@@ -121,6 +132,32 @@ def run_attribution(sks_report, baseline_path, report_path):
               "perf_micro with SKS_TRACE=1 and rebaseline)", file=sys.stderr)
     for line in out.splitlines():
         print(f"  {line}", file=sys.stderr)
+
+
+def run_sentinel(sks_report, history_path):
+    """`sks-report sentinel HISTORY.jsonl`: EWMA drift/step verdicts.
+
+    Returns True when the sentinel flagged at least one metric.  The
+    verdict table prints after the hard-gate results either way (a trend
+    warning is useful context even on a green run); any problem running
+    the binary degrades to a one-line note — the sentinel layer must
+    never turn a healthy gate run red on its own.
+    """
+    print("\nsentinel (EWMA trend over bench history):")
+    try:
+        proc = subprocess.run(
+            [sks_report, "sentinel", history_path],
+            capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"  sentinel unavailable: {e}")
+        return False
+    out = (proc.stdout + proc.stderr).strip()
+    for line in out.splitlines():
+        print(f"  {line}")
+    if proc.returncode not in (0, EXIT_SENTINEL):
+        print(f"  sentinel unavailable (exit {proc.returncode})")
+        return False
+    return "SENTINEL_FLAG" in out
 
 
 class GateError(Exception):
@@ -285,6 +322,19 @@ def cmd_check(args):
     else:
         print(f"wall-time gate skipped (no baseline at {timing_baseline})")
 
+    # Trend watchdog: the hard gates above catch window violations; the
+    # sentinel catches consistent in-window movement.  Warn-only unless
+    # --sentinel-strict, and only able to fail an otherwise-green run —
+    # hard-gate exit codes always win.
+    sentinel_flagged = False
+    if args.sentinel:
+        sentinel_bin = args.sentinel_with or args.attribute_with
+        if sentinel_bin:
+            sentinel_flagged = run_sentinel(sentinel_bin, args.sentinel)
+        else:
+            print("sentinel skipped (--sentinel needs --sentinel-with or "
+                  "--attribute-with to locate the sks-report binary)")
+
     if failures:
         print("\nBENCH GATE FAILED:", file=sys.stderr)
         for _, line in failures:
@@ -306,7 +356,14 @@ def cmd_check(args):
             if code in codes:
                 return code
         return EXIT_FAIL
-    print("bench gate OK")
+    if sentinel_flagged and args.sentinel_strict:
+        print("\nBENCH GATE FAILED: sentinel flagged a trend "
+              "(--sentinel-strict)", file=sys.stderr)
+        return EXIT_SENTINEL
+    if sentinel_flagged:
+        print("bench gate OK (sentinel warnings above are advisory)")
+    else:
+        print("bench gate OK")
     return 0
 
 
@@ -340,6 +397,17 @@ def main():
                              "gate runs `sks-report attribute BASELINE "
                              "CURRENT` and appends the ranked wall-time "
                              "deltas below the failure lines")
+    parser.add_argument("--sentinel", metavar="HISTORY_JSONL",
+                        help="bench history file; appends `sks-report "
+                             "sentinel` EWMA drift/step verdicts after the "
+                             "gate results (warn-only by default)")
+    parser.add_argument("--sentinel-with", metavar="SKS_REPORT_BIN",
+                        help="sks-report binary for --sentinel (defaults "
+                             "to --attribute-with)")
+    parser.add_argument("--sentinel-strict", action="store_true",
+                        help=f"exit {EXIT_SENTINEL} when the sentinel flags "
+                             "a drift or step on an otherwise-green gate "
+                             "run")
     args = parser.parse_args()
     try:
         if args.command == "check":

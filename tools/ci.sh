@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Continuous-integration driver: warnings-as-errors build, full test suite,
 # a telemetry smoke check that the bench --profile reports are valid JSON,
-# and the bench regression gate (tools/bench_gate.py).  Run from the
-# repository root:
+# a live /metrics scrape of a running campaign, the EWMA regression
+# sentinel, and the bench regression gate (tools/bench_gate.py).  Run from
+# the repository root:
 #
 #   tools/ci.sh                    # build + ctest + bench smoke + bench gate
 #   tools/ci.sh --asan             # additionally build and test under ASan+UBSan
@@ -158,11 +159,26 @@ echo "=== bench history smoke check ==="
     "$SMOKE_DIR/BENCH_perf_micro.json" > /dev/null
 # Capture to a file rather than `| grep -q`: under pipefail, grep -q
 # closing the pipe at the first match SIGPIPEs sks-report mid-table.
+# The second append hands over the SAME report, so dedup must skip it
+# (keyed on the content hash) and the file must stay at one line.
 "$SKS_REPORT" history "$PM_DIR/history.jsonl" \
     "$SMOKE_DIR/BENCH_perf_micro.json" > "$PM_DIR/history_table.log"
 grep -q "metric" "$PM_DIR/history_table.log" \
   || { echo "history trend table missing" >&2; exit 1; }
-echo "ok: sks-report history"
+grep -q "duplicate" "$PM_DIR/history_table.log" \
+  || { echo "history dedup did not skip an identical report" >&2; exit 1; }
+[ "$(wc -l < "$PM_DIR/history.jsonl")" = 1 ] \
+  || { echo "duplicate report still appended to history" >&2; exit 1; }
+# Every history line must carry its dedup hash and the provenance meta.
+python3 - "$PM_DIR/history.jsonl" <<'EOF'
+import json, sys
+line = json.loads(open(sys.argv[1]).readline())
+assert len(line["hash"]) == 16, line.get("hash")
+assert "git_sha" in line["meta"] and "compiler" in line["meta"], line["meta"]
+print("ok: history line carries hash", line["hash"],
+      "and git_sha", line["meta"]["git_sha"])
+EOF
+echo "ok: sks-report history (dedup + provenance)"
 
 echo "=== metrics timeline smoke check ==="
 # A scaled-down fig5 Monte-Carlo run with the timeline enabled must emit
@@ -221,6 +237,142 @@ grep -q "monotone" "$TL_DIR/timeline.log" \
   || { echo "sks-report tail did not render the final snapshot" >&2; exit 1; }
 echo "ok: timeline JSONL + sks-report timeline/tail"
 
+echo "=== live metrics exposition smoke check ==="
+# A fig5 campaign run with the exposer enabled must be scrapeable while it
+# executes: /metrics parses as Prometheus text format 0.0.4, /healthz
+# answers 200 — and after the run report lands, one final scrape's counter
+# values must exactly equal the BENCH_*.json counters (excluding the
+# scrape counter itself, which keeps counting the scrapes that happen
+# after the report was captured).  SKS_EXPOSE=0 asks for an ephemeral
+# port; the bench prints (and flushes) the bound port, and
+# SKS_EXPOSE_LINGER_S holds the listener open after the report until the
+# final scrape lands.
+EXPO_DIR=build-ci/expose
+rm -rf "$EXPO_DIR"
+mkdir -p "$EXPO_DIR"
+(cd "$EXPO_DIR" && SKS_BENCH_SCALE=0.1 SKS_EXPOSE=0 SKS_EXPOSE_LINGER_S=60 \
+    ../bench/fig5_montecarlo --profile > fig5_expose.log 2>&1) &
+EXPO_PID=$!
+EXPO_PORT=""
+for _ in $(seq 1 100); do
+  EXPO_PORT=$(sed -n 's/.*serving .* on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$EXPO_DIR/fig5_expose.log" 2>/dev/null | head -1)
+  [ -n "$EXPO_PORT" ] && break
+  sleep 0.2
+done
+[ -n "$EXPO_PORT" ] || { echo "exposer never printed its port" >&2; \
+                         kill "$EXPO_PID" 2>/dev/null; exit 1; }
+echo "exposer up on port $EXPO_PORT"
+# Mid-run scrape: full exposition syntax check + liveness probe.
+python3 - "$EXPO_PORT" <<'EOF'
+import re, sys, urllib.request, urllib.error
+port = sys.argv[1]
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="0\.\d+"\})? \S+$')
+names = set()
+for line in body.splitlines():
+    assert line, "blank line in exposition"
+    if line.startswith("#"):
+        continue
+    assert sample.match(line), f"bad exposition line: {line!r}"
+    name, value = line.rsplit(" ", 1)
+    float(value)  # must parse as a number
+    names.add(name.split("{")[0])
+assert "obs_run_phase" in names and "obs_expose_scrapes" in names, names
+health = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/healthz", timeout=10)
+assert health.status == 200 and health.read() == b"ok\n"
+try:
+    ready = urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/readyz", timeout=10)
+    phase = ready.read().decode()
+except urllib.error.HTTPError as e:  # 503 while a phase is active
+    phase = e.read().decode()
+assert phase.startswith("phase="), phase
+print(f"ok: mid-run /metrics ({len(names)} series), /healthz 200, "
+      f"/readyz {phase.strip()}")
+EOF
+# Wait for the run report, then take the post-run scrape.
+for _ in $(seq 1 600); do
+  grep -q "run report written" "$EXPO_DIR/fig5_expose.log" && break
+  sleep 0.5
+done
+grep -q "run report written" "$EXPO_DIR/fig5_expose.log" \
+  || { echo "fig5 run never wrote its report" >&2; \
+       kill "$EXPO_PID" 2>/dev/null; exit 1; }
+python3 - "$EXPO_PORT" "$EXPO_DIR/BENCH_fig5_montecarlo.json" <<'EOF'
+import json, re, sys, urllib.request
+port, report_path = sys.argv[1], sys.argv[2]
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+scraped = {}
+for line in body.splitlines():
+    if line.startswith("#") or "{" in line:
+        continue
+    name, value = line.rsplit(" ", 1)
+    scraped[name] = value
+report = json.load(open(report_path))
+sanitize = lambda k: re.sub(r"[^a-zA-Z0-9_:]", "_", k)
+mismatches = []
+for key, value in report["counters"].items():
+    if key == "obs.expose_scrapes":
+        continue  # keeps counting post-report scrapes by design
+    got = scraped.get(sanitize(key))
+    if got is None or int(got) != int(value):
+        mismatches.append(f"{key}: report={int(value)} scrape={got}")
+assert not mismatches, "post-run scrape != report: " + "; ".join(mismatches)
+print(f"ok: post-run scrape matches all "
+      f"{len(report['counters']) - 1} report counters exactly")
+EOF
+wait "$EXPO_PID" \
+  || { echo "fig5 exposition run failed" >&2; exit 1; }
+echo "ok: live exposition scraped mid-run and post-run on port $EXPO_PORT"
+
+echo "=== regression sentinel fixture check ==="
+# The EWMA sentinel must flag a synthetic slow drift that stays inside the
+# hard gate's Shewhart-style windows, must exit 4 under --strict on that
+# fixture, and must stay quiet on the real checked-in history.
+SENT_DIR=build-ci/sentinel
+rm -rf "$SENT_DIR"
+mkdir -p "$SENT_DIR"
+python3 - "$SENT_DIR/drift_history.jsonl" <<'EOF'
+import json, sys
+# 8 stable runs at 1.20 s, then +0.3 sigma (sigma=0.02) per run: each
+# increment is far below any per-run tolerance (the EWMA's steady-state
+# ramp lag, r*(1-lambda)/lambda = 0.024, stays under the 3*sigma step
+# threshold of 0.036), but the EWMA walks out of its control band.
+rows, level = [], 1.20
+for i in range(18):
+    if i >= 8:
+        level += 0.3 * 0.02
+    rows.append({"report": "perf_micro", "hash": f"{i:016x}",
+                 "values": {"leaky.wall_s": round(level, 6)}})
+with open(sys.argv[1], "w") as f:
+    for row in rows:
+        f.write(json.dumps(row) + "\n")
+print(f"wrote {len(rows)}-run drift fixture")
+EOF
+"$SKS_REPORT" sentinel "$SENT_DIR/drift_history.jsonl" \
+    > "$SENT_DIR/sentinel.log"
+grep -q "SENTINEL_FLAG" "$SENT_DIR/sentinel.log" \
+  || { echo "sentinel missed the synthetic drift" >&2;
+       cat "$SENT_DIR/sentinel.log" >&2; exit 1; }
+SENT_RC=0
+"$SKS_REPORT" sentinel "$SENT_DIR/drift_history.jsonl" --strict \
+    > /dev/null || SENT_RC=$?
+[ "$SENT_RC" = 4 ] \
+  || { echo "sentinel --strict exited $SENT_RC, expected 4" >&2; exit 1; }
+if [ -s bench/history.jsonl ]; then
+  "$SKS_REPORT" sentinel bench/history.jsonl > "$SENT_DIR/baseline.log"
+  if grep -q "SENTINEL_FLAG" "$SENT_DIR/baseline.log"; then
+    echo "warning: sentinel flags the checked-in history:" >&2
+    grep "SENTINEL_FLAG" "$SENT_DIR/baseline.log" >&2
+  fi
+fi
+echo "ok: sentinel flags the drift fixture (and --strict exits 4)"
+
 echo "=== bench regression gate ==="
 # perf_micro's deterministic fixed-workload pass yields exact solver work
 # counts (values.fixed.*, machine-independent, gated at >0%); the
@@ -237,6 +389,12 @@ mkdir -p "$BENCH_DIR"
     --benchmark_min_time=0.05 \
     --benchmark_out=gbench_perf_micro.json \
     --benchmark_out_format=json > bench.log)
+# Append this run to the history BEFORE gating so the sentinel's EWMA
+# window includes the fresh point (identical re-runs dedup by hash).  CI
+# uploads bench/history.jsonl as an artifact and restores it across runs;
+# render the trend table with `sks-report history bench/history.jsonl`.
+"$SKS_REPORT" history bench/history.jsonl \
+    "$BENCH_DIR/BENCH_perf_micro.json" > /dev/null
 if [ "$REBASELINE" = 1 ]; then
   python3 tools/bench_gate.py rebaseline \
       --report "$BENCH_DIR/BENCH_perf_micro.json" \
@@ -245,7 +403,8 @@ else
   python3 tools/bench_gate.py check \
       --report "$BENCH_DIR/BENCH_perf_micro.json" \
       --timings "$BENCH_DIR/gbench_perf_micro.json" \
-      --attribute-with "$SKS_REPORT"
+      --attribute-with "$SKS_REPORT" \
+      --sentinel bench/history.jsonl
 fi
 
 echo "=== bigtree scaling curve artifact ==="
@@ -270,15 +429,6 @@ for lv, n in ((4, 2076), (5, 8732), (6, 33308), (7, 139804)):
 EOF
 cat "$BENCH_DIR/bigtree_scaling.csv"
 echo "ok: $BENCH_DIR/bigtree_scaling.csv"
-
-echo "=== bench history append ==="
-# Every bench pass that reaches this point appends its perf_micro report to
-# the running history log; CI uploads bench/history.jsonl as an artifact so
-# the perf trajectory across runs is downloadable (render the trend table
-# locally with `sks-report history bench/history.jsonl`).
-"$SKS_REPORT" history bench/history.jsonl \
-    "$BENCH_DIR/BENCH_perf_micro.json" > /dev/null
-echo "ok: appended $BENCH_DIR/BENCH_perf_micro.json to bench/history.jsonl"
 
 if [ "$RUN_ASAN" = 1 ]; then
   echo "=== ASan+UBSan build + tests ==="

@@ -11,6 +11,7 @@
 //   sks-report repro   BUNDLE           re-run a bundle, check it reproduces
 //   sks-report run     NETLIST [flags]  solve a netlist; bundle on failure
 //   sks-report history JSONL [REPORT..] append summaries, print trend table
+//   sks-report sentinel JSONL [flags]   EWMA drift/step flags over history
 //   sks-report timeline FILE [B]        summarize a metrics timeline JSONL
 //                                       (two files: diff final snapshots)
 //   sks-report tail    FILE [--follow]  render the latest timeline snapshot
@@ -45,6 +46,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -56,6 +58,7 @@
 #include "obs/diag.hpp"
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
+#include "obs/sentinel.hpp"
 #include "obs/stream.hpp"
 #include "util/error.hpp"
 
@@ -805,11 +808,34 @@ int tail_timeline(const std::string& path, bool follow) {
 
 // ---- bench history ------------------------------------------------------
 
-// One history line: report name plus its numeric values/counters/gauges,
-// flat.  Gauges fold in the mem.* rows (peak RSS, page faults, byte
-// accounting) so the history accumulates a memory trend alongside walls.
-std::string history_line(const std::string& path) {
-  const Json doc = load_report(path);
+// FNV-1a over the canonical (report name + sorted flat values) rendering:
+// the dedup key for history lines.  Two appends of the same BENCH_*.json
+// hash identically; meta (hostname, SHA) is deliberately excluded so a
+// re-run that produced bit-identical numbers still dedups.
+std::string history_hash(const std::string& report,
+                         const std::map<std::string, double>& rows) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  mix(report);
+  for (const auto& [key, v] : rows) {
+    mix(key);
+    mix(fmt(v));
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Flat name -> number view of one report doc: values + counters + gauges.
+// Gauges fold in the mem.* rows (peak RSS, page faults, byte accounting)
+// so the history accumulates a memory trend alongside walls.
+std::map<std::string, double> history_rows(const Json& doc) {
   std::map<std::string, double> rows = number_section(doc, "values");
   for (const auto& [key, v] : number_section(doc, "counters")) {
     rows.emplace(key, v);
@@ -817,10 +843,31 @@ std::string history_line(const std::string& path) {
   for (const auto& [key, v] : number_section(doc, "gauges")) {
     rows.emplace(key, v);
   }
+  return rows;
+}
+
+// One history line: report name, dedup hash, provenance meta and the flat
+// numeric rows.
+std::string history_line(const Json& doc, const std::string& path) {
+  const std::map<std::string, double> rows = history_rows(doc);
   std::ostringstream out;
   out << "{\"report\": \"" << sks::obs::json_escape(doc.at("report").str())
       << "\", \"source\": \"" << sks::obs::json_escape(path)
-      << "\", \"values\": {";
+      << "\", \"hash\": \""
+      << history_hash(doc.at("report").str(), rows) << "\"";
+  if (const Json* meta = doc.find("meta");
+      meta != nullptr && meta->is_object()) {
+    out << ", \"meta\": {";
+    bool first = true;
+    for (const auto& [key, value] : meta->object()) {
+      if (!value.is_string()) continue;
+      out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
+          << "\": \"" << sks::obs::json_escape(value.str()) << '"';
+      first = false;
+    }
+    out << "}";
+  }
+  out << ", \"values\": {";
   bool first = true;
   for (const auto& [key, v] : rows) {
     out << (first ? "" : ", ") << '"' << sks::obs::json_escape(key)
@@ -831,18 +878,51 @@ std::string history_line(const std::string& path) {
   return out.str();
 }
 
+// Dedup hash of an already-written history line; legacy lines without a
+// "hash" field get it recomputed from their report + values so pre-dedup
+// history still participates.
+std::string history_line_hash(const Json& doc) {
+  if (const Json* h = doc.find("hash"); h != nullptr && h->is_string()) {
+    return h->str();
+  }
+  return history_hash(doc.at("report").str(), number_section(doc, "values"));
+}
+
 int history_command(const std::string& jsonl_path,
                     const std::vector<std::string>& reports) {
   if (!reports.empty()) {
+    // Existing hashes first: a CI re-run appending the identical report
+    // must not pollute the sentinel's trend window with duplicate points.
+    std::set<std::string> seen;
+    {
+      std::ifstream in(jsonl_path);
+      std::string line;
+      while (in.good() && std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        seen.insert(history_line_hash(Json::parse(line)));
+      }
+    }
     std::ofstream out(jsonl_path, std::ios::app);
     sks::check(out.good(), "cannot open '", jsonl_path, "' for appending");
+    std::size_t appended = 0, skipped = 0;
     for (const std::string& path : reports) {
-      out << history_line(path) << "\n";
+      const Json doc = load_report(path);
+      const std::string hash =
+          history_hash(doc.at("report").str(), history_rows(doc));
+      if (!seen.insert(hash).second) {
+        std::cout << "skipped " << path << ": duplicate of an existing "
+                  << "history entry (hash " << hash << ")\n";
+        ++skipped;
+        continue;
+      }
+      out << history_line(doc, path) << "\n";
+      ++appended;
     }
     out.flush();
     sks::check(out.good(), "append to '", jsonl_path, "' failed");
-    std::cout << "appended " << reports.size() << " report(s) to "
-              << jsonl_path << "\n";
+    std::cout << "appended " << appended << " report(s) to " << jsonl_path;
+    if (skipped > 0) std::cout << " (" << skipped << " duplicate(s) skipped)";
+    std::cout << "\n";
   }
 
   std::ifstream in(jsonl_path);
@@ -916,6 +996,95 @@ int history_command(const std::string& jsonl_path,
                 fmt(p99.value()).c_str());
   }
   return 0;
+}
+
+// ---- regression sentinel ------------------------------------------------
+
+// EWMA control charts (obs/sentinel.hpp) over every per-metric series in
+// a history JSONL.  Series are keyed on (report name, metric) so a file
+// mixing perf_micro and fig5 entries never splices their trends together.
+// Flags print as grep-able `SENTINEL_FLAG kind=...` lines; --strict turns
+// any flag into exit code 4 (tools/bench_gate.py EXIT_SENTINEL).
+int sentinel_command(const std::vector<std::string>& args) {
+  std::string jsonl_path;
+  std::string metric_prefix;
+  sks::obs::SentinelOptions opt;
+  bool strict = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--lambda" && i + 1 < args.size()) {
+      opt.lambda = std::atof(args[++i].c_str());
+    } else if (args[i] == "--k" && i + 1 < args.size()) {
+      opt.k = std::atof(args[++i].c_str());
+    } else if (args[i] == "--warmup" && i + 1 < args.size()) {
+      opt.warmup = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+    } else if (args[i] == "--metric" && i + 1 < args.size()) {
+      metric_prefix = args[++i];
+    } else if (args[i] == "--strict") {
+      strict = true;
+    } else if (jsonl_path.empty()) {
+      jsonl_path = args[i];
+    } else {
+      sks::check(false, "sentinel: unexpected argument '", args[i], "'");
+    }
+  }
+  sks::check(!jsonl_path.empty(), "sentinel: missing HISTORY.jsonl");
+  sks::check(opt.lambda > 0.0 && opt.lambda <= 1.0,
+             "sentinel: --lambda must be in (0, 1]");
+  sks::check(opt.k > 0.0, "sentinel: --k must be positive");
+
+  std::ifstream in(jsonl_path);
+  sks::check(in.good(), "cannot open '", jsonl_path, "'");
+  // (report, metric) -> series in file order (file order == run order:
+  // history_command only ever appends).
+  std::map<std::pair<std::string, std::string>, std::vector<double>> series;
+  std::set<std::string> report_names;
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const Json doc = Json::parse(line);
+    const std::string report = doc.at("report").str();
+    report_names.insert(report);
+    ++lines;
+    for (const auto& [key, v] : number_section(doc, "values")) {
+      if (!metric_prefix.empty() && key.rfind(metric_prefix, 0) != 0) {
+        continue;
+      }
+      series[{report, key}].push_back(v);
+    }
+  }
+
+  std::vector<sks::obs::SentinelFinding> flagged;
+  std::size_t charted = 0;
+  for (const auto& [key, values] : series) {
+    const std::string label = report_names.size() > 1
+                                  ? key.first + "/" + key.second
+                                  : key.second;
+    const sks::obs::SentinelFinding f =
+        sks::obs::sentinel_check(label, values, opt);
+    if (f.runs > opt.warmup) ++charted;
+    if (f.verdict != sks::obs::SentinelVerdict::kOk) flagged.push_back(f);
+  }
+
+  std::cout << "sentinel " << jsonl_path << ": " << lines << " run(s), "
+            << series.size() << " metric series (" << charted
+            << " past warm-up), lambda=" << fmt(opt.lambda)
+            << " k=" << fmt(opt.k) << " warmup=" << opt.warmup << "\n";
+  for (const auto& f : flagged) {
+    std::cout << "SENTINEL_FLAG kind=" << sks::obs::to_string(f.verdict)
+              << " key=" << f.metric << " last=" << fmt(f.value)
+              << " baseline=" << fmt(f.baseline_mean)
+              << " sigma=" << fmt(f.baseline_sigma)
+              << " ewma=" << fmt(f.ewma) << " band=[" << fmt(f.band_lo)
+              << ", " << fmt(f.band_hi) << "] runs=" << f.runs << "\n";
+  }
+  if (flagged.empty()) {
+    std::cout << "sentinel: no drift or step flags\n";
+    return 0;
+  }
+  std::cout << "sentinel: " << flagged.size() << " metric(s) flagged"
+            << (strict ? " (strict: exit 4)" : " (warn-only)") << "\n";
+  return strict ? 4 : 0;
 }
 
 // ---- performance attribution --------------------------------------------
@@ -1151,6 +1320,8 @@ int usage() {
                "[--solver dense|sparse|hierarchical|auto] "
                "[--postmortem DIR]\n"
                "  sks-report history HISTORY.jsonl [REPORT.json...]\n"
+               "  sks-report sentinel HISTORY.jsonl [--lambda L] [--k K] "
+               "[--warmup N] [--metric PREFIX] [--strict]\n"
                "  sks-report timeline TIMELINE.jsonl [B.jsonl]\n"
                "  sks-report tail    TIMELINE.jsonl [--follow]\n";
   return 2;
@@ -1202,6 +1373,9 @@ int main(int argc, char** argv) {
     }
     if (command == "history") {
       return history_command(paths[0], {paths.begin() + 1, paths.end()});
+    }
+    if (command == "sentinel") {
+      return sentinel_command(paths);
     }
     if (command == "timeline" && paths.size() == 1) {
       return summarize_timeline(paths[0]);
